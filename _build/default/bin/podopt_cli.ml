@@ -1,0 +1,305 @@
+(* podopt: command-line driver for the profile-directed event optimizer.
+
+     podopt report   <app>      profile an app and print graphs/chains
+     podopt graph    <app>      emit the event graph as Graphviz DOT
+     podopt optimize <app>      profile, optimize, and report the speedup
+     podopt hir      <file>     parse, optimize and run a HIR program
+
+   <app> is one of: video, seccomm, xclient. *)
+
+open Cmdliner
+open Podopt
+
+(* --- app harnesses ---------------------------------------------------- *)
+
+type app = Video | Seccomm | Xclient
+
+let app_conv =
+  let parse = function
+    | "video" -> Ok Video
+    | "seccomm" -> Ok Seccomm
+    | "xclient" -> Ok Xclient
+    | s -> Error (`Msg (Printf.sprintf "unknown app %S (expected video|seccomm|xclient)" s))
+  in
+  let print ppf = function
+    | Video -> Fmt.string ppf "video"
+    | Seccomm -> Fmt.string ppf "seccomm"
+    | Xclient -> Fmt.string ppf "xclient"
+  in
+  Arg.conv (parse, print)
+
+(* Build a runtime plus a repeatable profiling workload for the app. *)
+let harness : app -> Runtime.t * (unit -> unit) = function
+  | Video ->
+    let rt = Podopt_apps.Video_player.create () in
+    (rt, fun () -> Podopt_apps.Video_player.profile_workload rt ~frames:120 ())
+  | Seccomm ->
+    let rt = Podopt_apps.Secure_messenger.create () in
+    (rt, fun () -> Podopt_apps.Secure_messenger.profile_workload rt ())
+  | Xclient ->
+    let ed = Podopt_apps.Editor.create () in
+    (Podopt_apps.Editor.runtime ed, fun () -> Podopt_apps.Editor.profile_workload ed ())
+
+let profiled_graph rt workload =
+  Trace.clear rt.Runtime.trace;
+  Trace.enable_events rt.Runtime.trace;
+  workload ();
+  Event_graph.of_trace rt.Runtime.trace
+
+(* --- report ------------------------------------------------------------ *)
+
+let report app threshold =
+  let rt, workload = harness app in
+  let g = profiled_graph rt workload in
+  Fmt.pr "event graph (%d events, %d edges):@.@.%a@." (Event_graph.node_count g)
+    (Event_graph.edge_count g) Report.pp_edge_table g;
+  let reduced = Reduce.reduce g ~threshold in
+  Fmt.pr "@.reduced graph (W=%d):@.@.%a@." threshold Report.pp_edge_table reduced;
+  Fmt.pr "@.event paths:@.%a" Report.pp_paths (Paths.linear_paths reduced);
+  Fmt.pr "@.event chains:@.%a" Report.pp_chains (Chains.find reduced);
+  (* handler-level profile for the hot events *)
+  let hot = List.map (fun (n : Event_graph.node) -> n.Event_graph.name)
+      (Event_graph.nodes reduced)
+  in
+  Trace.clear rt.Runtime.trace;
+  Trace.enable_handlers rt.Runtime.trace hot;
+  workload ();
+  let occs = Handler_graph.occurrences rt.Runtime.trace in
+  Fmt.pr "@.handler sequences:@.%a" Report.pp_handler_sequences occs;
+  Fmt.pr "@.subsumption candidates:@.%a" Report.pp_subsumption
+    (Subsume.find rt.Runtime.trace);
+  (* dominator-based co-relations (Sec. 5), rooted at the most frequent
+     reduced-graph event *)
+  (match
+     List.sort
+       (fun (a : Event_graph.node) b -> compare b.Event_graph.occurrences a.Event_graph.occurrences)
+       (Event_graph.nodes reduced)
+   with
+   | [] -> ()
+   | root :: _ ->
+     let doms = Dominators.compute reduced ~root:root.Event_graph.name in
+     (match Dominators.correlated_pairs doms with
+      | [] -> Fmt.pr "@.no dominator co-relations (root %s)@." root.Event_graph.name
+      | pairs ->
+        Fmt.pr "@.dominator co-relations (root %s):@." root.Event_graph.name;
+        List.iter (fun (a, b) -> Fmt.pr "  %s always precedes %s@." a b) pairs));
+  0
+
+(* --- graph -------------------------------------------------------------- *)
+
+let graph app threshold output =
+  let rt, workload = harness app in
+  let g = profiled_graph rt workload in
+  let reduced = if threshold > 1 then Reduce.reduce g ~threshold else g in
+  let dot = Dot.to_dot ~title:"events" ~chains:(Chains.find reduced) g in
+  (match output with
+   | None -> print_string dot
+   | Some path ->
+     let oc = open_out path in
+     output_string oc dot;
+     close_out oc;
+     Fmt.pr "wrote %s@." path);
+  0
+
+(* --- optimize ------------------------------------------------------------ *)
+
+let optimize app threshold strategy spec =
+  let strategy =
+    match strategy with
+    | "monolithic" -> Plan.Monolithic
+    | "partitioned" -> Plan.Partitioned
+    | _ -> Plan.Monolithic
+  in
+  let rt, workload = harness app in
+  (* unoptimized measurement *)
+  workload ();
+  Runtime.reset_measurements rt;
+  workload ();
+  let t_orig = Runtime.total_handler_time rt in
+  let applied =
+    Driver.profile_and_optimize ~threshold ~strategy ~speculate:spec rt ~workload
+  in
+  Fmt.pr "%a@." Plan.pp applied.Driver.plan;
+  Fmt.pr "installed: %s@." (String.concat ", " applied.Driver.installed);
+  List.iter (fun (e, why) -> Fmt.pr "skipped %s: %s@." e why) applied.Driver.skipped;
+  Fmt.pr "code size: %a@." Size.pp_report (Driver.size_report applied);
+  Runtime.reset_measurements rt;
+  workload ();
+  let t_opt = Runtime.total_handler_time rt in
+  Fmt.pr "handler time: %d -> %d units (%.1f%% saved)@." t_orig t_opt
+    (100.0 *. float_of_int (t_orig - t_opt) /. float_of_int (max 1 t_orig));
+  Fmt.pr "%a@." Runtime.pp_stats rt.Runtime.stats;
+  0
+
+(* --- trace / analyze ------------------------------------------------------ *)
+
+let trace_cmd_run app output handler_level =
+  let rt, workload = harness app in
+  Trace.enable_events rt.Runtime.trace;
+  if handler_level then begin
+    (* first pass to find the hot events, then re-run instrumented *)
+    workload ();
+    let g = Event_graph.of_trace rt.Runtime.trace in
+    let hot =
+      List.map (fun (n : Event_graph.node) -> n.Event_graph.name) (Event_graph.nodes g)
+    in
+    Trace.clear rt.Runtime.trace;
+    Trace.enable_handlers rt.Runtime.trace hot
+  end;
+  workload ();
+  Trace_io.save rt.Runtime.trace ~path:output;
+  Fmt.pr "wrote %d trace entries to %s@." (Trace.length rt.Runtime.trace) output;
+  0
+
+let analyze_cmd_run path threshold =
+  match Trace_io.load ~path with
+  | exception Trace_io.Format_error msg ->
+    Fmt.epr "bad trace file: %s@." msg;
+    1
+  | trace ->
+    let g = Event_graph.of_trace trace in
+    Fmt.pr "event graph (%d events, %d edges):@.@.%a@." (Event_graph.node_count g)
+      (Event_graph.edge_count g) Report.pp_edge_table g;
+    let reduced = Reduce.reduce g ~threshold in
+    Fmt.pr "@.reduced (W=%d):@.@.%a@." threshold Report.pp_edge_table reduced;
+    Fmt.pr "@.chains:@.%a" Report.pp_chains (Chains.find reduced);
+    let occs = Handler_graph.occurrences trace in
+    if occs <> [] then begin
+      Fmt.pr "@.handler sequences:@.%a" Report.pp_handler_sequences occs;
+      Fmt.pr "@.subsumption candidates:@.%a" Report.pp_subsumption (Subsume.find trace)
+    end;
+    0
+
+(* --- hir ----------------------------------------------------------------- *)
+
+let hir_cmd file proc args show_opt =
+  let src =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Parse.program src with
+  | exception Parse.Error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | prog ->
+    Podopt_crypto.Prims.install ();
+    if show_opt then begin
+      let optimized = Pipeline.optimize_program prog in
+      Fmt.pr "%a@." Pp.pp_program optimized;
+      Fmt.pr "@.(size %d -> %d nodes)@." (Analysis.program_size prog)
+        (Analysis.program_size optimized)
+    end;
+    (match proc with
+     | None -> 0
+     | Some name ->
+       let vargs = List.map (fun n -> Value.Int n) args in
+       let emits = ref [] in
+       let globals = Hashtbl.create 16 in
+       let host =
+         {
+           Interp.null_host with
+           Interp.get_global =
+             (fun g ->
+               match Hashtbl.find_opt globals g with
+               | Some v -> v
+               | None -> Value.Int 0);
+           set_global = (fun g v -> Hashtbl.replace globals g v);
+           emit = (fun tag args -> emits := (tag, args) :: !emits);
+         }
+       in
+       (match Interp.run ~host prog name vargs with
+        | result ->
+          Fmt.pr "%s(%s) = %s@." name
+            (String.concat ", " (List.map Value.to_string vargs))
+            (Value.to_string result);
+          List.iter
+            (fun (tag, args) ->
+              Fmt.pr "emit %s(%s)@." tag
+                (String.concat ", " (List.map Value.to_string args)))
+            (List.rev !emits);
+          0
+        | exception e ->
+          Fmt.epr "error: %s@." (Printexc.to_string e);
+          1))
+
+(* --- cmdliner plumbing ---------------------------------------------------- *)
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP"
+         ~doc:"Application: video, seccomm or xclient.")
+
+let threshold_arg =
+  Arg.(value & opt int 50 & info [ "w"; "threshold" ] ~docv:"W"
+         ~doc:"Edge-weight threshold for graph reduction.")
+
+let report_cmd =
+  let doc = "Profile an application and print its event/handler analysis." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report $ app_arg $ threshold_arg)
+
+let graph_cmd =
+  let doc = "Emit the profiled event graph as Graphviz DOT." in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write DOT to $(docv) instead of stdout.")
+  in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const graph $ app_arg $ threshold_arg $ output)
+
+let optimize_cmd =
+  let doc = "Profile, optimize, and measure an application." in
+  let strategy =
+    Arg.(value & opt string "monolithic" & info [ "strategy" ] ~docv:"S"
+           ~doc:"Chain guard strategy: monolithic or partitioned.")
+  in
+  let spec =
+    Arg.(value & flag & info [ "speculate" ] ~doc:"Enable speculative prefetch pairs.")
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(const optimize $ app_arg $ threshold_arg $ strategy $ spec)
+
+let hir_cmd_t =
+  let doc = "Parse, optimize, and optionally run a HIR source file." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"HIR source file.")
+  in
+  let proc =
+    Arg.(value & opt (some string) None & info [ "run" ] ~docv:"PROC"
+           ~doc:"Run procedure $(docv) after loading.")
+  in
+  let args =
+    Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N"
+           ~doc:"Integer argument passed to the procedure (repeatable).")
+  in
+  let show =
+    Arg.(value & flag & info [ "print-optimized" ] ~doc:"Print the optimized program.")
+  in
+  Cmd.v (Cmd.info "hir" ~doc) Term.(const hir_cmd $ file $ proc $ args $ show)
+
+let trace_cmd =
+  let doc = "Profile an application and save the trace to a file." in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Trace file to write.")
+  in
+  let handlers =
+    Arg.(value & flag & info [ "handlers" ]
+           ~doc:"Also record handler-level instrumentation for hot events.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_cmd_run $ app_arg $ output $ handlers)
+
+let analyze_cmd =
+  let doc = "Analyze a previously saved trace file off-line." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_cmd_run $ file $ threshold_arg)
+
+let () =
+  let doc = "profile-directed optimization of event-based programs" in
+  let info = Cmd.info "podopt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ report_cmd; graph_cmd; optimize_cmd; trace_cmd; analyze_cmd; hir_cmd_t ]))

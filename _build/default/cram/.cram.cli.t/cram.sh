@@ -1,0 +1,13 @@
+  $ cat > demo.hir <<'HIR'
+  > func sq(x) { return x * x; }
+  > handler main(a) {
+  >   let twice = sq(a) + sq(a);
+  >   let dead = 1 + 2 + 3;
+  >   emit("result", twice);
+  >   return twice;
+  > }
+  > HIR
+  $ ../bin/podopt_cli.exe hir demo.hir --run main --arg 6
+  $ ../bin/podopt_cli.exe optimize seccomm -w 10
+  $ ../bin/podopt_cli.exe trace seccomm -o sec.trace
+  $ ../bin/podopt_cli.exe analyze sec.trace -w 10 | grep chain:

@@ -1,0 +1,37 @@
+The HIR front end: parse, optimize, and run a program.
+
+  $ cat > demo.hir <<'HIR'
+  > func sq(x) { return x * x; }
+  > handler main(a) {
+  >   let twice = sq(a) + sq(a);
+  >   let dead = 1 + 2 + 3;
+  >   emit("result", twice);
+  >   return twice;
+  > }
+  > HIR
+
+  $ ../bin/podopt_cli.exe hir demo.hir --run main --arg 6
+  main(6) = 72
+  emit result(72)
+
+Optimizing SecComm finds the push and pop chains and installs guarded
+super-handlers (all numbers are deterministic cost-model units).
+
+  $ ../bin/podopt_cli.exe optimize seccomm -w 10
+  plan (threshold=10, subsume=true, passes=[inline; constfold; copyprop; cse; licm; dce]):
+    chain(monolithic) SecPop -> SecDeliver
+    chain(monolithic) SecPush -> SecNetOut
+  
+  installed: SecPop, SecDeliver, SecPush, SecNetOut
+  code size: original 72 nodes, +80 generated (111.1% growth)
+  handler time: 1644400 -> 1499040 units (8.8% saved)
+  dispatches: 80 optimized, 0 generic, 0 fallbacks (+0 segment); speculation 0/0 hit/miss; deferral 0 pairs, 0 flushes; 0 bytes marshaled
+
+A trace saved by `podopt trace` can be re-analyzed off-line.
+
+  $ ../bin/podopt_cli.exe trace seccomm -o sec.trace
+  wrote 160 trace entries to sec.trace
+
+  $ ../bin/podopt_cli.exe analyze sec.trace -w 10 | grep chain:
+  chain: SecPop -> SecDeliver
+  chain: SecPush -> SecNetOut

@@ -1,0 +1,1 @@
+examples/adaptive_demo.ml: Adaptive Fmt Handler List Parse Podopt Runtime Value

@@ -1,0 +1,1 @@
+examples/rebind_demo.ml: Composite Driver Fmt Micro_protocol Podopt Podopt_cactus Printf Runtime Session String Value

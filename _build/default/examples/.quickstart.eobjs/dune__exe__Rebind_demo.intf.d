@@ -1,0 +1,1 @@
+examples/rebind_demo.mli:

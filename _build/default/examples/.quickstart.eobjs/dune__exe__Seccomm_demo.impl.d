@@ -1,0 +1,1 @@
+examples/seccomm_demo.ml: Ast Driver Fmt Handler Interp Link Packet Podopt Podopt_apps Podopt_net Podopt_seccomm Runtime Value

@@ -1,0 +1,1 @@
+examples/seccomm_demo.mli:

@@ -1,0 +1,1 @@
+examples/stacked_demo.ml: Bytes Char Fmt List Podopt Podopt_apps Podopt_net Runtime Value

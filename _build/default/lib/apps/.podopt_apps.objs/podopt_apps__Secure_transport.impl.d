@@ -1,0 +1,1 @@
+lib/apps/secure_transport.ml: Bytes Char Handler Link List Packet Podopt_cactus Podopt_ctp Podopt_eventsys Podopt_hir Podopt_net Podopt_optimize Podopt_seccomm Runtime

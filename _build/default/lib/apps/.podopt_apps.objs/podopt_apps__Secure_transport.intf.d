@@ -1,0 +1,1 @@
+lib/apps/secure_transport.mli: Podopt_eventsys Podopt_net Podopt_seccomm Runtime

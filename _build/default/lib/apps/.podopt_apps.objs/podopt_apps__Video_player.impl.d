@@ -1,0 +1,1 @@
+lib/apps/video_player.ml: Bytes Char Podopt_ctp Podopt_eventsys Podopt_hir Runtime

@@ -1,0 +1,1 @@
+lib/apps/video_player.mli: Costs Podopt_eventsys Podopt_hir Runtime

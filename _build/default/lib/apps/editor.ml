@@ -1,0 +1,99 @@
+(* X client scenarios (Sec. 4.3, Fig. 13): an xterm-like terminal with a
+   Ctrl+Button popup menu, and a gvim-like editor window with a
+   scrollbar.  Both live in one client so a single optimization pass
+   covers both, as a real desktop session would. *)
+
+open Podopt_xwin
+module V = Podopt_hir.Value
+
+type t = {
+  client : Client.t;
+  term : Widget.t;       (* xterm-like window: popup menu on Ctrl+Btn1 *)
+  editor : Widget.t;     (* gvim-like window with a scrollbar *)
+  menu : Widget.t;
+  scrollbar : Widget.t;
+  textview : Widget.t;   (* typing surface inside the editor *)
+}
+
+let popup_actions = [ "position-menu"; "popup-menu" ]
+let scroll_actions = [ "scroll-query"; "scroll-update" ]
+let keystroke_actions = [ "insert-char"; "update-cursor" ]
+
+let create ?costs () : t =
+  let root = Widget.create ~name:"root" ~class_:"Root" ~width:1280 ~height:1024 () in
+  Widget.map root;
+  let term =
+    Widget.create ~name:"xterm" ~class_:"Term" ~x:0 ~y:0 ~width:600 ~height:800 ()
+  in
+  Widget.map term;
+  Widget.add_child root term;
+  let editor =
+    Widget.create ~name:"gvim" ~class_:"Editor" ~x:620 ~y:0 ~width:600 ~height:900 ()
+  in
+  Widget.map editor;
+  Widget.add_child root editor;
+  let client = Client.create ?costs ~root () in
+  let menu = Menu.install client ~owner:term ~items:8 ~name:"termmenu" () in
+  let scrollbar = Scrollbar.install client ~owner:editor ~doc_lines:5000 ~name:"vsb" () in
+  let textview = Textview.install client ~owner:editor ~cols:80 ~name:"buf" () in
+  Client.realize client;
+  Client.set_focus client textview;
+  client.Client.runtime.Podopt_eventsys.Runtime.emit_log_enabled <- false;
+  { client; term; editor; menu; scrollbar; textview }
+
+(* Trigger the Popup scenario once: Ctrl+Button1 in the terminal. *)
+let popup_once (t : t) ~at =
+  let x, y = at in
+  Client.post t.client
+    (Xevent.make ~x ~y ~detail:1
+       ~mods:{ Xevent.ctrl = true; shift = false; alt = false }
+       Xevent.ButtonPress);
+  Client.process_all t.client
+
+(* Trigger the Scroll scenario once: pointer motion over the scrollbar. *)
+let scroll_once (t : t) ~y =
+  let ax, ay = Widget.abs_origin t.scrollbar in
+  Client.post t.client (Xevent.make ~x:(ax + 5) ~y:(ay + y) Xevent.MotionNotify);
+  Client.process_all t.client
+
+(* One key press routed to the focused text view. *)
+let keystroke_once (t : t) ~key =
+  Client.post t.client (Xevent.make ~detail:key Xevent.KeyPress);
+  Client.process_all t.client
+
+(* Type a whole string. *)
+let type_text (t : t) (s : string) =
+  String.iter (fun c -> keystroke_once t ~key:(Char.code c)) s
+
+(* The profiling workload: a mix of typing, scrolling and popups. *)
+let profile_workload (t : t) () =
+  for i = 1 to 60 do
+    scroll_once t ~y:(10 + (i * 13 mod 700));
+    keystroke_once t ~key:(97 + (i mod 26));
+    if i mod 3 = 0 then popup_once t ~at:(100 + i, 200 + i)
+  done
+
+(* Fig. 13 measurement: raise the scenario [n] times (the paper uses
+   250) and report the mean response time of its action event. *)
+let measure_popup (t : t) ~(n : int) : float =
+  Podopt_eventsys.Runtime.reset_measurements t.client.Client.runtime;
+  for i = 1 to n do
+    popup_once t ~at:(100 + (i mod 40), 200 + (i mod 60))
+  done;
+  Client.action_response_time t.client popup_actions
+
+let measure_scroll (t : t) ~(n : int) : float =
+  Podopt_eventsys.Runtime.reset_measurements t.client.Client.runtime;
+  for i = 1 to n do
+    scroll_once t ~y:(10 + (i * 7 mod 700))
+  done;
+  Client.action_response_time t.client scroll_actions
+
+let measure_keystroke (t : t) ~(n : int) : float =
+  Podopt_eventsys.Runtime.reset_measurements t.client.Client.runtime;
+  for i = 1 to n do
+    keystroke_once t ~key:(97 + (i mod 26))
+  done;
+  Client.action_response_time t.client keystroke_actions
+
+let runtime (t : t) = t.client.Client.runtime

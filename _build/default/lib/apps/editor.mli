@@ -1,0 +1,43 @@
+(** X client scenarios (Sec. 4.3, Fig. 13): an xterm-like terminal with a
+    Ctrl+Button popup menu and a gvim-like editor with a scrollbar, in
+    one client so a single optimization pass covers both. *)
+
+open Podopt_xwin
+
+type t = {
+  client : Client.t;
+  term : Widget.t;
+  editor : Widget.t;
+  menu : Widget.t;
+  scrollbar : Widget.t;
+  textview : Widget.t;
+}
+
+(** Action sequences of the scenarios (= their runtime events). *)
+val popup_actions : string list
+
+val scroll_actions : string list
+val keystroke_actions : string list
+
+val create : ?costs:Podopt_eventsys.Costs.model -> unit -> t
+
+(** One Ctrl+Button1 press in the terminal. *)
+val popup_once : t -> at:int * int -> unit
+
+(** One pointer motion over the scrollbar at height [y]. *)
+val scroll_once : t -> y:int -> unit
+
+(** One key press routed to the focused text view. *)
+val keystroke_once : t -> key:int -> unit
+
+val type_text : t -> string -> unit
+
+(** A mixed interaction session (the profiling workload). *)
+val profile_workload : t -> unit -> unit
+
+(** Mean response time over [n] raises (the paper uses 250). *)
+val measure_popup : t -> n:int -> float
+
+val measure_scroll : t -> n:int -> float
+val measure_keystroke : t -> n:int -> float
+val runtime : t -> Podopt_eventsys.Runtime.t

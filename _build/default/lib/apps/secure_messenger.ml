@@ -1,0 +1,77 @@
+(* Secure messenger over SecComm (Sec. 4.2, Fig. 12).
+
+   Reproduces the paper's measurement protocol: a dummy message
+   initializes the micro-protocols, then messages of a given packet size
+   are pushed (sender) and popped (receiver); push time covers
+   application -> UDP socket, pop time covers socket -> application. *)
+
+open Podopt_eventsys
+module V = Podopt_hir.Value
+
+type measurement = {
+  size : int;
+  push_mean : float;  (* virtual units per message *)
+  pop_mean : float;
+}
+
+let paper_sizes = [ 64; 128; 256; 512; 1024; 2048 ]
+
+let create ?costs ?config () : Runtime.t =
+  let rt = Podopt_seccomm.Seccomm.create ?costs ?config () in
+  rt.Runtime.emit_log_enabled <- false;
+  rt
+
+let message ~size i =
+  Bytes.init size (fun j -> Char.chr ((i + (j * 11)) land 0xff))
+
+(* Capture what the sender put on the wire so the receiver pops real
+   ciphertext. *)
+let push_collect rt (msg : bytes) : bytes =
+  let wire = ref Bytes.empty in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "udp_tx", [ V.Bytes w ] -> wire := w
+      | _ -> ());
+  Podopt_seccomm.Seccomm.push rt msg;
+  rt.Runtime.emit_hook <- None;
+  !wire
+
+(* The profiling workload for the optimizer: a handful of round trips. *)
+let profile_workload rt () =
+  for i = 1 to 40 do
+    let wire = push_collect rt (message ~size:256 i) in
+    Podopt_seccomm.Seccomm.pop rt wire
+  done
+
+(* The Fig. 12 measurement: after a dummy message, push/pop [rounds]
+   messages of [size] bytes and report the mean times. *)
+let measure rt ~(size : int) ~(rounds : int) : measurement =
+  (* dummy message to initialize the layers (as in the paper) *)
+  let dummy_wire = push_collect rt (message ~size 0) in
+  Podopt_seccomm.Seccomm.pop rt dummy_wire;
+  Runtime.reset_measurements rt;
+  let wires = Array.init rounds (fun i -> push_collect rt (message ~size (i + 1))) in
+  let push_total = Podopt_seccomm.Seccomm.push_time rt in
+  Array.iter (fun wire -> Podopt_seccomm.Seccomm.pop rt wire) wires;
+  let pop_total = Podopt_seccomm.Seccomm.pop_time rt in
+  {
+    size;
+    push_mean = float_of_int push_total /. float_of_int rounds;
+    pop_mean = float_of_int pop_total /. float_of_int rounds;
+  }
+
+(* Round-trip correctness check: pops must reproduce the pushed
+   plaintext. *)
+let roundtrip_ok rt ~(size : int) : bool =
+  let msg = message ~size 99 in
+  let wire = push_collect rt msg in
+  let delivered = ref None in
+  rt.Runtime.emit_log_enabled <- true;
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "deliver", [ V.Bytes m ] -> delivered := Some m
+      | _ -> ());
+  Podopt_seccomm.Seccomm.pop rt wire;
+  rt.Runtime.emit_hook <- None;
+  rt.Runtime.emit_log_enabled <- false;
+  match !delivered with Some m -> Bytes.equal m msg | None -> false

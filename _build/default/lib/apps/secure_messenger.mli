@@ -1,0 +1,33 @@
+(** Secure messenger over SecComm (Sec. 4.2, Fig. 12): the paper's
+    measurement protocol — a dummy message initializes the layers, then
+    fixed-size messages are pushed/popped and the means reported. *)
+
+open Podopt_eventsys
+
+type measurement = {
+  size : int;
+  push_mean : float;  (** units per message, application -> socket *)
+  pop_mean : float;   (** units per message, socket -> application *)
+}
+
+(** 64, 128, 256, 512, 1024, 2048 — the Fig. 12 x-axis. *)
+val paper_sizes : int list
+
+val create :
+  ?costs:Costs.model -> ?config:Podopt_seccomm.Seccomm.config -> unit -> Runtime.t
+
+(** Deterministic message payload. *)
+val message : size:int -> int -> bytes
+
+(** Push a message and return the wire bytes it produced. *)
+val push_collect : Runtime.t -> bytes -> bytes
+
+(** A handful of round trips, used as the optimizer's profiling
+    workload. *)
+val profile_workload : Runtime.t -> unit -> unit
+
+(** The Fig. 12 protocol for one packet size. *)
+val measure : Runtime.t -> size:int -> rounds:int -> measurement
+
+(** Does pop reproduce the pushed plaintext? *)
+val roundtrip_ok : Runtime.t -> size:int -> bool

@@ -1,0 +1,38 @@
+(** Stacked composite protocols: SecComm over CTP over a lossy link,
+    sender and receiver in separate runtimes.
+
+    Fragment loss corrupts a reassembled message; the KeyedMD5 layer
+    detects it and halts that message (counted in {!mac_failures}), so
+    {!delivered} messages are always intact. *)
+
+open Podopt_eventsys
+
+type t = {
+  sender : Runtime.t;
+  receiver : Runtime.t;
+  link : Podopt_net.Link.t;
+  mutable sent : int;
+  mutable delivered : (int * bytes) list;
+}
+
+(** SecComm with the integrity layer on (loss detection needs it). *)
+val secure_config : Podopt_seccomm.Seccomm.config
+
+val create :
+  ?latency:int -> ?jitter:int -> ?loss_permille:int -> ?seed:int64 -> unit -> t
+
+(** Encrypt, fragment, and transmit one application message. *)
+val send : t -> bytes -> unit
+
+(** Drain both runtimes (timers, pending link deliveries). *)
+val settle : t -> unit
+
+(** Plaintexts that survived the full stack, in arrival order. *)
+val delivered : t -> bytes list
+
+val mac_failures : t -> int
+val link_stats : t -> Podopt_net.Link.stats
+
+(** Profile-and-optimize both runtimes (the paper's pipeline, applied to
+    a stacked service). *)
+val optimize : t -> unit

@@ -1,0 +1,120 @@
+(* The video player on CTP (Sec. 4.2, Figs. 5, 6, 10, 11).
+
+   Frames are produced at a fixed rate; each frame is a message pushed
+   through the CTP composite protocol (fragmentation -> FEC -> sequencing
+   -> transport -> flow control), while the controller clocks drive the
+   adaptation chain.  The Fig. 10 execution model: each frame has a CPU
+   budget of one frame interval; if processing finishes early the CPU
+   idles until the next frame (absorbing overhead at low rates), if it
+   overruns, the player falls behind — which is why optimization barely
+   moves total time at 10 fps but wins clearly at 25 fps. *)
+
+open Podopt_eventsys
+module V = Podopt_hir.Value
+
+(* Virtual time units per second.  One unit is roughly "one cheap
+   machine operation cluster"; the scale is chosen so that a frame's CTP
+   processing is a few percent of the frame budget at 10 fps. *)
+let ticks_per_second = 500_000
+
+type result = {
+  frames : int;
+  total_time : int;        (* virtual units *)
+  handler_time : int;      (* virtual units spent in event handling *)
+  deadline_misses : int;
+}
+
+let create ?costs () : Runtime.t =
+  let rt = Podopt_ctp.Ctp.create ?costs () in
+  rt.Runtime.emit_log_enabled <- false;
+  Podopt_ctp.Ctp.open_session rt;
+  rt
+
+(* Deterministic frame payload: sizes vary like a simple VBR encoder
+   (key frames every 10th frame are ~3x larger). *)
+let frame_payload i =
+  let size = if i mod 10 = 0 then 2400 else 1100 + (i * 37 mod 400) in
+  let b = Bytes.create size in
+  for j = 0 to size - 1 do
+    Bytes.unsafe_set b j (Char.unsafe_chr ((i + (j * 7)) land 0xff))
+  done;
+  b
+
+(* Clock periods: the high-priority controller clock fires ~5x per second,
+   the low-priority one ~2x. *)
+let clk_h_period = ticks_per_second / 5
+let clk_l_period = ticks_per_second / 2
+
+(* Re-arm controller clocks from OCaml (the app owns the timer wheel). *)
+let arm_clocks rt ~horizon =
+  let rec arm period event t =
+    if t <= horizon then begin
+      Runtime.raise_timed rt event ~delay:(t - Runtime.now rt) [ V.Int (t / period) ];
+      arm period event (t + period)
+    end
+  in
+  arm clk_h_period Podopt_ctp.Events.controller_clk_h (Runtime.now rt + clk_h_period);
+  arm clk_l_period Podopt_ctp.Events.controller_clk_l (Runtime.now rt + clk_l_period)
+
+(* The profiling workload: a short, representative burst of frames with
+   clock activity, used by the two profiling phases. *)
+let profile_workload rt ~frames () =
+  arm_clocks rt ~horizon:(Runtime.now rt + (frames * ticks_per_second / 20));
+  for i = 1 to frames do
+    Podopt_ctp.Ctp.send rt ~priority:(if i mod 8 = 0 then 0 else 1) (frame_payload i);
+    if i mod 50 = 25 then Podopt_ctp.Ctp.sample rt;
+    Runtime.run ~until:(Runtime.now rt + (ticks_per_second / 20)) rt
+  done;
+  Runtime.run ~until:(Runtime.now rt + ticks_per_second) rt
+
+(* Play [seconds] of video at [rate] fps against the frame-budget model. *)
+let play rt ~(rate : int) ~(seconds : int) : result =
+  let budget = ticks_per_second / rate in
+  let frames = rate * seconds in
+  Runtime.reset_measurements rt;
+  let start = Runtime.now rt in
+  arm_clocks rt ~horizon:(start + (frames * budget));
+  let misses = ref 0 in
+  for i = 1 to frames do
+    let t0 = Runtime.now rt in
+    Podopt_ctp.Ctp.send rt ~priority:(if i mod 8 = 0 then 0 else 1) (frame_payload i);
+    (* drain acks/timeouts/clock events due within the frame interval *)
+    Runtime.run ~until:(t0 + budget) rt;
+    let elapsed = Runtime.now rt - t0 in
+    if elapsed > budget then incr misses
+    else
+      (* idle until the next frame boundary *)
+      Podopt_eventsys.Vclock.set rt.Runtime.clock (t0 + budget)
+  done;
+  {
+    frames;
+    total_time = Runtime.now rt - start;
+    handler_time = Runtime.total_handler_time rt;
+    deadline_misses = !misses;
+  }
+
+(* Fig. 11 metric: mean processing cost per dispatch for an event. *)
+let mean_event_time rt event : float =
+  let total = Runtime.event_processing_time rt event in
+  let count = Runtime.event_dispatch_count rt event in
+  if count = 0 then 0.0 else float_of_int total /. float_of_int count
+
+let fig11_events =
+  [ Podopt_ctp.Events.adapt; Podopt_ctp.Events.seg_from_user; Podopt_ctp.Events.seg2net ]
+
+(* Representative argument vectors for direct event-processing-time
+   measurement (Fig. 11: each event raised repeatedly, orig vs opt). *)
+let fig11_args event =
+  let seg = Bytes.make 512 '\x5a' in
+  if event = Podopt_ctp.Events.adapt then [ V.Int 48; V.Int 1 ]
+  else [ V.Bytes seg; V.Int 7; V.Int 0 (* not a last fragment *) ]
+
+(* Mean processing cost of raising [event] directly [n] times. *)
+let measure_event rt ~(event : string) ~(n : int) : float =
+  let args = fig11_args event in
+  Runtime.reset_measurements rt;
+  for _ = 1 to n do
+    Runtime.raise_sync rt event args
+  done;
+  Runtime.run rt;
+  mean_event_time rt event

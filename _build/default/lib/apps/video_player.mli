@@ -1,0 +1,52 @@
+(** The video player on CTP (Sec. 4.2, Figs. 5, 6, 10, 11).
+
+    Frames are produced at a fixed rate; each frame is a message pushed
+    through the CTP composite while the controller clocks drive the
+    adaptation chain.  Fig. 10's execution model: each frame has a CPU
+    budget of one frame interval; early finishes idle until the next
+    frame (absorbing overhead at low rates), overruns make the player
+    fall behind — which is why optimization barely moves total time at
+    10 fps but wins clearly at 25 fps. *)
+
+open Podopt_eventsys
+
+(** Virtual time units per second of video. *)
+val ticks_per_second : int
+
+type result = {
+  frames : int;
+  total_time : int;       (** virtual units *)
+  handler_time : int;     (** units spent in event handling *)
+  deadline_misses : int;
+}
+
+(** CTP runtime with an opened session (emit-log retention off). *)
+val create : ?costs:Costs.model -> unit -> Runtime.t
+
+(** Deterministic VBR-ish frame payload (every 10th frame is a larger
+    key frame). *)
+val frame_payload : int -> bytes
+
+val clk_h_period : int
+val clk_l_period : int
+
+(** Schedule controller-clock ticks up to the horizon. *)
+val arm_clocks : Runtime.t -> horizon:int -> unit
+
+(** The profiling workload for the optimizer's two phases. *)
+val profile_workload : Runtime.t -> frames:int -> unit -> unit
+
+(** Play [rate * seconds] frames against the frame-budget model. *)
+val play : Runtime.t -> rate:int -> seconds:int -> result
+
+(** Mean processing cost per dispatch. *)
+val mean_event_time : Runtime.t -> string -> float
+
+(** Adapt, SegFromUser, Seg2Net — the Fig. 11 rows. *)
+val fig11_events : string list
+
+val fig11_args : string -> Podopt_hir.Value.t list
+
+(** Mean cost of raising [event] directly [n] times (the Fig. 11
+    protocol). *)
+val measure_event : Runtime.t -> event:string -> n:int -> float

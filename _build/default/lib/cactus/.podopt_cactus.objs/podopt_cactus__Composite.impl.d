@@ -1,0 +1,1 @@
+lib/cactus/composite.ml: Fmt Hashtbl List Micro_protocol Podopt_eventsys Podopt_hir Runtime

@@ -1,0 +1,1 @@
+lib/cactus/composite.mli: Micro_protocol Podopt_eventsys Podopt_hir Runtime

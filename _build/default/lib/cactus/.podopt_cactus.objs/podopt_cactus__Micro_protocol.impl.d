@@ -1,0 +1,1 @@
+lib/cactus/micro_protocol.ml: Handler List Podopt_eventsys Podopt_hir Runtime

@@ -1,0 +1,1 @@
+lib/cactus/micro_protocol.mli: Podopt_eventsys Podopt_hir Runtime

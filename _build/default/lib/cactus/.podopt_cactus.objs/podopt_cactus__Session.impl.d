@@ -1,0 +1,1 @@
+lib/cactus/session.ml: Composite List Micro_protocol Podopt_eventsys Podopt_hir Runtime

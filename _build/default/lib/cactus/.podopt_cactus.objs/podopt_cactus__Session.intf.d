@@ -1,0 +1,1 @@
+lib/cactus/session.mli: Composite Costs Micro_protocol Podopt_eventsys Runtime

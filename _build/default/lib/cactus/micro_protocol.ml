@@ -1,0 +1,33 @@
+(* A Cactus micro-protocol (Sec. 2.3): a named collection of event
+   handlers plus the HIR source that defines them and an initializer for
+   its shared state.
+
+   A composite protocol is assembled by choosing micro-protocols; their
+   handlers are bound to user-defined events at instantiation time, in the
+   declared order. *)
+
+open Podopt_eventsys
+
+type binding = {
+  event : string;
+  handler : string;       (* HIR procedure name *)
+  order : int option;
+}
+
+type t = {
+  name : string;
+  source : string;        (* HIR source text defining the handler procs *)
+  bindings : binding list;
+  globals : (string * Podopt_hir.Value.t) list;  (* initial shared state *)
+}
+
+let make ~name ~source ?(globals = []) bindings = { name; source; bindings; globals }
+
+let bind_all (rt : Runtime.t) (mp : t) : unit =
+  List.iter (fun (g, v) -> Runtime.set_global rt g v) mp.globals;
+  List.iter
+    (fun b -> Runtime.bind rt ~event:b.event ?order:b.order (Handler.hir' b.handler))
+    mp.bindings
+
+let unbind_all (rt : Runtime.t) (mp : t) : unit =
+  List.iter (fun b -> ignore (Runtime.unbind rt ~event:b.event ~handler:b.handler)) mp.bindings

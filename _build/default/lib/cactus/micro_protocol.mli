@@ -1,0 +1,27 @@
+(** A Cactus micro-protocol (Sec. 2.3): a named collection of event
+    handlers, the HIR source defining them, and initial shared state.
+    Composite protocols are assembled by choosing micro-protocols. *)
+
+open Podopt_eventsys
+
+type binding = {
+  event : string;
+  handler : string;   (** HIR procedure name *)
+  order : int option; (** execution order within the event *)
+}
+
+type t = {
+  name : string;
+  source : string;
+  bindings : binding list;
+  globals : (string * Podopt_hir.Value.t) list;
+}
+
+val make :
+  name:string -> source:string -> ?globals:(string * Podopt_hir.Value.t) list ->
+  binding list -> t
+
+(** Initialize globals and bind every handler. *)
+val bind_all : Runtime.t -> t -> unit
+
+val unbind_all : Runtime.t -> t -> unit

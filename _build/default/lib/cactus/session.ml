@@ -1,0 +1,42 @@
+(* A session: one runtime hosting one composite protocol instance, the
+   unit the paper profiles and optimizes ("one program configuration at a
+   time", Sec. 3.1). *)
+
+open Podopt_eventsys
+
+type t = {
+  runtime : Runtime.t;
+  composite : Composite.t;
+}
+
+let create ?costs (composite : Composite.t) : t =
+  let runtime = Runtime.create ?costs () in
+  Composite.instantiate runtime composite;
+  { runtime; composite }
+
+let runtime t = t.runtime
+
+(* Reconfigure: swap one micro-protocol for another at runtime (the
+   dynamic-rebinding scenario of Sec. 3.3 / Fig. 14). *)
+let swap_micro_protocol (t : t) ~(remove : string) (add : Micro_protocol.t) : unit =
+  (match
+     List.find_opt
+       (fun (mp : Micro_protocol.t) -> mp.Micro_protocol.name = remove)
+       t.composite.Composite.micro_protocols
+   with
+   | Some mp -> Micro_protocol.unbind_all t.runtime mp
+   | None -> ());
+  let existing = Runtime.program t.runtime in
+  let added = Podopt_hir.Parse.program add.Micro_protocol.source in
+  let fresh =
+    List.filter
+      (fun (p : Podopt_hir.Ast.proc) ->
+        not
+          (List.exists
+             (fun (q : Podopt_hir.Ast.proc) ->
+               q.Podopt_hir.Ast.name = p.Podopt_hir.Ast.name)
+             existing))
+      added
+  in
+  Runtime.set_program t.runtime (existing @ fresh);
+  Micro_protocol.bind_all t.runtime add

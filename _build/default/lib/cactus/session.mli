@@ -1,0 +1,18 @@
+(** A session: one runtime hosting one composite-protocol instance — the
+    unit the paper profiles ("one program configuration at a time",
+    Sec. 3.1). *)
+
+open Podopt_eventsys
+
+type t = {
+  runtime : Runtime.t;
+  composite : Composite.t;
+}
+
+val create : ?costs:Costs.model -> Composite.t -> t
+val runtime : t -> Runtime.t
+
+(** Swap one micro-protocol for another at runtime — the
+    dynamic-rebinding scenario of Sec. 3.3 / Fig. 14.  Handler
+    procedures already present in the program are not redefined. *)
+val swap_micro_protocol : t -> remove:string -> Micro_protocol.t -> unit

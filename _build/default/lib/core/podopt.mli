@@ -1,0 +1,82 @@
+(** Podopt: profile-directed optimization of event-based programs
+    (PLDI 2002 reproduction).
+
+    The facade re-exports the library's layers under short names and
+    provides the one-call workflow:
+
+    {[
+      let rt = Podopt.Runtime.create ~program () in
+      (* bind handlers, then: *)
+      let applied = Podopt.optimize rt ~threshold:100 ~workload in
+      Fmt.pr "%a" Podopt.pp_applied applied
+    ]} *)
+
+(** {1 HIR — the handler language} *)
+
+module Value = Podopt_hir.Value
+module Ast = Podopt_hir.Ast
+module Parse = Podopt_hir.Parse
+module Pp = Podopt_hir.Pp
+module Prim = Podopt_hir.Prim
+module Check = Podopt_hir.Check
+module Interp = Podopt_hir.Interp
+module Compile = Podopt_hir.Compile
+module Pipeline = Podopt_hir.Pipeline
+module Size = Podopt_hir.Size
+module Analysis = Podopt_hir.Analysis
+module Rewrite = Podopt_hir.Rewrite
+module Subst = Podopt_hir.Subst
+module Deret = Podopt_hir.Deret
+module Fresh = Podopt_hir.Fresh
+module Opt_constfold = Podopt_hir.Opt_constfold
+module Opt_copyprop = Podopt_hir.Opt_copyprop
+module Opt_cse = Podopt_hir.Opt_cse
+module Opt_dce = Podopt_hir.Opt_dce
+module Opt_inline = Podopt_hir.Opt_inline
+
+(** {1 Event system} *)
+
+module Event = Podopt_eventsys.Event
+module Handler = Podopt_eventsys.Handler
+module Registry = Podopt_eventsys.Registry
+module Runtime = Podopt_eventsys.Runtime
+module Trace = Podopt_eventsys.Trace
+module Costs = Podopt_eventsys.Costs
+module Vclock = Podopt_eventsys.Vclock
+
+(** {1 Profiling and analysis} *)
+
+module Event_graph = Podopt_profile.Event_graph
+module Reduce = Podopt_profile.Reduce
+module Paths = Podopt_profile.Paths
+module Chains = Podopt_profile.Chains
+module Handler_graph = Podopt_profile.Handler_graph
+module Subsume = Podopt_profile.Subsume
+module Dominators = Podopt_profile.Dominators
+module Dot = Podopt_profile.Dot
+module Report = Podopt_profile.Report
+module Trace_io = Podopt_profile.Trace_io
+
+(** {1 Optimization} *)
+
+module Plan = Podopt_optimize.Plan
+module Superhandler = Podopt_optimize.Superhandler
+module Chain_merge = Podopt_optimize.Chain_merge
+module Guard = Podopt_optimize.Guard
+module Speculate = Podopt_optimize.Speculate
+module Defer = Podopt_optimize.Defer
+module Adaptive = Podopt_optimize.Adaptive
+module Driver = Podopt_optimize.Driver
+
+type applied = Driver.applied
+
+(** The paper's methodology in one call: profile [workload] (two runs —
+    event-level, then handler-level on the hot events), analyze with
+    threshold W, and install guarded super-handlers. *)
+val optimize :
+  ?threshold:int -> ?strategy:Plan.chain_strategy -> ?speculate:bool ->
+  workload:(unit -> unit) -> Runtime.t -> applied
+
+(** Print what was installed, what was skipped and why, and the
+    code-size report. *)
+val pp_applied : Format.formatter -> applied -> unit

@@ -1,0 +1,1 @@
+lib/crypto/des.ml: Array Bytes Char Int64

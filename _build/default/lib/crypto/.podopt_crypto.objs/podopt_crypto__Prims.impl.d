@@ -1,0 +1,1 @@
+lib/crypto/prims.ml: Bytes Crc32 Des Hmac_md5 Md5 Podopt_hir Prim Value Xor_cipher

@@ -1,0 +1,17 @@
+(* HMAC-MD5 (RFC 2104) for the KeyedMD5Integrity micro-protocol. *)
+
+let block_size = 64
+
+let compute ~(key : bytes) (msg : bytes) : bytes =
+  let key =
+    if Bytes.length key > block_size then Md5.digest_bytes key else key
+  in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) padded in
+  let opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) padded in
+  let inner = Md5.digest_bytes (Bytes.cat ipad msg) in
+  Md5.digest_bytes (Bytes.cat opad inner)
+
+let verify ~(key : bytes) ~(mac : bytes) (msg : bytes) : bool =
+  Bytes.equal (compute ~key msg) mac

@@ -1,0 +1,8 @@
+(** HMAC-MD5 (RFC 2104) for the KeyedMD5Integrity micro-protocol. *)
+
+val block_size : int
+
+(** 16-byte MAC. *)
+val compute : key:bytes -> bytes -> bytes
+
+val verify : key:bytes -> mac:bytes -> bytes -> bool

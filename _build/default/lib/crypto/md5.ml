@@ -1,0 +1,102 @@
+(* MD5 message digest (RFC 1321), from scratch.
+
+   Used by SecComm's KeyedMD5Integrity micro-protocol.  Like DES, this is
+   a reproduction artifact: MD5 is cryptographically broken and is used
+   here only because it is what the paper's system used in 2002. *)
+
+let s_table = [|
+  7;12;17;22; 7;12;17;22; 7;12;17;22; 7;12;17;22;
+  5;9;14;20; 5;9;14;20; 5;9;14;20; 5;9;14;20;
+  4;11;16;23; 4;11;16;23; 4;11;16;23; 4;11;16;23;
+  6;10;15;21; 6;10;15;21; 6;10;15;21; 6;10;15;21;
+|]
+
+(* K[i] = floor(2^32 * abs(sin(i+1))) *)
+let k_table = [|
+  0xd76aa478; 0xe8c7b756; 0x242070db; 0xc1bdceee;
+  0xf57c0faf; 0x4787c62a; 0xa8304613; 0xfd469501;
+  0x698098d8; 0x8b44f7af; 0xffff5bb1; 0x895cd7be;
+  0x6b901122; 0xfd987193; 0xa679438e; 0x49b40821;
+  0xf61e2562; 0xc040b340; 0x265e5a51; 0xe9b6c7aa;
+  0xd62f105d; 0x02441453; 0xd8a1e681; 0xe7d3fbc8;
+  0x21e1cde6; 0xc33707d6; 0xf4d50d87; 0x455a14ed;
+  0xa9e3e905; 0xfcefa3f8; 0x676f02d9; 0x8d2a4c8a;
+  0xfffa3942; 0x8771f681; 0x6d9d6122; 0xfde5380c;
+  0xa4beea44; 0x4bdecfa9; 0xf6bb4b60; 0xbebfbc70;
+  0x289b7ec6; 0xeaa127fa; 0xd4ef3085; 0x04881d05;
+  0xd9d4d039; 0xe6db99e5; 0x1fa27cf8; 0xc4ac5665;
+  0xf4292244; 0x432aff97; 0xab9423a7; 0xfc93a039;
+  0x655b59c3; 0x8f0ccc92; 0xffeff47d; 0x85845dd1;
+  0x6fa87e4f; 0xfe2ce6e0; 0xa3014314; 0x4e0811a1;
+  0xf7537e82; 0xbd3af235; 0x2ad7d2bb; 0xeb86d391;
+|]
+
+let mask32 = 0xFFFFFFFF
+let ( +% ) a b = (a + b) land mask32
+let rotl32 x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let digest_bytes (msg : bytes) : bytes =
+  let msg_len = Bytes.length msg in
+  (* padding: 0x80, zeros, 64-bit little-endian bit length *)
+  let total =
+    let base = msg_len + 9 in
+    ((base + 63) / 64) * 64
+  in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit msg 0 buf 0 msg_len;
+  Bytes.set buf msg_len '\x80';
+  let bitlen = Int64.of_int (msg_len * 8) in
+  for i = 0 to 7 do
+    Bytes.set buf (total - 8 + i)
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  let a0 = ref 0x67452301
+  and b0 = ref 0xefcdab89
+  and c0 = ref 0x98badcfe
+  and d0 = ref 0x10325476 in
+  let word block j =
+    let off = (block * 64) + (j * 4) in
+    Char.code (Bytes.get buf off)
+    lor (Char.code (Bytes.get buf (off + 1)) lsl 8)
+    lor (Char.code (Bytes.get buf (off + 2)) lsl 16)
+    lor (Char.code (Bytes.get buf (off + 3)) lsl 24)
+  in
+  for block = 0 to (total / 64) - 1 do
+    let a = ref !a0 and b = ref !b0 and c = ref !c0 and d = ref !d0 in
+    for i = 0 to 63 do
+      let f, g =
+        if i < 16 then ((!b land !c) lor (lnot !b land !d) land mask32, i)
+        else if i < 32 then ((!d land !b) lor (lnot !d land !c) land mask32, ((5 * i) + 1) mod 16)
+        else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+        else (!c lxor (!b lor (lnot !d land mask32)) land mask32, (7 * i) mod 16)
+      in
+      let f = f land mask32 in
+      let tmp = !d in
+      d := !c;
+      c := !b;
+      b := !b +% rotl32 (!a +% f +% k_table.(i) +% word block g) s_table.(i);
+      a := tmp
+    done;
+    a0 := !a0 +% !a;
+    b0 := !b0 +% !b;
+    c0 := !c0 +% !c;
+    d0 := !d0 +% !d
+  done;
+  let out = Bytes.create 16 in
+  List.iteri
+    (fun i v ->
+      for j = 0 to 3 do
+        Bytes.set out ((i * 4) + j) (Char.chr ((v lsr (8 * j)) land 0xFF))
+      done)
+    [ !a0; !b0; !c0; !d0 ];
+  out
+
+let digest_string (s : string) : bytes = digest_bytes (Bytes.of_string s)
+
+let to_hex (d : bytes) : string =
+  let buf = Buffer.create 32 in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let hex_of_string (s : string) : string = to_hex (digest_string s)

@@ -1,0 +1,14 @@
+(** MD5 message digest (RFC 1321), from scratch.  Used by the
+    KeyedMD5Integrity micro-protocol.  Cryptographically broken; present
+    only because the 2002 system used it. *)
+
+(** 16-byte digest. *)
+val digest_bytes : bytes -> bytes
+
+val digest_string : string -> bytes
+
+(** Lowercase hex of a digest. *)
+val to_hex : bytes -> string
+
+(** [to_hex (digest_string s)]. *)
+val hex_of_string : string -> string

@@ -1,0 +1,7 @@
+(** HIR primitive bindings for the crypto substrate: [des_encrypt],
+    [des_decrypt], [xor_apply], [hmac_md5], [md5], [crc32] — each with a
+    cost-model work function (fixed + per-byte) so crypto-bound handlers
+    measure as such. *)
+
+(** Idempotent. *)
+val install : unit -> unit

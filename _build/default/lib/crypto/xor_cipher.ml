@@ -1,0 +1,12 @@
+(* The "trivial XOR with a key" micro-protocol of the paper's SecComm
+   configuration: a repeating-key XOR stream.  Self-inverse. *)
+
+let apply ~(key : bytes) (data : bytes) : bytes =
+  let klen = Bytes.length key in
+  if klen = 0 then invalid_arg "Xor_cipher.apply: empty key";
+  Bytes.mapi
+    (fun i c -> Char.chr (Char.code c lxor Char.code (Bytes.get key (i mod klen))))
+    data
+
+let encrypt = apply
+let decrypt = apply

@@ -1,0 +1,7 @@
+(** The "trivial XOR with a key" privacy layer of the paper's SecComm
+    configuration: repeating-key XOR.  Self-inverse; raises
+    [Invalid_argument] on an empty key. *)
+
+val apply : key:bytes -> bytes -> bytes
+val encrypt : key:bytes -> bytes -> bytes
+val decrypt : key:bytes -> bytes -> bytes

@@ -1,0 +1,1 @@
+lib/ctp/adapt_mp.ml: Events Micro_protocol Podopt_cactus Podopt_hir

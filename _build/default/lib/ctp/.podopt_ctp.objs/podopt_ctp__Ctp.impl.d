@@ -1,0 +1,1 @@
+lib/ctp/ctp.ml: Adapt_mp Composite Congestion Controller Events Fec Flow_control Podopt_cactus Podopt_crypto Podopt_eventsys Podopt_hir Receiver Resequencer Runtime Sequencer Session Transport_driver

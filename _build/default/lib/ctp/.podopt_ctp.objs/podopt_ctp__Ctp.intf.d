@@ -1,0 +1,1 @@
+lib/ctp/ctp.mli: Costs Podopt_cactus Podopt_eventsys Runtime

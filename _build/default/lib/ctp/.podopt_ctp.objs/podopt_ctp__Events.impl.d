@@ -1,0 +1,1 @@
+lib/ctp/events.ml:

@@ -1,0 +1,1 @@
+lib/ctp/fec.ml: Events Micro_protocol Podopt_cactus Podopt_hir

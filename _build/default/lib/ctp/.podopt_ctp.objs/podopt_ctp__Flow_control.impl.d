@@ -1,0 +1,1 @@
+lib/ctp/flow_control.ml: Events Micro_protocol Podopt_cactus Podopt_hir

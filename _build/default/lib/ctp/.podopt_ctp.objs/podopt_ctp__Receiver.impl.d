@@ -1,0 +1,1 @@
+lib/ctp/receiver.ml: Events Micro_protocol Podopt_cactus Podopt_hir Stdlib

@@ -1,0 +1,1 @@
+lib/ctp/sequencer.ml: Events Micro_protocol Podopt_cactus Podopt_hir

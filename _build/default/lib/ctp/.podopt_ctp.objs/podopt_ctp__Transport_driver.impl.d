@@ -1,0 +1,1 @@
+lib/ctp/transport_driver.ml: Events Micro_protocol Podopt_cactus Podopt_hir

@@ -1,0 +1,44 @@
+(* Adaptation micro-protocol: consumes the controller's throughput
+   estimate and adjusts the fragment size (raising ResizeFragment when it
+   crosses the hysteresis band), the Adapt -> ResizeFragment edge of
+   Fig. 5. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+handler adapt_rate(delta, pri) {
+  // exponentially weighted estimate, scaled by 16 for integer math
+  global rate_est = (global rate_est * 3 + delta * 16) / 4;
+  global adapt_runs = global adapt_runs + 1;
+  if (global rate_est > global rate_hi) {
+    raise sync ResizeFragment(64);
+  } else {
+    if (global rate_est < global rate_lo && global adapt_runs > 4) {
+      raise sync ResizeFragment(-64);
+    }
+  }
+}
+
+handler resize_fragment(delta) {
+  let next = global frag_size + delta;
+  global frag_size = max(128, min(1024, next));
+  global resizes = global resizes + 1;
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"Adaptation" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("rate_est", Int 0);
+         ("rate_hi", Int 800);
+         ("rate_lo", Int 4);
+         ("adapt_runs", Int 0);
+         ("resizes", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.adapt; handler = "adapt_rate"; order = Some 10 };
+      { event = Events.resize_fragment; handler = "resize_fragment"; order = Some 10 };
+    ]

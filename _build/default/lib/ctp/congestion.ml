@@ -1,0 +1,52 @@
+(* AIMD congestion-control micro-protocol (one of CTP's configurable
+   components): additive increase on acknowledgements, multiplicative
+   decrease on timeouts, and a pacing check on the send path.
+
+   Adding this micro-protocol makes SegmentAcked and SegmentTimeout
+   multi-handler events (flow control + congestion control), which is
+   precisely the configuration-dependent handler-list growth the paper's
+   merging targets.  The window is kept scaled by 1024 so the additive
+   increase (1/cwnd per ack) works in integer arithmetic. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// Additive increase: cwnd += 1/cwnd per acknowledged segment.
+handler cc_acked(n) {
+  let w = max(1024, global cwnd_scaled);
+  global cwnd_scaled = w + 1024 * 1024 / w;
+  global cc_acks = global cc_acks + 1;
+}
+
+// Multiplicative decrease on loss, floor of one segment.
+handler cc_timeout(n) {
+  global cwnd_scaled = max(1024, global cwnd_scaled / 2);
+  global cc_losses = global cc_losses + 1;
+  emit("cwnd_cut", global cwnd_scaled / 1024);
+}
+
+// Pacing check on the send path: count sends beyond the window.
+handler cc_s2n(seg, n) {
+  let cwnd = global cwnd_scaled / 1024;
+  if (global inflight > cwnd) {
+    global cc_paced = global cc_paced + 1;
+  }
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"Congestion" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("cwnd_scaled", Int (8 * 1024));
+         ("cc_acks", Int 0);
+         ("cc_losses", Int 0);
+         ("cc_paced", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.segment_acked; handler = "cc_acked"; order = Some 20 };
+      { event = Events.segment_timeout; handler = "cc_timeout"; order = Some 20 };
+      { event = Events.seg2net; handler = "cc_s2n"; order = Some 25 };
+    ]

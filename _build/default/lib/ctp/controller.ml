@@ -1,0 +1,63 @@
+(* Controller micro-protocol: the time-driven adaptation engine of CTP.
+
+   High- and low-priority controller clocks (timed events) trigger a
+   synchronous ControllerFiring -> Controller chain; the controller
+   estimates throughput and raises Adapt; ControllerFired is announced
+   asynchronously afterwards — reproducing the clock cluster of Fig. 5. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+handler ctl_clk_h(tick) {
+  global clk_h_ticks = global clk_h_ticks + 1;
+  raise sync ControllerFiring(1);
+}
+
+handler ctl_clk_l(tick) {
+  global clk_l_ticks = global clk_l_ticks + 1;
+  raise sync ControllerFiring(0);
+}
+
+handler ctl_firing(pri) {
+  global firings = global firings + 1;
+  raise sync Controller(pri);
+  raise async ControllerFired(pri);
+}
+
+handler ctl_controller(pri) {
+  let sent = global sent_count;
+  let delta = sent - global last_sent_count;
+  global last_sent_count = sent;
+  raise sync Adapt(delta, pri);
+}
+
+handler ctl_fired(pri) {
+  global fired_seen = global fired_seen + 1;
+}
+
+// Occasional statistics sample (driven by the application).
+handler ctl_sample(tick) {
+  emit("sample", global sent_count, global inflight, global window);
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"Controller" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("clk_h_ticks", Int 0);
+         ("clk_l_ticks", Int 0);
+         ("firings", Int 0);
+         ("last_sent_count", Int 0);
+         ("fired_seen", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.controller_clk_h; handler = "ctl_clk_h"; order = Some 10 };
+      { event = Events.controller_clk_l; handler = "ctl_clk_l"; order = Some 10 };
+      { event = Events.controller_firing; handler = "ctl_firing"; order = Some 10 };
+      { event = Events.controller; handler = "ctl_controller"; order = Some 10 };
+      { event = Events.controller_fired; handler = "ctl_fired"; order = Some 10 };
+      { event = Events.sample; handler = "ctl_sample"; order = Some 10 };
+    ]

@@ -1,0 +1,36 @@
+(* The CTP event vocabulary (Fig. 5 of the paper).  Keeping the names in
+   one place lets the application, benches and tests agree with the
+   figures. *)
+
+let open_ = "Open"
+let add_sys_input = "AddSysInput"
+let send_msg = "SendMsg"
+let msg_frm_user_h = "MsgFrmUserH"
+let msg_frm_user_l = "MsgFrmUserL"
+let seg_from_user = "SegFromUser"
+let seg2net = "Seg2Net"
+let segment_sent = "SegmentSent"
+let segment_acked = "SegmentAcked"
+let segment_timeout = "SegmentTimeout"
+let controller_clk_h = "ControllerClkH"
+let controller_clk_l = "ControllerClkL"
+let controller_firing = "ControllerFiring"
+let controller_fired = "ControllerFired"
+let controller = "Controller"
+let adapt = "Adapt"
+let resize_fragment = "ResizeFragment"
+let sample = "Sample"
+
+(* receiver side *)
+let rcv_packet = "RcvPacket"
+let seg_from_net = "SegFromNet"
+let seg_ordered = "SegOrdered"
+let msg_to_user = "MsgToUser"
+
+let all =
+  [
+    open_; add_sys_input; send_msg; msg_frm_user_h; msg_frm_user_l; seg_from_user;
+    seg2net; segment_sent; segment_acked; segment_timeout; controller_clk_h;
+    controller_clk_l; controller_firing; controller_fired; controller; adapt;
+    resize_fragment; sample; rcv_packet; seg_from_net; seg_ordered; msg_to_user;
+  ]

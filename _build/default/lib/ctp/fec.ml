@@ -1,0 +1,50 @@
+(* FEC micro-protocol: XOR-parity forward error correction.
+
+   Contributes two handlers to SegFromUser (FEC-SFU1 before and FEC-SFU2
+   after the transport driver, exactly the bracket of Fig. 8/9) and one to
+   Seg2Net.  Every [fec_group] segments the accumulated parity segment is
+   flushed. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// FEC-SFU1: fold the segment into the running parity accumulator.
+handler fec_sfu1(seg, n) {
+  let p = bytes_xor_fold(seg);
+  global fec_parity = bxor(global fec_parity, p);
+  global fec_bytes = global fec_bytes + len(seg);
+}
+
+// FEC-SFU2: group accounting after the segment went down the stack.
+handler fec_sfu2(seg, n) {
+  global fec_count = global fec_count + 1;
+  if (global fec_count % global fec_group == 0) {
+    emit("fec_parity_out", global fec_parity, global fec_count);
+    global fec_parity = 0;
+  }
+}
+
+// FEC-S2N: tag the outgoing segment's parity contribution.
+handler fec_s2n(seg, n) {
+  let tag = band(bxor(bytes_xor_fold(seg), global fec_parity), 255);
+  global fec_tag = tag;
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"FEC" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("fec_parity", Int 0);
+         ("fec_bytes", Int 0);
+         ("fec_count", Int 0);
+         ("fec_group", Int 8);
+         ("fec_tag", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.seg_from_user; handler = "fec_sfu1"; order = Some 10 };
+      { event = Events.seg_from_user; handler = "fec_sfu2"; order = Some 40 };
+      { event = Events.seg2net; handler = "fec_s2n"; order = Some 30 };
+    ]

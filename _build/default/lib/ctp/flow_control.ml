@@ -1,0 +1,66 @@
+(* Positive-acknowledgement (PAU) and windowed flow control (WFC)
+   micro-protocols: PAU-S2N and WFC-S2N of Fig. 8, plus the ack and
+   timeout reactions that make SegmentAcked / SegmentTimeout live events
+   in the graph (Fig. 5's asynchronously-activated region). *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// PAU-S2N: the segment is now in flight, awaiting a positive ack.
+handler pau_s2n(seg, n) {
+  global inflight = global inflight + 1;
+  global pau_sent = global pau_sent + 1;
+}
+
+// WFC-S2N: window bookkeeping; widen slowly under pressure.
+handler wfc_s2n(seg, n) {
+  if (global inflight > global window) {
+    global wfc_blocked = global wfc_blocked + 1;
+    global window = global window + 1;
+  }
+  global wfc_checks = global wfc_checks + 1;
+}
+
+// Ack arrival (timed, raised by the simulated network).
+handler pau_acked(n) {
+  global inflight = max(0, global inflight - 1);
+  global acked_seq = max(global acked_seq, n);
+  global acks = global acks + 1;
+}
+
+// Retransmission timeout.
+handler pau_timeout(n) {
+  global retrans = global retrans + 1;
+  global inflight = max(0, global inflight - 1);
+  emit("retransmit", n);
+}
+
+// Receiver side: count and ack.
+handler pau_sfn(seg, n) {
+  global rcv_count = global rcv_count + 1;
+  emit("ack_out", n);
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"FlowControl" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("inflight", Int 0);
+         ("window", Int 16);
+         ("pau_sent", Int 0);
+         ("wfc_blocked", Int 0);
+         ("wfc_checks", Int 0);
+         ("acks", Int 0);
+         ("retrans", Int 0);
+         ("rcv_count", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.seg2net; handler = "pau_s2n"; order = Some 10 };
+      { event = Events.seg2net; handler = "wfc_s2n"; order = Some 20 };
+      { event = Events.segment_acked; handler = "pau_acked"; order = Some 10 };
+      { event = Events.segment_timeout; handler = "pau_timeout"; order = Some 10 };
+      { event = Events.seg_from_net; handler = "pau_sfn"; order = Some 30 };
+    ]

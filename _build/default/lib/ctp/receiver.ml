@@ -1,0 +1,82 @@
+(* Receiver-side transport driver: decodes the wire header, verifies the
+   checksum and delivers the payload.  RcvPacket is raised by the network
+   glue; the header decode raises SegFromNet synchronously for the
+   receiver micro-protocols (sequencing, ack generation). *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// Decode the 12-byte wire header produced by td_s2n.
+handler rcv_decode(wire) {
+  let n = bor(byte(wire, 0), shl(byte(wire, 1), 8));
+  let paylen = bor(byte(wire, 2), shl(byte(wire, 3), 8));
+  let sum = bor(bor(byte(wire, 4), shl(byte(wire, 5), 8)),
+                bor(shl(byte(wire, 6), 16), shl(byte(wire, 7), 24)));
+  let msgid = bor(byte(wire, 8), shl(byte(wire, 9), 8));
+  let last = byte(wire, 10);
+  let seg = bytes_sub(wire, 12, paylen);
+  if (crc32(seg) == sum) {
+    raise sync SegFromNet(seg, n, msgid, last);
+  } else {
+    global rcv_corrupt = global rcv_corrupt + 1;
+    emit("corrupt", n);
+  }
+}
+
+// Per-segment delivery to the layer above.
+handler rcv_deliver(seg, n) {
+  global delivered = global delivered + 1;
+  global delivered_bytes = global delivered_bytes + len(seg);
+  emit("deliver", seg, n);
+}
+
+// Reassemble fragments into whole messages (in arrival order; the
+// sequencing micro-protocol counts reordering separately).  A message-id
+// change with a non-empty buffer means the previous message's tail was
+// lost: the partial assembly is dropped so corruption cannot cascade.
+handler rasm_sfn(seg, n, msgid, last) {
+  if (msgid != global rasm_msgid) {
+    if (len(global rasm_buf) > 0) {
+      global rasm_aborted = global rasm_aborted + 1;
+      emit("rasm_abort", global rasm_msgid);
+    }
+    global rasm_buf = bytes_make(0, 0);
+    global rasm_msgid = msgid;
+  }
+  global rasm_buf = bytes_concat(global rasm_buf, seg);
+  global rasm_segs = global rasm_segs + 1;
+  if (last == 1) {
+    raise sync MsgToUser(global rasm_buf, msgid);
+    global rasm_buf = bytes_make(0, 0);
+  }
+}
+
+// Whole-message delivery to the application.
+handler rcv_msg_to_user(msg, msgid) {
+  global msgs_delivered = global msgs_delivered + 1;
+  emit("msg_deliver", msg, msgid);
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"Receiver" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("rcv_corrupt", Int 0);
+         ("delivered", Int 0);
+         ("delivered_bytes", Int 0);
+         ("rasm_buf", Bytes Stdlib.Bytes.empty);
+         ("rasm_segs", Int 0);
+         ("rasm_msgid", Int (-1));
+         ("rasm_aborted", Int 0);
+         ("msgs_delivered", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.rcv_packet; handler = "rcv_decode"; order = Some 10 };
+      (* reassembly and delivery consume the resequenced stream *)
+      { event = Events.seg_ordered; handler = "rasm_sfn"; order = Some 10 };
+      { event = Events.seg_ordered; handler = "rcv_deliver"; order = Some 20 };
+      { event = Events.msg_to_user; handler = "rcv_msg_to_user"; order = Some 10 };
+    ]

@@ -1,0 +1,89 @@
+(* Resequencing micro-protocol: ordered delivery over a reordering
+   network.
+
+   Raw segments arrive on SegFromNet in network order; this
+   micro-protocol forwards them on SegOrdered in sequence-number order,
+   holding early arrivals in a bounded, sorted buffer (a HIR list with a
+   recursive sorted insert).  When the buffer exceeds the reorder window
+   the missing gap is declared lost and delivery resumes from the
+   earliest held segment — downstream reassembly and the security layers
+   then surface the loss as an aborted message rather than a stall.
+
+   Like RLE compression in SecComm, this is deliberately written in pure
+   HIR (recursion, lists, pairs): protocol logic the optimizer can merge
+   and compile rather than a native primitive. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// sorted insert by sequence number
+func rsq_insert(lst, item) {
+  if (is_empty(lst)) {
+    return cons(item, nil());
+  }
+  let h = head(lst);
+  if (fst(item) < fst(h)) {
+    return cons(item, lst);
+  }
+  return cons(h, rsq_insert(tail(lst), item));
+}
+
+// deliver the in-order prefix of the buffer
+func rsq_flush() {
+  let go = 1;
+  while (go == 1) {
+    if (is_empty(global rsq_buf)) {
+      go = 0;
+    } else {
+      let h = head(global rsq_buf);
+      if (fst(h) == global rsq_next) {
+        global rsq_buf = tail(global rsq_buf);
+        global rsq_next = global rsq_next + 1;
+        let p = snd(h);
+        raise sync SegOrdered(fst(p), fst(h), fst(snd(p)), snd(snd(p)));
+      } else {
+        go = 0;
+      }
+    }
+  }
+  return 0;
+}
+
+handler rsq_sfn(seg, n, msgid, last) {
+  if (n < global rsq_next) {
+    // duplicate or already skipped-over
+    global rsq_dups = global rsq_dups + 1;
+    return;
+  }
+  if (n == global rsq_next) {
+    global rsq_next = n + 1;
+    raise sync SegOrdered(seg, n, msgid, last);
+    rsq_flush();
+    return;
+  }
+  // early arrival: hold it, bounded by the reorder window
+  global rsq_buf = rsq_insert(global rsq_buf, pair(n, pair(seg, pair(msgid, last))));
+  global rsq_held = global rsq_held + 1;
+  if (len(global rsq_buf) > global rsq_window) {
+    // the gap is declared lost; resume from the earliest held segment
+    global rsq_skips = global rsq_skips + 1;
+    global rsq_next = fst(head(global rsq_buf));
+    rsq_flush();
+  }
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"Resequencer" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("rsq_next", Int 1);
+         ("rsq_buf", List []);
+         ("rsq_window", Int 8);
+         ("rsq_held", Int 0);
+         ("rsq_dups", Int 0);
+         ("rsq_skips", Int 0);
+       ])
+    [ { Micro_protocol.event = Events.seg_from_net; handler = "rsq_sfn"; order = Some 40 } ]

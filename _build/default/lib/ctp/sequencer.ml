@@ -1,0 +1,43 @@
+(* Sequencing micro-protocol: SeqSeg-SFU assigns monotonically increasing
+   segment sequence numbers (read downstream by the transport driver and
+   flow control); on the receiver it restores order. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// SeqSeg-SFU (Fig. 8): stamp the next sequence number.
+handler seqseg_sfu(seg, n) {
+  global seg_seq = global seg_seq + 1;
+  global seq_window_fill = global seg_seq - global acked_seq;
+}
+
+// Receiver-side ordering check.
+handler seq_sfn(seg, n) {
+  if (n == global expected_seq) {
+    global expected_seq = global expected_seq + 1;
+    global in_order = global in_order + 1;
+  } else {
+    global out_of_order = global out_of_order + 1;
+    if (n > global expected_seq) {
+      global expected_seq = n + 1;
+    }
+  }
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"Sequencing" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("seq_window_fill", Int 0);
+         ("acked_seq", Int 0);
+         ("expected_seq", Int 0);
+         ("in_order", Int 0);
+         ("out_of_order", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.seg_from_user; handler = "seqseg_sfu"; order = Some 20 };
+      { event = Events.seg_from_net; handler = "seq_sfn"; order = Some 20 };
+    ]

@@ -1,0 +1,131 @@
+(* TransportDriver micro-protocol: the backbone of CTP.
+
+   Accepts user messages, fragments them into segments, drives each
+   segment through SegFromUser -> Seg2Net (the nested synchronous raise of
+   Fig. 8: TDriver-SFU raises Seg2Net from within SegFromUser handling),
+   stamps the wire header, and hands the bytes to the network glue via an
+   emit.  SegmentSent is raised asynchronously after transmission, and a
+   simulated ack/timeout pattern exercises the timed machinery. *)
+
+open Podopt_cactus
+
+let source =
+  {|
+// Open a CTP session: announce and register system input.
+handler td_open(cfg) {
+  emit("ctp_open", cfg);
+  raise sync AddSysInput(cfg);
+}
+
+handler td_add_sys_input(cfg) {
+  global session_up = 1;
+}
+
+// User send entry point: route by priority.
+handler td_send_msg(msg, pri) {
+  if (pri > 0) {
+    raise sync MsgFrmUserH(msg);
+  } else {
+    raise sync MsgFrmUserL(msg);
+  }
+}
+
+// Fragment a high-priority message into segments; the last fragment of
+// each message is flagged so the receiver can reassemble.
+handler td_mfu_h(msg) {
+  global msg_id = global msg_id + 1;
+  let size = len(msg);
+  let frag = global frag_size;
+  let off = 0;
+  while (off < size) {
+    let n = min(frag, size - off);
+    let last = 0;
+    if (off + n >= size) { last = 1; }
+    raise sync SegFromUser(bytes_sub(msg, off, n), global seg_seq, last);
+    off = off + n;
+  }
+  global msgs_high = global msgs_high + 1;
+}
+
+// Low-priority messages take the same path but are counted separately.
+handler td_mfu_l(msg) {
+  global msg_id = global msg_id + 1;
+  let size = len(msg);
+  let frag = global frag_size;
+  let off = 0;
+  while (off < size) {
+    let n = min(frag, size - off);
+    let last = 0;
+    if (off + n >= size) { last = 1; }
+    raise sync SegFromUser(bytes_sub(msg, off, n), global seg_seq, last);
+    off = off + n;
+  }
+  global msgs_low = global msgs_low + 1;
+}
+
+// TDriver-SFU (Fig. 8): push the segment down the stack, synchronously.
+handler tdriver_sfu(seg, n, last) {
+  raise sync Seg2Net(seg, global seg_seq, last);
+}
+
+// TD-S2N (Fig. 8): stamp the 12-byte wire header (seq, length, checksum,
+// message id, last-fragment flag, FEC tag), then transmit.
+handler td_s2n(seg, n, last) {
+  let hdr = bytes_make(12, 0);
+  bytes_set(hdr, 0, band(n, 255));
+  bytes_set(hdr, 1, band(shr(n, 8), 255));
+  bytes_set(hdr, 2, band(len(seg), 255));
+  bytes_set(hdr, 3, band(shr(len(seg), 8), 255));
+  let sum = crc32(seg);
+  bytes_set(hdr, 4, band(sum, 255));
+  bytes_set(hdr, 5, band(shr(sum, 8), 255));
+  bytes_set(hdr, 6, band(shr(sum, 16), 255));
+  bytes_set(hdr, 7, band(shr(sum, 24), 255));
+  bytes_set(hdr, 8, band(global msg_id, 255));
+  bytes_set(hdr, 9, band(shr(global msg_id, 8), 255));
+  bytes_set(hdr, 10, band(last, 255));
+  bytes_set(hdr, 11, band(global fec_tag, 255));
+  let wire = bytes_concat(hdr, seg);
+  global sent_bytes = global sent_bytes + len(wire);
+  emit("tx", wire, n);
+  raise async SegmentSent(n);
+  // the simulated network acks most segments and times a few out
+  if (n % 50 == 17) {
+    raise after 400 SegmentTimeout(n);
+  } else {
+    raise after 120 SegmentAcked(n);
+  }
+}
+
+handler td_segment_sent(n) {
+  global sent_count = global sent_count + 1;
+}
+|}
+
+let mp : Micro_protocol.t =
+  Micro_protocol.make ~name:"TransportDriver" ~source
+    ~globals:
+      (let open Podopt_hir.Value in
+       [
+         ("session_up", Int 0);
+         ("frag_size", Int 512);
+         ("seg_seq", Int 0);
+         ("msg_id", Int 0);
+         ("msgs_high", Int 0);
+         ("msgs_low", Int 0);
+         ("sent_bytes", Int 0);
+         ("sent_count", Int 0);
+         (* written by the FEC micro-protocol when configured; the header
+            field stays 0 in configurations without FEC *)
+         ("fec_tag", Int 0);
+       ])
+    [
+      { Micro_protocol.event = Events.open_; handler = "td_open"; order = Some 10 };
+      { event = Events.add_sys_input; handler = "td_add_sys_input"; order = Some 10 };
+      { event = Events.send_msg; handler = "td_send_msg"; order = Some 10 };
+      { event = Events.msg_frm_user_h; handler = "td_mfu_h"; order = Some 10 };
+      { event = Events.msg_frm_user_l; handler = "td_mfu_l"; order = Some 10 };
+      { event = Events.seg_from_user; handler = "tdriver_sfu"; order = Some 30 };
+      { event = Events.seg2net; handler = "td_s2n"; order = Some 40 };
+      { event = Events.segment_sent; handler = "td_segment_sent"; order = Some 10 };
+    ]

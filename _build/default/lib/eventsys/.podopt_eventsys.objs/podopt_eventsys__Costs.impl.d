@@ -1,0 +1,1 @@
+lib/eventsys/costs.ml:

@@ -1,0 +1,1 @@
+lib/eventsys/equeue.ml: Array List

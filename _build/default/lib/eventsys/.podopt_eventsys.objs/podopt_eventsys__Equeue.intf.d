@@ -1,0 +1,1 @@
+lib/eventsys/equeue.mli:

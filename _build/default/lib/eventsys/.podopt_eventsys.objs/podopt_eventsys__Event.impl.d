@@ -1,0 +1,1 @@
+lib/eventsys/event.ml: Fmt Hashtbl Int

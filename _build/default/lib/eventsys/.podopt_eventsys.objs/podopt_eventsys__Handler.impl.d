@@ -1,0 +1,1 @@
+lib/eventsys/handler.ml: Fmt Interp Podopt_hir Value

@@ -1,0 +1,1 @@
+lib/eventsys/handler.mli: Format Interp Podopt_hir Value

@@ -1,0 +1,1 @@
+lib/eventsys/registry.ml: Event Handler Hashtbl List

@@ -1,0 +1,1 @@
+lib/eventsys/registry.mli: Event Handler

@@ -1,0 +1,1 @@
+lib/eventsys/runtime.ml: Ast Compile Costs Equeue Event Fmt Handler Hashtbl Interp List Option Podopt_hir Prim Registry String Trace Value Vclock

@@ -1,0 +1,1 @@
+lib/eventsys/runtime.mli: Ast Compile Costs Equeue Event Format Handler Hashtbl Interp Podopt_hir Registry Trace Value Vclock

@@ -1,0 +1,1 @@
+lib/eventsys/trace.ml: Ast Fmt Hashtbl List Podopt_hir String

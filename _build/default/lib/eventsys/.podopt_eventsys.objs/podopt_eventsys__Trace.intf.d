@@ -1,0 +1,1 @@
+lib/eventsys/trace.mli: Ast Format Hashtbl Podopt_hir

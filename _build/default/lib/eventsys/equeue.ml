@@ -1,0 +1,101 @@
+(* Pending-activation queue for asynchronous and timed events: a binary
+   min-heap ordered by (due time, sequence number), so equal-time
+   activations preserve raise order. *)
+
+type 'a item = { due : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a item option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+
+let get t i =
+  match t.heap.(i) with
+  | Some item -> item
+  | None -> invalid_arg "Equeue: corrupt heap"
+
+let lt a b = a.due < b.due || (a.due = b.due && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~due payload =
+  let item = { due; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size >= Array.length t.heap then begin
+    let bigger = Array.make (2 * Array.length t.heap) None in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- Some item;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let top = get t 0 in
+    Some (top.due, top.payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.due, top.payload)
+  end
+
+(* Remove all items matching [pred]; used by the Cactus [cancel] operation
+   on delayed events.  Returns the number of removed items. *)
+let remove_if t pred =
+  let kept = ref [] in
+  for i = 0 to t.size - 1 do
+    let item = get t i in
+    if not (pred item.payload) then kept := item :: !kept
+  done;
+  let kept = List.rev !kept in
+  let removed = t.size - List.length kept in
+  Array.fill t.heap 0 t.size None;
+  t.size <- 0;
+  List.iter
+    (fun item ->
+      if t.size >= Array.length t.heap then begin
+        let bigger = Array.make (2 * Array.length t.heap) None in
+        Array.blit t.heap 0 bigger 0 t.size;
+        t.heap <- bigger
+      end;
+      t.heap.(t.size) <- Some item;
+      t.size <- t.size + 1;
+      sift_up t (t.size - 1))
+    kept;
+  removed

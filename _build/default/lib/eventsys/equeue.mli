@@ -1,0 +1,20 @@
+(** Pending-activation queue for asynchronous and timed events: a binary
+    min-heap ordered by (due time, sequence number), so equal-time
+    activations preserve raise order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> due:int -> 'a -> unit
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** Earliest item without removing it. *)
+val peek : 'a t -> (int * 'a) option
+
+val pop : 'a t -> (int * 'a) option
+
+(** Remove all items matching the predicate (Cactus's delayed-event
+    cancel); returns how many were removed.  Relative order of the kept
+    items is preserved. *)
+val remove_if : 'a t -> ('a -> bool) -> int

@@ -1,0 +1,22 @@
+(** Events: interned name/id pairs.  The event set is dynamic
+    (user-defined events, Sec. 2.3); the runtime interns names so hot
+    dispatch paths work on integer ids. *)
+
+type t = { id : int; name : string }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Interning table; one per runtime. *)
+type table
+
+val create_table : unit -> table
+
+(** Find-or-create by name; stable ids. *)
+val intern : table -> string -> t
+
+val find_opt : table -> string -> t option
+val of_id : table -> int -> t option
+val all : table -> t list

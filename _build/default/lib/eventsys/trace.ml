@@ -1,0 +1,103 @@
+(* Execution tracing (Sec. 3.1).
+
+   Two levels of instrumentation mirror the paper's two profiling phases:
+   event-level logging records every raise with its activation mode;
+   handler-level logging is then enabled selectively for the events on hot
+   paths, recording handler begin/end (the nesting lets the analysis
+   detect subsumable synchronous raises, Fig. 8). *)
+
+open Podopt_hir
+
+type entry =
+  | Event_raised of { event : string; mode : Ast.mode; time : int; depth : int }
+  | Dispatch_begin of { event : string; time : int; depth : int }
+  | Dispatch_end of { event : string; time : int; depth : int }
+  | Handler_begin of { event : string; handler : string; time : int; depth : int }
+  | Handler_end of { event : string; handler : string; time : int; depth : int }
+
+type t = {
+  mutable entries : entry list;  (* reversed *)
+  mutable count : int;
+  mutable events_enabled : bool;
+  mutable handler_events : (string, unit) Hashtbl.t option;
+      (* None = handler instrumentation off; Some set = only those events *)
+}
+
+let create () =
+  { entries = []; count = 0; events_enabled = false; handler_events = None }
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let enable_events t = t.events_enabled <- true
+let disable_events t = t.events_enabled <- false
+
+let enable_handlers t (events : string list) =
+  let set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace set e ()) events;
+  t.handler_events <- Some set
+
+let disable_handlers t = t.handler_events <- None
+
+let handler_instrumented t event =
+  match t.handler_events with
+  | None -> false
+  | Some set -> Hashtbl.mem set event
+
+let record t entry =
+  t.entries <- entry :: t.entries;
+  t.count <- t.count + 1
+
+let record_event t ~event ~mode ~time ~depth =
+  if t.events_enabled then record t (Event_raised { event; mode; time; depth })
+
+let record_handler_begin t ~event ~handler ~time ~depth =
+  if handler_instrumented t event then
+    record t (Handler_begin { event; handler; time; depth })
+
+let record_handler_end t ~event ~handler ~time ~depth =
+  if handler_instrumented t event then
+    record t (Handler_end { event; handler; time; depth })
+
+let record_dispatch_begin t ~event ~time ~depth =
+  if handler_instrumented t event then record t (Dispatch_begin { event; time; depth })
+
+let record_dispatch_end t ~event ~time ~depth =
+  if handler_instrumented t event then record t (Dispatch_end { event; time; depth })
+
+(* Entries in chronological order. *)
+let entries t = List.rev t.entries
+let length t = t.count
+
+(* The chronological sequence of (event, mode) pairs: the input to the
+   GraphBuilder algorithm of Fig. 4. *)
+let event_sequence t =
+  List.filter_map
+    (function
+      | Event_raised { event; mode; _ } -> Some (event, mode)
+      | Dispatch_begin _ | Dispatch_end _ | Handler_begin _ | Handler_end _ -> None)
+    (entries t)
+
+(* Like [event_sequence] but with the raise depth: a depth-0 raise comes
+   from outside any handler (the environment / workload), so it cannot
+   have been caused by the preceding event even when synchronous. *)
+let event_sequence_with_depth t =
+  List.filter_map
+    (function
+      | Event_raised { event; mode; depth; _ } -> Some (event, mode, depth)
+      | Dispatch_begin _ | Dispatch_end _ | Handler_begin _ | Handler_end _ -> None)
+    (entries t)
+
+let pp_entry ppf = function
+  | Event_raised { event; mode; time; depth } ->
+    Fmt.pf ppf "%6d %s[%d] raise %s %s" time (String.make depth ' ') depth
+      (Ast.mode_to_string mode) event
+  | Dispatch_begin { event; time; depth } ->
+    Fmt.pf ppf "%6d %s[%d] dispatch %s {" time (String.make depth ' ') depth event
+  | Dispatch_end { event; time; depth } ->
+    Fmt.pf ppf "%6d %s[%d] } %s" time (String.make depth ' ') depth event
+  | Handler_begin { event; handler; time; depth } ->
+    Fmt.pf ppf "%6d %s[%d] begin %s.%s" time (String.make depth ' ') depth event handler
+  | Handler_end { event; handler; time; depth } ->
+    Fmt.pf ppf "%6d %s[%d] end   %s.%s" time (String.make depth ' ') depth event handler

@@ -1,0 +1,66 @@
+(** Execution tracing (Sec. 3.1).
+
+    Two instrumentation levels mirror the paper's two profiling phases:
+    event-level logging records every occurrence with its activation
+    mode; handler-level logging is enabled selectively for the hot
+    events, recording dispatch boundaries and handler begin/end (the
+    nesting lets the analysis detect subsumable synchronous raises,
+    Fig. 8). *)
+
+open Podopt_hir
+
+type entry =
+  | Event_raised of { event : string; mode : Ast.mode; time : int; depth : int }
+      (** synchronous raises at the raise site; queued activations at
+          dispatch time (occurrence order) *)
+  | Dispatch_begin of { event : string; time : int; depth : int }
+  | Dispatch_end of { event : string; time : int; depth : int }
+  | Handler_begin of { event : string; handler : string; time : int; depth : int }
+  | Handler_end of { event : string; handler : string; time : int; depth : int }
+
+type t = {
+  mutable entries : entry list;  (** reversed; use {!entries} *)
+  mutable count : int;
+  mutable events_enabled : bool;
+  mutable handler_events : (string, unit) Hashtbl.t option;
+}
+
+val create : unit -> t
+val clear : t -> unit
+val enable_events : t -> unit
+val disable_events : t -> unit
+
+(** Enable dispatch/handler instrumentation for the given events only. *)
+val enable_handlers : t -> string list -> unit
+
+val disable_handlers : t -> unit
+val handler_instrumented : t -> string -> bool
+
+(** {1 Recording (called by the runtime)} *)
+
+val record_event : t -> event:string -> mode:Ast.mode -> time:int -> depth:int -> unit
+val record_dispatch_begin : t -> event:string -> time:int -> depth:int -> unit
+val record_dispatch_end : t -> event:string -> time:int -> depth:int -> unit
+
+val record_handler_begin :
+  t -> event:string -> handler:string -> time:int -> depth:int -> unit
+
+val record_handler_end :
+  t -> event:string -> handler:string -> time:int -> depth:int -> unit
+
+(** {1 Reading} *)
+
+(** Entries in chronological order. *)
+val entries : t -> entry list
+
+val length : t -> int
+
+(** The (event, mode) occurrence sequence — the GraphBuilder input. *)
+val event_sequence : t -> (string * Ast.mode) list
+
+(** Like {!event_sequence} with the raise depth; depth 0 means the raise
+    came from outside any handler and cannot have been caused by the
+    preceding event. *)
+val event_sequence_with_depth : t -> (string * Ast.mode * int) list
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,15 @@
+(* Virtual clock.
+
+   All experiment timing in the deterministic cost-model mode is expressed
+   in abstract "cost units" accumulated on this clock; the discrete-event
+   scheduler also uses it to order timed activations.  Using virtual time
+   keeps every table in EXPERIMENTS.md reproducible run-to-run while the
+   Bechamel benchmarks measure real wall-clock on the same code paths. *)
+
+type t = { mutable now : int }
+
+let create ?(now = 0) () = { now }
+let now t = t.now
+let advance t d = if d > 0 then t.now <- t.now + d
+let set t v = t.now <- v
+let reset t = t.now <- 0

@@ -1,0 +1,15 @@
+(** Virtual clock: abstract cost units accumulated by the runtime's cost
+    model and used by the discrete-event scheduler to order timed
+    activations.  Virtual time keeps every experiment table reproducible
+    run-to-run. *)
+
+type t
+
+val create : ?now:int -> unit -> t
+val now : t -> int
+
+(** Advance by a non-negative amount (negative deltas are ignored). *)
+val advance : t -> int -> unit
+
+val set : t -> int -> unit
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/hir/analysis.ml: Ast List Prim Set String

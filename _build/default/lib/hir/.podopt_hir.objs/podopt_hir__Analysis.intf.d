@@ -1,0 +1,1 @@
+lib/hir/analysis.mli: Ast Set

@@ -1,0 +1,1 @@
+lib/hir/ast.ml: List Printf Value

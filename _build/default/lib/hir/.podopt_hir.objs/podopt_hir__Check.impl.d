@@ -1,0 +1,1 @@
+lib/hir/check.ml: Ast Fmt List Option Prim Set String

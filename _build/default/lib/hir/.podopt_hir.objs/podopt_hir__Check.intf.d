@@ -1,0 +1,1 @@
+lib/hir/check.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/hir/compile.ml: Array Ast Hashtbl Interp List Prim Value

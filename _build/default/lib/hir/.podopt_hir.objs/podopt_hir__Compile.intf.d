@@ -1,0 +1,1 @@
+lib/hir/compile.mli: Ast Interp Value

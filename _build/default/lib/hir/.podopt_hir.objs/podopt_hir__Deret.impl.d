@@ -1,0 +1,1 @@
+lib/hir/deret.ml: Ast Fresh Rewrite Value

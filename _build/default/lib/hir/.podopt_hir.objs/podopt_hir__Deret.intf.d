@@ -1,0 +1,1 @@
+lib/hir/deret.mli: Ast

@@ -1,0 +1,1 @@
+lib/hir/interp.ml: Array Ast Bytes Fun Hashtbl List Prim Value

@@ -1,0 +1,1 @@
+lib/hir/interp.mli: Ast Value

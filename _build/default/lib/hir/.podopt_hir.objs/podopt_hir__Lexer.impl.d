@@ -1,0 +1,1 @@
+lib/hir/lexer.ml: Buffer Lexing List Printf Token

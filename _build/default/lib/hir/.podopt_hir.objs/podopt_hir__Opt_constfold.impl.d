@@ -1,0 +1,1 @@
+lib/hir/opt_constfold.ml: Analysis Ast Interp List Prim Rewrite Value

@@ -1,0 +1,1 @@
+lib/hir/opt_copyprop.ml: Analysis Ast List Map Rewrite String

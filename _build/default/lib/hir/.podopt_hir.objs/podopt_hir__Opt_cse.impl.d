@@ -1,0 +1,1 @@
+lib/hir/opt_cse.ml: Analysis Ast List

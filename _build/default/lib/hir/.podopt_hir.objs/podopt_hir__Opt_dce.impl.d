@@ -1,0 +1,1 @@
+lib/hir/opt_dce.ml: Analysis Ast List

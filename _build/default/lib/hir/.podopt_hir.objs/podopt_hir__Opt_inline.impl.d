@@ -1,0 +1,1 @@
+lib/hir/opt_inline.ml: Analysis Array Ast Deret Fresh Hashtbl List Rewrite Subst Value

@@ -1,0 +1,1 @@
+lib/hir/opt_licm.ml: Analysis Ast Fresh List

@@ -1,0 +1,1 @@
+lib/hir/opt_licm.mli: Ast

@@ -1,0 +1,1 @@
+lib/hir/parse.ml: Ast Lexer List Parser Printf

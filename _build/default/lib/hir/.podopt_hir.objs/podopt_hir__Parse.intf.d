@@ -1,0 +1,1 @@
+lib/hir/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/hir/parser.ml: Array Ast Format Fresh List Token Value

@@ -1,0 +1,1 @@
+lib/hir/pipeline.ml: Ast List Opt_constfold Opt_copyprop Opt_cse Opt_dce Opt_inline Opt_licm

@@ -1,0 +1,1 @@
+lib/hir/pipeline.mli: Ast

@@ -1,0 +1,1 @@
+lib/hir/pp.ml: Ast Fmt Value

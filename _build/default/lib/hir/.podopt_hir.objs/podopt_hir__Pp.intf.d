@@ -1,0 +1,1 @@
+lib/hir/pp.mli: Ast Format

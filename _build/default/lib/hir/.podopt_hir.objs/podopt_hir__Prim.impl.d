@@ -1,0 +1,1 @@
+lib/hir/prim.ml: Bytes Char Hashtbl List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/hir/prim.mli: Value

@@ -1,0 +1,1 @@
+lib/hir/rewrite.ml: Ast List

@@ -1,0 +1,1 @@
+lib/hir/size.ml: Analysis Fmt

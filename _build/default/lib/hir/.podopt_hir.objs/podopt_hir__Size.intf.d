@@ -1,0 +1,1 @@
+lib/hir/size.mli: Ast Format

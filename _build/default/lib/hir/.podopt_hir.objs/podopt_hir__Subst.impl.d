@@ -1,0 +1,1 @@
+lib/hir/subst.ml: Analysis Array Ast Fresh Hashtbl List Rewrite Value

@@ -1,0 +1,1 @@
+lib/hir/subst.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/hir/token.ml: Printf

@@ -1,0 +1,1 @@
+lib/hir/value.ml: Buffer Bytes Char Float Fmt Format Int64 List Printf Stdlib String

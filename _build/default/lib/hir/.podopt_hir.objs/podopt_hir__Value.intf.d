@@ -1,0 +1,1 @@
+lib/hir/value.mli: Format

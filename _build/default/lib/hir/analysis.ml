@@ -1,0 +1,154 @@
+(* Static analyses over HIR used by the optimizer passes: purity/effects,
+   variable reads and writes, and global read/write sets. *)
+
+open Ast
+
+module SS = Set.Make (String)
+
+(* An expression has effects if it may perform observable work when
+   evaluated: calls to impure primitives, or calls to user procedures (the
+   caller supplies the program so procedure bodies are inspected
+   transitively). *)
+let rec expr_has_effects (prog : program) (seen : SS.t) = function
+  | Lit _ | Var _ | Arg _ | Global _ -> false
+  | Binop (_, a, b) -> expr_has_effects prog seen a || expr_has_effects prog seen b
+  | Unop (_, a) -> expr_has_effects prog seen a
+  | Call (f, args) ->
+    List.exists (expr_has_effects prog seen) args
+    ||
+    (match proc_by_name prog f with
+     | Some p ->
+       (* recursive or unknown-shaped user calls are conservatively impure *)
+       SS.mem f seen || proc_has_effects prog (SS.add f seen) p
+     | None -> not (Prim.is_pure f))
+
+and stmt_has_effects prog seen = function
+  | Let (_, e) | Assign (_, e) -> expr_has_effects prog seen e
+  | Set_global _ -> true
+  | If (c, t, e) ->
+    expr_has_effects prog seen c
+    || block_has_effects prog seen t
+    || block_has_effects prog seen e
+  | While (c, b) -> expr_has_effects prog seen c || block_has_effects prog seen b
+  | Expr e -> expr_has_effects prog seen e
+  | Raise _ -> true
+  | Emit _ -> true
+  | Return e -> (match e with Some e -> expr_has_effects prog seen e | None -> false)
+
+and block_has_effects prog seen b = List.exists (stmt_has_effects prog seen) b
+
+and proc_has_effects prog seen (p : proc) = block_has_effects prog seen p.body
+
+let pure_expr prog e = not (expr_has_effects prog SS.empty e)
+
+(* Does evaluating [e] read any global, or the given global? *)
+let rec expr_reads_global = function
+  | Lit _ | Var _ | Arg _ -> SS.empty
+  | Global g -> SS.singleton g
+  | Binop (_, a, b) -> SS.union (expr_reads_global a) (expr_reads_global b)
+  | Unop (_, a) -> expr_reads_global a
+  | Call (_, args) ->
+    (* calls may read any global through user procedures; handled by the
+       effects analysis — here we only track syntactic reads *)
+    List.fold_left (fun acc a -> SS.union acc (expr_reads_global a)) SS.empty args
+
+(* Free (read) local variables of an expression. *)
+let rec expr_vars = function
+  | Lit _ | Arg _ | Global _ -> SS.empty
+  | Var x -> SS.singleton x
+  | Binop (_, a, b) -> SS.union (expr_vars a) (expr_vars b)
+  | Unop (_, a) -> expr_vars a
+  | Call (_, args) ->
+    List.fold_left (fun acc a -> SS.union acc (expr_vars a)) SS.empty args
+
+(* All local variables read anywhere in a block. *)
+let rec block_reads b =
+  List.fold_left (fun acc s -> SS.union acc (stmt_reads s)) SS.empty b
+
+and stmt_reads = function
+  | Let (_, e) | Assign (_, e) | Set_global (_, e) | Expr e -> expr_vars e
+  | If (c, t, e) -> SS.union (expr_vars c) (SS.union (block_reads t) (block_reads e))
+  | While (c, b) -> SS.union (expr_vars c) (block_reads b)
+  | Raise { args; _ } | Emit (_, args) ->
+    List.fold_left (fun acc a -> SS.union acc (expr_vars a)) SS.empty args
+  | Return (Some e) -> expr_vars e
+  | Return None -> SS.empty
+
+(* All local variables written (by Let or Assign) anywhere in a block. *)
+let rec block_writes b =
+  List.fold_left (fun acc s -> SS.union acc (stmt_writes s)) SS.empty b
+
+and stmt_writes = function
+  | Let (x, _) | Assign (x, _) -> SS.singleton x
+  | Set_global _ | Expr _ | Raise _ | Emit _ | Return _ -> SS.empty
+  | If (_, t, e) -> SS.union (block_writes t) (block_writes e)
+  | While (_, b) -> block_writes b
+
+(* Globals possibly written by a block (syntactically; calls to user procs
+   are accounted for by the caller through [proc_has_effects]). *)
+let rec block_global_writes b =
+  List.fold_left (fun acc s -> SS.union acc (stmt_global_writes s)) SS.empty b
+
+and stmt_global_writes = function
+  | Set_global (g, _) -> SS.singleton g
+  | Let _ | Assign _ | Expr _ | Emit _ | Return _ -> SS.empty
+  | Raise _ -> SS.empty (* handled conservatively by effect checks *)
+  | If (_, t, e) -> SS.union (block_global_writes t) (block_global_writes e)
+  | While (_, b) -> block_global_writes b
+
+(* Does the block contain any Raise / Emit / user-proc call — i.e. anything
+   that may observe or modify state outside the local frame?  Used by CSE to
+   decide when cached global reads must be invalidated. *)
+let rec stmt_is_barrier prog = function
+  | Raise _ | Emit _ | Set_global _ -> true
+  | Let (_, e) | Assign (_, e) | Expr e -> expr_has_effects prog SS.empty e
+  | If (c, t, e) ->
+    expr_has_effects prog SS.empty c
+    || List.exists (stmt_is_barrier prog) t
+    || List.exists (stmt_is_barrier prog) e
+  | While (c, b) ->
+    expr_has_effects prog SS.empty c || List.exists (stmt_is_barrier prog) b
+  | Return (Some e) -> expr_has_effects prog SS.empty e
+  | Return None -> false
+
+(* Highest positional-argument index referenced in a block (via [Arg i]),
+   or -1 if none.  Used to compute the arity of merged super-handlers. *)
+let rec expr_max_arg = function
+  | Lit _ | Var _ | Global _ -> -1
+  | Arg i -> i
+  | Binop (_, a, b) -> max (expr_max_arg a) (expr_max_arg b)
+  | Unop (_, a) -> expr_max_arg a
+  | Call (_, args) -> List.fold_left (fun acc a -> max acc (expr_max_arg a)) (-1) args
+
+let rec stmt_max_arg = function
+  | Let (_, e) | Assign (_, e) | Set_global (_, e) | Expr e -> expr_max_arg e
+  | If (c, t, e) -> max (expr_max_arg c) (max (block_max_arg t) (block_max_arg e))
+  | While (c, b) -> max (expr_max_arg c) (block_max_arg b)
+  | Raise { args; _ } | Emit (_, args) ->
+    List.fold_left (fun acc a -> max acc (expr_max_arg a)) (-1) args
+  | Return (Some e) -> expr_max_arg e
+  | Return None -> -1
+
+and block_max_arg b = List.fold_left (fun acc s -> max acc (stmt_max_arg s)) (-1) b
+
+(* Node count, the code-size metric reported in Sec. 4.2. *)
+let rec expr_size = function
+  | Lit _ | Var _ | Arg _ | Global _ -> 1
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Unop (_, a) -> 1 + expr_size a
+  | Call (_, args) -> 1 + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+
+let rec stmt_size = function
+  | Let (_, e) | Assign (_, e) | Set_global (_, e) | Expr e -> 1 + expr_size e
+  | If (c, t, e) -> 1 + expr_size c + block_size t + block_size e
+  | While (c, b) -> 1 + expr_size c + block_size b
+  | Raise { args; _ } ->
+    1 + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+  | Emit (_, args) -> 1 + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+  | Return (Some e) -> 1 + expr_size e
+  | Return None -> 1
+
+and block_size b = List.fold_left (fun acc s -> acc + stmt_size s) 0 b
+
+let proc_size (p : proc) = 1 + block_size p.body
+let program_size (p : program) = List.fold_left (fun acc pr -> acc + proc_size pr) 0 p

@@ -1,0 +1,54 @@
+(** Static analyses over HIR used by the optimizer passes. *)
+
+module SS : Set.S with type elt = string
+
+(** {1 Effects}
+
+    An expression/statement has effects if evaluating it may perform
+    observable work: impure primitive calls, global writes, raises,
+    emits, returns of effectful values; user-procedure calls are
+    inspected transitively (recursion is conservatively impure). *)
+
+val expr_has_effects : Ast.program -> SS.t -> Ast.expr -> bool
+val block_has_effects : Ast.program -> SS.t -> Ast.block -> bool
+val proc_has_effects : Ast.program -> SS.t -> Ast.proc -> bool
+
+(** [pure_expr prog e] = no effects, starting from an empty call stack. *)
+val pure_expr : Ast.program -> Ast.expr -> bool
+
+(** {1 Reads and writes} *)
+
+(** Globals read syntactically by an expression (calls not traversed;
+    use the effects analysis for calls). *)
+val expr_reads_global : Ast.expr -> SS.t
+
+(** Local variables read by an expression. *)
+val expr_vars : Ast.expr -> SS.t
+
+val block_reads : Ast.block -> SS.t
+
+(** Locals written by [Let]/[Assign] anywhere in the block. *)
+val block_writes : Ast.block -> SS.t
+
+val block_global_writes : Ast.block -> SS.t
+
+(** A statement that may observe or modify state outside the local frame
+    (raise/emit/global write/effectful call); used by CSE to invalidate
+    cached global reads. *)
+val stmt_is_barrier : Ast.program -> Ast.stmt -> bool
+
+(** {1 Positional arguments} *)
+
+(** Highest [Arg i] index referenced (-1 when none); used to size merged
+    super-handler argument vectors. *)
+val expr_max_arg : Ast.expr -> int
+
+val block_max_arg : Ast.block -> int
+
+(** {1 Size (AST node counts — the Sec. 4.2 code-size metric)} *)
+
+val expr_size : Ast.expr -> int
+val stmt_size : Ast.stmt -> int
+val block_size : Ast.block -> int
+val proc_size : Ast.proc -> int
+val program_size : Ast.program -> int

@@ -1,0 +1,71 @@
+(* Abstract syntax of HIR, the small imperative language in which event
+   handlers are written.
+
+   Handlers in the reproduced systems (CTP, SecComm, the X toolkit) are HIR
+   procedures; the optimizer merges, inlines and transforms these bodies,
+   which is what makes the paper's "compiler optimizations on super-handler
+   code" (Sec. 3.2.2) real transformations rather than annotations. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type unop = Neg | Not
+
+(* How an event is (re-)raised from handler code; mirrors the activation
+   kinds of Sec. 2.2.  [Timed d] raises after a delay of [d] virtual time
+   units. *)
+type mode = Sync | Async | Timed of int
+
+type expr =
+  | Lit of Value.t
+  | Var of string
+  | Global of string
+  | Arg of int                    (* positional event argument *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list    (* primitive or user procedure *)
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | Set_global of string * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Expr of expr
+  | Raise of { event : string; mode : mode; args : expr list }
+  | Emit of string * expr list    (* observable output; the semantics tests
+                                     compare emit logs across program
+                                     transformations *)
+  | Return of expr option
+
+and block = stmt list
+
+type proc = {
+  name : string;
+  params : string list;
+  body : block;
+}
+
+type program = proc list
+
+let proc_by_name (p : program) name = List.find_opt (fun pr -> pr.name = name) p
+
+(* Structural equality; [Value.t] contains no functions so polymorphic
+   equality is sound. *)
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_block (a : block) (b : block) = a = b
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||" | Concat -> "++"
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let mode_to_string = function
+  | Sync -> "sync"
+  | Async -> "async"
+  | Timed d -> Printf.sprintf "after %d" d

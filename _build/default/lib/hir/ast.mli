@@ -1,0 +1,64 @@
+(** Abstract syntax of HIR, the imperative language in which event
+    handlers are written.
+
+    Handlers in the reproduced systems (CTP, SecComm, the X toolkit) are
+    HIR procedures; the optimizer merges, inlines, and transforms these
+    bodies, which makes the paper's "compiler optimizations on
+    super-handler code" (Sec. 3.2.2) genuine program transformations. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And  (** short-circuit *)
+  | Or   (** short-circuit *)
+  | Concat  (** string or bytes concatenation *)
+
+type unop = Neg | Not
+
+(** Activation modes (Sec. 2.2).  [Timed d] activates after a delay of
+    [d] virtual time units. *)
+type mode = Sync | Async | Timed of int
+
+type expr =
+  | Lit of Value.t
+  | Var of string            (** local variable *)
+  | Global of string         (** shared state; lock-charged on access *)
+  | Arg of int               (** positional event argument *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** primitive or user procedure *)
+
+type stmt =
+  | Let of string * expr        (** bind or overwrite a local *)
+  | Assign of string * expr     (** same store as [Let]; kept distinct
+                                    for readability of generated code *)
+  | Set_global of string * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Expr of expr
+  | Raise of { event : string; mode : mode; args : expr list }
+  | Emit of string * expr list  (** observable output; semantics tests
+                                    compare emit logs across program
+                                    transformations *)
+  | Return of expr option       (** terminates the current procedure *)
+
+and block = stmt list
+
+type proc = {
+  name : string;
+  params : string list;  (** bound positionally; missing arguments are Unit *)
+  body : block;
+}
+
+type program = proc list
+
+(** First procedure with the given name, if any. *)
+val proc_by_name : program -> string -> proc option
+
+(** Structural equality (no functions inside, so this is sound). *)
+val equal_expr : expr -> expr -> bool
+
+val equal_block : block -> block -> bool
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+val mode_to_string : mode -> string

@@ -1,0 +1,126 @@
+(* Static checking of HIR programs.
+
+   Handlers are registered dynamically, so a misspelled variable or a
+   wrong-arity primitive call would otherwise only surface when the
+   handler first runs — possibly deep into an experiment.  The checker
+   runs at composite-assembly time and reports:
+
+   - references to variables with no preceding definite assignment;
+   - calls to unknown procedures/primitives, or with a wrong arity;
+   - raise sites whose event name never appears in any binding list
+     (advisory: raising an unbound event is legal but usually a typo);
+   - statically unreachable statements (after a return). *)
+
+open Ast
+
+type issue =
+  | Unbound_variable of { proc : string; var : string }
+  | Unknown_callee of { proc : string; callee : string }
+  | Arity_mismatch of { proc : string; callee : string; expected : int; got : int }
+  | Unreachable_code of { proc : string }
+  | Unknown_event of { proc : string; event : string }  (* advisory *)
+
+let pp_issue ppf = function
+  | Unbound_variable { proc; var } ->
+    Fmt.pf ppf "%s: variable %s may be used before assignment" proc var
+  | Unknown_callee { proc; callee } ->
+    Fmt.pf ppf "%s: call to unknown procedure or primitive %s" proc callee
+  | Arity_mismatch { proc; callee; expected; got } ->
+    Fmt.pf ppf "%s: %s expects %d arguments, got %d" proc callee expected got
+  | Unreachable_code { proc } -> Fmt.pf ppf "%s: unreachable code after return" proc
+  | Unknown_event { proc; event } ->
+    Fmt.pf ppf "%s: raises event %s which has no known binding (advisory)" proc event
+
+let is_advisory = function
+  | Unknown_event _ -> true
+  | Unbound_variable _ | Unknown_callee _ | Arity_mismatch _ | Unreachable_code _ ->
+    false
+
+module SS = Set.Make (String)
+
+(* Definite-assignment analysis: a variable is definitely assigned after
+   a Let/Assign on every path.  Branches join with intersection; loop
+   bodies may not execute, so their assignments don't survive the loop. *)
+let check_proc ?(known_events = []) (prog : program) (p : proc) : issue list =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let known_events = SS.of_list known_events in
+  let rec check_expr (defined : SS.t) (e : expr) : unit =
+    match e with
+    | Lit _ | Global _ | Arg _ -> ()
+    | Var x ->
+      if not (SS.mem x defined) then add (Unbound_variable { proc = p.name; var = x })
+    | Binop (_, a, b) ->
+      check_expr defined a;
+      check_expr defined b
+    | Unop (_, a) -> check_expr defined a
+    | Call (f, args) ->
+      List.iter (check_expr defined) args;
+      (match proc_by_name prog f with
+       | Some _ -> () (* user procedures accept any arity; missing = Unit *)
+       | None ->
+         (match Prim.find f with
+          | prim ->
+            (match prim.Prim.arity with
+             | Some n when List.length args <> n ->
+               add
+                 (Arity_mismatch
+                    { proc = p.name; callee = f; expected = n; got = List.length args })
+             | Some _ | None -> ())
+          | exception Prim.Unknown _ ->
+            add (Unknown_callee { proc = p.name; callee = f })))
+  in
+  (* returns the set of definitely-assigned variables after the block,
+     or None if the block always returns *)
+  let rec check_block (defined : SS.t) (b : block) : SS.t option =
+    match b with
+    | [] -> Some defined
+    | s :: rest ->
+      (match check_stmt defined s with
+       | Some defined' -> check_block defined' rest
+       | None ->
+         if rest <> [] then add (Unreachable_code { proc = p.name });
+         None)
+  and check_stmt (defined : SS.t) (s : stmt) : SS.t option =
+    match s with
+    | Let (x, e) | Assign (x, e) ->
+      check_expr defined e;
+      Some (SS.add x defined)
+    | Set_global (_, e) ->
+      check_expr defined e;
+      Some defined
+    | Expr e ->
+      check_expr defined e;
+      Some defined
+    | If (c, t, f) ->
+      check_expr defined c;
+      let dt = check_block defined t in
+      let df = check_block defined f in
+      (match dt, df with
+       | Some a, Some b -> Some (SS.inter a b)
+       | Some a, None | None, Some a -> Some a
+       | None, None -> None)
+    | While (c, body) ->
+      check_expr defined c;
+      (* the body may run zero times: its assignments don't escape *)
+      ignore (check_block defined body);
+      Some defined
+    | Raise { event; args; _ } ->
+      List.iter (check_expr defined) args;
+      if not (SS.is_empty known_events) && not (SS.mem event known_events) then
+        add (Unknown_event { proc = p.name; event });
+      Some defined
+    | Emit (_, args) ->
+      List.iter (check_expr defined) args;
+      Some defined
+    | Return e ->
+      Option.iter (check_expr defined) e;
+      None
+  in
+  ignore (check_block (SS.of_list p.params) p.body);
+  List.rev !issues
+
+let check_program ?known_events (prog : program) : issue list =
+  List.concat_map (check_proc ?known_events prog) prog
+
+let errors issues = List.filter (fun i -> not (is_advisory i)) issues

@@ -1,0 +1,27 @@
+(** Static checking of HIR programs.
+
+    Handlers are registered dynamically, so a misspelled variable or a
+    wrong-arity primitive call would otherwise only surface when the
+    handler first runs.  The checker reports use-before-assignment,
+    unknown callees, primitive arity mismatches, unreachable code, and
+    (advisorily) raises of events with no known binding. *)
+
+type issue =
+  | Unbound_variable of { proc : string; var : string }
+  | Unknown_callee of { proc : string; callee : string }
+  | Arity_mismatch of { proc : string; callee : string; expected : int; got : int }
+  | Unreachable_code of { proc : string }
+  | Unknown_event of { proc : string; event : string }  (** advisory *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val is_advisory : issue -> bool
+
+(** [check_proc prog p] analyses one procedure.  Definite assignment
+    joins branches by intersection and assumes loop bodies may not run.
+    [known_events] enables the advisory raise check. *)
+val check_proc : ?known_events:string list -> Ast.program -> Ast.proc -> issue list
+
+val check_program : ?known_events:string list -> Ast.program -> issue list
+
+(** Issues that are not advisory. *)
+val errors : issue list -> issue list

@@ -1,0 +1,44 @@
+(* Early-return elimination.
+
+   A handler's [return] terminates that handler only.  When several
+   handler bodies are concatenated into one super-handler (Sec. 3.2.1), a
+   return inside one segment must not skip the segments that follow, so
+   each segment's returns are first converted to structured control flow
+   guarded by a per-segment flag. *)
+
+open Ast
+
+(* Rewrite [b] so that it contains no [Return]: a fresh boolean flag is set
+   instead and the remainder of the enclosing blocks is guarded on it.
+   Returns the transformed block, *including* the flag initialization. *)
+let remove_returns (b : block) : block =
+  if not (Rewrite.contains_return b) then b
+  else begin
+    let flag = Fresh.var "ret" in
+    let not_flag = Unop (Not, Var flag) in
+    (* Transform a block given that [flag] is in scope.  The result never
+       contains Return. *)
+    let rec go (stmts : block) : block =
+      match stmts with
+      | [] -> []
+      | Return None :: _ -> [ Assign (flag, Lit (Value.Bool true)) ]
+      | Return (Some e) :: _ ->
+        (* the return value of a handler is discarded by the event system,
+           but its computation may have effects *)
+        [ Expr e; Assign (flag, Lit (Value.Bool true)) ]
+      | If (c, t, e) :: rest when Rewrite.contains_return t || Rewrite.contains_return e ->
+        let s' = If (c, go t, go e) in
+        guard_rest s' rest
+      | While (c, body) :: rest when Rewrite.contains_return body ->
+        (* once the flag is set the loop must stop and the condition must
+           not be re-evaluated, hence the !flag conjunct on the left *)
+        let s' = While (Binop (And, not_flag, c), go body) in
+        guard_rest s' rest
+      | s :: rest -> s :: go rest
+    and guard_rest s' rest =
+      match go rest with
+      | [] -> [ s' ]
+      | rest' -> [ s'; If (not_flag, rest', []) ]
+    in
+    Let (flag, Lit (Value.Bool false)) :: go b
+  end

@@ -1,0 +1,14 @@
+(** Early-return elimination.
+
+    A handler's [return] terminates that handler only.  When several
+    handler bodies are concatenated into one super-handler (Sec. 3.2.1),
+    a return inside one segment must not skip the following segments, so
+    each segment's returns are first converted to structured control flow
+    guarded by a fresh per-segment flag. *)
+
+(** [remove_returns b] is [b] itself when it contains no [Return];
+    otherwise an equivalent block containing none.  The computation of a
+    [return e] expression (which may have effects) is preserved; its
+    value is discarded, matching how the event system ignores handler
+    results. *)
+val remove_returns : Ast.block -> Ast.block

@@ -1,0 +1,11 @@
+(* Fresh-name generation for alpha-renaming during merging and inlining.
+   Generated names use a [%] -free but unparseable-by-accident prefix to
+   avoid capturing user identifiers. *)
+
+let counter = ref 0
+
+let reset () = counter := 0
+
+let var prefix =
+  incr counter;
+  Printf.sprintf "%s__%d" prefix !counter

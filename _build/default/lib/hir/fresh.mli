@@ -1,0 +1,9 @@
+(** Fresh-name generation for alpha-renaming during merging and
+    inlining. *)
+
+(** Reset the counter (tests only; generated names are unique within a
+    process run regardless). *)
+val reset : unit -> unit
+
+(** [var prefix] is a fresh identifier starting with [prefix]. *)
+val var : string -> string

@@ -1,0 +1,50 @@
+(** Tree-walking interpreter for HIR: the {e unoptimized} execution
+    engine.
+
+    Each handler invocation builds a fresh environment, looks variables
+    up by name, and reports one [tick] per AST node visited; the
+    optimizer's payoff is measured against this baseline, mirroring the
+    paper's original indirect, marshaled, per-handler execution path. *)
+
+(** Services the interpreter needs from its embedding (the event runtime
+    or a test harness). *)
+type host = {
+  raise_event : string -> Ast.mode -> Value.t list -> unit;
+  get_global : string -> Value.t;
+  set_global : string -> Value.t -> unit;
+  emit : string -> Value.t list -> unit;
+  tick : int -> unit;  (** per-AST-node cost; engine-dependent *)
+  work : int -> unit;  (** intrinsic primitive work; engine-independent *)
+}
+
+(** A host that ignores everything (and raises on global reads). *)
+val null_host : host
+
+(** Internal control-flow exception for [return]; escapes only on
+    malformed use. *)
+exception Return_value of Value.t
+
+exception Unbound_variable of string
+
+(** Raised when handler code recurses past {!max_call_depth} (a
+    catchable error instead of an OCaml stack overflow). *)
+exception Call_depth_exceeded
+
+val max_call_depth : int
+
+(** Run [f] one call level deeper; shared by interpreter and compiled
+    code so mixed stacks are bounded together. *)
+val with_call_depth : (unit -> 'a) -> 'a
+
+(** Shared evaluation of binary/unary operators (also used by the
+    compiler and constant folding).  Raise {!Value.Type_error} on bad
+    operands; [And]/[Or] here are strict — short-circuiting happens at
+    the expression level. *)
+val eval_binop : Ast.binop -> Value.t -> Value.t -> Value.t
+
+val eval_unop : Ast.unop -> Value.t -> Value.t
+
+(** [run ~host prog name args] executes procedure [name].  Missing
+    parameters default to [Unit]; the result is the [return] value or
+    [Unit]. *)
+val run : ?host:host -> Ast.program -> string -> Value.t list -> Value.t

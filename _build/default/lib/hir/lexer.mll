@@ -1,0 +1,84 @@
+{
+open Token
+
+exception Error of string * int (* message, line *)
+
+let line = ref 1
+
+let keyword_table = [
+  "handler", KW_HANDLER; "func", KW_FUNC; "let", KW_LET; "global", KW_GLOBAL;
+  "if", KW_IF; "else", KW_ELSE; "while", KW_WHILE; "raise", KW_RAISE;
+  "sync", KW_SYNC; "async", KW_ASYNC; "after", KW_AFTER; "emit", KW_EMIT;
+  "return", KW_RETURN; "true", KW_TRUE; "false", KW_FALSE; "arg", KW_ARG;
+  "for", KW_FOR; "to", KW_TO;
+]
+}
+
+let digit = ['0'-'9']
+let ident_start = ['a'-'z' 'A'-'Z' '_']
+let ident_char = ['a'-'z' 'A'-'Z' '0'-'9' '_' '\'']
+
+rule token = parse
+  | [' ' '\t' '\r']+      { token lexbuf }
+  | '\n'                  { incr line; token lexbuf }
+  | "//" [^ '\n']*        { token lexbuf }
+  | "/*"                  { comment lexbuf; token lexbuf }
+  | digit+ '.' digit* as f { FLOAT (float_of_string f) }
+  | digit+ as n           { INT (int_of_string n) }
+  | '"'                   { STRING (string_lit (Buffer.create 16) lexbuf) }
+  | ident_start ident_char* as id
+      { match List.assoc_opt id keyword_table with
+        | Some kw -> kw
+        | None -> IDENT id }
+  | "=="                  { EQ }
+  | "!="                  { NE }
+  | "<="                  { LE }
+  | ">="                  { GE }
+  | "&&"                  { AMPAMP }
+  | "||"                  { BARBAR }
+  | "++"                  { PLUSPLUS }
+  | '<'                   { LT }
+  | '>'                   { GT }
+  | '='                   { ASSIGN }
+  | '!'                   { BANG }
+  | '+'                   { PLUS }
+  | '-'                   { MINUS }
+  | '*'                   { STAR }
+  | '/'                   { SLASH }
+  | '%'                   { PERCENT }
+  | '('                   { LPAREN }
+  | ')'                   { RPAREN }
+  | '{'                   { LBRACE }
+  | '}'                   { RBRACE }
+  | ','                   { COMMA }
+  | ';'                   { SEMI }
+  | eof                   { EOF }
+  | _ as c                { raise (Error (Printf.sprintf "unexpected character %C" c, !line)) }
+
+and string_lit buf = parse
+  | '"'                   { Buffer.contents buf }
+  | "\\n"                 { Buffer.add_char buf '\n'; string_lit buf lexbuf }
+  | "\\t"                 { Buffer.add_char buf '\t'; string_lit buf lexbuf }
+  | "\\\\"                { Buffer.add_char buf '\\'; string_lit buf lexbuf }
+  | "\\\""                { Buffer.add_char buf '"'; string_lit buf lexbuf }
+  | '\n'                  { raise (Error ("newline in string literal", !line)) }
+  | eof                   { raise (Error ("unterminated string literal", !line)) }
+  | _ as c                { Buffer.add_char buf c; string_lit buf lexbuf }
+
+and comment = parse
+  | "*/"                  { () }
+  | '\n'                  { incr line; comment lexbuf }
+  | eof                   { raise (Error ("unterminated comment", !line)) }
+  | _                     { comment lexbuf }
+
+{
+let tokenize (s : string) : Token.t list =
+  line := 1;
+  let lexbuf = Lexing.from_string s in
+  let rec loop acc =
+    match token lexbuf with
+    | EOF -> List.rev (EOF :: acc)
+    | t -> loop (t :: acc)
+  in
+  loop []
+}

@@ -1,0 +1,68 @@
+(* Constant folding and algebraic simplification (Sec. 3.2.2: the merged
+   super-handler code becomes amenable to standard compiler
+   optimizations). *)
+
+open Ast
+
+let is_lit = function Lit _ -> true | _ -> false
+
+let fold_expr (e : expr) : expr =
+  Rewrite.expr
+    (fun e ->
+      match e with
+      | Binop (And, Lit (Value.Bool false), _) -> Lit (Value.Bool false)
+      | Binop (And, Lit (Value.Bool true), b) -> b
+      | Binop (Or, Lit (Value.Bool true), _) -> Lit (Value.Bool true)
+      | Binop (Or, Lit (Value.Bool false), b) -> b
+      | Binop ((Div | Mod), _, Lit (Value.Int 0)) -> e (* keep runtime error *)
+      | Binop (op, Lit a, Lit b) ->
+        (try Lit (Interp.eval_binop op a b) with Value.Type_error _ -> e)
+      | Unop (op, Lit a) ->
+        (try Lit (Interp.eval_unop op a) with Value.Type_error _ -> e)
+      (* x + 0, 0 + x, x * 1, 1 * x, x * 0 is NOT folded to 0 blindly (x
+         may be a float or ill-typed); additive/multiplicative identities
+         are safe only syntactically on the int literal side when the
+         other side stays in place *)
+      | Binop (Add, a, Lit (Value.Int 0)) -> a
+      | Binop (Add, Lit (Value.Int 0), b) -> b
+      | Binop (Sub, a, Lit (Value.Int 0)) -> a
+      | Binop (Mul, a, Lit (Value.Int 1)) -> a
+      | Binop (Mul, Lit (Value.Int 1), b) -> b
+      | Binop (Concat, a, Lit (Value.Str "")) -> a
+      | Binop (Concat, Lit (Value.Str ""), b) -> b
+      | Call (f, args) when List.for_all is_lit args && Prim.mem f && Prim.is_pure f ->
+        let vs = List.map (function Lit v -> v | _ -> assert false) args in
+        (try Lit (Prim.apply f vs) with _ -> e)
+      | e -> e)
+    e
+
+let rec fold_block (prog : program) (b : block) : block =
+  List.concat_map (fold_stmt prog) b
+
+and fold_stmt prog (s : stmt) : stmt list =
+  match s with
+  | Let (x, e) -> [ Let (x, fold_expr e) ]
+  | Assign (x, e) -> [ Assign (x, fold_expr e) ]
+  | Set_global (g, e) -> [ Set_global (g, fold_expr e) ]
+  | If (c, t, e) ->
+    (match fold_expr c with
+     | Lit v when (match v with Value.Bool _ | Value.Int _ | Value.Unit -> true | _ -> false) ->
+       if Value.truthy v then fold_block prog t else fold_block prog e
+     | c' ->
+       (match fold_block prog t, fold_block prog e with
+        | [], [] when not (Analysis.expr_has_effects prog Analysis.SS.empty c') -> []
+        | t', e' -> [ If (c', t', e') ]))
+  | While (c, b) ->
+    (match fold_expr c with
+     | Lit v when (match v with Value.Bool false | Value.Int 0 -> true | _ -> false) -> []
+     | c' -> [ While (c', fold_block prog b) ])
+  | Expr e ->
+    let e' = fold_expr e in
+    if Analysis.expr_has_effects prog Analysis.SS.empty e' then [ Expr e' ] else []
+  | Raise { event; mode; args } ->
+    [ Raise { event; mode; args = List.map fold_expr args } ]
+  | Emit (tag, args) -> [ Emit (tag, List.map fold_expr args) ]
+  | Return (Some e) -> [ Return (Some (fold_expr e)) ]
+  | Return None -> [ Return None ]
+
+let pass : program -> block -> block = fold_block

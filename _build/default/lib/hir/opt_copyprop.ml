@@ -1,0 +1,76 @@
+(* Forward constant/copy propagation.
+
+   Within a block, [let x = <lit or y or arg i>] allows later reads of [x]
+   to be replaced by the bound value until [x] (or the source variable) is
+   reassigned.  Facts are propagated into branch conditions and branch
+   bodies; variables written inside a branch or loop are killed
+   conservatively afterwards. *)
+
+open Ast
+
+module SM = Map.Make (String)
+
+(* A propagated fact: the variable currently equals this simple expression. *)
+type fact = expr (* Lit _ | Var _ | Arg _ only *)
+
+let is_simple = function Lit _ | Var _ | Arg _ -> true | _ -> false
+
+(* Remove facts about [x]: both the binding of x and any fact whose
+   right-hand side reads x. *)
+let kill_var x (env : fact SM.t) =
+  SM.filter
+    (fun y rhs ->
+      y <> x && (match rhs with Var z -> z <> x | _ -> true))
+    env
+
+let kill_set (xs : Analysis.SS.t) env =
+  Analysis.SS.fold kill_var xs env
+
+let subst env (e : expr) : expr =
+  Rewrite.expr
+    (function
+      | Var x as e -> (match SM.find_opt x env with Some rhs -> rhs | None -> e)
+      | e -> e)
+    e
+
+let rec prop_block (prog : program) (env : fact SM.t) (b : block) : block * fact SM.t =
+  let rev, env =
+    List.fold_left
+      (fun (acc, env) s ->
+        let s', env' = prop_stmt prog env s in
+        (s' :: acc, env'))
+      ([], env) b
+  in
+  (List.rev rev, env)
+
+and prop_stmt prog env (s : stmt) : stmt * fact SM.t =
+  match s with
+  | Let (x, e) | Assign (x, e) ->
+    let e' = subst env e in
+    let env = kill_var x env in
+    let env = if is_simple e' && e' <> Var x then SM.add x e' env else env in
+    let keep = match s with Let _ -> Let (x, e') | _ -> Assign (x, e') in
+    (keep, env)
+  | Set_global (g, e) -> (Set_global (g, subst env e), env)
+  | If (c, t, f) ->
+    let c' = subst env c in
+    let t', _ = prop_block prog env t in
+    let f', _ = prop_block prog env f in
+    let written = Analysis.SS.union (Analysis.block_writes t) (Analysis.block_writes f) in
+    (If (c', t', f'), kill_set written env)
+  | While (c, body) ->
+    (* facts about variables written in the body (or the condition's
+       re-evaluation) do not hold across iterations *)
+    let written = Analysis.block_writes body in
+    let env_in = kill_set written env in
+    let c' = subst env_in c in
+    let body', _ = prop_block prog env_in body in
+    (While (c', body'), env_in)
+  | Expr e -> (Expr (subst env e), env)
+  | Raise { event; mode; args } ->
+    (Raise { event; mode; args = List.map (subst env) args }, env)
+  | Emit (tag, args) -> (Emit (tag, List.map (subst env) args), env)
+  | Return (Some e) -> (Return (Some (subst env e)), env)
+  | Return None -> (Return None, env)
+
+let pass (prog : program) (b : block) : block = fst (prop_block prog SM.empty b)

@@ -1,0 +1,116 @@
+(* Common-subexpression elimination by local value numbering.
+
+   Within straight-line stretches of a block, a pure non-trivial
+   expression already computed into a variable is reused instead of
+   recomputed.  This is the pass the paper singles out as profitable on
+   super-handlers: independent handlers bound to the same event often
+   recompute the same header fields or lengths, and only after merging do
+   those computations become visible to a single optimization scope.
+
+   Availability bookkeeping:
+   - assigning [x] invalidates expressions reading [x] and the cache slot
+     held by [x];
+   - writing a global invalidates expressions reading that global;
+   - any barrier (raise, emit, effectful call) invalidates expressions
+     reading any global;
+   - control flow (if/while) clears the table (local value numbering). *)
+
+open Ast
+
+type entry = { key : expr; var : string }
+
+let nontrivial = function
+  | Lit _ | Var _ | Arg _ -> false
+  | Global _ -> true (* a global read costs a lock charge; worth caching *)
+  | Binop _ | Unop _ | Call _ -> true
+
+let pass (prog : program) (b : block) : block =
+  let pure e = not (Analysis.expr_has_effects prog Analysis.SS.empty e) in
+  let table : entry list ref = ref [] in
+  let invalidate_var x =
+    table :=
+      List.filter
+        (fun { key; var } ->
+          var <> x && not (Analysis.SS.mem x (Analysis.expr_vars key)))
+        !table
+  in
+  let invalidate_global g =
+    table :=
+      List.filter (fun { key; _ } -> not (Analysis.SS.mem g (Analysis.expr_reads_global key))) !table
+  in
+  let invalidate_all_globals () =
+    table :=
+      List.filter
+        (fun { key; _ } -> Analysis.SS.is_empty (Analysis.expr_reads_global key))
+        !table
+  in
+  let clear () = table := [] in
+  (* Rewrite sub-expressions of [e] that match cached entries.  Matching is
+     outermost-first so the largest common subexpression wins. *)
+  let rec reuse (e : expr) : expr =
+    match List.find_opt (fun { key; _ } -> Ast.equal_expr key e) !table with
+    | Some { var; _ } -> Var var
+    | None ->
+      (match e with
+       | Lit _ | Var _ | Global _ | Arg _ -> e
+       | Binop (op, a, b) -> Binop (op, reuse a, reuse b)
+       | Unop (op, a) -> Unop (op, reuse a)
+       | Call (f, args) -> Call (f, List.map reuse args))
+  in
+  let record x e =
+    if nontrivial e && pure e then table := { key = e; var = x } :: !table
+  in
+  let rec go_block b = List.map go_stmt b
+  and go_stmt s =
+    match s with
+    | Let (x, e) ->
+      let e' = reuse e in
+      if Analysis.expr_has_effects prog Analysis.SS.empty e' then
+        invalidate_all_globals ();
+      invalidate_var x;
+      record x e';
+      Let (x, e')
+    | Assign (x, e) ->
+      let e' = reuse e in
+      if Analysis.expr_has_effects prog Analysis.SS.empty e' then
+        invalidate_all_globals ();
+      invalidate_var x;
+      record x e';
+      Assign (x, e')
+    | Set_global (g, e) ->
+      let e' = reuse e in
+      if Analysis.expr_has_effects prog Analysis.SS.empty e' then
+        invalidate_all_globals ();
+      invalidate_global g;
+      Set_global (g, e')
+    | If (c, t, e) ->
+      let c' = reuse c in
+      clear ();
+      let t' = go_block t in
+      clear ();
+      let e' = go_block e in
+      clear ();
+      If (c', t', e')
+    | While (c, body) ->
+      clear ();
+      let c' = c in
+      let body' = go_block body in
+      clear ();
+      While (c', body')
+    | Expr e ->
+      let e' = reuse e in
+      if Analysis.expr_has_effects prog Analysis.SS.empty e' then
+        invalidate_all_globals ();
+      Expr e'
+    | Raise { event; mode; args } ->
+      let args' = List.map reuse args in
+      invalidate_all_globals ();
+      Raise { event; mode; args = args' }
+    | Emit (tag, args) ->
+      let args' = List.map reuse args in
+      (* emit only observes values; globals stay valid *)
+      Emit (tag, args')
+    | Return (Some e) -> Return (Some (reuse e))
+    | Return None -> Return None
+  in
+  go_block b

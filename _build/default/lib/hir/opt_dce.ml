@@ -1,0 +1,69 @@
+(* Dead-code elimination: backward liveness over blocks.
+
+   Removes assignments to locals that are never subsequently read, pure
+   expression statements, and code that trivially cannot execute (after a
+   return).  Merged super-handlers expose dead code that was live in the
+   original separate handlers — e.g. a handler's final recomputation of a
+   shared counter that the next merged segment immediately overwrites. *)
+
+open Ast
+
+module SS = Analysis.SS
+
+let rec dce_block (prog : program) (b : block) (live_out : SS.t) : block * SS.t =
+  match b with
+  | [] -> ([], live_out)
+  | s :: rest ->
+    (* unreachable code after a return *)
+    (match s with
+     | Return e ->
+       let live = match e with Some e -> Analysis.expr_vars e | None -> SS.empty in
+       ([ Return e ], live)
+     | _ ->
+       let rest', live_mid = dce_block prog rest live_out in
+       let s', live_in = dce_stmt prog s live_mid in
+       (s' @ rest', live_in))
+
+and dce_stmt prog (s : stmt) (live : SS.t) : stmt list * SS.t =
+  let pure e = not (Analysis.expr_has_effects prog Analysis.SS.empty e) in
+  match s with
+  | Let (x, e) | Assign (x, e) ->
+    if (not (SS.mem x live)) && pure e then ([], live)
+    else
+      let live' = SS.union (SS.remove x live) (Analysis.expr_vars e) in
+      ([ s ], live')
+  | Set_global (_, e) -> ([ s ], SS.union live (Analysis.expr_vars e))
+  | Expr e ->
+    if pure e then ([], live) else ([ s ], SS.union live (Analysis.expr_vars e))
+  | Raise { args; _ } | Emit (_, args) ->
+    let vars =
+      List.fold_left (fun acc a -> SS.union acc (Analysis.expr_vars a)) SS.empty args
+    in
+    ([ s ], SS.union live vars)
+  | Return _ -> assert false (* handled in dce_block *)
+  | If (c, t, e) ->
+    let t', lt = dce_block prog t live in
+    let e', le = dce_block prog e live in
+    (match t', e' with
+     | [], [] when pure c -> ([], live)
+     | _ ->
+       let live' = SS.union (Analysis.expr_vars c) (SS.union lt le) in
+       ([ If (c, t', e') ], live'))
+  | While (c, body) ->
+    (* Fixpoint: variables read anywhere in a later iteration are live at
+       the start of the body. *)
+    let rec fix l =
+      let body', lb = dce_block prog body (SS.union l (Analysis.expr_vars c)) in
+      let l' = SS.union l (SS.union lb (Analysis.expr_vars c)) in
+      if SS.equal l l' then (body', l') else fix l'
+    in
+    let body', live_in_loop = fix live in
+    (match body' with
+     | [] when pure c ->
+       (* an empty pure-condition loop either does nothing or diverges; we
+          preserve it only if the condition could be true forever — as we
+          cannot decide that, keep the loop *)
+       ([ While (c, []) ], SS.union live (Analysis.expr_vars c))
+     | _ -> ([ While (c, body') ], SS.union live live_in_loop))
+
+let pass (prog : program) (b : block) : block = fst (dce_block prog b SS.empty)

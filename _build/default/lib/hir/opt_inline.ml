@@ -1,0 +1,107 @@
+(* Procedure inlining.
+
+   Statement-level calls to small non-recursive user procedures are
+   expanded in place (Sec. 3.2.2: replacing an indirect raise by a direct
+   call "opens up the possibility of inlining the function call into the
+   call site").  Only whole-statement calls are inlined:
+
+     f(e1, .., en);            and      let x = f(e1, .., en);
+
+   The callee must not end with returns in the middle of control flow —
+   any returns are first removed with [Deret], which preserves handler
+   semantics. *)
+
+open Ast
+
+let default_size_limit = 120
+
+let is_recursive (prog : program) (p : proc) : bool =
+  let rec calls_in_expr = function
+    | Lit _ | Var _ | Global _ | Arg _ -> []
+    | Binop (_, a, b) -> calls_in_expr a @ calls_in_expr b
+    | Unop (_, a) -> calls_in_expr a
+    | Call (f, args) -> f :: List.concat_map calls_in_expr args
+  in
+  let rec calls_in_block b = List.concat_map calls_in_stmt b
+  and calls_in_stmt = function
+    | Let (_, e) | Assign (_, e) | Set_global (_, e) | Expr e -> calls_in_expr e
+    | If (c, t, e) -> calls_in_expr c @ calls_in_block t @ calls_in_block e
+    | While (c, b) -> calls_in_expr c @ calls_in_block b
+    | Raise { args; _ } | Emit (_, args) -> List.concat_map calls_in_expr args
+    | Return (Some e) -> calls_in_expr e
+    | Return None -> []
+  in
+  (* transitive reachability from p back to p *)
+  let rec reachable seen name =
+    if List.mem name seen then seen
+    else
+      match proc_by_name prog name with
+      | None -> seen
+      | Some q -> List.fold_left reachable (name :: seen) (calls_in_block q.body)
+  in
+  let direct = calls_in_block p.body in
+  List.exists (fun f -> List.mem p.name (reachable [] f) || f = p.name) direct
+
+(* Expand a call to [callee] with argument expressions [args]; the result
+   binds arguments to fresh temporaries, then runs the freshened,
+   return-free body.  [bind_result] receives the variable holding the
+   result value (always Unit-valued if the body never returns a value). *)
+let expand (callee : proc) (args : expr list) ~(bind_result : string option) : block =
+  let arg_temps = List.map (fun _ -> Fresh.var "inl_arg") args in
+  let bind_stmts = List.map2 (fun t a -> Let (t, a)) arg_temps args in
+  (* Positional argument references inside the callee become the temps. *)
+  let arg_exprs = Array.of_list (List.map (fun t -> Var t) arg_temps) in
+  let result_var = Fresh.var "inl_res" in
+  (* freshen first so the result variable introduced below is not renamed *)
+  let locals = Subst.locals_of callee.params callee.body in
+  let body, ren = Subst.freshen ~prefix:("inl_" ^ callee.name) locals callee.body in
+  (* convert [return e] into assignments to result_var before removing
+     returns, so the value is preserved *)
+  let body =
+    Rewrite.stmts
+      (function
+        | Return (Some e) -> [ Assign (result_var, e); Return None ]
+        | s -> [ s ])
+      body
+  in
+  let body = Subst.replace_args arg_exprs body in
+  (* bind parameters to the temps (extra params default to Unit) *)
+  let param_binds =
+    List.mapi
+      (fun i p ->
+        let p' = match Hashtbl.find_opt ren p with Some q -> q | None -> p in
+        if i < List.length arg_temps then Let (p', Var (List.nth arg_temps i))
+        else Let (p', Lit Value.Unit))
+      callee.params
+  in
+  let body = Deret.remove_returns body in
+  let res =
+    match bind_result with
+    | None -> []
+    | Some x -> [ Assign (x, Var result_var) ]
+  in
+  (Let (result_var, Lit Value.Unit) :: bind_stmts) @ param_binds @ body @ res
+
+let pass ?(size_limit = default_size_limit) (prog : program) (b : block) : block =
+  let inlinable f =
+    match proc_by_name prog f with
+    | Some p when Analysis.proc_size p <= size_limit && not (is_recursive prog p) ->
+      Some p
+    | Some _ | None -> None
+  in
+  Rewrite.stmts
+    (function
+      | Expr (Call (f, args)) as s ->
+        (match inlinable f with
+         | Some p -> expand p args ~bind_result:None
+         | None -> [ s ])
+      | Let (x, Call (f, args)) as s ->
+        (match inlinable f with
+         | Some p -> Let (x, Lit Value.Unit) :: expand p args ~bind_result:(Some x)
+         | None -> [ s ])
+      | Assign (x, Call (f, args)) as s ->
+        (match inlinable f with
+         | Some p -> expand p args ~bind_result:(Some x)
+         | None -> [ s ])
+      | s -> [ s ])
+    b

@@ -1,0 +1,60 @@
+(* Loop-invariant code motion.
+
+   A pure assignment [let x = e] at the top level of a loop body, where
+   [e] reads neither a variable written in the loop nor any global, is
+   computed once before the loop into a fresh temporary (guarded by the
+   loop condition so that a zero-iteration loop still evaluates nothing
+   — a speculative evaluation could fail where the original would not):
+
+     while (c) { let x = e; ... }
+   ==>
+     if (c) { let t = e; }
+     while (c) { let x = t; ... }
+
+   The guard duplication requires [c] to be pure.  Merged super-handlers
+   expose such invariants when per-segment recomputations (header sizes,
+   fragment budgets) become visible in one scope. *)
+
+open Ast
+
+let nontrivial = function Lit _ | Var _ | Arg _ -> false | _ -> true
+
+let hoistable prog (body : block) (e : expr) : bool =
+  nontrivial e
+  && Analysis.pure_expr prog e
+  && Analysis.SS.is_empty (Analysis.expr_reads_global e)
+  && Analysis.SS.is_empty
+       (Analysis.SS.inter (Analysis.expr_vars e) (Analysis.block_writes body))
+
+let rec licm_block (prog : program) (b : block) : block =
+  List.concat_map (licm_stmt prog) b
+
+and licm_stmt prog (s : stmt) : stmt list =
+  match s with
+  | While (c, body) when Analysis.pure_expr prog c ->
+    let body = licm_block prog body in
+    (* collect top-level invariant assignments *)
+    let hoisted = ref [] in
+    let body' =
+      List.map
+        (fun st ->
+          match st with
+          | Let (x, e) when hoistable prog body e ->
+            let tmp = Fresh.var "licm" in
+            hoisted := Let (tmp, e) :: !hoisted;
+            Let (x, Var tmp)
+          | Assign (x, e) when hoistable prog body e ->
+            let tmp = Fresh.var "licm" in
+            hoisted := Let (tmp, e) :: !hoisted;
+            Assign (x, Var tmp)
+          | st -> st)
+        body
+    in
+    (match List.rev !hoisted with
+     | [] -> [ While (c, body') ]
+     | hs -> [ If (c, hs, []); While (c, body') ])
+  | While (c, body) -> [ While (c, licm_block prog body) ]
+  | If (c, t, e) -> [ If (c, licm_block prog t, licm_block prog e) ]
+  | Let _ | Assign _ | Set_global _ | Expr _ | Raise _ | Emit _ | Return _ -> [ s ]
+
+let pass (prog : program) (b : block) : block = licm_block prog b

@@ -1,0 +1,6 @@
+(** Loop-invariant code motion: hoist pure, invariant, global-free
+    top-level assignments out of loops into condition-guarded
+    temporaries (so zero-iteration loops evaluate nothing
+    speculatively). *)
+
+val pass : Ast.program -> Ast.block -> Ast.block

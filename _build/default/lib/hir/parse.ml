@@ -1,0 +1,17 @@
+(* Front-end facade: source text to HIR. *)
+
+exception Error of string
+
+let program (src : string) : Ast.program =
+  try Parser.parse_program (Lexer.tokenize src) with
+  | Lexer.Error (msg, line) -> raise (Error (Printf.sprintf "line %d: %s" line msg))
+  | Parser.Parse_error msg -> raise (Error msg)
+
+let proc (src : string) : Ast.proc =
+  match program src with
+  | [ p ] -> p
+  | ps -> raise (Error (Printf.sprintf "expected exactly one procedure, got %d" (List.length ps)))
+
+(* Parse the body of a single handler given inline, e.g. for tests. *)
+let block (src : string) : Ast.block =
+  (proc ("handler __anon() " ^ src)).body

@@ -1,0 +1,13 @@
+(** Front-end facade: HIR source text to AST. *)
+
+(** Raised on lexer or parser errors, with a human-readable message. *)
+exception Error of string
+
+(** Parse a whole program (a sequence of [handler]/[func] definitions). *)
+val program : string -> Ast.program
+
+(** Parse exactly one procedure; raises {!Error} otherwise. *)
+val proc : string -> Ast.proc
+
+(** Parse a brace-delimited block, e.g. ["{ let x = 1; emit(\"x\", x); }"]. *)
+val block : string -> Ast.block

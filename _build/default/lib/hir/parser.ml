@@ -1,0 +1,284 @@
+(* Hand-written recursive-descent parser for HIR.
+
+   The grammar is LL(3): the only lookahead beyond one token is needed to
+   distinguish the statement forms [IDENT = e;] (assignment) and
+   [global IDENT = e;] (global store) from expression statements. *)
+
+open Token
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { toks : Token.t array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else EOF
+let peek3 st = if st.pos + 2 < Array.length st.toks then st.toks.(st.pos + 2) else EOF
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s but found %s" (Token.to_string tok) (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | t -> fail "expected identifier but found %s" (Token.to_string t)
+
+let expect_int st =
+  match peek st with
+  | INT n -> advance st; n
+  | t -> fail "expected integer but found %s" (Token.to_string t)
+
+let expect_string st =
+  match peek st with
+  | STRING s -> advance st; s
+  | t -> fail "expected string literal but found %s" (Token.to_string t)
+
+(* --- Expressions: precedence climbing ------------------------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    match peek st with
+    | BARBAR -> advance st; loop (Ast.Binop (Or, lhs, parse_and st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  let rec loop lhs =
+    match peek st with
+    | AMPAMP -> advance st; loop (Ast.Binop (And, lhs, parse_cmp st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op_of = function
+    | EQ -> Some Ast.Eq | NE -> Some Ast.Ne | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le | GT -> Some Ast.Gt | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  let rec loop lhs =
+    match op_of (peek st) with
+    | Some op -> advance st; loop (Ast.Binop (op, lhs, parse_add st))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek st with
+    | PLUS -> advance st; loop (Ast.Binop (Add, lhs, parse_mul st))
+    | MINUS -> advance st; loop (Ast.Binop (Sub, lhs, parse_mul st))
+    | PLUSPLUS -> advance st; loop (Ast.Binop (Concat, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | STAR -> advance st; loop (Ast.Binop (Mul, lhs, parse_unary st))
+    | SLASH -> advance st; loop (Ast.Binop (Div, lhs, parse_unary st))
+    | PERCENT -> advance st; loop (Ast.Binop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | MINUS -> advance st; Ast.Unop (Neg, parse_unary st)
+  | BANG -> advance st; Ast.Unop (Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT n -> advance st; Ast.Lit (Value.Int n)
+  | FLOAT f -> advance st; Ast.Lit (Value.Float f)
+  | STRING s -> advance st; Ast.Lit (Value.Str s)
+  | KW_TRUE -> advance st; Ast.Lit (Value.Bool true)
+  | KW_FALSE -> advance st; Ast.Lit (Value.Bool false)
+  | KW_GLOBAL ->
+    advance st;
+    Ast.Global (expect_ident st)
+  | KW_ARG ->
+    advance st;
+    Ast.Arg (expect_int st)
+  | LPAREN ->
+    advance st;
+    if peek st = RPAREN then (advance st; Ast.Lit Value.Unit)
+    else begin
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+    end
+  | IDENT name ->
+    advance st;
+    if peek st = LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st RPAREN;
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | t -> fail "expected expression but found %s" (Token.to_string t)
+
+and parse_args st =
+  if peek st = RPAREN then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      if peek st = COMMA then (advance st; loop (e :: acc)) else List.rev (e :: acc)
+    in
+    loop []
+  end
+
+(* --- Statements ------------------------------------------------------ *)
+
+let parse_mode st =
+  match peek st with
+  | KW_SYNC -> advance st; Ast.Sync
+  | KW_ASYNC -> advance st; Ast.Async
+  | KW_AFTER -> advance st; Ast.Timed (expect_int st)
+  | _ -> Ast.Sync
+
+let rec parse_stmt st =
+  match peek st with
+  | KW_LET ->
+    advance st;
+    let x = expect_ident st in
+    expect st ASSIGN;
+    let e = parse_expr st in
+    expect st SEMI;
+    Ast.Let (x, e)
+  | KW_GLOBAL when (match peek2 st, peek3 st with IDENT _, ASSIGN -> true | _ -> false) ->
+    advance st;
+    let g = expect_ident st in
+    expect st ASSIGN;
+    let e = parse_expr st in
+    expect st SEMI;
+    Ast.Set_global (g, e)
+  | KW_IF ->
+    advance st;
+    expect st LPAREN;
+    let c = parse_expr st in
+    expect st RPAREN;
+    let t = parse_block st in
+    let e =
+      if peek st = KW_ELSE then begin
+        advance st;
+        if peek st = KW_IF then [ parse_stmt st ] else parse_block st
+      end
+      else []
+    in
+    Ast.If (c, t, e)
+  | KW_WHILE ->
+    advance st;
+    expect st LPAREN;
+    let c = parse_expr st in
+    expect st RPAREN;
+    Ast.While (c, parse_block st)
+  | KW_FOR ->
+    (* sugar: [for i = e1 to e2 { body }] desugars to a counted while
+       loop; the limit is evaluated once, into a fresh temporary *)
+    advance st;
+    let i = expect_ident st in
+    expect st ASSIGN;
+    let e1 = parse_expr st in
+    expect st KW_TO;
+    let e2 = parse_expr st in
+    let body = parse_block st in
+    let limit = Fresh.var "for_limit" in
+    Ast.If
+      ( Ast.Lit (Value.Bool true),
+        [
+          Ast.Let (i, e1);
+          Ast.Let (limit, e2);
+          Ast.While
+            ( Ast.Binop (Ast.Le, Ast.Var i, Ast.Var limit),
+              body
+              @ [ Ast.Assign (i, Ast.Binop (Ast.Add, Ast.Var i, Ast.Lit (Value.Int 1))) ]
+            );
+        ],
+        [] )
+  | KW_RAISE ->
+    advance st;
+    let mode = parse_mode st in
+    let event = expect_ident st in
+    expect st LPAREN;
+    let args = parse_args st in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Raise { event; mode; args }
+  | KW_EMIT ->
+    advance st;
+    expect st LPAREN;
+    let tag = expect_string st in
+    let args =
+      if peek st = COMMA then (advance st; parse_args st) else []
+    in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Emit (tag, args)
+  | KW_RETURN ->
+    advance st;
+    if peek st = SEMI then (advance st; Ast.Return None)
+    else begin
+      let e = parse_expr st in
+      expect st SEMI;
+      Ast.Return (Some e)
+    end
+  | IDENT x when peek2 st = ASSIGN ->
+    advance st;
+    advance st;
+    let e = parse_expr st in
+    expect st SEMI;
+    Ast.Assign (x, e)
+  | _ ->
+    let e = parse_expr st in
+    expect st SEMI;
+    Ast.Expr e
+
+and parse_block st =
+  expect st LBRACE;
+  let rec loop acc =
+    if peek st = RBRACE then (advance st; List.rev acc)
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_proc st =
+  (match peek st with
+   | KW_HANDLER | KW_FUNC -> advance st
+   | t -> fail "expected 'handler' or 'func' but found %s" (Token.to_string t));
+  let name = expect_ident st in
+  expect st LPAREN;
+  let params =
+    if peek st = RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = expect_ident st in
+        if peek st = COMMA then (advance st; loop (p :: acc)) else List.rev (p :: acc)
+      in
+      loop []
+    end
+  in
+  expect st RPAREN;
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+let parse_program (toks : Token.t list) : Ast.program =
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let rec loop acc =
+    if peek st = EOF then List.rev acc else loop (parse_proc st :: acc)
+  in
+  loop []

@@ -1,0 +1,148 @@
+(* Primitive functions callable from HIR.
+
+   The table is extensible so that substrates can register domain
+   primitives (e.g. [lib/crypto] registers [des_encrypt]); purity is
+   recorded because the CSE and DCE passes must not reorder or drop calls
+   with effects. *)
+
+open Value
+
+type t = {
+  name : string;
+  pure : bool;
+  arity : int option;          (* [None] = variadic *)
+  work : (Value.t list -> int) option;
+      (* intrinsic work units (typically input bytes x factor); charged
+         identically on the interpreted and compiled paths because the
+         primitive is native code either way *)
+  fn : Value.t list -> Value.t;
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+exception Unknown of string
+
+(* Raised by the [halt_event] primitive: stop executing the remaining
+   handlers of the event being dispatched (the Cactus "halt event
+   execution" operation, Sec. 2.3).  Caught by the event runtime at the
+   dispatch boundary. *)
+exception Halt_event
+
+let register ?(pure = true) ?arity ?work name fn =
+  Hashtbl.replace table name { name; pure; arity; work; fn }
+
+let work_of (p : t) (args : Value.t list) : int =
+  match p.work with Some f -> (try f args with _ -> 0) | None -> 0
+
+let find name =
+  match Hashtbl.find_opt table name with
+  | Some p -> p
+  | None -> raise (Unknown name)
+
+let mem name = Hashtbl.mem table name
+let is_pure name = match Hashtbl.find_opt table name with Some p -> p.pure | None -> false
+
+let apply name args =
+  let p = find name in
+  (match p.arity with
+   | Some n when List.length args <> n ->
+     Value.type_error "%s expects %d arguments, got %d" name n (List.length args)
+   | Some _ | None -> ());
+  p.fn args
+
+(* --- Built-ins ------------------------------------------------------- *)
+
+let arg1 = function [ a ] -> a | _ -> assert false
+let arg2 = function [ a; b ] -> (a, b) | _ -> assert false
+let arg3 = function [ a; b; c ] -> (a, b, c) | _ -> assert false
+
+let () =
+  register "len" ~arity:1 (fun args ->
+      match arg1 args with
+      | Str s -> Int (String.length s)
+      | Bytes b -> Int (Bytes.length b)
+      | List l -> Int (List.length l)
+      | v -> Value.type_error "len: unsupported %s" (Value.to_string v));
+  register "abs" ~arity:1 (fun args -> Int (abs (as_int (arg1 args))));
+  register "min" ~arity:2 (fun args ->
+      let a, b = arg2 args in
+      Int (min (as_int a) (as_int b)));
+  register "max" ~arity:2 (fun args ->
+      let a, b = arg2 args in
+      Int (max (as_int a) (as_int b)));
+  register "str" ~arity:1 (fun args -> Str (Value.to_string (arg1 args)));
+  register "int_of" ~arity:1 (fun args ->
+      match arg1 args with
+      | Int n -> Int n
+      | Float f -> Int (int_of_float f)
+      | Str s -> Int (int_of_string s)
+      | Bool b -> Int (if b then 1 else 0)
+      | v -> Value.type_error "int_of: unsupported %s" (Value.to_string v));
+  register "float_of" ~arity:1 (fun args -> Float (as_float (arg1 args)));
+  register "pair" ~arity:2 (fun args -> let a, b = arg2 args in Pair (a, b));
+  register "fst" ~arity:1 (fun args -> fst (as_pair (arg1 args)));
+  register "snd" ~arity:1 (fun args -> snd (as_pair (arg1 args)));
+  register "cons" ~arity:2 (fun args ->
+      let a, b = arg2 args in
+      List (a :: as_list b));
+  register "head" ~arity:1 (fun args ->
+      match as_list (arg1 args) with
+      | v :: _ -> v
+      | [] -> Value.type_error "head: empty list");
+  register "tail" ~arity:1 (fun args ->
+      match as_list (arg1 args) with
+      | _ :: tl -> List tl
+      | [] -> Value.type_error "tail: empty list");
+  register "nth" ~arity:2 (fun args ->
+      let l, n = arg2 args in
+      List.nth (as_list l) (as_int n));
+  register "is_empty" ~arity:1 (fun args -> Bool (as_list (arg1 args) = []));
+  register "nil" ~arity:0 (fun _ -> List []);
+  (* bit manipulation, used by header packing in CTP and the crypto glue *)
+  register "band" ~arity:2 (fun args -> let a, b = arg2 args in Int (as_int a land as_int b));
+  register "bor" ~arity:2 (fun args -> let a, b = arg2 args in Int (as_int a lor as_int b));
+  register "bxor" ~arity:2 (fun args -> let a, b = arg2 args in Int (as_int a lxor as_int b));
+  register "shl" ~arity:2 (fun args -> let a, b = arg2 args in Int (as_int a lsl as_int b));
+  register "shr" ~arity:2 (fun args -> let a, b = arg2 args in Int (as_int a lsr as_int b));
+  (* byte buffers *)
+  register "bytes_make" ~arity:2 (fun args ->
+      let n, c = arg2 args in
+      Bytes (Stdlib.Bytes.make (as_int n) (Char.chr (as_int c land 0xff))));
+  register "byte" ~arity:2 (fun args ->
+      let b, i = arg2 args in
+      Int (Char.code (Stdlib.Bytes.get (as_bytes b) (as_int i))));
+  register "bytes_set" ~pure:false ~arity:3 (fun args ->
+      let b, i, c = arg3 args in
+      Stdlib.Bytes.set (as_bytes b) (as_int i) (Char.chr (as_int c land 0xff));
+      Unit);
+  register "bytes_sub" ~arity:3 (fun args ->
+      let b, off, n = arg3 args in
+      Bytes (Stdlib.Bytes.sub (as_bytes b) (as_int off) (as_int n)));
+  register "bytes_concat" ~arity:2 (fun args ->
+      let a, b = arg2 args in
+      Bytes (Stdlib.Bytes.cat (as_bytes a) (as_bytes b)));
+  register "bytes_of_str" ~arity:1 (fun args ->
+      Bytes (Stdlib.Bytes.of_string (as_str (arg1 args))));
+  register "str_of_bytes" ~arity:1 (fun args ->
+      Str (Stdlib.Bytes.to_string (as_bytes (arg1 args))));
+  register "bytes_fill" ~pure:false ~arity:2 (fun args ->
+      let b, c = arg2 args in
+      let b = as_bytes b in
+      Stdlib.Bytes.fill b 0 (Stdlib.Bytes.length b) (Char.chr (as_int c land 0xff));
+      Unit);
+  (* simple folds used by FEC parity / checksums in handler code *)
+  register "bytes_xor_fold" ~arity:1 (fun args ->
+      let b = as_bytes (arg1 args) in
+      let acc = ref 0 in
+      Stdlib.Bytes.iter (fun c -> acc := !acc lxor Char.code c) b;
+      Int !acc);
+  register "bytes_sum" ~arity:1 (fun args ->
+      let b = as_bytes (arg1 args) in
+      let acc = ref 0 in
+      Stdlib.Bytes.iter (fun c -> acc := !acc + Char.code c) b;
+      Int !acc);
+  register "hash" ~arity:1 (fun args -> Int (Hashtbl.hash (arg1 args)));
+  register "substr" ~arity:3 (fun args ->
+      let s, off, n = arg3 args in
+      Str (String.sub (as_str s) (as_int off) (as_int n)));
+  register "halt_event" ~pure:false ~arity:0 (fun _ -> raise Halt_event)

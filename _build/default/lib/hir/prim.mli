@@ -1,0 +1,49 @@
+(** Primitive functions callable from HIR.
+
+    The table is extensible: substrates register domain primitives (the
+    crypto library registers [des_encrypt], the X toolkit [x_render],
+    ...).  Purity is recorded because CSE and DCE must not reorder or
+    drop calls with effects; [work] prices intrinsic native effort so the
+    deterministic cost model sees crypto- or render-bound handlers as
+    such on both execution engines. *)
+
+type t = {
+  name : string;
+  pure : bool;
+  arity : int option;  (** [None] means variadic *)
+  work : (Value.t list -> int) option;
+      (** intrinsic work units, typically proportional to input bytes;
+          charged identically on interpreted and compiled paths *)
+  fn : Value.t list -> Value.t;
+}
+
+(** Raised when looking up an unregistered primitive. *)
+exception Unknown of string
+
+(** Raised by the [halt_event] primitive: stop executing the remaining
+    handlers of the event being dispatched (Cactus's "halt event
+    execution", Sec. 2.3).  Caught by the event runtime at the dispatch
+    boundary. *)
+exception Halt_event
+
+(** [register name fn] adds or replaces a primitive.  Defaults:
+    [pure = true], variadic, no intrinsic work. *)
+val register :
+  ?pure:bool -> ?arity:int -> ?work:(Value.t list -> int) -> string ->
+  (Value.t list -> Value.t) -> unit
+
+(** Lookup; raises {!Unknown}. *)
+val find : string -> t
+
+val mem : string -> bool
+
+(** [is_pure name] is false for unknown primitives (conservative). *)
+val is_pure : string -> bool
+
+(** Intrinsic work of applying [p] to the given arguments (0 when no
+    work function is registered; exceptions inside it count as 0). *)
+val work_of : t -> Value.t list -> int
+
+(** Apply by name with arity checking.  Raises {!Unknown} or
+    {!Value.Type_error}. *)
+val apply : string -> Value.t list -> Value.t

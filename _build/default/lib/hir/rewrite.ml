@@ -1,0 +1,61 @@
+(* Generic bottom-up rewriting traversals over HIR, shared by the
+   optimizer passes and by the merging machinery. *)
+
+open Ast
+
+(* Apply [f] bottom-up to every expression in [e]. *)
+let rec expr (f : expr -> expr) (e : expr) : expr =
+  let e' =
+    match e with
+    | Lit _ | Var _ | Global _ | Arg _ -> e
+    | Binop (op, a, b) -> Binop (op, expr f a, expr f b)
+    | Unop (op, a) -> Unop (op, expr f a)
+    | Call (name, args) -> Call (name, List.map (expr f) args)
+  in
+  f e'
+
+(* Apply [f] to every expression in a statement (bottom-up within each
+   expression; statements themselves are preserved). *)
+let rec stmt_exprs (f : expr -> expr) (s : stmt) : stmt =
+  match s with
+  | Let (x, e) -> Let (x, expr f e)
+  | Assign (x, e) -> Assign (x, expr f e)
+  | Set_global (g, e) -> Set_global (g, expr f e)
+  | If (c, t, e) -> If (expr f c, block_exprs f t, block_exprs f e)
+  | While (c, b) -> While (expr f c, block_exprs f b)
+  | Expr e -> Expr (expr f e)
+  | Raise { event; mode; args } -> Raise { event; mode; args = List.map (expr f) args }
+  | Emit (tag, args) -> Emit (tag, List.map (expr f) args)
+  | Return (Some e) -> Return (Some (expr f e))
+  | Return None -> Return None
+
+and block_exprs (f : expr -> expr) (b : block) : block = List.map (stmt_exprs f) b
+
+(* Apply [f] to every statement, bottom-up (children first), where [f] maps
+   one statement to a list (enabling deletion and expansion). *)
+let rec stmts (f : stmt -> stmt list) (b : block) : block =
+  List.concat_map
+    (fun s ->
+      let s' =
+        match s with
+        | If (c, t, e) -> If (c, stmts f t, stmts f e)
+        | While (c, body) -> While (c, stmts f body)
+        | Let _ | Assign _ | Set_global _ | Expr _ | Raise _ | Emit _ | Return _ -> s
+      in
+      f s')
+    b
+
+let rec block_contains (pred : stmt -> bool) (b : block) : bool =
+  List.exists
+    (fun s ->
+      pred s
+      ||
+      match s with
+      | If (_, t, e) -> block_contains pred t || block_contains pred e
+      | While (_, body) -> block_contains pred body
+      | Let _ | Assign _ | Set_global _ | Expr _ | Raise _ | Emit _ | Return _ ->
+        false)
+    b
+
+let contains_return b = block_contains (function Return _ -> true | _ -> false) b
+let contains_raise b = block_contains (function Raise _ -> true | _ -> false) b

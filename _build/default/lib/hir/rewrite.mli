@@ -1,0 +1,23 @@
+(** Generic rewriting traversals over HIR, shared by the optimizer passes
+    and the merging machinery. *)
+
+(** [expr f e] applies [f] bottom-up to every sub-expression of [e]
+    (children first, then the rebuilt node). *)
+val expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
+(** Apply [f] bottom-up to every expression inside a statement/block;
+    statement structure is preserved. *)
+val stmt_exprs : (Ast.expr -> Ast.expr) -> Ast.stmt -> Ast.stmt
+
+val block_exprs : (Ast.expr -> Ast.expr) -> Ast.block -> Ast.block
+
+(** [stmts f b] maps every statement bottom-up (children first) through
+    [f], which returns a replacement list — enabling deletion ([[]]) and
+    expansion. *)
+val stmts : (Ast.stmt -> Ast.stmt list) -> Ast.block -> Ast.block
+
+(** Structural search over all statements, including nested blocks. *)
+val block_contains : (Ast.stmt -> bool) -> Ast.block -> bool
+
+val contains_return : Ast.block -> bool
+val contains_raise : Ast.block -> bool

@@ -1,0 +1,17 @@
+(** Code-size accounting (AST node counts) behind the paper's Sec. 4.2
+    observation that optimization grows code only marginally relative to
+    whole programs. *)
+
+val expr : Ast.expr -> int
+val block : Ast.block -> int
+val proc : Ast.proc -> int
+val program : Ast.program -> int
+
+type report = {
+  original : int;          (** nodes in the pre-existing handler code *)
+  added : int;             (** nodes in generated super-handlers *)
+  growth_percent : float;  (** added relative to original *)
+}
+
+val report : original:int -> added:int -> report
+val pp_report : Format.formatter -> report -> unit

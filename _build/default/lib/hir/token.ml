@@ -1,0 +1,36 @@
+(* Tokens shared between the ocamllex lexer and the recursive-descent
+   parser. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KW_HANDLER | KW_FUNC | KW_LET | KW_GLOBAL | KW_IF | KW_ELSE | KW_WHILE
+  | KW_RAISE | KW_SYNC | KW_ASYNC | KW_AFTER | KW_EMIT | KW_RETURN
+  | KW_TRUE | KW_FALSE | KW_ARG | KW_FOR | KW_TO
+  | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | AMPAMP | BARBAR | BANG | PLUSPLUS
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_HANDLER -> "handler" | KW_FUNC -> "func" | KW_LET -> "let"
+  | KW_GLOBAL -> "global" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_RAISE -> "raise" | KW_SYNC -> "sync"
+  | KW_ASYNC -> "async" | KW_AFTER -> "after" | KW_EMIT -> "emit"
+  | KW_RETURN -> "return" | KW_TRUE -> "true" | KW_FALSE -> "false"
+  | KW_ARG -> "arg" | KW_FOR -> "for" | KW_TO -> "to"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | COMMA -> "," | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | AMPAMP -> "&&" | BARBAR -> "||" | BANG -> "!" | PLUSPLUS -> "++"
+  | EOF -> "<eof>"

@@ -1,0 +1,65 @@
+(** Dynamic values carried by event activations and manipulated by HIR
+    handler code.
+
+    The event system marshals argument vectors into a flat byte encoding
+    at each generic raise and unmarshals them at dispatch; this encoding
+    is real work and is one of the overhead sources the paper's
+    optimizations eliminate. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bytes of bytes  (** mutable byte buffers, shared across handlers *)
+  | Pair of t * t
+  | List of t list
+
+(** Raised by accessors and primitives on dynamic type mismatches. *)
+exception Type_error of string
+
+(** [type_error fmt ...] raises {!Type_error} with a formatted message. *)
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Structural equality.  [Float] uses {!Float.equal} (so [nan] equals
+    [nan]); values of different constructors are never equal. *)
+val equal : t -> t -> bool
+
+(** Total order (structural). *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Hex rendering of a raw string, used for byte values. *)
+val to_hex : string -> string
+
+(** {1 Accessors}
+
+    Each raises {!Type_error} when the value has the wrong shape.
+    [as_float] additionally accepts [Int] (numeric promotion). *)
+
+val as_int : t -> int
+val as_float : t -> float
+val as_bool : t -> bool
+val as_str : t -> string
+val as_bytes : t -> bytes
+val as_pair : t -> t * t
+val as_list : t -> t list
+
+(** Condition semantics: [Bool b] is [b], [Int n] is [n <> 0], [Unit] is
+    false; anything else raises {!Type_error}. *)
+val truthy : t -> bool
+
+(** {1 Marshaling} *)
+
+exception Unmarshal_error of string
+
+(** [marshal args] encodes an argument vector into a self-delimiting
+    binary string. *)
+val marshal : t list -> string
+
+(** [unmarshal s] decodes a buffer produced by {!marshal}.  Raises
+    {!Unmarshal_error} on truncated or trailing bytes. *)
+val unmarshal : string -> t list

@@ -1,0 +1,1 @@
+lib/net/link.ml: Packet Podopt_eventsys Podopt_hir Prng Runtime

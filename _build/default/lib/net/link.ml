@@ -1,0 +1,46 @@
+(* A simulated point-to-point link with latency, jitter, and probabilistic
+   loss.  Delivery is an asynchronous timed event raised on the receiving
+   endpoint's runtime — exactly how external stimuli enter the paper's
+   event model (Sec. 2.2, implicitly raised events). *)
+
+open Podopt_eventsys
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+type t = {
+  latency : int;          (* virtual time units *)
+  jitter : int;           (* max extra units, uniform *)
+  loss_permille : int;
+  rng : Prng.t;
+  stats : stats;
+}
+
+let create ?(latency = 50) ?(jitter = 0) ?(loss_permille = 0) ?(seed = 42L) () =
+  {
+    latency;
+    jitter;
+    loss_permille;
+    rng = Prng.create ~seed;
+    stats = { sent = 0; delivered = 0; dropped = 0; bytes = 0 };
+  }
+
+(* Send [packet] towards [rt]; on delivery the event [deliver_event] is
+   raised with the encoded packet as its single argument. *)
+let send (t : t) (rt : Runtime.t) ~(deliver_event : string) (packet : Packet.t) : unit =
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.bytes <- t.stats.bytes + Packet.size packet;
+  if Prng.bool t.rng ~permille:t.loss_permille then
+    t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    let delay = t.latency + (if t.jitter > 0 then Prng.int t.rng t.jitter else 0) in
+    Runtime.raise_timed rt deliver_event ~delay
+      [ Podopt_hir.Value.Bytes (Packet.encode packet) ]
+  end
+
+let stats t = t.stats

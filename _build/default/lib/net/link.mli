@@ -1,0 +1,26 @@
+(** A simulated point-to-point link with latency, jitter, and
+    probabilistic loss.  Delivery raises a timed event on the receiving
+    runtime — how external stimuli enter the paper's event model
+    (implicitly raised events, Sec. 2.2). *)
+
+open Podopt_eventsys
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+type t
+
+(** Defaults: latency 50 units, no jitter, no loss, seed 42. *)
+val create :
+  ?latency:int -> ?jitter:int -> ?loss_permille:int -> ?seed:int64 -> unit -> t
+
+(** Send towards [rt]: on (probabilistic) delivery, [deliver_event] is
+    raised after latency(+jitter) with the encoded packet as its single
+    argument. *)
+val send : t -> Runtime.t -> deliver_event:string -> Packet.t -> unit
+
+val stats : t -> stats

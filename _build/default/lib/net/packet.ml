@@ -1,0 +1,27 @@
+(* Network packets: what crosses a link. *)
+
+type t = {
+  src : string;
+  dst : string;
+  seq : int;
+  payload : bytes;
+}
+
+let make ~src ~dst ~seq payload = { src; dst; seq; payload }
+let size (p : t) = Bytes.length p.payload
+
+(* Flat wire encoding, so links carry bytes like a real UDP socket would. *)
+let encode (p : t) : bytes =
+  let open Podopt_hir in
+  Bytes.of_string
+    (Value.marshal
+       [ Value.Str p.src; Value.Str p.dst; Value.Int p.seq; Value.Bytes p.payload ])
+
+exception Decode_error
+
+let decode (b : bytes) : t =
+  let open Podopt_hir in
+  match Value.unmarshal (Bytes.to_string b) with
+  | [ Value.Str src; Value.Str dst; Value.Int seq; Value.Bytes payload ] ->
+    { src; dst; seq; payload }
+  | _ | (exception Value.Unmarshal_error _) -> raise Decode_error

@@ -1,0 +1,17 @@
+(** Network packets and their flat wire encoding (links carry bytes,
+    like a real UDP socket). *)
+
+type t = {
+  src : string;
+  dst : string;
+  seq : int;
+  payload : bytes;
+}
+
+val make : src:string -> dst:string -> seq:int -> bytes -> t
+val size : t -> int
+val encode : t -> bytes
+
+exception Decode_error
+
+val decode : bytes -> t

@@ -1,0 +1,21 @@
+(* Deterministic xorshift64* PRNG for loss/jitter decisions, so network
+   experiments reproduce exactly run-to-run. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = (if seed = 0L then 0x9E3779B97F4A7C15L else seed) }
+
+let next (t : t) : int64 =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+(* uniform int in [0, bound) *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let bool (t : t) ~(permille : int) : bool = int t 1000 < permille

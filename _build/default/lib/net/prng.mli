@@ -1,0 +1,15 @@
+(** Deterministic xorshift64* PRNG for loss/jitter decisions, so network
+    experiments reproduce exactly run-to-run. *)
+
+type t
+
+(** Seed 0 is remapped to a fixed non-zero constant. *)
+val create : seed:int64 -> t
+
+val next : t -> int64
+
+(** Uniform in [0, bound); raises [Invalid_argument] on bound <= 0. *)
+val int : t -> int -> int
+
+(** True with probability permille/1000. *)
+val bool : t -> permille:int -> bool

@@ -1,0 +1,1 @@
+lib/optimize/adaptive.ml: Driver Plan Podopt_eventsys Runtime Trace

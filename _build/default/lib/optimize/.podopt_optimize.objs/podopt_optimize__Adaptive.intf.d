@@ -1,0 +1,1 @@
+lib/optimize/adaptive.mli: Driver Plan Podopt_eventsys Runtime

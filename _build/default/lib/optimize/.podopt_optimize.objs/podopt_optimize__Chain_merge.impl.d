@@ -1,0 +1,1 @@
+lib/optimize/chain_merge.ml: Array Ast Fresh List Podopt_hir Rewrite Subst

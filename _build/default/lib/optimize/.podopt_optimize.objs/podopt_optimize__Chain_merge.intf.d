@@ -1,0 +1,1 @@
+lib/optimize/chain_merge.mli: Ast Podopt_hir

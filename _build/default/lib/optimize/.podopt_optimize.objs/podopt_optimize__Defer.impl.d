@@ -1,0 +1,1 @@
+lib/optimize/defer.ml: Ast Chain_merge Compile Format List Pipeline Podopt_eventsys Podopt_hir Podopt_profile Printf Rewrite Runtime Superhandler

@@ -1,0 +1,1 @@
+lib/optimize/defer.mli: Podopt_eventsys Podopt_hir Podopt_profile Runtime

@@ -1,0 +1,1 @@
+lib/optimize/driver.mli: Ast Pipeline Plan Podopt_eventsys Podopt_hir Runtime Size

@@ -1,0 +1,1 @@
+lib/optimize/guard.ml: Ast Chain_merge Fmt Handler List Plan Podopt_eventsys Podopt_hir Runtime Superhandler

@@ -1,0 +1,1 @@
+lib/optimize/guard.mli: Ast Format Plan Podopt_eventsys Podopt_hir Runtime

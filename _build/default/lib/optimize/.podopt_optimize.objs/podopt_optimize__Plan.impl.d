@@ -1,0 +1,1 @@
+lib/optimize/plan.ml: Fmt List Pipeline Podopt_hir String

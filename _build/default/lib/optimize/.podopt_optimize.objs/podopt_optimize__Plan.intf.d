@@ -1,0 +1,1 @@
+lib/optimize/plan.mli: Format Pipeline Podopt_hir

@@ -1,0 +1,1 @@
+lib/optimize/speculate.ml: List Podopt_eventsys Podopt_profile

@@ -1,0 +1,1 @@
+lib/optimize/speculate.mli: Podopt_eventsys Podopt_profile

@@ -1,0 +1,1 @@
+lib/optimize/superhandler.ml: Analysis Ast Deret Format Handler Hashtbl List Podopt_eventsys Podopt_hir Runtime Subst

@@ -1,0 +1,1 @@
+lib/optimize/superhandler.mli: Ast Podopt_eventsys Podopt_hir Runtime

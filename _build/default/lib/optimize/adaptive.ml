@@ -1,0 +1,81 @@
+(* On-line adaptive re-optimization (Sec. 5: "on-line analysis and
+   optimization ... are potential extensions to this work").
+
+   Instead of the paper's off-line, manual profile-then-optimize cycle,
+   this controller keeps event tracing enabled, watches the runtime's
+   fallback counter, and re-runs analyze/apply from the accumulated trace
+   whenever the installed super-handlers stop matching the live bindings.
+   Correctness is unaffected (the guards already ensure that); this
+   merely restores the fast path automatically after reconfiguration. *)
+
+open Podopt_eventsys
+
+type policy = {
+  fallback_limit : int;   (* re-optimize after this many fallbacks *)
+  min_trace : int;        (* but only once the trace has this many entries *)
+  threshold : int;        (* analysis threshold W *)
+  strategy : Plan.chain_strategy;
+  max_trace : int;        (* clear the trace beyond this length *)
+}
+
+let default_policy =
+  {
+    fallback_limit = 32;
+    min_trace = 200;
+    threshold = Driver.default_threshold;
+    strategy = Plan.Monolithic;
+    max_trace = 100_000;
+  }
+
+type t = {
+  rt : Runtime.t;
+  policy : policy;
+  mutable fallbacks_at_last_opt : int;
+  mutable reoptimizations : int;
+}
+
+(* Create the controller and enable continuous event tracing.  The
+   runtime keeps paying the (cheap) trace-recording cost; that is the
+   price of on-line profiling. *)
+let create ?(policy = default_policy) (rt : Runtime.t) : t =
+  Trace.enable_events rt.Runtime.trace;
+  { rt; policy; fallbacks_at_last_opt = 0; reoptimizations = 0 }
+
+let fallbacks_since_last (t : t) =
+  let current =
+    t.rt.Runtime.stats.Runtime.fallbacks + t.rt.Runtime.stats.Runtime.segment_fallbacks
+  in
+  (* the application may reset runtime measurements at any time; detect
+     the counter going backwards and re-baseline *)
+  if current < t.fallbacks_at_last_opt then t.fallbacks_at_last_opt <- 0;
+  current - t.fallbacks_at_last_opt
+
+let should_reoptimize (t : t) : bool =
+  Trace.length t.rt.Runtime.trace >= t.policy.min_trace
+  && ((* nothing installed yet: perform the initial optimization *)
+      Runtime.optimized_events t.rt = []
+     || fallbacks_since_last t >= t.policy.fallback_limit)
+
+(* Re-analyze from the accumulated trace and reinstall.  Returns the
+   applied report when a re-optimization happened. *)
+let reoptimize (t : t) : Driver.applied option =
+  let plan = Driver.analyze ~threshold:t.policy.threshold ~strategy:t.policy.strategy t.rt in
+  if plan.Plan.actions = [] then None
+  else begin
+    let applied = Driver.apply t.rt plan in
+    t.fallbacks_at_last_opt <-
+      t.rt.Runtime.stats.Runtime.fallbacks
+      + t.rt.Runtime.stats.Runtime.segment_fallbacks;
+    t.reoptimizations <- t.reoptimizations + 1;
+    Trace.clear t.rt.Runtime.trace;
+    Some applied
+  end
+
+(* Poll: call periodically (e.g. from the application's idle loop).
+   Keeps the trace bounded and re-optimizes when the policy triggers. *)
+let tick (t : t) : Driver.applied option =
+  if Trace.length t.rt.Runtime.trace > t.policy.max_trace then
+    Trace.clear t.rt.Runtime.trace;
+  if should_reoptimize t then reoptimize t else None
+
+let reoptimizations (t : t) = t.reoptimizations

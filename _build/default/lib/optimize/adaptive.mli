@@ -1,0 +1,36 @@
+(** On-line adaptive re-optimization (a Sec. 5 extension).
+
+    Keeps event tracing enabled, watches the runtime's fallback
+    counters, and re-runs analyze/apply from the accumulated trace when
+    installed super-handlers stop matching the live bindings — restoring
+    the fast path automatically after dynamic reconfiguration. *)
+
+open Podopt_eventsys
+
+type policy = {
+  fallback_limit : int;  (** re-optimize after this many fallbacks *)
+  min_trace : int;       (** ... once the trace is this long *)
+  threshold : int;
+  strategy : Plan.chain_strategy;
+  max_trace : int;       (** clear the trace beyond this length *)
+}
+
+val default_policy : policy
+
+type t
+
+(** Enables continuous event tracing on the runtime. *)
+val create : ?policy:policy -> Runtime.t -> t
+
+val fallbacks_since_last : t -> int
+val should_reoptimize : t -> bool
+
+(** Force a re-analysis from the accumulated trace; [None] when the
+    analysis found nothing to do. *)
+val reoptimize : t -> Driver.applied option
+
+(** Poll from the application's idle loop; bounds the trace and
+    re-optimizes when the policy triggers. *)
+val tick : t -> Driver.applied option
+
+val reoptimizations : t -> int

@@ -1,0 +1,82 @@
+(* Event-chain merging and subsumption (Sec. 3.2.1, Figs. 8 and 9).
+
+   Given the super-handler body of a chain-head event, every statement
+   [raise sync B(args)] where B is covered by the chain is replaced by B's
+   own (recursively subsumed) super-handler body: argument expressions are
+   bound to temporaries, B's positional argument references are redirected
+   to those temporaries, and B's locals are freshened.  Only synchronous
+   raises are subsumed — asynchronous and timed activations keep their
+   queueing semantics (the paper's timing-preservation requirement). *)
+
+open Podopt_hir
+
+let max_depth = 8
+
+(* Handlers that may halt event execution must not be subsumed into a
+   parent event: halting semantics stop only the *current* event's
+   remaining handlers, and after inlining there would be no dispatch
+   boundary to stop at. *)
+let contains_halt (b : Ast.block) : bool =
+  let found = ref false in
+  ignore
+    (Rewrite.block_exprs
+       (function
+         | Ast.Call ("halt_event", _) as e ->
+           found := true;
+           e
+         | e -> e)
+       b);
+  !found
+
+(* Inline the body [inner] (a super-handler body using Arg i) at a raise
+   site with argument expressions [args]. *)
+let inline_at_site ~(event : string) (inner : Ast.block) (args : Ast.expr list) :
+    Ast.block =
+  let temps = List.map (fun _ -> Fresh.var ("sub_" ^ event)) args in
+  let binds = List.map2 (fun t a -> Ast.Let (t, a)) temps args in
+  let arg_exprs = Array.of_list (List.map (fun t -> Ast.Var t) temps) in
+  let inner = Subst.replace_args arg_exprs inner in
+  (* freshen so repeated subsumption of the same event stays disjoint *)
+  let locals = Subst.locals_of [] inner in
+  let inner, _ = Subst.freshen ~prefix:("sub_" ^ event) locals inner in
+  binds @ inner
+
+(* Subsume nested synchronous raises of covered events inside [body].
+   [super_bodies] maps a covered event to its merged (but not yet
+   subsumed) super-handler body. *)
+let rec subsume ~(covered : (string * Ast.block) list) ?(depth = 0) (body : Ast.block) :
+    Ast.block =
+  if depth >= max_depth then body
+  else
+    Rewrite.stmts
+      (function
+        | Ast.Raise { event; mode = Ast.Sync; args } as s ->
+          (match List.assoc_opt event covered with
+           | Some inner_body when not (contains_halt inner_body) ->
+             let inner = subsume ~covered ~depth:(depth + 1) inner_body in
+             inline_at_site ~event inner args
+           | Some _ | None -> [ s ])
+        | s -> [ s ])
+      body
+
+(* Count remaining sync raises of covered events, to verify subsumption
+   eliminated every site (or to report residual sites). *)
+let residual_sites ~(covered : string list) (body : Ast.block) : int =
+  let count = ref 0 in
+  ignore
+    (Rewrite.stmts
+       (function
+         | Ast.Raise { event; mode = Ast.Sync; _ } as s when List.mem event covered ->
+           incr count;
+           [ s ]
+         | s -> [ s ])
+       body);
+  !count
+
+(* Does the block end (in tail position) with [raise sync next(..)]?  The
+   partitioned-chain driver requires tail raises so that segment order
+   equals execution order. *)
+let tail_raise (body : Ast.block) : (string * Ast.expr list) option =
+  match List.rev body with
+  | Ast.Raise { event; mode = Ast.Sync; args } :: _ -> Some (event, args)
+  | _ -> None

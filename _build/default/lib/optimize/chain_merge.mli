@@ -1,0 +1,33 @@
+(** Event-chain merging and subsumption (Sec. 3.2.1, Figs. 8-9).
+
+    In a chain-head super-handler body, every [raise sync B(args)] where
+    B is covered is replaced by B's own (recursively subsumed)
+    super-handler body, with arguments bound to temporaries.  Only
+    synchronous raises are subsumed — asynchronous and timed activations
+    keep their queueing semantics (the paper's timing-preservation
+    requirement) — and handlers that may halt event execution are never
+    inlined across the dispatch boundary they would need to stop at. *)
+
+open Podopt_hir
+
+(** Recursion bound for chains of subsumptions. *)
+val max_depth : int
+
+(** Does the block call the [halt_event] primitive anywhere? *)
+val contains_halt : Ast.block -> bool
+
+(** Inline a super-handler body at a raise site with the given argument
+    expressions. *)
+val inline_at_site : event:string -> Ast.block -> Ast.expr list -> Ast.block
+
+(** [subsume ~covered body] inlines nested sync raises of the covered
+    events ([covered] maps event name to its merged, un-subsumed
+    super-handler body). *)
+val subsume : covered:(string * Ast.block) list -> ?depth:int -> Ast.block -> Ast.block
+
+(** Count sync raises of covered events remaining in a body. *)
+val residual_sites : covered:string list -> Ast.block -> int
+
+(** The tail statement if it is [raise sync next(args)] — the shape the
+    partitioned-chain driver requires. *)
+val tail_raise : Ast.block -> (string * Ast.expr list) option

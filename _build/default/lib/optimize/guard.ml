@@ -1,0 +1,71 @@
+(* Correctness guards for installed optimizations (Sec. 3.3, Fig. 14).
+
+   The runtime enforces the guards at dispatch time (binding-version
+   comparison, with whole-entry or per-segment fallback); this module
+   decides what can be guarded and validates a plan against the live
+   registry before anything is installed. *)
+
+open Podopt_hir
+open Podopt_eventsys
+
+type issue =
+  | No_handlers of string
+  | Native_handler of { event : string; handler : string }
+  | Unknown_procedure of { event : string; handler : string; proc : string }
+  | Not_tail_raise of { event : string; expected_next : string }
+
+let pp_issue ppf = function
+  | No_handlers e -> Fmt.pf ppf "event %s has no handlers bound" e
+  | Native_handler { event; handler } ->
+    Fmt.pf ppf "event %s has native handler %s (cannot merge)" event handler
+  | Unknown_procedure { event; handler; proc } ->
+    Fmt.pf ppf "handler %s of %s references unknown procedure %s" handler event proc
+  | Not_tail_raise { event; expected_next } ->
+    Fmt.pf ppf "event %s does not tail-raise %s (partitioned chaining unavailable)"
+      event expected_next
+
+(* Can [event]'s current handler list be merged?  All handlers must be HIR
+   procedures present in the program. *)
+let mergeable (rt : Runtime.t) (prog : Ast.program) (event : string) : issue list =
+  match Runtime.handlers rt event with
+  | [] -> [ No_handlers event ]
+  | hs ->
+    List.concat_map
+      (fun (h : Handler.t) ->
+        match h.Handler.code with
+        | Handler.Native _ -> [ Native_handler { event; handler = h.Handler.name } ]
+        | Handler.Hir proc ->
+          if Ast.proc_by_name prog proc = None then
+            [ Unknown_procedure { event; handler = h.Handler.name; proc } ]
+          else [])
+      hs
+
+(* Validate a whole plan; returns all issues (empty = installable). *)
+let validate (rt : Runtime.t) (prog : Ast.program) (plan : Plan.t) : issue list =
+  List.concat_map
+    (fun action ->
+      match action with
+      | Plan.Merge_event e -> mergeable rt prog e
+      | Plan.Merge_chain { events; strategy } ->
+        let merge_issues = List.concat_map (mergeable rt prog) events in
+        let chain_issues =
+          match strategy with
+          | Plan.Monolithic -> []
+          | Plan.Partitioned ->
+            (* every non-final event must tail-raise its successor *)
+            let rec check = function
+              | a :: (b :: _ as rest) ->
+                (try
+                   let merged, _ = Superhandler.merge rt prog ~event:a in
+                   (match Chain_merge.tail_raise merged.Ast.body with
+                    | Some (next, _) when next = b -> []
+                    | Some _ | None ->
+                      [ Not_tail_raise { event = a; expected_next = b } ])
+                 with Superhandler.Not_mergeable _ -> [])
+                @ check rest
+              | [ _ ] | [] -> []
+            in
+            check events
+        in
+        merge_issues @ chain_issues)
+    plan.Plan.actions

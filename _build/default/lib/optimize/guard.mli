@@ -1,0 +1,23 @@
+(** Correctness guards for installed optimizations (Sec. 3.3, Fig. 14).
+
+    The runtime enforces guards at dispatch time (binding-version
+    comparison with whole-entry or per-segment fallback); this module
+    validates a plan against the live registry before installation. *)
+
+open Podopt_hir
+open Podopt_eventsys
+
+type issue =
+  | No_handlers of string
+  | Native_handler of { event : string; handler : string }
+  | Unknown_procedure of { event : string; handler : string; proc : string }
+  | Not_tail_raise of { event : string; expected_next : string }
+      (** partitioned chaining requires tail raises *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** Issues preventing the event's current handler list from merging. *)
+val mergeable : Runtime.t -> Ast.program -> string -> issue list
+
+(** All issues for a plan; empty means installable. *)
+val validate : Runtime.t -> Ast.program -> Plan.t -> issue list

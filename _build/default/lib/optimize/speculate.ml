@@ -1,0 +1,54 @@
+(* Speculative successor preparation (Sec. 5).
+
+   After all chains are merged, the reduced graph may retain hot edges
+   whose successor is only *probable* (e.g. A -> B 90%, A -> C 10%).  For
+   such edges the runtime prefetches B's handler list during the idle
+   moment after handling A; a correct prediction skips the registry
+   lookup and lock on B's raise, a misprediction costs nothing on the
+   critical path (the prefetched list is simply discarded).  This is a
+   cost-model-level simulation of the paper's "use free cycles during A's
+   handlers to initialize the execution of B's handlers". *)
+
+let default_min_probability = 0.75
+
+(* Pick (A, B) pairs where B receives at least [min_probability] of A's
+   outgoing weight, excluding events already covered by merge actions
+   (their successors are subsumed, not raised). *)
+let choose ?(min_probability = default_min_probability)
+    (g : Podopt_profile.Event_graph.t) ~(exclude : string list) :
+    (string * string) list =
+  let nodes = Podopt_profile.Event_graph.nodes g in
+  List.filter_map
+    (fun (n : Podopt_profile.Event_graph.node) ->
+      let name = n.Podopt_profile.Event_graph.name in
+      if List.mem name exclude then None
+      else
+        let succs = Podopt_profile.Event_graph.successors g name in
+        let total =
+          List.fold_left (fun acc e -> acc + e.Podopt_profile.Event_graph.weight) 0 succs
+        in
+        if total = 0 then None
+        else
+          let best =
+            List.fold_left
+              (fun acc (e : Podopt_profile.Event_graph.edge) ->
+                match acc with
+                | Some (b : Podopt_profile.Event_graph.edge)
+                  when b.Podopt_profile.Event_graph.weight >= e.weight ->
+                  acc
+                | _ -> Some e)
+              None succs
+          in
+          match best with
+          | Some e
+            when float_of_int e.Podopt_profile.Event_graph.weight
+                 >= min_probability *. float_of_int total
+                 && not (List.mem e.Podopt_profile.Event_graph.dst exclude) ->
+            Some (name, e.Podopt_profile.Event_graph.dst)
+          | _ -> None)
+    (List.sort compare nodes)
+
+let apply (rt : Podopt_eventsys.Runtime.t) (pairs : (string * string) list) : unit =
+  List.iter
+    (fun (a, b) -> Podopt_eventsys.Runtime.set_speculation rt ~after:a ~expect:b)
+    pairs

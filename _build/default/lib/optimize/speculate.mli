@@ -1,0 +1,15 @@
+(** Speculative successor preparation (Sec. 5): when A is followed by B
+    with high probability (but not always — those cases become chains),
+    prefetch B's handler list during the idle moment after handling A.  A
+    correct prediction skips the registry lookup and lock on B's next
+    raise; a misprediction costs nothing on the critical path. *)
+
+val default_min_probability : float
+
+(** Pick (A, predicted-B) pairs from a (reduced) event graph, excluding
+    chain-covered events. *)
+val choose :
+  ?min_probability:float -> Podopt_profile.Event_graph.t -> exclude:string list ->
+  (string * string) list
+
+val apply : Podopt_eventsys.Runtime.t -> (string * string) list -> unit

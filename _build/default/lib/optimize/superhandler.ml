@@ -1,0 +1,66 @@
+(* Handler merging (Sec. 3.2.1, Fig. 7): collapse all handlers bound to an
+   event into one super-handler procedure.
+
+   Each handler body is alpha-renamed apart, its early returns are
+   converted to structured control flow (a return terminates only that
+   handler's segment), and its positional parameters are rebound to the
+   merged procedure's argument vector.  The segments are then concatenated
+   in binding order. *)
+
+open Podopt_hir
+open Podopt_eventsys
+
+exception Not_mergeable of string
+
+let not_mergeable fmt = Format.kasprintf (fun s -> raise (Not_mergeable s)) fmt
+
+let super_name event = "__super_" ^ event
+
+(* Prepare one handler body as a merge segment. *)
+let segment_of_proc (p : Ast.proc) : Ast.block =
+  let locals = Subst.locals_of p.Ast.params p.Ast.body in
+  let body, ren = Subst.freshen ~prefix:p.Ast.name locals p.Ast.body in
+  (* bind (renamed) parameters to the event's argument vector; parameters
+     beyond the raise arity see Unit thanks to the runtime's padding *)
+  let param_binds =
+    List.mapi
+      (fun i x ->
+        let x' = match Hashtbl.find_opt ren x with Some y -> y | None -> x in
+        Ast.Let (x', Ast.Arg i))
+      p.Ast.params
+  in
+  Deret.remove_returns (param_binds @ body)
+
+(* The HIR procedures (in order) for the handlers currently bound to
+   [event]; raises [Not_mergeable] if any bound handler is native. *)
+let handler_procs (rt : Runtime.t) (prog : Ast.program) ~(event : string) :
+    Ast.proc list =
+  let hs = Runtime.handlers rt event in
+  if hs = [] then not_mergeable "event %s has no handlers" event;
+  List.map
+    (fun (h : Handler.t) ->
+      match h.Handler.code with
+      | Handler.Native _ ->
+        not_mergeable "handler %s of %s is native code" h.Handler.name event
+      | Handler.Hir proc ->
+        (match Ast.proc_by_name prog proc with
+         | Some p -> p
+         | None -> not_mergeable "handler %s references unknown procedure %s"
+                     h.Handler.name proc))
+    hs
+
+(* Merge the given procedures into a super-handler for [event].  Returns
+   the merged procedure and its arity (the argument-vector width the
+   compiled code expects). *)
+let merge_procs ~(event : string) (procs : Ast.proc list) : Ast.proc * int =
+  let body = List.concat_map segment_of_proc procs in
+  let arity =
+    List.fold_left
+      (fun acc (p : Ast.proc) ->
+        max acc (max (List.length p.Ast.params) (1 + Analysis.block_max_arg p.Ast.body)))
+      0 procs
+  in
+  ({ Ast.name = super_name event; params = []; body }, arity)
+
+let merge (rt : Runtime.t) (prog : Ast.program) ~(event : string) : Ast.proc * int =
+  merge_procs ~event (handler_procs rt prog ~event)

@@ -1,0 +1,31 @@
+(** Handler merging (Sec. 3.2.1, Fig. 7): collapse all handlers bound to
+    an event into one super-handler procedure.
+
+    Each handler body is alpha-renamed apart, early returns become
+    segment-local structured control flow, and positional parameters are
+    rebound to the merged procedure's argument vector; segments are
+    concatenated in binding order. *)
+
+open Podopt_hir
+open Podopt_eventsys
+
+exception Not_mergeable of string
+
+(** Name of the generated super-handler procedure for an event. *)
+val super_name : string -> string
+
+(** Prepare one handler body as a merge segment (freshened, return-free,
+    parameters bound from the event's argument vector). *)
+val segment_of_proc : Ast.proc -> Ast.block
+
+(** The HIR procedures of the handlers currently bound to the event, in
+    execution order.  Raises {!Not_mergeable} for events with no
+    handlers, native handlers, or dangling procedure references. *)
+val handler_procs : Runtime.t -> Ast.program -> event:string -> Ast.proc list
+
+(** Merge the given procedures; returns the super-handler and its arity
+    (the argument-vector width the compiled code expects). *)
+val merge_procs : event:string -> Ast.proc list -> Ast.proc * int
+
+(** [merge rt prog ~event] = [merge_procs] over [handler_procs]. *)
+val merge : Runtime.t -> Ast.program -> event:string -> Ast.proc * int

@@ -1,0 +1,1 @@
+lib/profile/chains.ml: Event_graph List

@@ -1,0 +1,1 @@
+lib/profile/chains.mli: Event_graph

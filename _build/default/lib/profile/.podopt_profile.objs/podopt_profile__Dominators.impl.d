@@ -1,0 +1,1 @@
+lib/profile/dominators.ml: Event_graph Hashtbl List Set String

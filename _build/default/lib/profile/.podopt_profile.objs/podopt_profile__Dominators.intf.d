@@ -1,0 +1,1 @@
+lib/profile/dominators.mli: Event_graph Set String

@@ -1,0 +1,1 @@
+lib/profile/dot.ml: Buffer Event_graph List Printf String

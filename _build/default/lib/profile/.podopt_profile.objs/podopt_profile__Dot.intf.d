@@ -1,0 +1,1 @@
+lib/profile/dot.mli: Chains Event_graph

@@ -1,0 +1,1 @@
+lib/profile/event_graph.ml: Ast Fmt Hashtbl List Podopt_eventsys Podopt_hir

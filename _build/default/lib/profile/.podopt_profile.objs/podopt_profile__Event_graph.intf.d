@@ -1,0 +1,1 @@
+lib/profile/event_graph.mli: Ast Format Hashtbl Podopt_eventsys Podopt_hir

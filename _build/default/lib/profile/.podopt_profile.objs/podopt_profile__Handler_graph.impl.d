@@ -1,0 +1,1 @@
+lib/profile/handler_graph.ml: Event_graph List Podopt_eventsys Podopt_hir Trace

@@ -1,0 +1,1 @@
+lib/profile/handler_graph.mli: Event_graph Podopt_eventsys Trace

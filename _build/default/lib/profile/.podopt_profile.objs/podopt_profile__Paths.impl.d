@@ -1,0 +1,1 @@
+lib/profile/paths.ml: Event_graph List

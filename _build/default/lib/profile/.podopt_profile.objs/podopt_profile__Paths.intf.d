@@ -1,0 +1,1 @@
+lib/profile/paths.mli: Event_graph

@@ -1,0 +1,1 @@
+lib/profile/reduce.ml: Event_graph Hashtbl List

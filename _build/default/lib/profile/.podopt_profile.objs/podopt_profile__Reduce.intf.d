@@ -1,0 +1,1 @@
+lib/profile/reduce.mli: Event_graph

@@ -1,0 +1,1 @@
+lib/profile/report.ml: Chains Event_graph Fmt Handler_graph List Paths String Subsume

@@ -1,0 +1,1 @@
+lib/profile/report.mli: Chains Event_graph Format Handler_graph Paths Subsume

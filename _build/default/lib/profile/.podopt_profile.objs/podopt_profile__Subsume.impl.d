@@ -1,0 +1,1 @@
+lib/profile/subsume.ml: Hashtbl List Option Podopt_eventsys Podopt_hir Trace

@@ -1,0 +1,1 @@
+lib/profile/subsume.mli: Podopt_eventsys Trace

@@ -1,0 +1,1 @@
+lib/profile/trace_io.ml: Ast Buffer Format Fun List Podopt_eventsys Podopt_hir Printf String Trace

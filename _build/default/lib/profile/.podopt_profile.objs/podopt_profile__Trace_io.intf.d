@@ -1,0 +1,1 @@
+lib/profile/trace_io.mli: Podopt_eventsys Trace

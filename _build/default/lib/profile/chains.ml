@@ -1,0 +1,59 @@
+(* Event chains (Sec. 3.2.1).
+
+   A chain is a path v1 .. vk in the event graph such that every vertex
+   except possibly the last has exactly one successor edge, that edge is a
+   synchronous activation, and the final edge (v(k-1), vk) is synchronous.
+   A chain guarantees that once v1 occurs the rest follow sequentially, so
+   the handlers of the whole chain may be merged; asynchronous or timed
+   edges never qualify because following in the trace does not imply
+   causality for them. *)
+
+type chain = string list
+
+(* Does [name] have exactly one successor edge, and is it purely sync? *)
+let sole_sync_successor (g : Event_graph.t) name : string option =
+  match Event_graph.successors g name with
+  | [ e ] when Event_graph.edge_is_sync e -> Some e.Event_graph.dst
+  | _ -> None
+
+let find (g : Event_graph.t) : chain list =
+  let nodes =
+    List.sort compare (List.map (fun n -> n.Event_graph.name) (Event_graph.nodes g))
+  in
+  (* [name] can start a chain if no chain can be extended backwards onto
+     it: no predecessor has [name] as its sole sync successor. *)
+  let is_chain_start name =
+    not
+      (List.exists
+         (fun (e : Event_graph.edge) ->
+           sole_sync_successor g e.Event_graph.src = Some name)
+         (Event_graph.predecessors g name))
+  in
+  let rec extend visited name acc =
+    match sole_sync_successor g name with
+    | Some next when not (List.mem next visited) ->
+      extend (next :: visited) next (next :: acc)
+    | _ -> List.rev acc
+  in
+  List.filter_map
+    (fun name ->
+      if is_chain_start name then
+        match extend [ name ] name [ name ] with
+        | [ _ ] -> None
+        | c -> Some c
+      else None)
+    nodes
+
+(* Check the chain conditions for an explicitly given path. *)
+let is_chain (g : Event_graph.t) (path : string list) : bool =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      (match Event_graph.successors g a with
+       | [ e ] -> Event_graph.edge_is_sync e && e.Event_graph.dst = b && go rest
+       | _ -> false)
+    | [ _ ] -> true
+    | [] -> false
+  in
+  match path with
+  | [] | [ _ ] -> false
+  | _ -> go path

@@ -1,0 +1,21 @@
+(** Event chains (Sec. 3.2.1).
+
+    A chain is a path [v1 .. vk] such that every vertex except possibly
+    the last has exactly one successor edge, that edge is purely
+    synchronous-causal, and the final edge is synchronous.  Once [v1]
+    occurs the rest follow sequentially, so the whole chain's handlers
+    may be merged; asynchronous and timed edges never qualify. *)
+
+type chain = string list
+
+(** The event reached by [name]'s single purely-synchronous successor
+    edge, if that is its only successor. *)
+val sole_sync_successor : Event_graph.t -> string -> string option
+
+(** All maximal chains (each of length >= 2).  Pure-sync cycles yield no
+    chain (they cannot occur in real traces: they would mean unbounded
+    synchronous recursion). *)
+val find : Event_graph.t -> chain list
+
+(** Check the chain conditions for an explicit path. *)
+val is_chain : Event_graph.t -> string list -> bool

@@ -1,0 +1,109 @@
+(* Dominator analysis over event graphs (Sec. 5: "heavier optimizations
+   such as dominator / post-dominator analysis can be used to detect
+   co-relations between events").
+
+   Event A dominates event B (w.r.t. a root) when every path from the
+   root to B passes through A: B can only ever be reached after A, a
+   correlation that survives even when A and B are not adjacent in the
+   trace.  Implemented with the standard iterative data-flow algorithm
+   (sets; the graphs here are tiny). *)
+
+module SS = Set.Make (String)
+
+type t = {
+  root : string;
+  (* for each reachable node, the full set of its dominators (including
+     itself) *)
+  dom : (string, SS.t) Hashtbl.t;
+}
+
+let reachable (g : Event_graph.t) ~root : SS.t =
+  let seen = ref SS.empty in
+  let rec go n =
+    if not (SS.mem n !seen) then begin
+      seen := SS.add n !seen;
+      List.iter (fun (e : Event_graph.edge) -> go e.Event_graph.dst)
+        (Event_graph.successors g n)
+    end
+  in
+  if Hashtbl.mem g.Event_graph.nodes root then go root;
+  !seen
+
+let compute (g : Event_graph.t) ~root : t =
+  let nodes = reachable g ~root in
+  let dom = Hashtbl.create 16 in
+  let all = nodes in
+  SS.iter
+    (fun n ->
+      Hashtbl.replace dom n (if n = root then SS.singleton root else all))
+    nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    SS.iter
+      (fun n ->
+        if n <> root then begin
+          let preds =
+            List.filter
+              (fun (e : Event_graph.edge) -> SS.mem e.Event_graph.src nodes)
+              (Event_graph.predecessors g n)
+          in
+          let meet =
+            List.fold_left
+              (fun acc (e : Event_graph.edge) ->
+                let d = Hashtbl.find dom e.Event_graph.src in
+                match acc with None -> Some d | Some a -> Some (SS.inter a d))
+              None preds
+          in
+          let next =
+            match meet with
+            | Some m -> SS.add n m
+            | None -> SS.singleton n (* unreachable via preds: only itself *)
+          in
+          if not (SS.equal next (Hashtbl.find dom n)) then begin
+            Hashtbl.replace dom n next;
+            changed := true
+          end
+        end)
+      nodes
+  done;
+  { root; dom }
+
+let dominators (t : t) (node : string) : string list =
+  match Hashtbl.find_opt t.dom node with
+  | Some s -> SS.elements s
+  | None -> []
+
+let dominates (t : t) ~(dominator : string) ~(node : string) : bool =
+  match Hashtbl.find_opt t.dom node with
+  | Some s -> SS.mem dominator s
+  | None -> false
+
+(* The immediate dominator: the strict dominator dominated by every
+   other strict dominator. *)
+let immediate_dominator (t : t) (node : string) : string option =
+  match Hashtbl.find_opt t.dom node with
+  | None -> None
+  | Some s ->
+    let strict = SS.remove node s in
+    SS.fold
+      (fun cand acc ->
+        let dominated_by_all_others =
+          SS.for_all
+            (fun other -> other = cand || dominates t ~dominator:other ~node:cand)
+            strict
+        in
+        if dominated_by_all_others then Some cand else acc)
+      strict None
+
+(* Correlated pairs: (a, b) such that [a] strictly dominates [b] — "b
+   can only occur after a", usable for speculative preparation even when
+   the two are not trace-adjacent. *)
+let correlated_pairs (t : t) : (string * string) list =
+  Hashtbl.fold
+    (fun node doms acc ->
+      SS.fold
+        (fun d acc -> if d <> node && d <> t.root then (d, node) :: acc else acc)
+        doms acc)
+    t.dom []
+  |> List.sort compare

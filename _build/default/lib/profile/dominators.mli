@@ -1,0 +1,27 @@
+(** Dominator analysis over event graphs (Sec. 5: detecting co-relations
+    between events beyond trace adjacency).
+
+    Event A dominates B (w.r.t. a root) when every path from the root to
+    B passes through A — so B can only occur after A has, even when they
+    are never adjacent in the trace. *)
+
+type t
+
+(** Nodes reachable from [root] (the analysis domain). *)
+val reachable : Event_graph.t -> root:string -> Set.Make(String).t
+
+(** Iterative data-flow dominator computation. *)
+val compute : Event_graph.t -> root:string -> t
+
+(** Dominators of a node, including itself; [[]] if unreachable. *)
+val dominators : t -> string -> string list
+
+val dominates : t -> dominator:string -> node:string -> bool
+
+(** The unique closest strict dominator (None for the root and
+    unreachable nodes). *)
+val immediate_dominator : t -> string -> string option
+
+(** (a, b) pairs where [a] strictly dominates [b], excluding the root;
+    sorted. *)
+val correlated_pairs : t -> (string * string) list

@@ -1,0 +1,5 @@
+(** Graphviz DOT export in the style of Fig. 5: solid edges for
+    synchronous-causal activations, dashed for asynchronous/timed, bold
+    for edges on the given chains. *)
+
+val to_dot : ?title:string -> ?chains:Chains.chain list -> Event_graph.t -> string

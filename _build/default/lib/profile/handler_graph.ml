@@ -1,0 +1,70 @@
+(* Handler-level profiling (Sec. 3.1, second phase).
+
+   Given a trace with handler instrumentation enabled for the events on
+   hot paths, this module reconstructs per-event handler sequences and a
+   handler graph (built with the same GraphBuilder as the event graph,
+   over handler names).  The per-event sequences drive handler merging:
+   merging is only proposed when the observed direct-handler sequence of
+   an event is stable across all its occurrences — and the optimizer
+   additionally revalidates against the live registry before installing
+   anything. *)
+
+open Podopt_eventsys
+
+type occurrence = {
+  event : string;
+  handlers : string list;  (* direct handlers, in execution order *)
+}
+
+(* Reconstruct, for each dispatch of an instrumented event, its *direct*
+   handler sequence.  Dispatch begin/end markers delimit occurrences;
+   handlers logged inside a nested dispatch belong to the nested frame. *)
+let occurrences (trace : Trace.t) : occurrence list =
+  let result = ref [] in
+  let stack : (string * string list ref) list ref = ref [] in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Dispatch_begin { event; _ } -> stack := (event, ref []) :: !stack
+      | Trace.Dispatch_end { event; _ } ->
+        (match !stack with
+         | (ev, hs) :: rest when ev = event ->
+           result := { event = ev; handlers = List.rev !hs } :: !result;
+           stack := rest
+         | _ ->
+           (* an end without matching begin: instrumentation was enabled
+              mid-dispatch; ignore *)
+           ())
+      | Trace.Handler_begin { event; handler; _ } ->
+        (match !stack with
+         | (ev, hs) :: _ when ev = event -> hs := handler :: !hs
+         | _ -> ())
+      | Trace.Handler_end _ | Trace.Event_raised _ -> ())
+    (Trace.entries trace);
+  List.rev !result
+
+(* The observed handler sequence of [event], if stable across every
+   occurrence. *)
+let stable_sequence (occs : occurrence list) (event : string) : string list option =
+  let seqs =
+    List.filter_map (fun o -> if o.event = event then Some o.handlers else None) occs
+  in
+  match seqs with
+  | [] -> None
+  | first :: rest -> if List.for_all (( = ) first) rest then Some first else None
+
+let events_seen (occs : occurrence list) : string list =
+  List.sort_uniq compare (List.map (fun o -> o.event) occs)
+
+(* Handler graph: GraphBuilder over the handler-invocation sequence. *)
+let graph (trace : Trace.t) : Event_graph.t =
+  let seq =
+    List.filter_map
+      (function
+        | Trace.Handler_begin { handler; _ } -> Some (handler, Podopt_hir.Ast.Sync)
+        | Trace.Handler_end _ | Trace.Event_raised _ | Trace.Dispatch_begin _
+        | Trace.Dispatch_end _ ->
+          None)
+      (Trace.entries trace)
+  in
+  Event_graph.build seq

@@ -1,0 +1,25 @@
+(** Handler-level profiling (Sec. 3.1, second phase).
+
+    From a trace with handler instrumentation enabled for the hot
+    events, reconstructs per-event direct-handler sequences and a handler
+    graph.  Merging is only proposed when an event's observed sequence is
+    stable across all occurrences — and the optimizer revalidates against
+    the live registry before installing anything. *)
+
+open Podopt_eventsys
+
+type occurrence = {
+  event : string;
+  handlers : string list;  (** direct handlers, in execution order;
+                               nested dispatches excluded *)
+}
+
+val occurrences : Trace.t -> occurrence list
+
+(** The handler sequence of [event] if identical on every occurrence. *)
+val stable_sequence : occurrence list -> string -> string list option
+
+val events_seen : occurrence list -> string list
+
+(** GraphBuilder over the handler-invocation sequence. *)
+val graph : Trace.t -> Event_graph.t

@@ -1,0 +1,40 @@
+(* Threshold reduction (Sec. 3.1, Fig. 6): drop every edge whose weight is
+   below the threshold [w]; nodes left without any incident edge are
+   dropped too.  Event paths are then extracted from the reduced graph. *)
+
+let reduce (g : Event_graph.t) ~threshold : Event_graph.t =
+  let r = Event_graph.create () in
+  List.iter
+    (fun (e : Event_graph.edge) ->
+      if e.weight >= threshold then begin
+        let e' =
+          {
+            Event_graph.src = e.src;
+            dst = e.dst;
+            weight = e.weight;
+            sync = e.sync;
+            async = e.async;
+            timed = e.timed;
+          }
+        in
+        Hashtbl.replace r.Event_graph.edges (e.src, e.dst) e';
+        let copy_node name =
+          if not (Hashtbl.mem r.Event_graph.nodes name) then begin
+            match Hashtbl.find_opt g.Event_graph.nodes name with
+            | Some n ->
+              Hashtbl.add r.Event_graph.nodes name
+                {
+                  Event_graph.name = n.Event_graph.name;
+                  occurrences = n.occurrences;
+                  raised_sync = n.raised_sync;
+                  raised_async = n.raised_async;
+                  raised_timed = n.raised_timed;
+                }
+            | None -> ignore (Event_graph.node r name)
+          end
+        in
+        copy_node e.src;
+        copy_node e.dst
+      end)
+    (Event_graph.edges g);
+  r

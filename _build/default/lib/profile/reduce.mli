@@ -1,0 +1,4 @@
+(** Threshold reduction (Sec. 3.1, Fig. 6): drop every edge with weight
+    below the threshold; nodes left without incident edges disappear. *)
+
+val reduce : Event_graph.t -> threshold:int -> Event_graph.t

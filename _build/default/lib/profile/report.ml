@@ -1,0 +1,41 @@
+(* Human-readable profiling reports: the edge table of Fig. 5, the reduced
+   graph of Fig. 6, chains and subsumption candidates. *)
+
+let pp_edge_table ppf (g : Event_graph.t) =
+  Fmt.pf ppf "%-24s %-24s %8s %6s %6s %6s@." "from" "to" "weight" "sync" "async" "timed";
+  List.iter
+    (fun (e : Event_graph.edge) ->
+      Fmt.pf ppf "%-24s %-24s %8d %6d %6d %6d@." e.Event_graph.src e.Event_graph.dst
+        e.weight e.sync e.async e.timed)
+    (Event_graph.sorted_edges g)
+
+let pp_chains ppf (chains : Chains.chain list) =
+  if chains = [] then Fmt.pf ppf "(no chains)@."
+  else
+    List.iter
+      (fun chain -> Fmt.pf ppf "chain: %s@." (String.concat " -> " chain))
+      chains
+
+let pp_paths ppf (paths : Paths.path list) =
+  if paths = [] then Fmt.pf ppf "(no linear paths)@."
+  else
+    List.iter (fun p -> Fmt.pf ppf "path: %s@." (String.concat " -> " p)) paths
+
+let pp_subsumption ppf (cands : Subsume.candidate list) =
+  if cands = [] then Fmt.pf ppf "(no subsumption candidates)@."
+  else
+    List.iter
+      (fun (c : Subsume.candidate) ->
+        Fmt.pf ppf "%s.%s raises %s synchronously (%d/%d invocations)%s@."
+          c.parent_event c.parent_handler c.child_event c.occurrences
+          c.parent_invocations
+          (if Subsume.always c then " [always]" else ""))
+      cands
+
+let pp_handler_sequences ppf (occs : Handler_graph.occurrence list) =
+  List.iter
+    (fun ev ->
+      match Handler_graph.stable_sequence occs ev with
+      | Some hs -> Fmt.pf ppf "%s: %s@." ev (String.concat ", " hs)
+      | None -> Fmt.pf ppf "%s: (unstable handler sequence)@." ev)
+    (Handler_graph.events_seen occs)

@@ -1,0 +1,9 @@
+(** Human-readable profiling reports: the edge table of Fig. 5, reduced
+    graphs, chains, paths, handler sequences and subsumption
+    candidates. *)
+
+val pp_edge_table : Format.formatter -> Event_graph.t -> unit
+val pp_chains : Format.formatter -> Chains.chain list -> unit
+val pp_paths : Format.formatter -> Paths.path list -> unit
+val pp_subsumption : Format.formatter -> Subsume.candidate list -> unit
+val pp_handler_sequences : Format.formatter -> Handler_graph.occurrence list -> unit

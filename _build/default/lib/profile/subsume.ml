@@ -1,0 +1,55 @@
+(* Subsumption-candidate detection (Sec. 3.2.1, Fig. 8).
+
+   A nested synchronous raise — event B raised synchronously from within a
+   handler of event A, every time A occurs — is a candidate for subsuming
+   B's handlers into A's super-handler.  Detection uses the begin/end
+   nesting of the handler-instrumented trace; the optimizer then verifies
+   the raise site syntactically in the HIR body before transforming. *)
+
+open Podopt_eventsys
+
+type candidate = {
+  parent_event : string;
+  parent_handler : string;
+  child_event : string;
+  occurrences : int;      (* how many times the nested raise was seen *)
+  parent_invocations : int;  (* how many times the parent handler ran *)
+}
+
+let always (c : candidate) = c.occurrences = c.parent_invocations
+
+let find (trace : Trace.t) : candidate list =
+  let nested : (string * string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let handler_runs : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)) in
+  (* stack of currently executing handlers: (event, handler) *)
+  let stack = ref [] in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Trace.Handler_begin { event; handler; _ } ->
+        bump handler_runs (event, handler);
+        stack := (event, handler) :: !stack
+      | Trace.Handler_end _ ->
+        (match !stack with [] -> () | _ :: rest -> stack := rest)
+      | Trace.Event_raised { event = child; mode = Podopt_hir.Ast.Sync; _ } ->
+        (match !stack with
+         | (pev, ph) :: _ -> bump nested (pev, ph, child)
+         | [] -> ())
+      | Trace.Event_raised _ | Trace.Dispatch_begin _ | Trace.Dispatch_end _ -> ())
+    (Trace.entries trace);
+  let cands =
+    Hashtbl.fold
+      (fun (pev, ph, child) count acc ->
+        {
+          parent_event = pev;
+          parent_handler = ph;
+          child_event = child;
+          occurrences = count;
+          parent_invocations =
+            Option.value ~default:0 (Hashtbl.find_opt handler_runs (pev, ph));
+        }
+        :: acc)
+      nested []
+  in
+  List.sort compare cands

@@ -1,0 +1,21 @@
+(** Subsumption-candidate detection (Sec. 3.2.1, Fig. 8): nested
+    synchronous raises — event B raised synchronously from within a
+    handler of event A — found from the begin/end nesting of a
+    handler-instrumented trace.  The optimizer then verifies each raise
+    site syntactically before transforming, so profile noise can only
+    cost opportunity, never correctness. *)
+
+open Podopt_eventsys
+
+type candidate = {
+  parent_event : string;
+  parent_handler : string;
+  child_event : string;
+  occurrences : int;         (** nested raises observed *)
+  parent_invocations : int;  (** parent handler runs observed *)
+}
+
+(** The nested raise happened on every invocation of the parent. *)
+val always : candidate -> bool
+
+val find : Trace.t -> candidate list

@@ -1,0 +1,135 @@
+(* Trace persistence: a line-oriented text format so traces can be
+   collected in one run and analyzed off-line in another — the paper's
+   methodology ("the analysis and optimizations are currently performed
+   manually off-line after the program ... has been executed enough times
+   to develop an adequate profile").
+
+   Format (one entry per line, chronological):
+
+     E  <time> <depth> <mode>  <event>          raise/occurrence
+     DB <time> <depth> <event>                  dispatch begin
+     DE <time> <depth> <event>                  dispatch end
+     HB <time> <depth> <event> <handler>        handler begin
+     HE <time> <depth> <event> <handler>        handler end
+
+   with <mode> = S | A | T<delay>.  Names must be whitespace-free (all
+   event/handler names in this system are). *)
+
+open Podopt_hir
+open Podopt_eventsys
+
+exception Format_error of string
+
+let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
+
+let check_name what name =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' then
+        format_error "%s name %S contains whitespace" what name)
+    name;
+  if name = "" then format_error "empty %s name" what
+
+let mode_to_token = function
+  | Ast.Sync -> "S"
+  | Ast.Async -> "A"
+  | Ast.Timed d -> Printf.sprintf "T%d" d
+
+let mode_of_token = function
+  | "S" -> Ast.Sync
+  | "A" -> Ast.Async
+  | tok when String.length tok > 1 && tok.[0] = 'T' ->
+    (match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+     | Some d -> Ast.Timed d
+     | None -> format_error "bad timed mode %S" tok)
+  | tok -> format_error "bad mode %S" tok
+
+let entry_to_line = function
+  | Trace.Event_raised { event; mode; time; depth } ->
+    check_name "event" event;
+    Printf.sprintf "E %d %d %s %s" time depth (mode_to_token mode) event
+  | Trace.Dispatch_begin { event; time; depth } ->
+    check_name "event" event;
+    Printf.sprintf "DB %d %d %s" time depth event
+  | Trace.Dispatch_end { event; time; depth } ->
+    check_name "event" event;
+    Printf.sprintf "DE %d %d %s" time depth event
+  | Trace.Handler_begin { event; handler; time; depth } ->
+    check_name "event" event;
+    check_name "handler" handler;
+    Printf.sprintf "HB %d %d %s %s" time depth event handler
+  | Trace.Handler_end { event; handler; time; depth } ->
+    check_name "event" event;
+    check_name "handler" handler;
+    Printf.sprintf "HE %d %d %s %s" time depth event handler
+
+let entry_of_line line =
+  let fields = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+  let int_field what s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> format_error "bad %s %S in line %S" what s line
+  in
+  match fields with
+  | [] -> None
+  | [ "E"; time; depth; mode; event ] ->
+    Some
+      (Trace.Event_raised
+         {
+           event;
+           mode = mode_of_token mode;
+           time = int_field "time" time;
+           depth = int_field "depth" depth;
+         })
+  | [ "DB"; time; depth; event ] ->
+    Some
+      (Trace.Dispatch_begin
+         { event; time = int_field "time" time; depth = int_field "depth" depth })
+  | [ "DE"; time; depth; event ] ->
+    Some
+      (Trace.Dispatch_end
+         { event; time = int_field "time" time; depth = int_field "depth" depth })
+  | [ "HB"; time; depth; event; handler ] ->
+    Some
+      (Trace.Handler_begin
+         { event; handler; time = int_field "time" time; depth = int_field "depth" depth })
+  | [ "HE"; time; depth; event; handler ] ->
+    Some
+      (Trace.Handler_end
+         { event; handler; time = int_field "time" time; depth = int_field "depth" depth })
+  | tag :: _ -> format_error "bad entry tag %S in line %S" tag line
+
+let to_string (trace : Trace.t) : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (entry_to_line e);
+      Buffer.add_char buf '\n')
+    (Trace.entries trace);
+  Buffer.contents buf
+
+let of_string (s : string) : Trace.t =
+  let trace = Trace.create () in
+  let entries =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None else entry_of_line line)
+  in
+  trace.Trace.entries <- List.rev entries;
+  trace.Trace.count <- List.length entries;
+  trace
+
+let save (trace : Trace.t) ~(path : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load ~(path : string) : Trace.t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,22 @@
+(** Trace persistence: a line-oriented text format so traces can be
+    collected in one run and analyzed off-line in another (the paper's
+    off-line methodology).
+
+    Format: [E <time> <depth> <mode> <event>] for occurrences (mode
+    [S]/[A]/[T<delay>]), [DB]/[DE] for dispatch boundaries, [HB]/[HE]
+    for handler begin/end.  Blank lines and [#] comments are ignored on
+    load. *)
+
+open Podopt_eventsys
+
+exception Format_error of string
+
+val entry_to_line : Trace.entry -> string
+
+(** [None] for blank input. *)
+val entry_of_line : string -> Trace.entry option
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t
+val save : Trace.t -> path:string -> unit
+val load : path:string -> Trace.t

@@ -1,0 +1,1 @@
+lib/seccomm/seccomm.ml: Bytes Composite Fun List Micro_protocol Podopt_cactus Podopt_crypto Podopt_eventsys Podopt_hir Runtime Session

@@ -1,0 +1,1 @@
+lib/seccomm/seccomm.mli: Costs Podopt_cactus Podopt_eventsys Runtime

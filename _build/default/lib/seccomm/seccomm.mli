@@ -1,0 +1,53 @@
+(** SecComm: the configurable secure communication service of Sec. 4.2 /
+    Fig. 12.
+
+    The evaluated configuration has three micro-protocols — DES privacy,
+    a trivial XOR privacy layer, and a coordinator — with exactly one
+    event chain on the sender (SecPush -> SecNetOut) and one on the
+    receiver (SecPop -> SecDeliver).  Layers transform the shared message
+    buffer Cactus-style, so a configuration is assembled purely by
+    choosing which handlers are bound.  An optional KeyedMD5 integrity
+    layer demonstrates combinations of security micro-protocols. *)
+
+open Podopt_eventsys
+
+type config = {
+  des : bool;
+  xor : bool;
+  mac : bool;     (** KeyedMD5 integrity: outermost layer; a failed check
+                      halts the pop chain *)
+  replay : bool;    (** innermost sequence-number layer; replayed messages
+                        halt before delivery *)
+  compress : bool;  (** RLE compression written in HIR: a configuration
+                        where interpreted handler code, not native
+                        crypto, dominates *)
+}
+
+(** DES + XOR + coordinator — the configuration the paper measures. *)
+val paper_config : config
+
+val coordinator : Podopt_cactus.Micro_protocol.t
+val des_privacy : Podopt_cactus.Micro_protocol.t
+val xor_privacy : Podopt_cactus.Micro_protocol.t
+val keyed_md5 : Podopt_cactus.Micro_protocol.t
+val replay_protection : Podopt_cactus.Micro_protocol.t
+val compression : Podopt_cactus.Micro_protocol.t
+
+val composite : config -> Podopt_cactus.Composite.t
+val create : ?costs:Costs.model -> ?config:config -> unit -> Runtime.t
+
+(** Push a plaintext down the stack; the wire bytes appear as a
+    ["udp_tx"] emit. *)
+val push : Runtime.t -> bytes -> unit
+
+(** Feed wire bytes up the stack; the plaintext appears as a ["deliver"]
+    emit (or ["mac_fail"] and a halted chain when tampered). *)
+val pop : Runtime.t -> bytes -> unit
+
+(** Cumulative processing cost of the push / pop events (the Fig. 12
+    split: application->socket and socket->application). *)
+val push_time : Runtime.t -> int
+
+val pop_time : Runtime.t -> int
+
+val stat : Runtime.t -> string -> int

@@ -1,0 +1,1 @@
+lib/xwin/client.ml: Handler Hashtbl List Podopt_eventsys Podopt_hir Printf Queue Runtime String Translation Widget Xevent Xprims

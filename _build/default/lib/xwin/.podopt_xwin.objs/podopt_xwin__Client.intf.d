@@ -1,0 +1,1 @@
+lib/xwin/client.mli: Costs Hashtbl Podopt_eventsys Podopt_hir Queue Runtime Widget Xevent

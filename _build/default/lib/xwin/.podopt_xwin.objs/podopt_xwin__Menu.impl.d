@@ -1,0 +1,1 @@
+lib/xwin/menu.ml: Client Podopt_eventsys Podopt_hir Template Translation Value Widget

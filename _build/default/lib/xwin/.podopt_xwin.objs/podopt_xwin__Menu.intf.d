@@ -1,0 +1,1 @@
+lib/xwin/menu.mli: Client Widget

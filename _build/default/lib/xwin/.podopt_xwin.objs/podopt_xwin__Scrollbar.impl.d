@@ -1,0 +1,1 @@
+lib/xwin/scrollbar.ml: Client Podopt_eventsys Podopt_hir Template Translation Value Widget

@@ -1,0 +1,1 @@
+lib/xwin/scrollbar.mli: Client Widget

@@ -1,0 +1,1 @@
+lib/xwin/textview.mli: Client Widget

@@ -1,0 +1,1 @@
+lib/xwin/translation.ml: List String Xevent

@@ -1,0 +1,1 @@
+lib/xwin/widget.ml: List Option Translation Xevent

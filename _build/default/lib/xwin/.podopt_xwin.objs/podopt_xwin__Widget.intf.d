@@ -1,0 +1,1 @@
+lib/xwin/widget.mli: Translation Xevent

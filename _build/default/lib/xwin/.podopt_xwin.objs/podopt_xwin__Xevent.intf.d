@@ -1,0 +1,1 @@
+lib/xwin/xevent.mli:

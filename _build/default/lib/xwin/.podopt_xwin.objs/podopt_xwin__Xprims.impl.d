@@ -1,0 +1,1 @@
+lib/xwin/xprims.ml: Podopt_hir Prim Value

@@ -1,0 +1,98 @@
+(* SimpleMenu: an Athena-style popup menu widget.
+
+   The xterm Popup scenario (Fig. 13): Ctrl+Button triggers two action
+   procedures in sequence — [position_menu] initializes the menu object
+   (geometry, item layout) and [popup_menu] constructs and displays it,
+   invoking two callbacks that track pointer motion within the menu. *)
+
+open Podopt_hir
+
+(* HIR source is generated per menu widget ($W) so callback event names
+   resolve to the right widget; $N is the item count. *)
+let template =
+  {|
+// Action 1: initialize the menu object and lay out its items.
+// Positioning queries the server for the pointer location.
+handler position_menu(x, y, detail) {
+  x_request(1);            // XQueryPointer
+  global $W_origin_x = x;
+  global $W_origin_y = y;
+  let i = 0;
+  let h = 0;
+  while (i < $N) {
+    // per-item geometry: label box + padding
+    h = h + global $W_item_height + 2;
+    i = i + 1;
+  }
+  global $W_height = h;
+  global $W_inited = global $W_inited + 1;
+}
+
+// Action 2: construct and display the menu, then arm motion tracking.
+// Mapping the menu window and grabbing the pointer are synchronous X
+// protocol round trips; drawing the menu rasterizes its area.
+handler popup_menu(x, y, detail) {
+  let w = global $W_width;
+  let h = global $W_height;
+  x_request(3);            // XMapRaised + XGrabPointer + XRaiseWindow
+  x_render(w, h);          // draw items
+  x_render(w, 4);          // drop shadow
+  let area = w * h;
+  global $W_damage = global $W_damage + area;
+  global $W_visible = 1;
+  emit("menu_shown", x, y, area);
+  raise sync CB__$W__motion(x, y, 0);
+}
+
+// Callback A: highlight the item under the pointer.
+handler $W_track_highlight(x, y, detail) {
+  let rel = y - global $W_origin_y;
+  let idx = rel / (global $W_item_height + 2);
+  let idx2 = max(0, min($N - 1, idx));
+  if (idx2 != global $W_highlight) {
+    global $W_highlight = idx2;
+    x_render(global $W_width, global $W_item_height);  // repaint the item
+    global $W_damage = global $W_damage + global $W_width * global $W_item_height;
+  }
+}
+
+// Callback B: update the pointer-grab bookkeeping.
+handler $W_track_grab(x, y, detail) {
+  global $W_grab_x = x;
+  global $W_grab_y = y;
+  global $W_motions = global $W_motions + 1;
+}
+|}
+
+let source ~(widget : string) ~(items : int) =
+  Template.subst [ ("$W", widget); ("$N", string_of_int items) ] template
+
+(* Create the menu widget, register its actions and callbacks on the
+   client, and install the xterm-style translation on [owner]. *)
+let install (client : Client.t) ~(owner : Widget.t) ?(items = 8) ~(name : string) () :
+    Widget.t =
+  let menu = Widget.create ~name ~class_:"SimpleMenu" ~width:120 ~height:10 () in
+  Widget.add_child owner menu;
+  Client.add_program client (source ~widget:name ~items);
+  let rt = client.Client.runtime in
+  let g k v = Podopt_eventsys.Runtime.set_global rt (name ^ "_" ^ k) v in
+  g "origin_x" (Value.Int 0);
+  g "origin_y" (Value.Int 0);
+  g "item_height" (Value.Int 14);
+  g "height" (Value.Int 0);
+  g "width" (Value.Int 120);
+  g "inited" (Value.Int 0);
+  g "damage" (Value.Int 0);
+  g "visible" (Value.Int 0);
+  g "highlight" (Value.Int (-1));
+  g "grab_x" (Value.Int 0);
+  g "grab_y" (Value.Int 0);
+  g "motions" (Value.Int 0);
+  Client.register_action client ~name:"position-menu" ~proc:"position_menu";
+  Client.register_action client ~name:"popup-menu" ~proc:"popup_menu";
+  Widget.add_callback menu ~name:"motion" (name ^ "_track_highlight");
+  Widget.add_callback menu ~name:"motion" (name ^ "_track_grab");
+  Widget.set_translations owner
+    (owner.Widget.translations
+    @ Translation.parse "Ctrl<Btn1Down>: position-menu() popup-menu()");
+  menu

@@ -1,0 +1,15 @@
+(** SimpleMenu: an Athena-style popup menu widget — the xterm Popup
+    scenario of Fig. 13.  Ctrl+Button triggers two action procedures in
+    sequence: [position_menu] (geometry, item layout, pointer query) and
+    [popup_menu] (map, grab, draw; invokes two motion-tracking
+    callbacks). *)
+
+(** The per-widget HIR source ($W = widget name, $N = item count,
+    already substituted). *)
+val source : widget:string -> items:int -> string
+
+(** Create the menu under [owner], register its actions/callbacks, and
+    install the ["Ctrl<Btn1Down>"] translation on [owner].  Call before
+    {!Client.realize}. *)
+val install :
+  Client.t -> owner:Widget.t -> ?items:int -> name:string -> unit -> Widget.t

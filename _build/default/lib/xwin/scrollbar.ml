@@ -1,0 +1,83 @@
+(* Scrollbar widget: the gvim Scroll scenario (Fig. 13).
+
+   Scrollbar motion triggers two action procedures: [scroll_query] asks
+   the framework for the thumb's coordinates (via the widget's get-coords
+   callback) and [scroll_update] displays the thumb at its new position
+   (via the update-pos callback). *)
+
+open Podopt_hir
+
+let template =
+  {|
+// Action 1: query the current thumb geometry.
+handler scroll_query(x, y, detail) {
+  raise sync CB__$W__get_coords(x, y, detail);
+  global $W_queries = global $W_queries + 1;
+}
+
+// Action 2: display the thumb at the new position.
+handler scroll_update(x, y, detail) {
+  raise sync CB__$W__update_pos(x, y, detail);
+  global $W_updates = global $W_updates + 1;
+}
+
+// get-coords callback: derive thumb position from the document state.
+// Querying the framework for current geometry is a server round trip.
+handler $W_get_coords(x, y, detail) {
+  x_request(1);            // XGetGeometry
+  let track = global $W_height - global $W_thumb_len;
+  let lines = max(1, global $W_doc_lines);
+  let pos = global $W_top_line * track / lines;
+  global $W_thumb_pos = max(0, min(track, pos));
+}
+
+// update-pos callback: move the thumb, redraw it, and repaint the text
+// viewport for the new document position (the bulk of a gvim scroll).
+handler $W_update_pos(x, y, detail) {
+  let track = global $W_height - global $W_thumb_len;
+  let new_pos = max(0, min(track, y));
+  let delta = new_pos - global $W_thumb_pos;
+  if (delta != 0) {
+    global $W_thumb_pos = new_pos;
+    global $W_top_line = new_pos * global $W_doc_lines / max(1, track);
+    x_render(global $W_width, global $W_thumb_len);    // redraw thumb
+    x_render(global $W_view_w, global $W_view_h);      // repaint viewport
+    x_request(1);                                      // XCopyArea
+    global $W_damage = global $W_damage + global $W_width * abs(delta);
+    emit("thumb_moved", new_pos, global $W_top_line);
+  }
+}
+|}
+
+let source ~(widget : string) =
+  Template.subst [ ("$W", widget) ] template
+
+let install (client : Client.t) ~(owner : Widget.t) ?(doc_lines = 5000)
+    ~(name : string) () : Widget.t =
+  let sb =
+    Widget.create ~name ~class_:"Scrollbar" ~x:(owner.Widget.width - 12) ~y:0
+      ~width:12 ~height:owner.Widget.height ()
+  in
+  Widget.add_child owner sb;
+  Widget.map sb;
+  Client.add_program client (source ~widget:name);
+  let rt = client.Client.runtime in
+  let g k v = Podopt_eventsys.Runtime.set_global rt (name ^ "_" ^ k) v in
+  g "height" (Value.Int sb.Widget.height);
+  g "width" (Value.Int sb.Widget.width);
+  g "thumb_len" (Value.Int 30);
+  g "thumb_pos" (Value.Int 0);
+  g "doc_lines" (Value.Int doc_lines);
+  g "top_line" (Value.Int 0);
+  g "view_w" (Value.Int (owner.Widget.width - sb.Widget.width));
+  g "view_h" (Value.Int owner.Widget.height);
+  g "damage" (Value.Int 0);
+  g "queries" (Value.Int 0);
+  g "updates" (Value.Int 0);
+  Client.register_action client ~name:"scroll-query" ~proc:"scroll_query";
+  Client.register_action client ~name:"scroll-update" ~proc:"scroll_update";
+  Widget.add_callback sb ~name:"get_coords" (name ^ "_get_coords");
+  Widget.add_callback sb ~name:"update_pos" (name ^ "_update_pos");
+  Widget.set_translations sb
+    (Translation.parse "<PtrMoved>: scroll-query() scroll-update()");
+  sb

@@ -1,0 +1,13 @@
+(** Scrollbar widget — the gvim Scroll scenario of Fig. 13.  Pointer
+    motion triggers two action procedures: [scroll_query] (get-coords
+    callback, a server round trip) and [scroll_update] (update-pos
+    callback: move the thumb and repaint the text viewport — the bulk of
+    the response time). *)
+
+val source : widget:string -> string
+
+(** Create the scrollbar inside [owner] (right edge), register actions
+    and callbacks, install the ["<PtrMoved>"] translation on the
+    scrollbar.  Call before {!Client.realize}. *)
+val install :
+  Client.t -> owner:Widget.t -> ?doc_lines:int -> name:string -> unit -> Widget.t

@@ -1,0 +1,23 @@
+(* Tiny template substitution for per-widget HIR sources: "$W" is the
+   widget name, "$N" a numeric parameter.  Safer than positional printf
+   for sources with dozens of insertions. *)
+
+let subst (pairs : (string * string) list) (s : string) : string =
+  List.fold_left
+    (fun acc (key, value) ->
+      let buf = Buffer.create (String.length acc) in
+      let klen = String.length key in
+      let i = ref 0 in
+      let n = String.length acc in
+      while !i < n do
+        if !i + klen <= n && String.sub acc !i klen = key then begin
+          Buffer.add_string buf value;
+          i := !i + klen
+        end
+        else begin
+          Buffer.add_char buf acc.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents buf)
+    s pairs

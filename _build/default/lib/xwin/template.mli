@@ -1,0 +1,6 @@
+(** Tiny template substitution for per-widget HIR sources ("$W" = widget
+    name, "$N" = numeric parameter); safer than positional printf for
+    sources with dozens of insertions. *)
+
+(** [subst pairs s] replaces each key by its value, left to right. *)
+val subst : (string * string) list -> string -> string

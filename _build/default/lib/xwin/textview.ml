@@ -1,0 +1,85 @@
+(* Text viewport widget: the typing path of an xterm/gvim-like client.
+
+   A key press triggers two action procedures — [insert_char] (store the
+   character, advance the cursor, draw the glyph cell, notify the
+   changed-callback) and [update_cursor] (erase and redraw the caret).
+   Unlike Scroll (viewport repaint) and Popup (server round trips), a
+   keystroke's real work is two tiny cell renders, so the event-machinery
+   share of its response time is large — an extra scenario showing where
+   the paper's optimizations help most in a GUI. *)
+
+open Podopt_hir
+
+let template =
+  {|
+// Action 1: insert the typed character at the cursor.
+handler insert_char(x, y, key) {
+  let ch = band(key, 255);
+  global $W_chars = global $W_chars + 1;
+  global $W_cursor_col = global $W_cursor_col + 1;
+  if (ch == 10 || global $W_cursor_col >= global $W_cols) {
+    global $W_cursor_col = 0;
+    global $W_cursor_line = global $W_cursor_line + 1;
+    if (global $W_cursor_line >= global $W_lines) {
+      global $W_lines = global $W_cursor_line + 1;
+    }
+  }
+  x_render(global $W_cell_w, global $W_cell_h);    // draw the glyph
+  raise sync CB__$W__changed(ch, global $W_cursor_line, global $W_cursor_col);
+}
+
+// Action 2: move the caret (erase old cell edge, draw new one).
+handler update_cursor(x, y, key) {
+  x_render(2, global $W_cell_h);
+  x_render(2, global $W_cell_h);
+  global $W_caret_moves = global $W_caret_moves + 1;
+}
+
+// changed callback: mark the buffer dirty for interested parties
+// (statusline, scrollbar).
+handler $W_on_changed(ch, line, col) {
+  global $W_dirty = 1;
+  global $W_changed_count = global $W_changed_count + 1;
+}
+
+// Expose: repaint the whole viewport (the primitive event-handler
+// mechanism, bound directly to the X event kind).
+handler $W_on_expose(x, y, detail) {
+  x_render(global $W_view_w, global $W_view_h);
+  global $W_exposes = global $W_exposes + 1;
+  global $W_dirty = 0;
+}
+|}
+
+let source ~(widget : string) = Template.subst [ ("$W", widget) ] template
+
+let install (client : Client.t) ~(owner : Widget.t) ?(cols = 80) ~(name : string) () :
+    Widget.t =
+  let tv =
+    Widget.create ~name ~class_:"TextView" ~x:0 ~y:0
+      ~width:(owner.Widget.width - 14) ~height:owner.Widget.height ()
+  in
+  Widget.add_child owner tv;
+  Widget.map tv;
+  Client.add_program client (source ~widget:name);
+  let rt = client.Client.runtime in
+  let g k v = Podopt_eventsys.Runtime.set_global rt (name ^ "_" ^ k) v in
+  g "chars" (Value.Int 0);
+  g "cursor_line" (Value.Int 0);
+  g "cursor_col" (Value.Int 0);
+  g "cols" (Value.Int cols);
+  g "lines" (Value.Int 1);
+  g "cell_w" (Value.Int 8);
+  g "cell_h" (Value.Int 14);
+  g "caret_moves" (Value.Int 0);
+  g "dirty" (Value.Int 0);
+  g "changed_count" (Value.Int 0);
+  g "view_w" (Value.Int tv.Widget.width);
+  g "view_h" (Value.Int tv.Widget.height);
+  g "exposes" (Value.Int 0);
+  Client.register_action client ~name:"insert-char" ~proc:"insert_char";
+  Client.register_action client ~name:"update-cursor" ~proc:"update_cursor";
+  Widget.add_callback tv ~name:"changed" (name ^ "_on_changed");
+  Widget.add_event_handler tv Xevent.Expose (name ^ "_on_expose");
+  Widget.set_translations tv (Translation.parse "<Key>: insert-char() update-cursor()");
+  tv

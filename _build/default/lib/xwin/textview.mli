@@ -1,0 +1,13 @@
+(** Text viewport widget: the typing path of an xterm/gvim-like client.
+    A key press triggers [insert_char] then [update_cursor]; the real
+    work is two tiny cell renders, so the event-machinery share of the
+    response is large — the scenario where the optimizations help a GUI
+    most. *)
+
+val source : widget:string -> string
+
+(** Create the text view filling [owner] (left of a scrollbar), register
+    actions/callbacks, and install the ["<Key>"] translation.  Call
+    before {!Client.realize}; route keys to it with {!Client.set_focus}. *)
+val install :
+  Client.t -> owner:Widget.t -> ?cols:int -> name:string -> unit -> Widget.t

@@ -1,0 +1,89 @@
+(* Xt-style translation tables: map (modifiers, event kind, detail) to a
+   sequence of action names, e.g.
+
+     Ctrl<Btn1Down>: position-menu() popup-menu()
+     <PtrMoved>:     scroll-query() scroll-update()
+
+   Patterns are matched in table order; the first match wins.  This is
+   the extra level of indirection the paper ascribes to action
+   procedures (event -> action name -> action procedure). *)
+
+type pattern = {
+  kind : Xevent.kind;
+  ctrl : bool option;      (* None = don't care *)
+  shift : bool option;
+  detail : int option;     (* button / keycode, None = any *)
+}
+
+type entry = { pattern : pattern; actions : string list }
+type t = entry list
+
+let pattern ?(ctrl : bool option) ?(shift : bool option) ?(detail : int option) kind =
+  { kind; ctrl; shift; detail }
+
+let matches (p : pattern) (ev : Xevent.t) : bool =
+  p.kind = ev.Xevent.kind
+  && (match p.ctrl with None -> true | Some c -> c = ev.Xevent.mods.Xevent.ctrl)
+  && (match p.shift with None -> true | Some s -> s = ev.Xevent.mods.Xevent.shift)
+  && (match p.detail with None -> true | Some d -> d = ev.Xevent.detail)
+
+let lookup (t : t) (ev : Xevent.t) : string list option =
+  match List.find_opt (fun e -> matches e.pattern ev) t with
+  | Some e -> Some e.actions
+  | None -> None
+
+(* --- Tiny parser for the classic textual syntax ----------------------- *)
+
+exception Parse_error of string
+
+let kind_of_string = function
+  | "Btn1Down" | "BtnDown" -> (Xevent.ButtonPress, None)
+  | "Btn1Up" | "BtnUp" -> (Xevent.ButtonRelease, None)
+  | "Btn2Down" -> (Xevent.ButtonPress, Some 2)
+  | "Btn3Down" -> (Xevent.ButtonPress, Some 3)
+  | "PtrMoved" | "Motion" -> (Xevent.MotionNotify, None)
+  | "Key" | "KeyPress" -> (Xevent.KeyPress, None)
+  | "KeyUp" -> (Xevent.KeyRelease, None)
+  | "Enter" | "EnterWindow" -> (Xevent.EnterNotify, None)
+  | "Leave" | "LeaveWindow" -> (Xevent.LeaveNotify, None)
+  | "Expose" -> (Xevent.Expose, None)
+  | "FocusIn" -> (Xevent.FocusIn, None)
+  | "FocusOut" -> (Xevent.FocusOut, None)
+  | s -> raise (Parse_error ("unknown event: " ^ s))
+
+(* Parse one line: "Ctrl Shift<Btn1Down>: act1() act2()". *)
+let parse_line (line : string) : entry option =
+  let line = String.trim line in
+  if line = "" || String.length line >= 1 && line.[0] = '#' then None
+  else
+    match String.index_opt line ':' with
+    | None -> raise (Parse_error ("missing ':' in " ^ line))
+    | Some colon ->
+      let lhs = String.trim (String.sub line 0 colon) in
+      let rhs =
+        String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+      in
+      let lt = String.index_opt lhs '<' in
+      let gt = String.index_opt lhs '>' in
+      (match lt, gt with
+       | Some l, Some g when g > l ->
+         let mods_str = String.trim (String.sub lhs 0 l) in
+         let ev_str = String.sub lhs (l + 1) (g - l - 1) in
+         let mods = String.split_on_char ' ' mods_str |> List.filter (( <> ) "") in
+         let ctrl = if List.mem "Ctrl" mods then Some true else None in
+         let shift = if List.mem "Shift" mods then Some true else None in
+         let kind, detail = kind_of_string ev_str in
+         let actions =
+           String.split_on_char ' ' rhs
+           |> List.filter (( <> ) "")
+           |> List.map (fun a ->
+                  match String.index_opt a '(' with
+                  | Some i -> String.sub a 0 i
+                  | None -> a)
+         in
+         if actions = [] then raise (Parse_error ("no actions in " ^ line));
+         Some { pattern = { kind; ctrl; shift; detail }; actions }
+       | _ -> raise (Parse_error ("missing <event> in " ^ line)))
+
+let parse (text : string) : t =
+  String.split_on_char '\n' text |> List.filter_map parse_line

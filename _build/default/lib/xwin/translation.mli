@@ -1,0 +1,30 @@
+(** Xt-style translation tables: map (modifiers, event kind, detail) to a
+    sequence of action names — the extra indirection level the paper
+    ascribes to action procedures.
+
+    Textual syntax (first match wins):
+    {v
+    Ctrl<Btn1Down>: position-menu() popup-menu()
+    <PtrMoved>:     scroll-query() scroll-update()
+    v} *)
+
+type pattern = {
+  kind : Xevent.kind;
+  ctrl : bool option;   (** [None] = don't care *)
+  shift : bool option;
+  detail : int option;
+}
+
+type entry = { pattern : pattern; actions : string list }
+type t = entry list
+
+val pattern : ?ctrl:bool -> ?shift:bool -> ?detail:int -> Xevent.kind -> pattern
+val matches : pattern -> Xevent.t -> bool
+val lookup : t -> Xevent.t -> string list option
+
+exception Parse_error of string
+
+(** Parse one "lhs: actions" line; [None] for blanks and [#] comments. *)
+val parse_line : string -> entry option
+
+val parse : string -> t

@@ -1,0 +1,89 @@
+(* X protocol events: the 33 core event kinds of Xlib (Sec. 2.3: "The
+   Xlib framework specifies 33 basic events"), with the event-mask and
+   modifier machinery clients use to select and match them. *)
+
+type kind =
+  | KeyPress | KeyRelease
+  | ButtonPress | ButtonRelease
+  | MotionNotify
+  | EnterNotify | LeaveNotify
+  | FocusIn | FocusOut
+  | KeymapNotify
+  | Expose | GraphicsExpose | NoExpose
+  | VisibilityNotify
+  | CreateNotify | DestroyNotify
+  | UnmapNotify | MapNotify | MapRequest
+  | ReparentNotify
+  | ConfigureNotify | ConfigureRequest
+  | GravityNotify
+  | ResizeRequest
+  | CirculateNotify | CirculateRequest
+  | PropertyNotify
+  | SelectionClear | SelectionRequest | SelectionNotify
+  | ColormapNotify
+  | ClientMessage
+  | MappingNotify
+
+let all_kinds =
+  [
+    KeyPress; KeyRelease; ButtonPress; ButtonRelease; MotionNotify; EnterNotify;
+    LeaveNotify; FocusIn; FocusOut; KeymapNotify; Expose; GraphicsExpose; NoExpose;
+    VisibilityNotify; CreateNotify; DestroyNotify; UnmapNotify; MapNotify; MapRequest;
+    ReparentNotify; ConfigureNotify; ConfigureRequest; GravityNotify; ResizeRequest;
+    CirculateNotify; CirculateRequest; PropertyNotify; SelectionClear;
+    SelectionRequest; SelectionNotify; ColormapNotify; ClientMessage; MappingNotify;
+  ]
+
+let kind_to_string = function
+  | KeyPress -> "KeyPress" | KeyRelease -> "KeyRelease"
+  | ButtonPress -> "ButtonPress" | ButtonRelease -> "ButtonRelease"
+  | MotionNotify -> "MotionNotify"
+  | EnterNotify -> "EnterNotify" | LeaveNotify -> "LeaveNotify"
+  | FocusIn -> "FocusIn" | FocusOut -> "FocusOut"
+  | KeymapNotify -> "KeymapNotify"
+  | Expose -> "Expose" | GraphicsExpose -> "GraphicsExpose" | NoExpose -> "NoExpose"
+  | VisibilityNotify -> "VisibilityNotify"
+  | CreateNotify -> "CreateNotify" | DestroyNotify -> "DestroyNotify"
+  | UnmapNotify -> "UnmapNotify" | MapNotify -> "MapNotify" | MapRequest -> "MapRequest"
+  | ReparentNotify -> "ReparentNotify"
+  | ConfigureNotify -> "ConfigureNotify" | ConfigureRequest -> "ConfigureRequest"
+  | GravityNotify -> "GravityNotify"
+  | ResizeRequest -> "ResizeRequest"
+  | CirculateNotify -> "CirculateNotify" | CirculateRequest -> "CirculateRequest"
+  | PropertyNotify -> "PropertyNotify"
+  | SelectionClear -> "SelectionClear" | SelectionRequest -> "SelectionRequest"
+  | SelectionNotify -> "SelectionNotify"
+  | ColormapNotify -> "ColormapNotify"
+  | ClientMessage -> "ClientMessage"
+  | MappingNotify -> "MappingNotify"
+
+(* Event masks: which kinds a widget has asked to receive. *)
+let mask_bit (k : kind) : int =
+  let rec index i = function
+    | [] -> assert false
+    | k' :: rest -> if k' = k then i else index (i + 1) rest
+  in
+  1 lsl index 0 all_kinds
+
+let mask_of_kinds kinds = List.fold_left (fun m k -> m lor mask_bit k) 0 kinds
+let selects mask kind = mask land mask_bit kind <> 0
+
+(* Modifier state carried by input events. *)
+type modifiers = { ctrl : bool; shift : bool; alt : bool }
+
+let no_mods = { ctrl = false; shift = false; alt = false }
+
+(* A concrete X event as delivered to the client. *)
+type t = {
+  kind : kind;
+  window : int;       (* target widget id; 0 = route by pointer position *)
+  x : int;
+  y : int;
+  detail : int;       (* button number / keycode / misc *)
+  mods : modifiers;
+  time : int;
+}
+
+let make ?(window = 0) ?(x = 0) ?(y = 0) ?(detail = 0) ?(mods = no_mods) ?(time = 0)
+    kind =
+  { kind; window; x; y; detail; mods; time }

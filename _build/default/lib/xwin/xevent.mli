@@ -1,0 +1,55 @@
+(** X protocol events: the 33 core event kinds of Xlib (Sec. 2.3), with
+    event-mask and modifier machinery. *)
+
+type kind =
+  | KeyPress | KeyRelease
+  | ButtonPress | ButtonRelease
+  | MotionNotify
+  | EnterNotify | LeaveNotify
+  | FocusIn | FocusOut
+  | KeymapNotify
+  | Expose | GraphicsExpose | NoExpose
+  | VisibilityNotify
+  | CreateNotify | DestroyNotify
+  | UnmapNotify | MapNotify | MapRequest
+  | ReparentNotify
+  | ConfigureNotify | ConfigureRequest
+  | GravityNotify
+  | ResizeRequest
+  | CirculateNotify | CirculateRequest
+  | PropertyNotify
+  | SelectionClear | SelectionRequest | SelectionNotify
+  | ColormapNotify
+  | ClientMessage
+  | MappingNotify
+
+(** All 33 kinds. *)
+val all_kinds : kind list
+
+val kind_to_string : kind -> string
+
+(** {1 Event masks} *)
+
+val mask_bit : kind -> int
+val mask_of_kinds : kind list -> int
+val selects : int -> kind -> bool
+
+(** {1 Concrete events} *)
+
+type modifiers = { ctrl : bool; shift : bool; alt : bool }
+
+val no_mods : modifiers
+
+type t = {
+  kind : kind;
+  window : int;  (** target widget id; 0 = route by pointer position *)
+  x : int;
+  y : int;
+  detail : int;  (** button number / keycode *)
+  mods : modifiers;
+  time : int;
+}
+
+val make :
+  ?window:int -> ?x:int -> ?y:int -> ?detail:int -> ?mods:modifiers -> ?time:int ->
+  kind -> t

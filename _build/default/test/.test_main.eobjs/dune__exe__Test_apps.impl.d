@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Bytes Driver Podopt Podopt_apps Printf

@@ -1,0 +1,1 @@
+test/test_cactus.ml: Alcotest Composite Driver Helpers List Micro_protocol Plan Podopt Podopt_cactus Runtime Session Value

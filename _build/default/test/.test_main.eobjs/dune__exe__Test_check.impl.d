@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Ast Check Helpers List Parse Podopt Podopt_cactus Podopt_hir Value

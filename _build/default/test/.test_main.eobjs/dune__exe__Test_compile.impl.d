@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Compile Helpers Interp List Parse Podopt Value

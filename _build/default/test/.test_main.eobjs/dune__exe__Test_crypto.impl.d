@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Crc32 Des Hmac_md5 List Md5 Podopt_crypto Podopt_hir Prim Prims Printf String Value Xor_cipher

@@ -1,0 +1,1 @@
+test/test_ctp.ml: Alcotest Buffer Bytes Char Driver Handler_graph Helpers List Podopt Podopt_ctp Printf Runtime Subsume Trace Value

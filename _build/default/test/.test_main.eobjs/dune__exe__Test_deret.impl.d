@@ -1,0 +1,1 @@
+test/test_deret.ml: Alcotest Ast Deret Helpers List Parse Podopt Rewrite Value

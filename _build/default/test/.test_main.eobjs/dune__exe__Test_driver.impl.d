@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Driver Fmt Guard Handler Helpers List Parse Plan Podopt Printf Runtime Trace Value

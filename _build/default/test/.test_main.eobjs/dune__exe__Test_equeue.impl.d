@@ -1,0 +1,1 @@
+test/test_equeue.ml: Alcotest Equeue List Podopt_eventsys

@@ -1,0 +1,1 @@
+test/test_event_graph.ml: Alcotest Ast Chains Event_graph Hashtbl List Paths Podopt Reduce

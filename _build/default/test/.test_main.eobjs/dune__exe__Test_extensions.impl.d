@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adaptive Alcotest Ast Defer Dominators Event_graph Handler Helpers List Parse Podopt Printf Runtime Value

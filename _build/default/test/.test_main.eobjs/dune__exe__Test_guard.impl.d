@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Astring_contains Driver Guard Handler Helpers List Parse Plan Podopt Runtime Value

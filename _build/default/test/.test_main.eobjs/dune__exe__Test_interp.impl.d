@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Bytes Compile Helpers Interp List Parse Podopt Value

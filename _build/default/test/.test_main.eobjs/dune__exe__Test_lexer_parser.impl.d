@@ -1,0 +1,1 @@
+test/test_lexer_parser.ml: Alcotest Ast Helpers List Parse Podopt Pp QCheck2 QCheck_alcotest String Value

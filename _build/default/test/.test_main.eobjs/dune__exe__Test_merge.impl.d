@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Driver Handler Helpers List Parse Plan Podopt Printf Runtime Size Value

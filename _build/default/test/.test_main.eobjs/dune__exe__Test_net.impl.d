@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Handler Link List Packet Parse Podopt Podopt_net Printf Prng Runtime Trace

@@ -1,0 +1,1 @@
+test/test_opt_passes.ml: Alcotest Analysis Ast Helpers List Opt_constfold Opt_copyprop Opt_cse Opt_dce Opt_inline Option Parse Pipeline Podopt Pp Rewrite Value

@@ -1,0 +1,1 @@
+test/test_profile_tools.ml: Alcotest Ast Astring_contains Chains Dot Event_graph Fmt Handler Handler_graph List Parse Paths Podopt Podopt_xwin Prim Report Runtime String Subsume Trace Value

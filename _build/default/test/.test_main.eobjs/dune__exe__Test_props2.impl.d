@@ -1,0 +1,1 @@
+test/test_props2.ml: Ast Bytes Char Dominators Event_graph Hashtbl List Option Podopt Podopt_crypto Podopt_eventsys Printf QCheck2 QCheck_alcotest Set String Value

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Event Handler List Podopt Registry

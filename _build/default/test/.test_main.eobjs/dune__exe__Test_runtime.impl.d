@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ast Bytes Handler List Parse Podopt Runtime Trace Value

@@ -1,0 +1,1 @@
+test/test_seccomm.ml: Alcotest Bytes Char Driver List Plan Podopt Podopt_apps Podopt_seccomm Printf QCheck2 QCheck_alcotest Runtime String Trace Value

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Bytes Char List Podopt Podopt_apps Podopt_net Printf Runtime Value

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Ast Bytes Driver Event_graph Filename Fmt Fun List Podopt Podopt_ctp Runtime Sys Trace Trace_io Value

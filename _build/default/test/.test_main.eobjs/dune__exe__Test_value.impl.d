@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Bytes Float Helpers List Podopt String Value

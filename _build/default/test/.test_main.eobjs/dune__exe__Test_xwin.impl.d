@@ -1,0 +1,1 @@
+test/test_xwin.ml: Alcotest Client Driver Handler Helpers List Parse Podopt Podopt_apps Podopt_xwin Printf Runtime String Translation Value Widget Xevent

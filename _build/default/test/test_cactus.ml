@@ -1,0 +1,78 @@
+(* Cactus framework: composite assembly, binding order across
+   micro-protocols, duplicate detection, dynamic reconfiguration. *)
+
+open Podopt
+open Podopt_cactus
+
+let mp_a : Micro_protocol.t =
+  Micro_protocol.make ~name:"A"
+    ~source:"handler a1(x) { emit(\"a1\", x); } handler a2(x) { emit(\"a2\", x); }"
+    ~globals:[ ("a_state", Value.Int 1) ]
+    [
+      { Micro_protocol.event = "E"; handler = "a1"; order = Some 10 };
+      { event = "E"; handler = "a2"; order = Some 30 };
+    ]
+
+let mp_b : Micro_protocol.t =
+  Micro_protocol.make ~name:"B"
+    ~source:"handler b1(x) { emit(\"b1\", x); }"
+    [ { Micro_protocol.event = "E"; handler = "b1"; order = Some 20 } ]
+
+let mp_b_alt : Micro_protocol.t =
+  Micro_protocol.make ~name:"B'"
+    ~source:"handler b1_alt(x) { emit(\"b1_alt\", x); }"
+    [ { Micro_protocol.event = "E"; handler = "b1_alt"; order = Some 20 } ]
+
+let test_composite_instantiation_and_order () =
+  let session = Session.create (Composite.make ~name:"AB" [ mp_a; mp_b ]) in
+  let rt = Session.runtime session in
+  Runtime.raise_sync rt "E" [ Value.Int 1 ];
+  Alcotest.(check (list string)) "interleaved by order" [ "a1"; "b1"; "a2" ]
+    (List.map fst (Runtime.emits rt));
+  Alcotest.(check Helpers.value) "globals initialized" (Value.Int 1)
+    (Runtime.get_global rt "a_state")
+
+let test_duplicate_handler_rejected () =
+  let dup =
+    Micro_protocol.make ~name:"Dup" ~source:"handler a1(x) { emit(\"dup\", x); }"
+      [ { Micro_protocol.event = "E"; handler = "a1"; order = None } ]
+  in
+  Alcotest.check_raises "duplicate" (Composite.Duplicate_handler "a1") (fun () ->
+      ignore (Composite.program (Composite.make ~name:"bad" [ mp_a; dup ])))
+
+let test_swap_micro_protocol () =
+  let session = Session.create (Composite.make ~name:"AB" [ mp_a; mp_b ]) in
+  let rt = Session.runtime session in
+  Session.swap_micro_protocol session ~remove:"B" mp_b_alt;
+  Runtime.raise_sync rt "E" [ Value.Int 2 ];
+  Alcotest.(check (list string)) "b1 replaced" [ "a1"; "b1_alt"; "a2" ]
+    (List.map fst (Runtime.emits rt))
+
+let test_swap_invalidates_superhandler () =
+  let session = Session.create (Composite.make ~name:"AB" [ mp_a; mp_b ]) in
+  let rt = Session.runtime session in
+  ignore (Driver.apply rt { Plan.empty with Plan.actions = [ Plan.Merge_event "E" ] });
+  Runtime.raise_sync rt "E" [ Value.Int 1 ];
+  Alcotest.(check int) "optimized used" 1 rt.Runtime.stats.Runtime.optimized_dispatches;
+  Session.swap_micro_protocol session ~remove:"B" mp_b_alt;
+  Runtime.clear_emits rt;
+  Runtime.raise_sync rt "E" [ Value.Int 2 ];
+  Alcotest.(check int) "fell back" 1 rt.Runtime.stats.Runtime.fallbacks;
+  Alcotest.(check (list string)) "new behaviour" [ "a1"; "b1_alt"; "a2" ]
+    (List.map fst (Runtime.emits rt))
+
+let test_unbind_all () =
+  let session = Session.create (Composite.make ~name:"AB" [ mp_a; mp_b ]) in
+  let rt = Session.runtime session in
+  Micro_protocol.unbind_all rt mp_a;
+  Runtime.raise_sync rt "E" [ Value.Int 1 ];
+  Alcotest.(check (list string)) "only b left" [ "b1" ] (List.map fst (Runtime.emits rt))
+
+let suite =
+  [
+    Alcotest.test_case "instantiation and order" `Quick test_composite_instantiation_and_order;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_handler_rejected;
+    Alcotest.test_case "swap micro-protocol" `Quick test_swap_micro_protocol;
+    Alcotest.test_case "swap invalidates super" `Quick test_swap_invalidates_superhandler;
+    Alcotest.test_case "unbind all" `Quick test_unbind_all;
+  ]

@@ -1,0 +1,135 @@
+(* The HIR static checker and the LICM pass. *)
+
+open Podopt
+
+let issues_of src = Check.check_program (Parse.program src)
+let errors_of src = Check.errors (issues_of src)
+
+let test_clean_program () =
+  Alcotest.(check int) "no issues" 0
+    (List.length
+       (issues_of
+          "handler h(x) { let a = x + 1; if (a > 0) { emit(\"a\", a); } global g = a; }"))
+
+let test_use_before_assignment () =
+  match errors_of "handler h() { let a = b + 1; }" with
+  | [ Check.Unbound_variable { var = "b"; _ } ] -> ()
+  | other -> Alcotest.failf "expected unbound b, got %d issues" (List.length other)
+
+let test_branch_join_intersection () =
+  (* y assigned in only one branch: reading it afterwards is flagged *)
+  let errs =
+    errors_of "handler h(x) { if (x > 0) { let y = 1; } emit(\"y\", y); }"
+  in
+  Alcotest.(check bool) "y flagged" true
+    (List.exists (function Check.Unbound_variable { var = "y"; _ } -> true | _ -> false) errs);
+  (* assigned in both branches: fine *)
+  Alcotest.(check int) "both branches ok" 0
+    (List.length
+       (errors_of
+          "handler h(x) { if (x > 0) { let y = 1; } else { let y = 2; } emit(\"y\", y); }"))
+
+let test_loop_body_does_not_escape () =
+  let errs =
+    errors_of "handler h(x) { while (x > 0) { let y = x; x = x - 1; } emit(\"y\", y); }"
+  in
+  Alcotest.(check bool) "loop-local y flagged" true
+    (List.exists (function Check.Unbound_variable { var = "y"; _ } -> true | _ -> false) errs)
+
+let test_unknown_callee () =
+  match errors_of "handler h() { let a = no_such_fn(1); emit(\"a\", a); }" with
+  | [ Check.Unknown_callee { callee = "no_such_fn"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected unknown callee"
+
+let test_prim_arity () =
+  match errors_of "handler h() { let a = min(1); emit(\"a\", a); }" with
+  | [ Check.Arity_mismatch { callee = "min"; expected = 2; got = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected arity mismatch"
+
+let test_unreachable () =
+  match errors_of "handler h() { return; emit(\"dead\"); }" with
+  | [ Check.Unreachable_code _ ] -> ()
+  | _ -> Alcotest.fail "expected unreachable code"
+
+let test_unknown_event_advisory () =
+  let issues =
+    Check.check_program ~known_events:[ "Known" ]
+      (Parse.program "handler h() { raise Knwon(1); }")
+  in
+  Alcotest.(check bool) "advisory present" true
+    (List.exists (function Check.Unknown_event _ -> true | _ -> false) issues);
+  Alcotest.(check int) "but not an error" 0 (List.length (Check.errors issues))
+
+let test_user_proc_any_arity () =
+  Alcotest.(check int) "user call arity free" 0
+    (List.length (errors_of "func f(a, b) { return a; } handler h() { let x = f(1); emit(\"x\", x); }"))
+
+let test_composite_rejects_bad_code () =
+  let bad =
+    Podopt_cactus.Micro_protocol.make ~name:"Bad"
+      ~source:"handler oops(x) { let a = undefined_var; }"
+      [ { Podopt_cactus.Micro_protocol.event = "E"; handler = "oops"; order = None } ]
+  in
+  (try
+     ignore (Podopt_cactus.Session.create (Podopt_cactus.Composite.make ~name:"bad" [ bad ]));
+     Alcotest.fail "expected Invalid_handler_code"
+   with Podopt_cactus.Composite.Invalid_handler_code _ -> ())
+
+(* --- LICM --------------------------------------------------------------- *)
+
+let test_licm_hoists () =
+  let p =
+    Parse.proc
+      "handler h(n) { let i = 0; let acc = 0; while (i < n) { let k = n * 17 + 3; acc = acc + k; i = i + 1; } emit(\"acc\", acc); }"
+  in
+  let body = Podopt_hir.Opt_licm.pass [ p ] p.Ast.body in
+  (* the invariant n*17+3 must now appear inside a guard before the loop *)
+  let found_guard =
+    List.exists
+      (function
+        | Ast.If (_, [ Ast.Let (_, Ast.Binop (Ast.Add, _, _)) ], []) -> true
+        | _ -> false)
+      body
+  in
+  Alcotest.(check bool) "hoisted under guard" true found_guard
+
+let test_licm_preserves_semantics () =
+  let src =
+    "handler h(n) { let i = 0; let acc = 0; while (i < n) { let k = n * 2; acc = acc + k + i; i = i + 1; } emit(\"acc\", acc); }"
+  in
+  let prog = Parse.program src in
+  let p = List.hd prog in
+  let p' = { p with Ast.body = Podopt_hir.Opt_licm.pass prog p.Ast.body; Ast.name = "h2" } in
+  Helpers.check_same_behaviour "licm" prog "h" (prog @ [ p' ]) "h2" [ Value.Int 5 ];
+  Helpers.check_same_behaviour "licm zero iterations" prog "h" (prog @ [ p' ])
+    "h2" [ Value.Int 0 ]
+
+let test_licm_skips_variant_and_globals () =
+  let check_unchanged src =
+    let p = Parse.proc src in
+    Alcotest.(check bool) "unchanged" true
+      (Podopt_hir.Opt_licm.pass [ p ] p.Ast.body = p.Ast.body)
+  in
+  (* depends on the loop variable *)
+  check_unchanged
+    "handler h(n) { let i = 0; while (i < n) { let k = i * 2; emit(\"k\", k); i = i + 1; } }";
+  (* reads a global that the loop writes *)
+  check_unchanged
+    "handler h(n) { let i = 0; while (i < n) { let k = global g + 1; global g = k; emit(\"k\", k); i = i + 1; } }"
+
+let suite =
+  [
+    Alcotest.test_case "clean program" `Quick test_clean_program;
+    Alcotest.test_case "use before assignment" `Quick test_use_before_assignment;
+    Alcotest.test_case "branch join" `Quick test_branch_join_intersection;
+    Alcotest.test_case "loop scope" `Quick test_loop_body_does_not_escape;
+    Alcotest.test_case "unknown callee" `Quick test_unknown_callee;
+    Alcotest.test_case "prim arity" `Quick test_prim_arity;
+    Alcotest.test_case "unreachable" `Quick test_unreachable;
+    Alcotest.test_case "unknown event advisory" `Quick test_unknown_event_advisory;
+    Alcotest.test_case "user proc arity free" `Quick test_user_proc_any_arity;
+    Alcotest.test_case "composite rejects bad code" `Quick test_composite_rejects_bad_code;
+    Alcotest.test_case "licm hoists" `Quick test_licm_hoists;
+    Alcotest.test_case "licm preserves" `Quick test_licm_preserves_semantics;
+    Alcotest.test_case "licm skips variant" `Quick test_licm_skips_variant_and_globals;
+  ]

@@ -1,0 +1,380 @@
+(* CTP integration: fragmentation, the Fig. 8 handler sequences, wire
+   integrity sender->receiver, and optimization equivalence. *)
+
+open Podopt
+module Ctp = Podopt_ctp.Ctp
+module Events = Podopt_ctp.Events
+
+let v = Helpers.value
+
+let test_open_session () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  Alcotest.(check v) "session up" (Value.Int 1) (Runtime.get_global rt "session_up")
+
+let test_fragmentation () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  let tx = ref 0 in
+  Runtime.on_emit rt (fun tag _ -> if tag = "tx" then incr tx);
+  (* 1300 bytes at frag_size 512 -> 3 segments *)
+  Ctp.send rt (Bytes.create 1300);
+  Alcotest.(check int) "3 segments" 3 !tx;
+  Alcotest.(check int) "3 seq numbers" 3 (Ctp.stat rt "seg_seq")
+
+let test_handler_sequence_matches_fig8 () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  Trace.enable_handlers rt.Runtime.trace [ Events.seg_from_user; Events.seg2net ];
+  Ctp.send rt (Bytes.create 100);
+  let occs = Handler_graph.occurrences rt.Runtime.trace in
+  Alcotest.(check (option (list string)))
+    "SegFromUser sequence"
+    (Some [ "fec_sfu1"; "seqseg_sfu"; "tdriver_sfu"; "fec_sfu2" ])
+    (Handler_graph.stable_sequence occs Events.seg_from_user);
+  Alcotest.(check (option (list string)))
+    "Seg2Net sequence"
+    (Some [ "pau_s2n"; "wfc_s2n"; "fec_s2n"; "td_s2n" ])
+    (Handler_graph.stable_sequence occs Events.seg2net)
+
+let test_seg2net_nested_in_seg_from_user () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  Trace.enable_events rt.Runtime.trace;
+  Trace.enable_handlers rt.Runtime.trace [ Events.seg_from_user; Events.seg2net ];
+  Ctp.send rt (Bytes.create 100);
+  let cands = Subsume.find rt.Runtime.trace in
+  Alcotest.(check bool) "tdriver_sfu raises Seg2Net" true
+    (List.exists
+       (fun (c : Subsume.candidate) ->
+         c.Subsume.parent_event = Events.seg_from_user
+         && c.Subsume.parent_handler = "tdriver_sfu"
+         && c.Subsume.child_event = Events.seg2net && Subsume.always c)
+       cands)
+
+let test_wire_roundtrip_via_receiver () =
+  let rt = Ctp.create ~with_receiver:true () in
+  Ctp.open_session rt;
+  let wires = ref [] in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "tx", [ Value.Bytes w; _ ] -> wires := w :: !wires
+      | _ -> ());
+  let payload = Bytes.init 700 (fun i -> Char.chr (i land 0xff)) in
+  Ctp.send rt payload;
+  rt.Runtime.emit_hook <- None;
+  (* feed the wire bytes into the receiver side *)
+  let delivered = Buffer.create 700 in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "deliver", [ Value.Bytes seg; _ ] -> Buffer.add_bytes delivered seg
+      | _ -> ());
+  List.iter
+    (fun w -> Runtime.raise_sync rt Events.rcv_packet [ Value.Bytes w ])
+    (List.rev !wires);
+  Alcotest.(check string) "payload reassembled" (Bytes.to_string payload)
+    (Buffer.contents delivered);
+  Alcotest.(check int) "no corruption" 0 (Ctp.stat rt "rcv_corrupt");
+  Alcotest.(check int) "delivered count" 2 (Ctp.stat rt "delivered")
+
+let test_corrupt_segment_rejected () =
+  let rt = Ctp.create ~with_receiver:true () in
+  Ctp.open_session rt;
+  let wires = ref [] in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "tx", [ Value.Bytes w; _ ] -> wires := w :: !wires
+      | _ -> ());
+  Ctp.send rt (Bytes.create 100);
+  rt.Runtime.emit_hook <- None;
+  (match !wires with
+   | [ w ] ->
+     Bytes.set w 12 (Char.chr (Char.code (Bytes.get w 12) lxor 0xff));
+     Runtime.raise_sync rt Events.rcv_packet [ Value.Bytes w ]
+   | _ -> Alcotest.fail "expected one segment");
+  Alcotest.(check int) "corruption detected" 1 (Ctp.stat rt "rcv_corrupt");
+  Alcotest.(check int) "not delivered" 0 (Ctp.stat rt "delivered")
+
+let test_message_reassembly () =
+  let rt = Ctp.create ~with_receiver:true () in
+  Ctp.open_session rt;
+  let wires = ref [] in
+  let messages = ref [] in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "tx", [ Value.Bytes w; _ ] -> wires := w :: !wires
+      | "msg_deliver", [ Value.Bytes m; Value.Int id ] -> messages := (id, m) :: !messages
+      | _ -> ());
+  let payload1 = Bytes.init 1200 (fun i -> Char.chr (i land 0xff)) in
+  let payload2 = Bytes.init 300 (fun i -> Char.chr ((i * 3) land 0xff)) in
+  Ctp.send rt payload1;
+  Ctp.send rt ~priority:0 payload2;
+  List.iter
+    (fun w -> Runtime.raise_sync rt Podopt_ctp.Events.rcv_packet [ Value.Bytes w ])
+    (List.rev !wires);
+  (match List.rev !messages with
+   | [ (id1, m1); (id2, m2) ] ->
+     Alcotest.(check string) "message 1 intact" (Bytes.to_string payload1)
+       (Bytes.to_string m1);
+     Alcotest.(check string) "message 2 intact" (Bytes.to_string payload2)
+       (Bytes.to_string m2);
+     Alcotest.(check bool) "distinct ids" true (id1 <> id2)
+   | ms -> Alcotest.failf "expected 2 messages, got %d" (List.length ms));
+  Alcotest.(check int) "counter" 2 (Ctp.stat rt "msgs_delivered")
+
+let test_reassembly_with_optimization () =
+  let run opt =
+    let rt = Ctp.create ~with_receiver:true () in
+    Ctp.open_session rt;
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:15 rt
+           ~workload:(fun () ->
+             let wires = ref [] in
+             Runtime.on_emit rt (fun tag args ->
+                 match tag, args with
+                 | "tx", [ Value.Bytes w; _ ] -> wires := w :: !wires
+                 | _ -> ());
+             for i = 1 to 20 do
+               Ctp.send rt (Bytes.create (400 + (i * 71 mod 900)))
+             done;
+             List.iter
+               (fun w ->
+                 Runtime.raise_sync rt Podopt_ctp.Events.rcv_packet [ Value.Bytes w ])
+               (List.rev !wires);
+             rt.Runtime.emit_hook <- None;
+             Runtime.run rt));
+    Runtime.run rt;
+    Runtime.set_global rt "rasm_buf" (Value.Bytes Bytes.empty);
+    List.iter
+      (fun g -> Runtime.set_global rt g (Value.Int 0))
+      [ "msgs_delivered"; "delivered"; "delivered_bytes"; "rcv_corrupt" ];
+    let payload = Bytes.init 900 (fun i -> Char.chr ((i * 7) land 0xff)) in
+    let wires = ref [] in
+    let got = ref None in
+    Runtime.on_emit rt (fun tag args ->
+        match tag, args with
+        | "tx", [ Value.Bytes w; _ ] -> wires := w :: !wires
+        | "msg_deliver", [ Value.Bytes m; _ ] -> got := Some (Bytes.to_string m)
+        | _ -> ());
+    Ctp.send rt payload;
+    List.iter
+      (fun w -> Runtime.raise_sync rt Podopt_ctp.Events.rcv_packet [ Value.Bytes w ])
+      (List.rev !wires);
+    (!got, Ctp.stat rt "msgs_delivered", Bytes.to_string payload)
+  in
+  let got1, n1, p1 = run false in
+  let got2, n2, _ = run true in
+  Alcotest.(check (option string)) "plain reassembles" (Some p1) got1;
+  Alcotest.(check (option string)) "optimized reassembles" got1 got2;
+  Alcotest.(check int) "counts" n1 n2
+
+(* Collect the wire segments of [sends] messages without delivering. *)
+let collect_wires rt sends =
+  let wires = ref [] in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "tx", [ Value.Bytes w; _ ] -> wires := w :: !wires
+      | _ -> ());
+  sends ();
+  rt.Runtime.emit_hook <- None;
+  List.rev !wires
+
+let feed rt wires =
+  List.iter
+    (fun w -> Runtime.raise_sync rt Podopt_ctp.Events.rcv_packet [ Value.Bytes w ])
+    wires
+
+let test_resequencer_restores_order () =
+  let rt = Ctp.create ~with_receiver:true () in
+  Ctp.open_session rt;
+  let payload = Bytes.init 1500 (fun i -> Char.chr ((i * 5) land 0xff)) in
+  let wires = collect_wires rt (fun () -> Ctp.send rt payload) in
+  Alcotest.(check int) "three segments" 3 (List.length wires);
+  (* deliver them out of order: 3rd, 1st, 2nd *)
+  let shuffled = match wires with [ a; b; c ] -> [ c; a; b ] | _ -> wires in
+  let got = Buffer.create 1500 in
+  Runtime.on_emit rt (fun tag args ->
+      match tag, args with
+      | "msg_deliver", [ Value.Bytes m; _ ] -> Buffer.add_bytes got m
+      | _ -> ());
+  feed rt shuffled;
+  Alcotest.(check string) "reassembled in order" (Bytes.to_string payload)
+    (Buffer.contents got);
+  Alcotest.(check bool) "a segment was held" true (Ctp.stat rt "rsq_held" >= 1);
+  Alcotest.(check int) "no skips" 0 (Ctp.stat rt "rsq_skips")
+
+let test_resequencer_drops_duplicates () =
+  let rt = Ctp.create ~with_receiver:true () in
+  Ctp.open_session rt;
+  let wires = collect_wires rt (fun () -> Ctp.send rt (Bytes.create 300)) in
+  feed rt wires;
+  let delivered_before = Ctp.stat rt "delivered" in
+  feed rt wires;
+  (* replayed segments: all below rsq_next, so dropped *)
+  Alcotest.(check int) "duplicates dropped" delivered_before (Ctp.stat rt "delivered");
+  Alcotest.(check int) "counted" (List.length wires) (Ctp.stat rt "rsq_dups")
+
+let test_resequencer_window_skip () =
+  let rt = Ctp.create ~with_receiver:true () in
+  Ctp.open_session rt;
+  let wires =
+    collect_wires rt (fun () ->
+        for _ = 1 to 12 do
+          Ctp.send rt (Bytes.create 100)
+        done)
+  in
+  (* drop the first segment entirely: the rest arrive as early holds
+     until the window (8) overflows and the gap is skipped *)
+  (match wires with
+   | _lost :: rest -> feed rt rest
+   | [] -> Alcotest.fail "no wires");
+  Alcotest.(check int) "one skip" 1 (Ctp.stat rt "rsq_skips");
+  Alcotest.(check bool) "later segments delivered" true (Ctp.stat rt "delivered" >= 10);
+  (* the first message is one-segment: its loss aborts nothing downstream
+     because msgid changes trigger the reassembly reset *)
+  Alcotest.(check bool) "messages still complete" true
+    (Ctp.stat rt "msgs_delivered" >= 10)
+
+let test_resequencer_optimized_equivalent () =
+  let run opt =
+    let rt = Ctp.create ~with_receiver:true () in
+    Ctp.open_session rt;
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:15 rt
+           ~workload:(fun () ->
+             let ws =
+               collect_wires rt (fun () ->
+                   for _ = 1 to 10 do
+                     Ctp.send rt (Bytes.create 700)
+                   done)
+             in
+             feed rt ws;
+             Runtime.run rt));
+    Runtime.run rt;
+    Runtime.set_global rt "rasm_buf" (Value.Bytes Bytes.empty);
+    Runtime.set_global rt "rsq_buf" (Value.List []);
+    List.iter
+      (fun g -> Runtime.set_global rt g (Value.Int 0))
+      [ "delivered"; "msgs_delivered"; "rsq_held"; "rsq_dups"; "rsq_skips" ];
+    (* realign sequence expectations between the two runtimes *)
+    Runtime.set_global rt "seg_seq" (Value.Int 100);
+    Runtime.set_global rt "rsq_next" (Value.Int 101);
+    Runtime.set_global rt "msg_id" (Value.Int 50);
+    Runtime.set_global rt "rasm_msgid" (Value.Int (-1));
+    let wires =
+      collect_wires rt (fun () ->
+          for _ = 1 to 6 do
+            Ctp.send rt (Bytes.create 900)
+          done)
+    in
+    (* reverse pairs to exercise the buffer *)
+    let rec swap_pairs = function
+      | a :: b :: rest -> b :: a :: swap_pairs rest
+      | rest -> rest
+    in
+    feed rt (swap_pairs wires);
+    ( Ctp.stat rt "delivered", Ctp.stat rt "msgs_delivered", Ctp.stat rt "rsq_held",
+      Ctp.stat rt "rsq_skips" )
+  in
+  let a = run false in
+  let b = run true in
+  Alcotest.(check bool) "same resequencing outcome" true (a = b)
+
+let test_acks_and_timeouts () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  for i = 1 to 60 do
+    ignore i;
+    Ctp.send rt (Bytes.create 64)
+  done;
+  Runtime.run rt;
+  (* segment 17 of each 50 hits the timeout path *)
+  Alcotest.(check bool) "some acks" true (Ctp.acks rt > 50);
+  Alcotest.(check bool) "some retrans" true (Ctp.retrans rt >= 1);
+  Alcotest.(check int) "conservation" 60 (Ctp.acks rt + Ctp.retrans rt)
+
+let test_controller_chain () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  Trace.enable_events rt.Runtime.trace;
+  Runtime.raise_timed rt Events.controller_clk_h ~delay:10 [ Value.Int 0 ];
+  Runtime.run rt;
+  let seq = List.map fst (Trace.event_sequence rt.Runtime.trace) in
+  Alcotest.(check bool) "clk -> firing -> controller -> adapt" true
+    (List.mem Events.controller_firing seq
+    && List.mem Events.controller seq && List.mem Events.adapt seq)
+
+let test_adaptation_resizes_fragment () =
+  let rt = Ctp.create () in
+  Ctp.open_session rt;
+  let initial = Ctp.frag_size rt in
+  (* heavy traffic then a controller fire should push rate_est above the
+     hysteresis and grow the fragment size *)
+  for i = 1 to 150 do
+    ignore i;
+    Ctp.send rt (Bytes.create 1024)
+  done;
+  Runtime.run rt;
+  (* drain async SegmentSent so sent_count reflects the traffic *)
+  Runtime.raise_sync rt Events.controller_firing [ Value.Int 1 ];
+  Alcotest.(check bool) "fragment grew" true (Ctp.frag_size rt > initial);
+  Alcotest.(check bool) "resize counted" true (Ctp.stat rt "resizes" >= 1)
+
+let test_optimization_equivalence () =
+  let run opt =
+    let rt = Ctp.create () in
+    Ctp.open_session rt;
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:20 rt
+           ~workload:(fun () ->
+             for i = 1 to 30 do
+               Ctp.send rt ~priority:(i mod 2) (Bytes.create (200 + (i * 31 mod 800)))
+             done;
+             Runtime.run ~until:(Runtime.now rt + 100_000) rt));
+    (* drain any leftovers, then measure from a comparable state *)
+    Runtime.run rt;
+    List.iter
+      (fun g -> Runtime.set_global rt g (Value.Int 0))
+      [
+        "seg_seq"; "sent_count"; "sent_bytes"; "fec_parity"; "fec_count"; "inflight";
+        "acks"; "retrans"; "msgs_high"; "msgs_low";
+      ];
+    Runtime.reset_measurements rt;
+    for i = 1 to 25 do
+      Ctp.send rt ~priority:(i mod 2) (Bytes.create (100 + (i * 53 mod 900)))
+    done;
+    Runtime.run rt;
+    ( Ctp.stat rt "seg_seq", Ctp.stat rt "sent_count", Ctp.stat rt "sent_bytes",
+      Ctp.stat rt "fec_count", Ctp.acks rt, Runtime.total_handler_time rt )
+  in
+  let s1, c1, b1, f1, a1, t1 = run false in
+  let s2, c2, b2, f2, a2, t2 = run true in
+  Alcotest.(check int) "seg_seq" s1 s2;
+  Alcotest.(check int) "sent_count" c1 c2;
+  Alcotest.(check int) "sent_bytes" b1 b2;
+  Alcotest.(check int) "fec_count" f1 f2;
+  Alcotest.(check int) "acks" a1 a2;
+  Alcotest.(check bool) (Printf.sprintf "optimized faster (%d < %d)" t2 t1) true (t2 < t1)
+
+let suite =
+  [
+    Alcotest.test_case "open session" `Quick test_open_session;
+    Alcotest.test_case "fragmentation" `Quick test_fragmentation;
+    Alcotest.test_case "Fig.8 handler sequences" `Quick test_handler_sequence_matches_fig8;
+    Alcotest.test_case "Seg2Net nested (Fig.8)" `Quick test_seg2net_nested_in_seg_from_user;
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip_via_receiver;
+    Alcotest.test_case "corruption rejected" `Quick test_corrupt_segment_rejected;
+    Alcotest.test_case "message reassembly" `Quick test_message_reassembly;
+    Alcotest.test_case "reassembly optimized" `Quick test_reassembly_with_optimization;
+    Alcotest.test_case "resequencer restores order" `Quick test_resequencer_restores_order;
+    Alcotest.test_case "resequencer drops dups" `Quick test_resequencer_drops_duplicates;
+    Alcotest.test_case "resequencer window skip" `Quick test_resequencer_window_skip;
+    Alcotest.test_case "resequencer optimized" `Quick test_resequencer_optimized_equivalent;
+    Alcotest.test_case "acks and timeouts" `Quick test_acks_and_timeouts;
+    Alcotest.test_case "controller chain" `Quick test_controller_chain;
+    Alcotest.test_case "adaptation resizes" `Quick test_adaptation_resizes_fragment;
+    Alcotest.test_case "optimization equivalence" `Quick test_optimization_equivalence;
+  ]

@@ -1,0 +1,75 @@
+(* Return elimination must preserve behaviour when the block is embedded
+   in a larger body: statements of the original block after a return are
+   skipped, statements appended after the transformed block still run. *)
+
+open Podopt
+
+let observe_block_as_proc (body : Ast.block) args =
+  let prog = [ { Ast.name = "p"; params = []; body } ] in
+  Helpers.observe prog "p" args
+
+let check_deret src args =
+  let block = Parse.block src in
+  let transformed = Deret.remove_returns block in
+  Alcotest.(check bool) "no returns left" false (Rewrite.contains_return transformed);
+  (* embed both in a proc with a trailing marker; the original's return
+     would skip the marker, the transformed must also skip it only within
+     its own segment — so compare the *deret'd* block plus marker against
+     manual expectation: run original alone vs transformed alone *)
+  let _, e1, g1 = observe_block_as_proc block args in
+  let _, e2, g2 = observe_block_as_proc transformed args in
+  Alcotest.(check bool) "same emits" true (e1 = e2);
+  Alcotest.(check bool) "same globals" true (g1 = g2)
+
+let test_no_return_unchanged () =
+  let block = Parse.block "{ let x = 1; emit(\"x\", x); }" in
+  Alcotest.(check bool) "untouched" true (Deret.remove_returns block == block)
+
+let test_plain_return () = check_deret "{ emit(\"a\"); return; emit(\"b\"); }" []
+
+let test_return_in_if () =
+  check_deret
+    "{ emit(\"start\"); if (arg 0 > 0) { emit(\"pos\"); return; emit(\"dead\"); } emit(\"after\"); }"
+    [ Value.Int 1 ];
+  check_deret
+    "{ emit(\"start\"); if (arg 0 > 0) { emit(\"pos\"); return; } emit(\"after\"); }"
+    [ Value.Int (-1) ]
+
+let test_return_in_both_branches () =
+  check_deret
+    "{ if (arg 0 > 0) { emit(\"pos\"); return; } else { emit(\"neg\"); return; } emit(\"dead\"); }"
+    [ Value.Int 1 ]
+
+let test_return_in_while () =
+  check_deret
+    "{ let i = 0; while (i < 10) { emit(\"iter\", i); if (i == 3) { return; } i = i + 1; } emit(\"done\"); }"
+    []
+
+let test_return_value_effects_kept () =
+  (* `return f()` where f has effects: the effect must still happen *)
+  check_deret "{ global g = 1; return global g + 1; emit(\"dead\"); }" []
+
+let test_segment_isolation () =
+  (* the core merging property: a deret'd segment followed by another
+     segment must run the second segment even when the first returns *)
+  let seg1 = Deret.remove_returns (Parse.block "{ emit(\"s1\"); return; emit(\"dead\"); }") in
+  let seg2 = Parse.block "{ emit(\"s2\"); }" in
+  let _, emits, _ = observe_block_as_proc (seg1 @ seg2) [] in
+  Alcotest.(check (list string)) "both segments" [ "s1"; "s2" ] (List.map fst emits)
+
+let test_nested_while_if_return () =
+  check_deret
+    "{ let i = 0; let acc = 0; while (i < 8) { let j = 0; while (j < 8) { acc = acc + 1; if (acc > 10) { emit(\"acc\", acc); return; } j = j + 1; } i = i + 1; } emit(\"end\", acc); }"
+    []
+
+let suite =
+  [
+    Alcotest.test_case "no return unchanged" `Quick test_no_return_unchanged;
+    Alcotest.test_case "plain return" `Quick test_plain_return;
+    Alcotest.test_case "return in if" `Quick test_return_in_if;
+    Alcotest.test_case "return in both branches" `Quick test_return_in_both_branches;
+    Alcotest.test_case "return in while" `Quick test_return_in_while;
+    Alcotest.test_case "return value effects" `Quick test_return_value_effects_kept;
+    Alcotest.test_case "segment isolation" `Quick test_segment_isolation;
+    Alcotest.test_case "nested while/if return" `Quick test_nested_while_if_return;
+  ]

@@ -1,0 +1,149 @@
+(* End-to-end: profile a workload, analyze, apply, and verify both the
+   plan's shape and behavioural equivalence plus speedup. *)
+
+open Podopt
+
+let program_src =
+  {|
+handler stage1(x) { emit("s1", x); raise sync Stage2(x + 1); }
+handler stage2a(x) { let k = x * 2; emit("s2a", k); }
+handler stage2b(x) { emit("s2b", x); raise sync Stage3(x); }
+handler stage3(x) { global done = global done + 1; emit("s3", x); }
+handler rare(x) { emit("rare", x); }
+handler ticker(n) { emit("tick", n); if (n > 0) { raise after 10 Tick(n - 1); } }
+|}
+
+let setup () =
+  let rt = Runtime.create ~program:(Parse.program program_src) () in
+  Runtime.set_global rt "done" (Value.Int 0);
+  Runtime.bind rt ~event:"Stage1" (Handler.hir' "stage1");
+  Runtime.bind rt ~event:"Stage2" (Handler.hir' "stage2a");
+  Runtime.bind rt ~event:"Stage2" (Handler.hir' "stage2b");
+  Runtime.bind rt ~event:"Stage3" (Handler.hir' "stage3");
+  Runtime.bind rt ~event:"Rare" (Handler.hir' "rare");
+  Runtime.bind rt ~event:"Tick" (Handler.hir' "ticker");
+  rt
+
+let workload ?(n = 50) rt =
+  for i = 1 to n do
+    Runtime.raise_sync rt "Stage1" [ Value.Int i ];
+    if i mod 25 = 0 then Runtime.raise_sync rt "Rare" [ Value.Int i ]
+  done
+
+let test_analyze_finds_chain () =
+  let rt = setup () in
+  Trace.enable_events rt.Runtime.trace;
+  workload rt;
+  let plan = Driver.analyze ~threshold:10 rt in
+  let has_chain =
+    List.exists
+      (function
+        | Plan.Merge_chain { events; _ } ->
+          events = [ "Stage1"; "Stage2"; "Stage3" ]
+        | Plan.Merge_event _ -> false)
+      plan.Plan.actions
+  in
+  Alcotest.(check bool)
+    (Fmt.str "chain found in %a" Plan.pp plan)
+    true has_chain
+
+let test_analyze_threshold_excludes_rare () =
+  let rt = setup () in
+  Trace.enable_events rt.Runtime.trace;
+  workload rt;
+  let plan = Driver.analyze ~threshold:10 rt in
+  Alcotest.(check bool) "rare event not covered" false
+    (List.mem "Rare" (Plan.covered_events plan))
+
+let test_profile_and_optimize_equivalent () =
+  let rt1 = setup () and rt2 = setup () in
+  let applied = Driver.profile_and_optimize ~threshold:10 rt2 ~workload:(fun () -> workload rt2) in
+  Alcotest.(check bool) "something installed" true (applied.Driver.installed <> []);
+  (* fresh measurement run on both *)
+  Runtime.clear_emits rt1;
+  Runtime.clear_emits rt2;
+  Runtime.set_global rt1 "done" (Value.Int 0);
+  Runtime.set_global rt2 "done" (Value.Int 0);
+  workload rt1;
+  workload rt2;
+  Helpers.check_emits "post-opt equivalence" (Runtime.emits rt1) (Runtime.emits rt2);
+  Alcotest.(check Helpers.value) "done counter"
+    (Runtime.get_global rt1 "done") (Runtime.get_global rt2 "done")
+
+let test_optimized_is_faster () =
+  let rt1 = setup () and rt2 = setup () in
+  ignore (Driver.profile_and_optimize ~threshold:10 rt2 ~workload:(fun () -> workload rt2));
+  Runtime.reset_measurements rt1;
+  Runtime.reset_measurements rt2;
+  workload ~n:200 rt1;
+  workload ~n:200 rt2;
+  let t1 = Runtime.total_handler_time rt1 in
+  let t2 = Runtime.total_handler_time rt2 in
+  Alcotest.(check bool) (Printf.sprintf "faster: %d < %d" t2 t1) true (t2 < t1);
+  (* the paper reports 73-88% per-event improvements for chains; require
+     at least 40% here to catch regressions without overfitting *)
+  Alcotest.(check bool) "at least 40% better" true
+    (float_of_int t2 < 0.6 *. float_of_int t1)
+
+let test_timed_events_not_merged () =
+  let rt = setup () in
+  Trace.enable_events rt.Runtime.trace;
+  Runtime.raise_timed rt "Tick" ~delay:1 [ Value.Int 30 ];
+  Runtime.run rt;
+  let plan = Driver.analyze ~threshold:5 rt in
+  (* Tick follows Tick via a timed raise: must not become a chain *)
+  let tick_chained =
+    List.exists
+      (function
+        | Plan.Merge_chain { events; _ } -> List.mem "Tick" events
+        | Plan.Merge_event _ -> false)
+      plan.Plan.actions
+  in
+  Alcotest.(check bool) "timed self-chain rejected" false tick_chained
+
+let test_guard_validation () =
+  let rt = setup () in
+  let issues =
+    Guard.validate rt (Runtime.program rt)
+      { Plan.empty with Plan.actions = [ Plan.Merge_event "Stage2" ] }
+  in
+  Alcotest.(check int) "no issues" 0 (List.length issues);
+  let issues =
+    Guard.validate rt (Runtime.program rt)
+      { Plan.empty with Plan.actions = [ Plan.Merge_event "Unbound" ] }
+  in
+  Alcotest.(check bool) "unbound event flagged" true (issues <> [])
+
+let test_speculation_prefetch () =
+  let rt = setup () in
+  Runtime.set_speculation rt ~after:"Rare" ~expect:"Stage1";
+  Runtime.raise_sync rt "Rare" [ Value.Int 1 ];
+  Runtime.raise_sync rt "Stage1" [ Value.Int 2 ];
+  Alcotest.(check int) "hit recorded" 1 rt.Runtime.stats.Runtime.spec_hits
+
+let test_reoptimization_after_rebind () =
+  (* after a rebind invalidates the super-handler, re-running the driver
+     restores optimized dispatch *)
+  let rt = setup () in
+  ignore (Driver.profile_and_optimize ~threshold:10 rt ~workload:(fun () -> workload rt));
+  Runtime.bind rt ~event:"Stage2" (Handler.hir' "rare");
+  Runtime.reset_measurements rt;
+  workload rt;
+  Alcotest.(check bool) "fallbacks after rebind" true
+    (rt.Runtime.stats.Runtime.fallbacks > 0);
+  ignore (Driver.profile_and_optimize ~threshold:10 rt ~workload:(fun () -> workload rt));
+  Runtime.reset_measurements rt;
+  workload rt;
+  Alcotest.(check int) "no fallbacks after reopt" 0 rt.Runtime.stats.Runtime.fallbacks
+
+let suite =
+  [
+    Alcotest.test_case "analyze finds chain" `Quick test_analyze_finds_chain;
+    Alcotest.test_case "threshold excludes rare" `Quick test_analyze_threshold_excludes_rare;
+    Alcotest.test_case "optimize equivalence" `Quick test_profile_and_optimize_equivalent;
+    Alcotest.test_case "optimized faster" `Quick test_optimized_is_faster;
+    Alcotest.test_case "timed not merged" `Quick test_timed_events_not_merged;
+    Alcotest.test_case "guard validation" `Quick test_guard_validation;
+    Alcotest.test_case "speculation prefetch" `Quick test_speculation_prefetch;
+    Alcotest.test_case "reoptimize after rebind" `Quick test_reoptimization_after_rebind;
+  ]

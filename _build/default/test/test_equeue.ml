@@ -1,0 +1,70 @@
+open Podopt_eventsys
+
+let drain q =
+  let rec go acc =
+    match Equeue.pop q with None -> List.rev acc | Some (due, p) -> go ((due, p) :: acc)
+  in
+  go []
+
+let test_time_order () =
+  let q = Equeue.create () in
+  Equeue.push q ~due:30 "c";
+  Equeue.push q ~due:10 "a";
+  Equeue.push q ~due:20 "b";
+  Alcotest.(check (list (pair int string))) "sorted"
+    [ (10, "a"); (20, "b"); (30, "c") ] (drain q)
+
+let test_fifo_within_time () =
+  let q = Equeue.create () in
+  for i = 0 to 9 do
+    Equeue.push q ~due:5 (string_of_int i)
+  done;
+  Alcotest.(check (list string)) "fifo"
+    [ "0"; "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "9" ]
+    (List.map snd (drain q))
+
+let test_interleaved_push_pop () =
+  let q = Equeue.create () in
+  Equeue.push q ~due:2 "b";
+  Equeue.push q ~due:1 "a";
+  Alcotest.(check (option (pair int string))) "pop a" (Some (1, "a")) (Equeue.pop q);
+  Equeue.push q ~due:0 "z";
+  Alcotest.(check (option (pair int string))) "pop z" (Some (0, "z")) (Equeue.pop q);
+  Alcotest.(check (option (pair int string))) "pop b" (Some (2, "b")) (Equeue.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Equeue.pop q)
+
+let test_growth () =
+  let q = Equeue.create () in
+  let n = 1000 in
+  for i = n downto 1 do
+    Equeue.push q ~due:i (string_of_int i)
+  done;
+  Alcotest.(check int) "length" n (Equeue.length q);
+  let out = List.map fst (drain q) in
+  Alcotest.(check (list int)) "sorted" (List.init n (fun i -> i + 1)) out
+
+let test_remove_if () =
+  let q = Equeue.create () in
+  List.iter (fun (d, s) -> Equeue.push q ~due:d s)
+    [ (1, "keep1"); (2, "drop"); (3, "keep2"); (4, "drop") ];
+  let removed = Equeue.remove_if q (fun s -> s = "drop") in
+  Alcotest.(check int) "two removed" 2 removed;
+  Alcotest.(check (list string)) "rest in order" [ "keep1"; "keep2" ]
+    (List.map snd (drain q))
+
+let test_peek () =
+  let q = Equeue.create () in
+  Alcotest.(check (option (pair int string))) "empty peek" None (Equeue.peek q);
+  Equeue.push q ~due:7 "x";
+  Alcotest.(check (option (pair int string))) "peek" (Some (7, "x")) (Equeue.peek q);
+  Alcotest.(check int) "peek does not pop" 1 (Equeue.length q)
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_time_order;
+    Alcotest.test_case "fifo within time" `Quick test_fifo_within_time;
+    Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "remove_if" `Quick test_remove_if;
+    Alcotest.test_case "peek" `Quick test_peek;
+  ]

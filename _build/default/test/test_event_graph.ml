@@ -1,0 +1,100 @@
+open Podopt
+
+let seq_of_names names = List.map (fun n -> (n, Ast.Sync)) names
+
+let test_graphbuilder_weights () =
+  (* A B A B A C : edges AB(2) BA(2) AC(1) *)
+  let g = Event_graph.build (seq_of_names [ "A"; "B"; "A"; "B"; "A"; "C" ]) in
+  let w src dst =
+    match Event_graph.find_edge g ~src ~dst with
+    | Some e -> e.Event_graph.weight
+    | None -> 0
+  in
+  Alcotest.(check int) "AB" 2 (w "A" "B");
+  Alcotest.(check int) "BA" 2 (w "B" "A");
+  Alcotest.(check int) "AC" 1 (w "A" "C");
+  Alcotest.(check int) "no CA" 0 (w "C" "A");
+  Alcotest.(check int) "edges" 3 (Event_graph.edge_count g)
+
+let test_total_weight_invariant () =
+  let names = [ "X"; "Y"; "X"; "Z"; "Z"; "Y"; "X" ] in
+  let g = Event_graph.build (seq_of_names names) in
+  Alcotest.(check int) "sum of weights = n-1" (List.length names - 1)
+    (Event_graph.total_weight g)
+
+let test_mode_tracking () =
+  let g =
+    Event_graph.build
+      [ ("A", Ast.Sync); ("B", Ast.Async); ("A", Ast.Sync); ("B", Ast.Sync) ]
+  in
+  match Event_graph.find_edge g ~src:"A" ~dst:"B" with
+  | Some e ->
+    Alcotest.(check int) "sync count" 1 e.Event_graph.sync;
+    Alcotest.(check int) "async count" 1 e.Event_graph.async;
+    Alcotest.(check bool) "mixed edge not pure sync" false (Event_graph.edge_is_sync e)
+  | None -> Alcotest.fail "edge missing"
+
+let test_reduce_threshold () =
+  let seq =
+    List.concat (List.init 10 (fun _ -> [ "A"; "B" ])) @ [ "A"; "C" ]
+  in
+  let g = Event_graph.build (seq_of_names seq) in
+  let r = Reduce.reduce g ~threshold:5 in
+  Alcotest.(check bool) "hot edge kept" true
+    (Event_graph.find_edge r ~src:"A" ~dst:"B" <> None);
+  Alcotest.(check bool) "cold edge dropped" true
+    (Event_graph.find_edge r ~src:"A" ~dst:"C" = None);
+  Alcotest.(check bool) "isolated node dropped" true
+    (not (Hashtbl.mem r.Event_graph.nodes "C"))
+
+let test_linear_paths () =
+  (* A -> B -> C and D -> B makes B a merge point: no path through B *)
+  let g = Event_graph.create () in
+  Event_graph.add_edge g ~src:"A" ~dst:"B" Ast.Sync;
+  Event_graph.add_edge g ~src:"B" ~dst:"C" Ast.Sync;
+  Event_graph.add_edge g ~src:"D" ~dst:"B" Ast.Sync;
+  let paths = Paths.linear_paths g in
+  Alcotest.(check bool) "B->C is linear" true (List.mem [ "B"; "C" ] paths);
+  Alcotest.(check bool) "no A->B->C path (B has 2 preds)" false
+    (List.mem [ "A"; "B"; "C" ] paths)
+
+let test_linear_path_simple_chain () =
+  let g = Event_graph.create () in
+  Event_graph.add_edge g ~src:"A" ~dst:"B" Ast.Sync;
+  Event_graph.add_edge g ~src:"B" ~dst:"C" Ast.Sync;
+  Event_graph.add_edge g ~src:"C" ~dst:"D" Ast.Sync;
+  Alcotest.(check (list (list string))) "single maximal path"
+    [ [ "A"; "B"; "C"; "D" ] ] (Paths.linear_paths g)
+
+let test_path_weight () =
+  let g =
+    Event_graph.build
+      (seq_of_names (List.concat (List.init 3 (fun _ -> [ "A"; "B"; "C" ]))))
+  in
+  (* the sequence A B C A B C A B C has AB=3, BC=3, CA=2 *)
+  Alcotest.(check int) "min edge weight" 3 (Paths.path_weight g [ "A"; "B"; "C" ])
+
+let test_path_weight_exact () =
+  let g = Event_graph.build (seq_of_names [ "A"; "B"; "C"; "A"; "B" ]) in
+  Alcotest.(check int) "AB=2 BC=1 -> weight 1" 1 (Paths.path_weight g [ "A"; "B"; "C" ]);
+  Alcotest.(check int) "missing edge -> 0" 0 (Paths.path_weight g [ "A"; "C" ])
+
+let test_cycle_handling () =
+  (* self-loop and 2-cycles must not hang path/chain extraction *)
+  let g = Event_graph.build (seq_of_names [ "A"; "A"; "A"; "B"; "A" ]) in
+  let _ = Paths.linear_paths g in
+  let _ = Chains.find g in
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "graphbuilder weights" `Quick test_graphbuilder_weights;
+    Alcotest.test_case "total weight invariant" `Quick test_total_weight_invariant;
+    Alcotest.test_case "mode tracking" `Quick test_mode_tracking;
+    Alcotest.test_case "reduce threshold" `Quick test_reduce_threshold;
+    Alcotest.test_case "linear paths" `Quick test_linear_paths;
+    Alcotest.test_case "linear simple chain" `Quick test_linear_path_simple_chain;
+    Alcotest.test_case "path weight" `Quick test_path_weight;
+    Alcotest.test_case "path weight exact" `Quick test_path_weight_exact;
+    Alcotest.test_case "cycles no hang" `Quick test_cycle_handling;
+  ]

@@ -1,0 +1,90 @@
+(* Guard validation and the partitioned-chain downgrade logic. *)
+
+open Podopt
+
+let program_src =
+  {|
+handler tail_a(x) { global ga = global ga + 1; raise sync PB(x + 1); }
+handler tail_b(x) { global gb = global gb + x; raise sync PC(x); }
+handler tail_c(x) { global gc = global gc + 1; emit("pc", x); }
+handler midraise(x) { raise sync PB(x); global gm = global gm + 1; }
+handler twice(x) { raise sync PB(x); raise sync PB(x + 1); }
+|}
+
+let setup binds =
+  let rt = Runtime.create ~program:(Parse.program program_src) () in
+  List.iter (fun g -> Runtime.set_global rt g (Value.Int 0)) [ "ga"; "gb"; "gc"; "gm" ];
+  List.iter (fun (ev, h) -> Runtime.bind rt ~event:ev (Handler.hir' h)) binds;
+  rt
+
+let partitioned_plan events =
+  { Plan.empty with
+    Plan.actions = [ Plan.Merge_chain { events; strategy = Plan.Partitioned } ] }
+
+let test_tail_chain_partitions () =
+  let rt = setup [ ("PA", "tail_a"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  let applied = Driver.apply rt (partitioned_plan [ "PA"; "PB"; "PC" ]) in
+  Alcotest.(check (list string)) "head installed" [ "PA" ] applied.Driver.installed;
+  Alcotest.(check bool) "no downgrade" true
+    (not
+       (List.exists
+          (fun (_, why) -> Astring_contains.contains why "monolithic")
+          applied.Driver.skipped));
+  Runtime.raise_sync rt "PA" [ Value.Int 5 ];
+  Alcotest.(check Helpers.value) "chain ran" (Value.Int 6) (Runtime.get_global rt "gb")
+
+let test_midraise_downgrades () =
+  (* midraise raises PB before its last statement: not a tail raise *)
+  let rt = setup [ ("PA", "midraise"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  let applied = Driver.apply rt (partitioned_plan [ "PA"; "PB"; "PC" ]) in
+  Alcotest.(check bool) "downgrade recorded" true
+    (List.exists
+       (fun (_, why) -> Astring_contains.contains why "monolithic")
+       applied.Driver.skipped);
+  (* behaviour must still match the unoptimized runtime *)
+  let rt0 = setup [ ("PA", "midraise"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  Runtime.raise_sync rt "PA" [ Value.Int 3 ];
+  Runtime.raise_sync rt0 "PA" [ Value.Int 3 ];
+  List.iter
+    (fun g ->
+      Alcotest.(check Helpers.value) g (Runtime.get_global rt0 g) (Runtime.get_global rt g))
+    [ "ga"; "gb"; "gc"; "gm" ];
+  Alcotest.(check bool) "still optimized (monolithic)" true
+    (rt.Runtime.stats.Runtime.optimized_dispatches > 0)
+
+let test_double_raise_downgrades () =
+  let rt = setup [ ("PA", "twice"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  let applied = Driver.apply rt (partitioned_plan [ "PA"; "PB"; "PC" ]) in
+  Alcotest.(check bool) "downgrade recorded" true
+    (List.exists
+       (fun (_, why) -> Astring_contains.contains why "monolithic")
+       applied.Driver.skipped);
+  let rt0 = setup [ ("PA", "twice"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  Runtime.raise_sync rt "PA" [ Value.Int 2 ];
+  Runtime.raise_sync rt0 "PA" [ Value.Int 2 ];
+  Alcotest.(check Helpers.value) "gb equal" (Runtime.get_global rt0 "gb")
+    (Runtime.get_global rt "gb")
+
+let test_validate_flags_not_tail () =
+  let rt = setup [ ("PA", "midraise"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  let issues = Guard.validate rt (Runtime.program rt) (partitioned_plan [ "PA"; "PB" ]) in
+  Alcotest.(check bool) "Not_tail_raise reported" true
+    (List.exists
+       (function Guard.Not_tail_raise { event = "PA"; _ } -> true | _ -> false)
+       issues)
+
+let test_validate_accepts_tail () =
+  let rt = setup [ ("PA", "tail_a"); ("PB", "tail_b"); ("PC", "tail_c") ] in
+  let issues =
+    Guard.validate rt (Runtime.program rt) (partitioned_plan [ "PA"; "PB"; "PC" ])
+  in
+  Alcotest.(check int) "clean" 0 (List.length issues)
+
+let suite =
+  [
+    Alcotest.test_case "tail chain partitions" `Quick test_tail_chain_partitions;
+    Alcotest.test_case "mid raise downgrades" `Quick test_midraise_downgrades;
+    Alcotest.test_case "double raise downgrades" `Quick test_double_raise_downgrades;
+    Alcotest.test_case "validate flags non-tail" `Quick test_validate_flags_not_tail;
+    Alcotest.test_case "validate accepts tail" `Quick test_validate_accepts_tail;
+  ]

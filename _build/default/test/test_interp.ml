@@ -1,0 +1,138 @@
+open Podopt
+
+let v = Helpers.value
+
+let run src name args =
+  let prog = Parse.program src in
+  Helpers.observe prog name args
+
+let test_arith () =
+  let r, _, _ = run "func f(a, b) { return a * b + a % b - a / b; }" "f" [ Value.Int 7; Value.Int 3 ] in
+  Alcotest.(check v) "7*3 + 7%3 - 7/3" (Value.Int 20) r
+
+let test_float_promotion () =
+  let r, _, _ = run "func f() { return 1 + 2.5; }" "f" [] in
+  Alcotest.(check v) "int+float" (Value.Float 3.5) r
+
+let test_short_circuit () =
+  (* the right operand would divide by zero; && must not evaluate it *)
+  let r, _, _ = run "func f(x) { return x > 0 && 10 / x > 2; }" "f" [ Value.Int 0 ] in
+  Alcotest.(check v) "short circuit &&" (Value.Bool false) r;
+  let r, _, _ = run "func f(x) { return x == 0 || 10 / x > 2; }" "f" [ Value.Int 0 ] in
+  Alcotest.(check v) "short circuit ||" (Value.Bool true) r
+
+let test_while_loop () =
+  let r, _, _ =
+    run "func f(n) { let acc = 0; let i = 1; while (i <= n) { acc = acc + i; i = i + 1; } return acc; }"
+      "f" [ Value.Int 10 ]
+  in
+  Alcotest.(check v) "sum 1..10" (Value.Int 55) r
+
+let test_early_return () =
+  let r, emits, _ =
+    run
+      "func f(x) { if (x < 0) { emit(\"neg\"); return 0 - x; } emit(\"pos\"); return x; }"
+      "f" [ Value.Int (-5) ]
+  in
+  Alcotest.(check v) "abs" (Value.Int 5) r;
+  Alcotest.(check int) "only neg branch emitted" 1 (List.length emits)
+
+let test_globals () =
+  let _, _, globals =
+    run "handler h() { global count = global count + 1; global count = global count + 1; }"
+      "h" []
+  in
+  Alcotest.(check (list (pair string v))) "count=2" [ ("count", Value.Int 2) ] globals
+
+let test_user_call_and_recursion () =
+  let r, _, _ =
+    run "func fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }" "fib"
+      [ Value.Int 12 ]
+  in
+  Alcotest.(check v) "fib 12" (Value.Int 144) r
+
+let test_args_beyond_params_default_unit () =
+  let r, _, _ = run "func f(a, b) { return b; }" "f" [ Value.Int 1 ] in
+  Alcotest.(check v) "missing param is Unit" Value.Unit r
+
+let test_arg_expr () =
+  let r, _, _ = run "func f() { return arg 1; }" "f" [ Value.Int 1; Value.Str "x" ] in
+  Alcotest.(check v) "arg 1" (Value.Str "x") r;
+  let prog = Parse.program "func f() { return arg 5; }" in
+  (try
+     ignore (Interp.run prog "f" []);
+     Alcotest.fail "expected Type_error"
+   with Value.Type_error _ -> ())
+
+let test_unbound_variable () =
+  let prog = Parse.program "func f() { return x; }" in
+  Alcotest.check_raises "unbound" (Interp.Unbound_variable "x") (fun () ->
+      ignore (Interp.run prog "f" []))
+
+let test_division_by_zero () =
+  let prog = Parse.program "func f() { return 1 / 0; }" in
+  (try
+     ignore (Interp.run prog "f" []);
+     Alcotest.fail "expected Type_error"
+   with Value.Type_error _ -> ())
+
+let test_prims () =
+  let r, _, _ = run "func f(s) { return len(s); }" "f" [ Value.Str "hello" ] in
+  Alcotest.(check v) "len" (Value.Int 5) r;
+  let r, _, _ =
+    run "func f(b) { return bytes_xor_fold(b); }" "f"
+      [ Value.Bytes (Bytes.of_string "\x01\x02\x04") ]
+  in
+  Alcotest.(check v) "xor fold" (Value.Int 7) r;
+  let r, _, _ = run "func f() { return band(bor(12, 3), 10); }" "f" [] in
+  Alcotest.(check v) "bit ops" (Value.Int 10) r
+
+let test_ticks_counted () =
+  let prog = Parse.program "func f() { let x = 1; let y = 2; return x + y; }" in
+  let ticks = ref 0 in
+  let host = { Interp.null_host with Interp.tick = (fun n -> ticks := !ticks + n) } in
+  ignore (Interp.run ~host prog "f" []);
+  Alcotest.(check bool) "some ticks charged" true (!ticks >= 6)
+
+let test_call_depth_limit () =
+  let prog = Parse.program "func loop(n) { return loop(n + 1); }" in
+  Alcotest.check_raises "interp bounded" Interp.Call_depth_exceeded (fun () ->
+      ignore (Interp.run prog "loop" [ Value.Int 0 ]));
+  let compiled = Compile.proc prog "loop" in
+  Alcotest.check_raises "compiled bounded" Interp.Call_depth_exceeded (fun () ->
+      ignore (compiled Interp.null_host [ Value.Int 0 ]));
+  (* the depth counter must unwind: a subsequent shallow call succeeds *)
+  let prog2 = Parse.program "func ok() { return 5; }" in
+  Alcotest.(check Helpers.value) "recovered" (Value.Int 5) (Interp.run prog2 "ok" [])
+
+let test_raise_hook () =
+  let prog = Parse.program "handler h() { raise async Next(41 + 1); }" in
+  let raised = ref [] in
+  let host =
+    { Interp.null_host with
+      Interp.raise_event = (fun name mode args -> raised := (name, mode, args) :: !raised)
+    }
+  in
+  ignore (Interp.run ~host prog "h" []);
+  match !raised with
+  | [ ("Next", Ast.Async, [ Value.Int 42 ]) ] -> ()
+  | _ -> Alcotest.fail "raise hook not called correctly"
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "float promotion" `Quick test_float_promotion;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "while loop" `Quick test_while_loop;
+    Alcotest.test_case "early return" `Quick test_early_return;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "user calls / recursion" `Quick test_user_call_and_recursion;
+    Alcotest.test_case "missing params default Unit" `Quick test_args_beyond_params_default_unit;
+    Alcotest.test_case "arg expr" `Quick test_arg_expr;
+    Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "primitives" `Quick test_prims;
+    Alcotest.test_case "ticks counted" `Quick test_ticks_counted;
+    Alcotest.test_case "call depth bounded" `Quick test_call_depth_limit;
+    Alcotest.test_case "raise hook" `Quick test_raise_hook;
+  ]

@@ -1,0 +1,195 @@
+open Podopt
+
+let parse_ok src =
+  match Parse.program src with
+  | p -> p
+  | exception Parse.Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_simple_handler () =
+  let p = parse_ok "handler h(x, y) { let z = x + y; emit(\"sum\", z); }" in
+  match p with
+  | [ { Ast.name = "h"; params = [ "x"; "y" ]; body } ] ->
+    Alcotest.(check int) "two statements" 2 (List.length body)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_precedence () =
+  let p = parse_ok "handler h() { let a = 1 + 2 * 3; }" in
+  match p with
+  | [ { Ast.body = [ Ast.Let ("a", e) ]; _ } ] ->
+    Alcotest.(check bool) "1 + (2*3)" true
+      (e
+       = Ast.Binop
+           ( Ast.Add,
+             Ast.Lit (Value.Int 1),
+             Ast.Binop (Ast.Mul, Ast.Lit (Value.Int 2), Ast.Lit (Value.Int 3)) ))
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_comparison_and_logic () =
+  let p = parse_ok "handler h() { let a = 1 < 2 && 3 >= 2 || false; }" in
+  match p with
+  | [ { Ast.body = [ Ast.Let (_, Ast.Binop (Ast.Or, _, _)) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "|| should bind loosest"
+
+let test_raise_modes () =
+  let p =
+    parse_ok
+      "handler h() { raise Ev(1); raise sync Ev2(); raise async Ev3(1, 2); raise \
+       after 50 Tick(); }"
+  in
+  match p with
+  | [ { Ast.body; _ } ] ->
+    let modes =
+      List.map (function Ast.Raise { mode; _ } -> mode | _ -> Alcotest.fail "raise") body
+    in
+    Alcotest.(check bool) "modes" true
+      (modes = [ Ast.Sync; Ast.Sync; Ast.Async; Ast.Timed 50 ])
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_global_statement_vs_expr () =
+  let p = parse_ok "handler h() { global n = global n + 1; }" in
+  match p with
+  | [ { Ast.body = [ Ast.Set_global ("n", Ast.Binop (Ast.Add, Ast.Global "n", _)) ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "global statement should parse as Set_global"
+
+let test_if_else_chain () =
+  let p = parse_ok "handler h(x) { if (x == 1) { emit(\"a\"); } else if (x == 2) { emit(\"b\"); } else { emit(\"c\"); } }" in
+  match p with
+  | [ { Ast.body = [ Ast.If (_, _, [ Ast.If (_, _, [ Ast.Emit ("c", []) ]) ]) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "else-if should nest"
+
+let test_arg_and_return () =
+  let p = parse_ok "func f() { return arg 0; } handler h() { return; }" in
+  match p with
+  | [ { Ast.body = [ Ast.Return (Some (Ast.Arg 0)) ]; _ };
+      { Ast.body = [ Ast.Return None ]; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_string_escapes () =
+  let p = parse_ok {|handler h() { emit("a\nb\t\"q\""); }|} in
+  match p with
+  | [ { Ast.body = [ Ast.Emit ("a\nb\t\"q\"", []) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "escapes"
+
+let test_comments () =
+  let p =
+    parse_ok "// leading\nhandler h() { /* block\ncomment */ let x = 1; // eol\n }"
+  in
+  Alcotest.(check int) "one proc" 1 (List.length p)
+
+let test_parse_errors () =
+  let bad = [ "handler h( {}"; "handler h() { let = 1; }"; "handler h() { 1 + ; }";
+              "handler h() { emit(1); }"; "handler"; "handler h() { \"unterminated }" ]
+  in
+  List.iter
+    (fun src ->
+      match Parse.program src with
+      | _ -> Alcotest.failf "expected parse error for %S" src
+      | exception Parse.Error _ -> ())
+    bad
+
+let test_for_loop_sugar () =
+  (* semantics: sum 1..5 = 15; limit evaluated once *)
+  let prog =
+    parse_ok
+      "func sum(n) { let acc = 0; for i = 1 to n { acc = acc + i; } return acc; }"
+  in
+  let r, _, _ = Helpers.observe prog "sum" [ Value.Int 5 ] in
+  Alcotest.(check Helpers.value) "sum 1..5" (Value.Int 15) r;
+  let r, _, _ = Helpers.observe prog "sum" [ Value.Int 0 ] in
+  Alcotest.(check Helpers.value) "zero iterations" (Value.Int 0) r
+
+let test_for_limit_evaluated_once () =
+  let prog =
+    parse_ok
+      {|func f() {
+          global evals = 0;
+          let acc = 0;
+          for i = 1 to bump_count() { acc = acc + 1; }
+          return acc * 100 + global evals;
+        }
+        func bump_count() { global evals = global evals + 1; return 3; }|}
+  in
+  let r, _, _ = Helpers.observe prog "f" [] in
+  (* 3 iterations, limit computed exactly once *)
+  Alcotest.(check Helpers.value) "3 iters, 1 eval" (Value.Int 301) r
+
+let test_for_nested () =
+  let prog =
+    parse_ok
+      "func f() { let acc = 0; for i = 1 to 3 { for j = 1 to 3 { acc = acc + i * j; } } return acc; }"
+  in
+  let r, _, _ = Helpers.observe prog "f" [] in
+  Alcotest.(check Helpers.value) "36" (Value.Int 36) r
+
+let test_roundtrip_through_pp () =
+  let srcs =
+    [
+      "handler h(x) { let y = x * 2; if (y > 4) { emit(\"big\", y); } else { emit(\"small\"); } }";
+      "handler w() { let i = 0; while (i < 10) { i = i + 1; } emit(\"done\", i); }";
+      "handler r() { raise async Next(1, \"two\", true); }";
+      "func f(a, b) { return a + b; } handler g() { let s = f(1, 2); emit(\"s\", s); }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p1 = parse_ok src in
+      let printed = Pp.program_to_string p1 in
+      let p2 =
+        match Parse.program printed with
+        | p -> p
+        | exception Parse.Error msg ->
+          Alcotest.failf "re-parse failed: %s\nprinted:\n%s" msg printed
+      in
+      Alcotest.(check bool) "pp roundtrip" true (p1 = p2))
+    srcs
+
+(* Fuzz: arbitrary input must either parse or raise Parse.Error — never
+   any other exception. *)
+let fuzz_parser =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parser total on junk" ~count:500
+       ~print:(fun s -> String.escaped s)
+       QCheck2.Gen.(string_size ~gen:printable (int_range 0 80))
+       (fun src ->
+         match Parse.program src with
+         | _ -> true
+         | exception Parse.Error _ -> true))
+
+(* Fuzz with plausible token soup, which reaches deeper parser states. *)
+let fuzz_parser_tokens =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"parser total on token soup" ~count:500
+       ~print:(fun ws -> String.concat " " ws)
+       QCheck2.Gen.(
+         list_size (int_range 0 40)
+           (oneofl
+              [ "handler"; "func"; "let"; "global"; "if"; "else"; "while"; "for";
+                "to"; "raise"; "sync"; "emit"; "return"; "x"; "f"; "("; ")"; "{";
+                "}"; ";"; ","; "="; "=="; "+"; "*"; "1"; "2"; "\"s\""; "arg" ]))
+       (fun words ->
+         let src = String.concat " " words in
+         match Parse.program src with
+         | _ -> true
+         | exception Parse.Error _ -> true))
+
+let suite =
+  [
+    fuzz_parser;
+    fuzz_parser_tokens;
+    Alcotest.test_case "simple handler" `Quick test_simple_handler;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "comparison and logic" `Quick test_comparison_and_logic;
+    Alcotest.test_case "raise modes" `Quick test_raise_modes;
+    Alcotest.test_case "global stmt vs expr" `Quick test_global_statement_vs_expr;
+    Alcotest.test_case "if-else chain" `Quick test_if_else_chain;
+    Alcotest.test_case "arg and return" `Quick test_arg_and_return;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "for loop sugar" `Quick test_for_loop_sugar;
+    Alcotest.test_case "for limit once" `Quick test_for_limit_evaluated_once;
+    Alcotest.test_case "for nested" `Quick test_for_nested;
+    Alcotest.test_case "pp roundtrip" `Quick test_roundtrip_through_pp;
+  ]

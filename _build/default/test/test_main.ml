@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "podopt"
+    [
+      ("value", Test_value.suite);
+      ("lexer/parser", Test_lexer_parser.suite);
+      ("interp", Test_interp.suite);
+      ("compile", Test_compile.suite);
+      ("deret", Test_deret.suite);
+      ("opt-passes", Test_opt_passes.suite);
+      ("registry", Test_registry.suite);
+      ("equeue", Test_equeue.suite);
+      ("runtime", Test_runtime.suite);
+      ("event-graph", Test_event_graph.suite);
+      ("merge", Test_merge.suite);
+      ("driver", Test_driver.suite);
+      ("properties", Test_props.suite);
+      ("crypto", Test_crypto.suite);
+      ("net", Test_net.suite);
+      ("cactus", Test_cactus.suite);
+      ("ctp", Test_ctp.suite);
+      ("seccomm", Test_seccomm.suite);
+      ("xwin", Test_xwin.suite);
+      ("extensions", Test_extensions.suite);
+      ("check/licm", Test_check.suite);
+      ("trace-io/ctp-ext", Test_trace_io.suite);
+      ("properties-2", Test_props2.suite);
+      ("profile-tools", Test_profile_tools.suite);
+      ("stacked", Test_stack.suite);
+      ("apps", Test_apps.suite);
+      ("guards", Test_guard.suite);
+    ]

@@ -1,0 +1,218 @@
+(* Handler merging and chain subsumption: the optimized runtime must be
+   observationally equivalent to the unoptimized one (same emit log, same
+   global state), and cheaper. *)
+
+open Podopt
+
+let program_src =
+  {|
+handler inc_counter(x) { global count = global count + 1; emit("h1", x); }
+handler square(x) { let s = x * x; emit("h2", s); }
+handler early(x) { if (x < 0) { emit("neg"); return; } emit("h3", x); }
+handler head_work(m) { let n = m + 1; emit("head", n); raise sync Mid(n); emit("head_after", n); }
+handler mid_work(n) { emit("mid", n * 10); raise sync Tail(n * 10); }
+handler tail_work(v) { emit("tail", v); global last = v; }
+handler cond_raise(x) { if (x % 2 == 0) { raise sync Even(x); } else { emit("odd", x); } }
+handler even_handler(x) { emit("even", x); }
+|}
+
+let setup () =
+  let rt = Runtime.create ~program:(Parse.program program_src) () in
+  Runtime.set_global rt "count" (Value.Int 0);
+  Runtime.set_global rt "last" (Value.Int 0);
+  rt
+
+let same_behaviour msg rt_plain rt_opt workload =
+  Runtime.clear_emits rt_plain;
+  Runtime.clear_emits rt_opt;
+  workload rt_plain;
+  workload rt_opt;
+  Helpers.check_emits msg (Runtime.emits rt_plain) (Runtime.emits rt_opt);
+  List.iter
+    (fun g ->
+      Alcotest.(check Helpers.value) (msg ^ ": global " ^ g)
+        (Runtime.get_global rt_plain g) (Runtime.get_global rt_opt g))
+    [ "count"; "last" ]
+
+let apply_plan rt actions =
+  Driver.apply rt { Plan.empty with Plan.actions }
+
+let test_merge_single_event () =
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"E" (Handler.hir' "inc_counter");
+      Runtime.bind rt ~event:"E" (Handler.hir' "square");
+      Runtime.bind rt ~event:"E" (Handler.hir' "early"))
+    [ rt1; rt2 ];
+  let applied = apply_plan rt2 [ Plan.Merge_event "E" ] in
+  Alcotest.(check (list string)) "installed" [ "E" ] applied.Driver.installed;
+  same_behaviour "merged vs plain" rt1 rt2 (fun rt ->
+      Runtime.raise_sync rt "E" [ Value.Int 4 ];
+      Runtime.raise_sync rt "E" [ Value.Int (-2) ])
+
+let test_merged_is_cheaper () =
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"E" (Handler.hir' "inc_counter");
+      Runtime.bind rt ~event:"E" (Handler.hir' "square"))
+    [ rt1; rt2 ];
+  ignore (apply_plan rt2 [ Plan.Merge_event "E" ]);
+  let work rt = for i = 1 to 100 do Runtime.raise_sync rt "E" [ Value.Int i ] done in
+  work rt1;
+  work rt2;
+  let t1 = Runtime.event_processing_time rt1 "E" in
+  let t2 = Runtime.event_processing_time rt2 "E" in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimized cheaper (%d < %d)" t2 t1)
+    true (t2 < t1)
+
+let test_early_return_isolated_in_merge () =
+  (* handler [early] returns early for negative args; [square] bound after
+     it must still run in the merged super-handler *)
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"E" (Handler.hir' "early");
+      Runtime.bind rt ~event:"E" (Handler.hir' "square"))
+    [ rt1; rt2 ];
+  ignore (apply_plan rt2 [ Plan.Merge_event "E" ]);
+  same_behaviour "early return isolation" rt1 rt2 (fun rt ->
+      Runtime.raise_sync rt "E" [ Value.Int (-7) ])
+
+let test_chain_subsumption () =
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"Head" (Handler.hir' "head_work");
+      Runtime.bind rt ~event:"Mid" (Handler.hir' "mid_work");
+      Runtime.bind rt ~event:"Tail" (Handler.hir' "tail_work"))
+    [ rt1; rt2 ];
+  let applied =
+    apply_plan rt2
+      [ Plan.Merge_chain { events = [ "Head"; "Mid"; "Tail" ]; strategy = Plan.Monolithic } ]
+  in
+  Alcotest.(check (list string)) "all suffixes installed" [ "Head"; "Mid"; "Tail" ]
+    (List.sort compare applied.Driver.installed);
+  same_behaviour "chain subsumed" rt1 rt2 (fun rt ->
+      Runtime.raise_sync rt "Head" [ Value.Int 5 ];
+      (* events raised mid-chain must also behave *)
+      Runtime.raise_sync rt "Mid" [ Value.Int 9 ];
+      Runtime.raise_sync rt "Tail" [ Value.Int 2 ])
+
+let test_chain_no_internal_raises () =
+  (* after subsumption, dispatching Head must not re-dispatch Mid/Tail *)
+  let rt = setup () in
+  Runtime.bind rt ~event:"Head" (Handler.hir' "head_work");
+  Runtime.bind rt ~event:"Mid" (Handler.hir' "mid_work");
+  Runtime.bind rt ~event:"Tail" (Handler.hir' "tail_work");
+  ignore
+    (apply_plan rt
+       [ Plan.Merge_chain { events = [ "Head"; "Mid"; "Tail" ]; strategy = Plan.Monolithic } ]);
+  Runtime.reset_measurements rt;
+  Runtime.raise_sync rt "Head" [ Value.Int 1 ];
+  Alcotest.(check int) "Mid not separately dispatched" 0
+    (Runtime.event_dispatch_count rt "Mid");
+  Alcotest.(check int) "one optimized dispatch" 1
+    rt.Runtime.stats.Runtime.optimized_dispatches
+
+let test_conditional_raise_subsumed_correctly () =
+  (* subsumption must keep the inlined body under the original condition *)
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"C" (Handler.hir' "cond_raise");
+      Runtime.bind rt ~event:"Even" (Handler.hir' "even_handler"))
+    [ rt1; rt2 ];
+  ignore
+    (apply_plan rt2
+       [ Plan.Merge_chain { events = [ "C"; "Even" ]; strategy = Plan.Monolithic } ]);
+  same_behaviour "conditional subsumption" rt1 rt2 (fun rt ->
+      List.iter (fun i -> Runtime.raise_sync rt "C" [ Value.Int i ]) [ 1; 2; 3; 4 ])
+
+let test_rebind_falls_back () =
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"E" (Handler.hir' "inc_counter");
+      Runtime.bind rt ~event:"E" (Handler.hir' "square"))
+    [ rt1; rt2 ];
+  ignore (apply_plan rt2 [ Plan.Merge_event "E" ]);
+  (* rebind on BOTH runtimes: add a third handler *)
+  List.iter (fun rt -> Runtime.bind rt ~event:"E" (Handler.hir' "early")) [ rt1; rt2 ];
+  same_behaviour "fallback after rebind" rt1 rt2 (fun rt ->
+      Runtime.raise_sync rt "E" [ Value.Int 6 ]);
+  Alcotest.(check bool) "fallback counted" true (rt2.Runtime.stats.Runtime.fallbacks > 0)
+
+let test_unbind_falls_back () =
+  let rt1 = setup () and rt2 = setup () in
+  List.iter
+    (fun rt ->
+      Runtime.bind rt ~event:"E" (Handler.hir' "inc_counter");
+      Runtime.bind rt ~event:"E" (Handler.hir' "square"))
+    [ rt1; rt2 ];
+  ignore (apply_plan rt2 [ Plan.Merge_event "E" ]);
+  List.iter
+    (fun rt -> ignore (Runtime.unbind rt ~event:"E" ~handler:"square"))
+    [ rt1; rt2 ];
+  same_behaviour "fallback after unbind" rt1 rt2 (fun rt ->
+      Runtime.raise_sync rt "E" [ Value.Int 6 ])
+
+let test_native_handler_not_mergeable () =
+  let rt = setup () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "inc_counter");
+  Runtime.bind rt ~event:"E" (Handler.native "nat" (fun _ _ -> ()));
+  let applied = apply_plan rt [ Plan.Merge_event "E" ] in
+  Alcotest.(check (list string)) "nothing installed" [] applied.Driver.installed;
+  Alcotest.(check bool) "skip recorded" true (applied.Driver.skipped <> [])
+
+let test_async_raise_not_subsumed () =
+  (* an async raise inside a merged chain must still go through the queue *)
+  let src =
+    program_src
+    ^ {| handler head_async(x) { emit("ha", x); raise async Tail(x); } |}
+  in
+  let mk () =
+    let rt = Runtime.create ~program:(Parse.program src) () in
+    Runtime.set_global rt "count" (Value.Int 0);
+    Runtime.set_global rt "last" (Value.Int 0);
+    Runtime.bind rt ~event:"HeadA" (Handler.hir' "head_async");
+    Runtime.bind rt ~event:"Tail" (Handler.hir' "tail_work");
+    rt
+  in
+  let rt1 = mk () and rt2 = mk () in
+  ignore
+    (apply_plan rt2
+       [ Plan.Merge_chain { events = [ "HeadA"; "Tail" ]; strategy = Plan.Monolithic } ]);
+  let work rt =
+    Runtime.raise_sync rt "HeadA" [ Value.Int 3 ];
+    (* before the queue is drained, the async Tail must not have run *)
+    Alcotest.(check int) "tail deferred" 1 (Runtime.pending rt);
+    Runtime.run rt
+  in
+  same_behaviour "async preserved" rt1 rt2 work
+
+let test_code_size_growth_small () =
+  let rt = setup () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "inc_counter");
+  Runtime.bind rt ~event:"E" (Handler.hir' "square");
+  let applied = apply_plan rt [ Plan.Merge_event "E" ] in
+  let r = Driver.size_report applied in
+  Alcotest.(check bool) "some growth" true (r.Size.added > 0);
+  Alcotest.(check bool) "bounded growth" true (r.Size.growth_percent < 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "merge single event" `Quick test_merge_single_event;
+    Alcotest.test_case "merged is cheaper" `Quick test_merged_is_cheaper;
+    Alcotest.test_case "early return isolated" `Quick test_early_return_isolated_in_merge;
+    Alcotest.test_case "chain subsumption" `Quick test_chain_subsumption;
+    Alcotest.test_case "chain internal raises gone" `Quick test_chain_no_internal_raises;
+    Alcotest.test_case "conditional raise subsumed" `Quick test_conditional_raise_subsumed_correctly;
+    Alcotest.test_case "rebind falls back" `Quick test_rebind_falls_back;
+    Alcotest.test_case "unbind falls back" `Quick test_unbind_falls_back;
+    Alcotest.test_case "native not mergeable" `Quick test_native_handler_not_mergeable;
+    Alcotest.test_case "async not subsumed" `Quick test_async_raise_not_subsumed;
+    Alcotest.test_case "code size growth small" `Quick test_code_size_growth_small;
+  ]

@@ -1,0 +1,92 @@
+(* Simulated network: deterministic loss, latency ordering, packet wire
+   encoding. *)
+
+open Podopt
+open Podopt_net
+
+let test_packet_roundtrip () =
+  let p = Packet.make ~src:"a" ~dst:"b" ~seq:7 (Bytes.of_string "payload") in
+  let p' = Packet.decode (Packet.encode p) in
+  Alcotest.(check string) "src" p.Packet.src p'.Packet.src;
+  Alcotest.(check string) "dst" p.Packet.dst p'.Packet.dst;
+  Alcotest.(check int) "seq" p.Packet.seq p'.Packet.seq;
+  Alcotest.(check string) "payload" "payload" (Bytes.to_string p'.Packet.payload)
+
+let test_packet_decode_garbage () =
+  Alcotest.check_raises "garbage" Packet.Decode_error (fun () ->
+      ignore (Packet.decode (Bytes.of_string "not a packet")))
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L in
+  let b = Prng.create ~seed:7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create ~seed:8L in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let mk_receiver () =
+  let rt = Runtime.create ~program:(Parse.program "handler rx(w) { emit(\"rx\", w); }") () in
+  Runtime.bind rt ~event:"Deliver" (Handler.hir' "rx");
+  rt
+
+let test_link_delivers_with_latency () =
+  let rt = mk_receiver () in
+  let link = Link.create ~latency:100 () in
+  Link.send link rt ~deliver_event:"Deliver"
+    (Packet.make ~src:"a" ~dst:"b" ~seq:1 (Bytes.of_string "x"));
+  Alcotest.(check int) "queued not delivered" 0 (List.length (Runtime.emits rt));
+  Runtime.run ~until:50 rt;
+  Alcotest.(check int) "still in flight at t=50" 0 (List.length (Runtime.emits rt));
+  Runtime.run rt;
+  Alcotest.(check int) "delivered" 1 (List.length (Runtime.emits rt));
+  Alcotest.(check bool) "clock advanced past latency" true (Runtime.now rt >= 100)
+
+let test_link_loss_rate () =
+  let rt = mk_receiver () in
+  let link = Link.create ~latency:1 ~loss_permille:300 ~seed:9L () in
+  for i = 1 to 1000 do
+    Link.send link rt ~deliver_event:"Deliver"
+      (Packet.make ~src:"a" ~dst:"b" ~seq:i (Bytes.of_string "x"))
+  done;
+  Runtime.run rt;
+  let s = Link.stats link in
+  Alcotest.(check int) "conservation" 1000 (s.Link.delivered + s.Link.dropped);
+  Alcotest.(check bool)
+    (Printf.sprintf "loss near 30%% (%d)" s.Link.dropped)
+    true
+    (s.Link.dropped > 230 && s.Link.dropped < 370);
+  Alcotest.(check int) "emits match delivered" s.Link.delivered
+    (List.length (Runtime.emits rt))
+
+let test_link_jitter_varies_delay () =
+  let rt = mk_receiver () in
+  Trace.enable_events rt.Runtime.trace;
+  let link = Link.create ~latency:10 ~jitter:50 ~seed:3L () in
+  for i = 1 to 20 do
+    Link.send link rt ~deliver_event:"Deliver"
+      (Packet.make ~src:"a" ~dst:"b" ~seq:i (Bytes.of_string "x"))
+  done;
+  Runtime.run rt;
+  (* with jitter, deliveries spread over distinct times *)
+  let times =
+    List.filter_map
+      (function Trace.Event_raised _ -> None | Trace.Dispatch_begin _ -> None | _ -> None)
+      (Trace.entries rt.Runtime.trace)
+  in
+  ignore times;
+  Alcotest.(check int) "all delivered" 20 (List.length (Runtime.emits rt))
+
+let suite =
+  [
+    Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
+    Alcotest.test_case "packet garbage" `Quick test_packet_decode_garbage;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "latency" `Quick test_link_delivers_with_latency;
+    Alcotest.test_case "loss rate" `Quick test_link_loss_rate;
+    Alcotest.test_case "jitter" `Quick test_link_jitter_varies_delay;
+  ]

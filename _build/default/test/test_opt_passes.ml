@@ -1,0 +1,223 @@
+(* Each optimizer pass: behaviour preservation on targeted snippets, plus
+   checks that the pass actually performs its transformation. *)
+
+open Podopt
+
+let proc_of src = Parse.proc src
+
+(* Optimize the last procedure of [src] and compare behaviour before and
+   after (the earlier procedures are shared context, e.g. callees). *)
+let check_preserves ?passes msg src args =
+  let prog = Parse.program src in
+  let p = List.nth prog (List.length prog - 1) in
+  let p' = { (Pipeline.optimize_proc ?passes prog p) with Ast.name = p.Ast.name ^ "__opt" } in
+  Helpers.check_same_behaviour msg prog p.Ast.name (prog @ [ p' ]) p'.Ast.name args
+
+let size_of_opt ?passes src =
+  let p = proc_of src in
+  let p' = Pipeline.optimize_proc ?passes [ p ] p in
+  (Analysis.proc_size p, Analysis.proc_size p')
+
+(* --- constant folding ------------------------------------------------- *)
+
+let test_constfold_folds () =
+  let p = proc_of "func f() { let x = 2 * 3 + 4; return x; }" in
+  let body = Opt_constfold.pass [ p ] p.Ast.body in
+  match body with
+  | [ Ast.Let ("x", Ast.Lit (Value.Int 10)); _ ] -> ()
+  | _ -> Alcotest.failf "not folded: %s" (Pp.proc_to_string { p with Ast.body })
+
+let test_constfold_keeps_div_by_zero () =
+  let p = proc_of "func f() { return 1 / 0; }" in
+  let body = Opt_constfold.pass [ p ] p.Ast.body in
+  match body with
+  | [ Ast.Return (Some (Ast.Binop (Ast.Div, _, _))) ] -> ()
+  | _ -> Alcotest.fail "division by zero must not be folded away"
+
+let test_constfold_dead_branch () =
+  let p = proc_of "func f() { if (false) { emit(\"dead\"); } emit(\"live\"); }" in
+  let body = Opt_constfold.pass [ p ] p.Ast.body in
+  Alcotest.(check int) "dead branch removed" 1 (List.length body)
+
+let test_constfold_prim () =
+  let p = proc_of "func f() { return len(\"hello\"); }" in
+  let body = Opt_constfold.pass [ p ] p.Ast.body in
+  match body with
+  | [ Ast.Return (Some (Ast.Lit (Value.Int 5))) ] -> ()
+  | _ -> Alcotest.fail "pure prim on literals should fold"
+
+let test_constfold_preserves () =
+  check_preserves "constfold" ~passes:[ Pipeline.constfold ]
+    "handler h(x) { let a = 1 + 2; if (a == 3 && x > 0) { emit(\"yes\", a * x); } else { emit(\"no\"); } }"
+    [ Value.Int 4 ]
+
+(* --- copy propagation ------------------------------------------------- *)
+
+let test_copyprop_propagates () =
+  let p = proc_of "func f(x) { let a = x; let b = a; return b; }" in
+  let body = Opt_copyprop.pass [ p ] p.Ast.body in
+  match List.rev body with
+  | Ast.Return (Some (Ast.Var "a" | Ast.Var "x")) :: _ -> ()
+  | _ -> Alcotest.failf "copy not propagated: %s" (Pp.proc_to_string { p with Ast.body })
+
+let test_copyprop_kills_on_reassign () =
+  let p = proc_of "func f(x) { let a = x; x = x + 1; return a; }" in
+  let body = Opt_copyprop.pass [ p ] p.Ast.body in
+  (* `a` must not be replaced by `x` after x changed *)
+  match List.rev body with
+  | Ast.Return (Some (Ast.Var "a")) :: _ -> ()
+  | _ -> Alcotest.fail "stale copy propagated across reassignment"
+
+let test_copyprop_loop_safety () =
+  check_preserves "copyprop loop" ~passes:[ Pipeline.copyprop ]
+    "handler h() { let a = 1; let i = 0; while (i < 3) { emit(\"a\", a); a = a + 10; i = i + 1; } emit(\"final\", a); }"
+    []
+
+let test_copyprop_preserves () =
+  check_preserves "copyprop" ~passes:[ Pipeline.copyprop ]
+    "handler h(x) { let a = x; let b = 5; if (x > 0) { b = a; } emit(\"r\", b); }"
+    [ Value.Int 2 ]
+
+(* --- CSE --------------------------------------------------------------- *)
+
+let test_cse_reuses () =
+  let p = proc_of "func f(x) { let a = x * x + 1; let b = x * x + 1; return a + b; }" in
+  let body = Opt_cse.pass [ p ] p.Ast.body in
+  match body with
+  | [ _; Ast.Let ("b", Ast.Var "a"); _ ] -> ()
+  | _ -> Alcotest.failf "CSE missed: %s" (Pp.proc_to_string { p with Ast.body })
+
+let test_cse_invalidation_on_assign () =
+  check_preserves "cse invalidation" ~passes:[ Pipeline.cse ]
+    "handler h(x) { let a = x + 1; x = 100; let b = x + 1; emit(\"ab\", a, b); }"
+    [ Value.Int 1 ]
+
+let test_cse_global_invalidation () =
+  check_preserves "cse global invalidation" ~passes:[ Pipeline.cse ]
+    "handler h() { global g = 1; let a = global g + 1; global g = 50; let b = global g + 1; emit(\"ab\", a, b); }"
+    []
+
+let test_cse_no_reuse_across_impure_call () =
+  (* bytes_set mutates; global reads cached across it would still be fine,
+     but calls may touch globals via user procs — conservative behaviour
+     must stay correct *)
+  check_preserves "cse impure barrier" ~passes:[ Pipeline.cse ]
+    "handler g() { global n = global n * 2; } handler h() { global n = 3; let a = global n; g(); let b = global n; emit(\"ab\", a, b); }"
+    []
+
+(* --- DCE --------------------------------------------------------------- *)
+
+let test_dce_removes_dead_let () =
+  let before, after =
+    size_of_opt ~passes:[ Pipeline.dce ]
+      "func f(x) { let dead = x * 1000; return x; }"
+  in
+  Alcotest.(check bool) "smaller" true (after < before)
+
+let test_dce_keeps_effectful () =
+  let before, after =
+    size_of_opt ~passes:[ Pipeline.dce ]
+      "handler h(x) { let dead = x; emit(\"keep\"); global g = 1; }"
+  in
+  Alcotest.(check bool) "only dead let removed" true (before - after <= 3 && after < before)
+
+let test_dce_unreachable_after_return () =
+  let p = proc_of "func f() { return 1; emit(\"dead\"); }" in
+  let body = Opt_dce.pass [ p ] p.Ast.body in
+  Alcotest.(check int) "unreachable removed" 1 (List.length body)
+
+let test_dce_loop_variable_live () =
+  check_preserves "dce loop" ~passes:[ Pipeline.dce ]
+    "handler h() { let acc = 0; let i = 0; while (i < 4) { acc = acc + i; i = i + 1; } emit(\"acc\", acc); }"
+    []
+
+let test_dce_preserves () =
+  check_preserves "dce" ~passes:[ Pipeline.dce ]
+    "handler h(x) { let a = x + 1; let unused = a * a; if (x > 0) { emit(\"a\", a); } }"
+    [ Value.Int 3 ]
+
+(* --- inlining ----------------------------------------------------------- *)
+
+let test_inline_expands () =
+  let prog =
+    Parse.program
+      "func helper(a) { return a * 2; } handler h(x) { let y = helper(x); emit(\"y\", y); }"
+  in
+  let h = Option.get (Ast.proc_by_name prog "h") in
+  let body = Opt_inline.pass prog h.Ast.body in
+  (* after inlining there is no call to helper left *)
+  let has_call = ref false in
+  ignore
+    (Rewrite.block_exprs
+       (function
+         | Ast.Call ("helper", _) as e ->
+           has_call := true;
+           e
+         | e -> e)
+       body);
+  Alcotest.(check bool) "call inlined" false !has_call
+
+let test_inline_preserves () =
+  let prog =
+    Parse.program
+      "func helper(a) { if (a > 10) { return 100; } emit(\"small\", a); return a; } \
+       handler h(x) { let y = helper(x); let z = helper(x + 20); emit(\"yz\", y, z); }"
+  in
+  let h = Option.get (Ast.proc_by_name prog "h") in
+  let h' = { h with Ast.body = Opt_inline.pass prog h.Ast.body; Ast.name = "h2" } in
+  Helpers.check_same_behaviour "inline" prog "h" (prog @ [ h' ]) "h2" [ Value.Int 3 ]
+
+let test_inline_skips_recursive () =
+  let prog = Parse.program "func r(n) { if (n > 0) { return r(n - 1); } return 0; } handler h() { let x = r(3); emit(\"x\", x); }" in
+  let h = Option.get (Ast.proc_by_name prog "h") in
+  let body = Opt_inline.pass prog h.Ast.body in
+  let has_call = ref false in
+  ignore
+    (Rewrite.block_exprs
+       (function Ast.Call ("r", _) as e -> has_call := true; e | e -> e)
+       body);
+  Alcotest.(check bool) "recursive call kept" true !has_call
+
+(* --- whole pipeline ----------------------------------------------------- *)
+
+let test_pipeline_shrinks_and_preserves () =
+  let src =
+    "handler h(x) { let a = 1 + 2; let b = a * 0 + a; let waste = x * x * x; \
+     let c = x + 3; let d = x + 3; emit(\"out\", b, c + d); }"
+  in
+  check_preserves "pipeline" src [ Value.Int 7 ];
+  let before, after = size_of_opt src in
+  Alcotest.(check bool) "pipeline shrinks" true (after < before)
+
+let test_pipeline_idempotent () =
+  let p = proc_of "handler h(x) { let a = x + 1; emit(\"a\", a); }" in
+  let p1 = Pipeline.optimize_proc [ p ] p in
+  let p2 = Pipeline.optimize_proc [ p1 ] p1 in
+  Alcotest.(check bool) "fixpoint" true (p1.Ast.body = p2.Ast.body)
+
+let suite =
+  [
+    Alcotest.test_case "constfold folds" `Quick test_constfold_folds;
+    Alcotest.test_case "constfold keeps div0" `Quick test_constfold_keeps_div_by_zero;
+    Alcotest.test_case "constfold dead branch" `Quick test_constfold_dead_branch;
+    Alcotest.test_case "constfold prim" `Quick test_constfold_prim;
+    Alcotest.test_case "constfold preserves" `Quick test_constfold_preserves;
+    Alcotest.test_case "copyprop propagates" `Quick test_copyprop_propagates;
+    Alcotest.test_case "copyprop reassign kill" `Quick test_copyprop_kills_on_reassign;
+    Alcotest.test_case "copyprop loop safety" `Quick test_copyprop_loop_safety;
+    Alcotest.test_case "copyprop preserves" `Quick test_copyprop_preserves;
+    Alcotest.test_case "cse reuses" `Quick test_cse_reuses;
+    Alcotest.test_case "cse assign invalidation" `Quick test_cse_invalidation_on_assign;
+    Alcotest.test_case "cse global invalidation" `Quick test_cse_global_invalidation;
+    Alcotest.test_case "cse impure barrier" `Quick test_cse_no_reuse_across_impure_call;
+    Alcotest.test_case "dce removes dead let" `Quick test_dce_removes_dead_let;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_effectful;
+    Alcotest.test_case "dce unreachable" `Quick test_dce_unreachable_after_return;
+    Alcotest.test_case "dce loop live" `Quick test_dce_loop_variable_live;
+    Alcotest.test_case "dce preserves" `Quick test_dce_preserves;
+    Alcotest.test_case "inline expands" `Quick test_inline_expands;
+    Alcotest.test_case "inline preserves" `Quick test_inline_preserves;
+    Alcotest.test_case "inline skips recursive" `Quick test_inline_skips_recursive;
+    Alcotest.test_case "pipeline shrinks+preserves" `Quick test_pipeline_shrinks_and_preserves;
+    Alcotest.test_case "pipeline idempotent" `Quick test_pipeline_idempotent;
+  ]

@@ -1,0 +1,146 @@
+(* Profiling tools: handler-graph reconstruction, subsumption detection
+   edge cases, DOT export, report printers, templates, X prims. *)
+
+open Podopt
+
+let program_src =
+  {|
+handler pa(x) { emit("pa", x); }
+handler pb(x) { raise sync Inner(x + 1); emit("pb", x); }
+handler pc(x) { emit("pc", x); }
+handler inner1(x) { emit("inner1", x); }
+handler inner2(x) { emit("inner2", x); }
+|}
+
+let mk () =
+  let rt = Runtime.create ~program:(Parse.program program_src) () in
+  Runtime.bind rt ~event:"Outer" (Handler.hir' "pa");
+  Runtime.bind rt ~event:"Outer" (Handler.hir' "pb");
+  Runtime.bind rt ~event:"Outer" (Handler.hir' "pc");
+  Runtime.bind rt ~event:"Inner" (Handler.hir' "inner1");
+  Runtime.bind rt ~event:"Inner" (Handler.hir' "inner2");
+  rt
+
+let trace_of_run () =
+  let rt = mk () in
+  Trace.enable_events rt.Runtime.trace;
+  Trace.enable_handlers rt.Runtime.trace [ "Outer"; "Inner" ];
+  for i = 1 to 3 do
+    Runtime.raise_sync rt "Outer" [ Value.Int i ]
+  done;
+  rt.Runtime.trace
+
+let test_occurrences_nested () =
+  let occs = Handler_graph.occurrences (trace_of_run ()) in
+  (* 3 Outer dispatches, each with one nested Inner dispatch *)
+  Alcotest.(check int) "6 occurrences" 6 (List.length occs);
+  Alcotest.(check (option (list string))) "Outer direct handlers"
+    (Some [ "pa"; "pb"; "pc" ])
+    (Handler_graph.stable_sequence occs "Outer");
+  Alcotest.(check (option (list string))) "Inner handlers"
+    (Some [ "inner1"; "inner2" ])
+    (Handler_graph.stable_sequence occs "Inner")
+
+let test_unstable_sequence_detected () =
+  let rt = mk () in
+  Trace.enable_handlers rt.Runtime.trace [ "Outer" ];
+  Runtime.raise_sync rt "Outer" [ Value.Int 1 ];
+  (* change bindings between occurrences *)
+  ignore (Runtime.unbind rt ~event:"Outer" ~handler:"pc");
+  Runtime.raise_sync rt "Outer" [ Value.Int 2 ];
+  let occs = Handler_graph.occurrences rt.Runtime.trace in
+  Alcotest.(check (option (list string))) "unstable -> None" None
+    (Handler_graph.stable_sequence occs "Outer")
+
+let test_handler_graph_edges () =
+  let g = Handler_graph.graph (trace_of_run ()) in
+  (* pa -> pb and pb -> inner1 (nested) must be edges *)
+  Alcotest.(check bool) "pa->pb" true (Event_graph.find_edge g ~src:"pa" ~dst:"pb" <> None);
+  Alcotest.(check bool) "pb->inner1" true
+    (Event_graph.find_edge g ~src:"pb" ~dst:"inner1" <> None);
+  Alcotest.(check bool) "inner2->pc (return to outer)" true
+    (Event_graph.find_edge g ~src:"inner2" ~dst:"pc" <> None)
+
+let test_subsume_counts () =
+  let cands = Subsume.find (trace_of_run ()) in
+  match
+    List.find_opt (fun (c : Subsume.candidate) -> c.Subsume.parent_handler = "pb") cands
+  with
+  | Some c ->
+    Alcotest.(check string) "parent event" "Outer" c.Subsume.parent_event;
+    Alcotest.(check string) "child" "Inner" c.Subsume.child_event;
+    Alcotest.(check int) "3 of 3" 3 c.Subsume.occurrences;
+    Alcotest.(check int) "invocations" 3 c.Subsume.parent_invocations;
+    Alcotest.(check bool) "always" true (Subsume.always c)
+  | None -> Alcotest.fail "candidate missing"
+
+let test_subsume_not_always () =
+  let rt = Runtime.create
+      ~program:(Parse.program
+        "handler cond(x) { if (x > 1) { raise sync CInner(x); } } handler ci(x) { emit(\"ci\", x); }")
+      ()
+  in
+  Runtime.bind rt ~event:"COuter" (Handler.hir' "cond");
+  Runtime.bind rt ~event:"CInner" (Handler.hir' "ci");
+  Trace.enable_events rt.Runtime.trace;
+  Trace.enable_handlers rt.Runtime.trace [ "COuter"; "CInner" ];
+  List.iter (fun i -> Runtime.raise_sync rt "COuter" [ Value.Int i ]) [ 0; 1; 2; 3 ];
+  match Subsume.find rt.Runtime.trace with
+  | [ c ] ->
+    Alcotest.(check int) "2 raises" 2 c.Subsume.occurrences;
+    Alcotest.(check int) "4 invocations" 4 c.Subsume.parent_invocations;
+    Alcotest.(check bool) "not always" false (Subsume.always c)
+  | cs -> Alcotest.failf "expected 1 candidate, got %d" (List.length cs)
+
+let test_dot_output () =
+  let g = Event_graph.build [ ("A", Ast.Sync); ("B", Ast.Sync); ("C", Ast.Async) ] in
+  let dot = Dot.to_dot ~title:"t" ~chains:[ [ "A"; "B" ] ] g in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Astring_contains.contains dot needle))
+    [ "digraph t"; "A -> B"; "B -> C"; "penwidth=2.5"; "style=dashed" ]
+
+let test_report_printers_do_not_crash () =
+  let trace = trace_of_run () in
+  let g = Event_graph.of_trace trace in
+  let occs = Handler_graph.occurrences trace in
+  let out =
+    Fmt.str "%a%a%a%a%a" Report.pp_edge_table g Report.pp_chains (Chains.find g)
+      Report.pp_paths (Paths.linear_paths g) Report.pp_subsumption
+      (Subsume.find trace) Report.pp_handler_sequences occs
+  in
+  Alcotest.(check bool) "nonempty" true (String.length out > 100)
+
+let test_template_subst () =
+  let module T = Podopt_xwin.Template in
+  Alcotest.(check string) "basic" "abc_w xyz_w 5"
+    (T.subst [ ("$W", "w"); ("$N", "5") ] "abc_$W xyz_$W $N");
+  Alcotest.(check string) "no keys" "plain" (T.subst [ ("$W", "w") ] "plain");
+  Alcotest.(check string) "adjacent" "ww" (T.subst [ ("$W", "w") ] "$W$W")
+
+let test_xprims_accounting () =
+  Podopt_xwin.Xprims.install ();
+  Podopt_xwin.Xprims.reset_stats ();
+  ignore (Prim.apply "x_render" [ Value.Int 10; Value.Int 20 ]);
+  ignore (Prim.apply "x_request" [ Value.Int 3 ]);
+  Alcotest.(check int) "pixels" 200 Podopt_xwin.Xprims.stats.Podopt_xwin.Xprims.pixels_drawn;
+  Alcotest.(check int) "requests" 3 Podopt_xwin.Xprims.stats.Podopt_xwin.Xprims.requests;
+  (* the work model drives the cost model *)
+  Alcotest.(check int) "render work" (10 * 20 / 32)
+    (Prim.work_of (Prim.find "x_render") [ Value.Int 10; Value.Int 20 ]);
+  Alcotest.(check int) "request work" (3 * Podopt_xwin.Xprims.request_work)
+    (Prim.work_of (Prim.find "x_request") [ Value.Int 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "occurrences nested" `Quick test_occurrences_nested;
+    Alcotest.test_case "unstable sequence" `Quick test_unstable_sequence_detected;
+    Alcotest.test_case "handler graph edges" `Quick test_handler_graph_edges;
+    Alcotest.test_case "subsume counts" `Quick test_subsume_counts;
+    Alcotest.test_case "subsume not always" `Quick test_subsume_not_always;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "report printers" `Quick test_report_printers_do_not_crash;
+    Alcotest.test_case "template subst" `Quick test_template_subst;
+    Alcotest.test_case "xprims accounting" `Quick test_xprims_accounting;
+  ]

@@ -1,0 +1,186 @@
+(* Second property suite: data-structure and substrate invariants. *)
+
+open Podopt
+
+(* --- Value marshaling over random values -------------------------------- *)
+
+let gen_value : Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                return Value.Unit;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) int;
+                map (fun f -> Value.Float f) float;
+                map (fun s -> Value.Str s) string_small;
+                map (fun s -> Value.Bytes (Bytes.of_string s)) string_small;
+              ]
+          else
+            oneof
+              [
+                map2 (fun a b -> Value.Pair (a, b)) (self (n / 2)) (self (n / 2));
+                map (fun l -> Value.List l) (list_size (int_range 0 4) (self (n / 2)));
+                map (fun i -> Value.Int i) int;
+              ])
+        (min n 4))
+
+let prop_marshal_roundtrip =
+  QCheck2.Test.make ~name:"marshal/unmarshal roundtrip" ~count:500
+    ~print:(fun vs -> String.concat "; " (List.map Value.to_string vs))
+    QCheck2.Gen.(list_size (int_range 0 5) gen_value)
+    (fun vs ->
+      let back = Value.unmarshal (Value.marshal vs) in
+      List.length back = List.length vs && List.for_all2 Value.equal vs back)
+
+(* --- DES / XOR roundtrips ------------------------------------------------ *)
+
+let prop_des_roundtrip =
+  QCheck2.Test.make ~name:"DES ECB roundtrip" ~count:200
+    ~print:(fun (k, m) -> Printf.sprintf "key=%S msg=%d bytes" k (String.length m))
+    QCheck2.Gen.(pair (string_size (return 8)) string_small)
+    (fun (key, msg) ->
+      let ks = Podopt_crypto.Des.key_of_bytes (Bytes.of_string key) in
+      let ct = Podopt_crypto.Des.encrypt_ecb ks (Bytes.of_string msg) in
+      Bytes.to_string (Podopt_crypto.Des.decrypt_ecb ks ct) = msg)
+
+let prop_des_cbc_roundtrip =
+  QCheck2.Test.make ~name:"DES CBC roundtrip" ~count:200
+    ~print:(fun (k, m) -> Printf.sprintf "key=%S msg=%d bytes" k (String.length m))
+    QCheck2.Gen.(pair (string_size (return 8)) string_small)
+    (fun (key, msg) ->
+      let ks = Podopt_crypto.Des.key_of_bytes (Bytes.of_string key) in
+      let ct = Podopt_crypto.Des.encrypt_cbc ks ~iv:0x1234L (Bytes.of_string msg) in
+      Bytes.to_string (Podopt_crypto.Des.decrypt_cbc ks ~iv:0x1234L ct) = msg)
+
+let prop_xor_involution =
+  QCheck2.Test.make ~name:"XOR cipher involution" ~count:300
+    ~print:(fun (k, m) -> Printf.sprintf "key=%S msg=%S" k m)
+    QCheck2.Gen.(pair (string_size (int_range 1 16)) string_small)
+    (fun (key, msg) ->
+      let key = Bytes.of_string key in
+      let data = Bytes.of_string msg in
+      Bytes.equal (Podopt_crypto.Xor_cipher.apply ~key (Podopt_crypto.Xor_cipher.apply ~key data)) data)
+
+let prop_hmac_tamper_detection =
+  QCheck2.Test.make ~name:"HMAC detects single-byte tampering" ~count:200
+    ~print:(fun (k, m, i) -> Printf.sprintf "key=%S msg=%S flip@%d" k m i)
+    QCheck2.Gen.(
+      triple (string_size (int_range 1 20)) (string_size (int_range 1 40)) small_nat)
+    (fun (key, msg, i) ->
+      let key = Bytes.of_string key in
+      let data = Bytes.of_string msg in
+      let mac = Podopt_crypto.Hmac_md5.compute ~key data in
+      let tampered = Bytes.copy data in
+      let pos = i mod Bytes.length tampered in
+      Bytes.set tampered pos (Char.chr (Char.code (Bytes.get tampered pos) lxor 0x01));
+      Podopt_crypto.Hmac_md5.verify ~key ~mac data
+      && not (Podopt_crypto.Hmac_md5.verify ~key ~mac tampered))
+
+(* --- Equeue against a list model ---------------------------------------- *)
+
+let prop_equeue_sorted_stable =
+  QCheck2.Test.make ~name:"equeue pops sorted, FIFO within time" ~count:500
+    ~print:(fun dues -> String.concat "," (List.map string_of_int dues))
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range 0 20))
+    (fun dues ->
+      let q = Podopt_eventsys.Equeue.create () in
+      List.iteri (fun i due -> Podopt_eventsys.Equeue.push q ~due (i, due)) dues;
+      (* model: stable sort by due *)
+      let expected =
+        List.mapi (fun i due -> (i, due)) dues
+        |> List.stable_sort (fun (_, a) (_, b) -> compare a b)
+      in
+      let rec drain acc =
+        match Podopt_eventsys.Equeue.pop q with
+        | None -> List.rev acc
+        | Some (_, payload) -> drain (payload :: acc)
+      in
+      drain [] = expected)
+
+let prop_equeue_remove_if =
+  QCheck2.Test.make ~name:"equeue remove_if removes exactly the matches" ~count:300
+    ~print:(fun dues -> String.concat "," (List.map string_of_int dues))
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 15))
+    (fun dues ->
+      let q = Podopt_eventsys.Equeue.create () in
+      List.iter (fun due -> Podopt_eventsys.Equeue.push q ~due due) dues;
+      let removed = Podopt_eventsys.Equeue.remove_if q (fun d -> d mod 3 = 0) in
+      let expected_removed = List.length (List.filter (fun d -> d mod 3 = 0) dues) in
+      let rec drain acc =
+        match Podopt_eventsys.Equeue.pop q with
+        | None -> List.rev acc
+        | Some (_, d) -> drain (d :: acc)
+      in
+      let rest = drain [] in
+      removed = expected_removed
+      && List.for_all (fun d -> d mod 3 <> 0) rest
+      && List.length rest = List.length dues - expected_removed)
+
+(* --- Dominators vs brute-force reachability ------------------------------ *)
+
+(* a dominates b iff b is unreachable from the root once a is removed *)
+let gen_edges : (string * string) list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let node = map (fun i -> Printf.sprintf "N%d" i) (int_range 0 6) in
+  list_size (int_range 1 14) (pair node node)
+
+let reachable_without edges ~root ~removed target =
+  if target = removed then false
+  else begin
+    let adj = Hashtbl.create 16 in
+    List.iter
+      (fun (a, b) ->
+        if a <> removed && b <> removed then
+          Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+      edges;
+    let seen = Hashtbl.create 16 in
+    let rec go n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        List.iter go (Option.value ~default:[] (Hashtbl.find_opt adj n))
+      end
+    in
+    if root <> removed then go root;
+    Hashtbl.mem seen target
+  end
+
+let prop_dominators_match_bruteforce =
+  QCheck2.Test.make ~name:"dominators = cut-vertex reachability" ~count:300
+    ~print:(fun edges ->
+      String.concat " " (List.map (fun (a, b) -> a ^ "->" ^ b) edges))
+    gen_edges
+    (fun edges ->
+      let g = Event_graph.create () in
+      List.iter (fun (a, b) -> Event_graph.add_edge g ~src:a ~dst:b Ast.Sync) edges;
+      let root = fst (List.hd edges) in
+      let d = Dominators.compute g ~root in
+      let nodes = Dominators.reachable g ~root in
+      (* for every reachable pair (a, b), a<>b, a<>root: dominance must
+         equal "removing a disconnects b" *)
+      let module SS = Set.Make (String) in
+      SS.for_all
+        (fun a ->
+          SS.for_all
+            (fun b ->
+              a = b || a = root
+              || Dominators.dominates d ~dominator:a ~node:b
+                 = not (reachable_without edges ~root ~removed:a b))
+            nodes)
+        nodes)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_marshal_roundtrip;
+      prop_des_roundtrip;
+      prop_des_cbc_roundtrip;
+      prop_xor_involution;
+      prop_hmac_tamper_detection;
+      prop_equeue_sorted_stable;
+      prop_equeue_remove_if;
+      prop_dominators_match_bruteforce;
+    ]

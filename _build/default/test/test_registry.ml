@@ -1,0 +1,83 @@
+open Podopt
+
+let mk () =
+  let tbl = Event.create_table () in
+  let reg = Registry.create () in
+  (tbl, reg)
+
+let h name = Handler.hir' name
+
+let test_bind_order_default () =
+  let tbl, reg = mk () in
+  let ev = Event.intern tbl "E" in
+  Registry.bind reg ev (h "a");
+  Registry.bind reg ev (h "b");
+  Registry.bind reg ev (h "c");
+  Alcotest.(check (list string)) "append order" [ "a"; "b"; "c" ]
+    (List.map (fun x -> x.Handler.name) (Registry.handlers reg ev))
+
+let test_bind_explicit_order () =
+  let tbl, reg = mk () in
+  let ev = Event.intern tbl "E" in
+  Registry.bind reg ev ~order:10 (h "late");
+  Registry.bind reg ev ~order:1 (h "early");
+  Registry.bind reg ev ~order:5 (h "mid");
+  Alcotest.(check (list string)) "sorted by order" [ "early"; "mid"; "late" ]
+    (List.map (fun x -> x.Handler.name) (Registry.handlers reg ev))
+
+let test_equal_order_stable () =
+  let tbl, reg = mk () in
+  let ev = Event.intern tbl "E" in
+  Registry.bind reg ev ~order:3 (h "first");
+  Registry.bind reg ev ~order:3 (h "second");
+  Alcotest.(check (list string)) "bind order among equals" [ "first"; "second" ]
+    (List.map (fun x -> x.Handler.name) (Registry.handlers reg ev))
+
+let test_version_bumps () =
+  let tbl, reg = mk () in
+  let ev = Event.intern tbl "E" in
+  let v0 = Registry.version reg ev in
+  Registry.bind reg ev (h "a");
+  let v1 = Registry.version reg ev in
+  Alcotest.(check bool) "bind bumps" true (v1 > v0);
+  let removed = Registry.unbind reg ev ~name:"a" in
+  Alcotest.(check bool) "unbind removed" true removed;
+  Alcotest.(check bool) "unbind bumps" true (Registry.version reg ev > v1)
+
+let test_unbind_missing_no_bump () =
+  let tbl, reg = mk () in
+  let ev = Event.intern tbl "E" in
+  Registry.bind reg ev (h "a");
+  let v = Registry.version reg ev in
+  let removed = Registry.unbind reg ev ~name:"zzz" in
+  Alcotest.(check bool) "nothing removed" false removed;
+  Alcotest.(check int) "version unchanged" v (Registry.version reg ev)
+
+let test_handler_bound_to_multiple_events () =
+  let tbl, reg = mk () in
+  let e1 = Event.intern tbl "E1" in
+  let e2 = Event.intern tbl "E2" in
+  let shared = h "shared" in
+  Registry.bind reg e1 shared;
+  Registry.bind reg e2 shared;
+  Alcotest.(check int) "bound to both" 2
+    (List.length (Registry.handlers reg e1) + List.length (Registry.handlers reg e2))
+
+let test_intern_stable () =
+  let tbl, _ = mk () in
+  let a = Event.intern tbl "X" in
+  let b = Event.intern tbl "X" in
+  Alcotest.(check bool) "same id" true (Event.equal a b);
+  let c = Event.intern tbl "Y" in
+  Alcotest.(check bool) "different id" false (Event.equal a c)
+
+let suite =
+  [
+    Alcotest.test_case "default bind order" `Quick test_bind_order_default;
+    Alcotest.test_case "explicit order" `Quick test_bind_explicit_order;
+    Alcotest.test_case "equal order stable" `Quick test_equal_order_stable;
+    Alcotest.test_case "version bumps" `Quick test_version_bumps;
+    Alcotest.test_case "unbind missing" `Quick test_unbind_missing_no_bump;
+    Alcotest.test_case "handler on multiple events" `Quick test_handler_bound_to_multiple_events;
+    Alcotest.test_case "event interning" `Quick test_intern_stable;
+  ]

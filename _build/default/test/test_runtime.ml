@@ -1,0 +1,197 @@
+open Podopt
+
+let program_src =
+  {|
+handler log_a(x) { emit("a", x); }
+handler log_b(x) { emit("b", x); }
+handler double(x) { emit("double", x * 2); }
+handler chain_head(x) { emit("head", x); raise sync Next(x + 1); emit("head_done", x); }
+handler chain_tail(x) { emit("tail", x); }
+handler slow(n) { let i = 0; while (i < n) { i = i + 1; } emit("slow", i); }
+handler writer() { global w = global w + 1; }
+handler reader() { emit("w", global w); }
+|}
+
+let mk () =
+  let rt = Runtime.create ~program:(Parse.program program_src) () in
+  rt
+
+let tags rt = List.map fst (Runtime.emits rt)
+
+let test_sync_raise_runs_now () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+  Runtime.raise_sync rt "E" [ Value.Int 1 ];
+  Alcotest.(check (list string)) "ran immediately" [ "a" ] (tags rt)
+
+let test_async_raise_deferred () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+  Runtime.raise_async rt "E" [ Value.Int 1 ];
+  Alcotest.(check (list string)) "not yet" [] (tags rt);
+  Runtime.run rt;
+  Alcotest.(check (list string)) "after run" [ "a" ] (tags rt)
+
+let test_timed_ordering () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E1" (Handler.hir' "log_a");
+  Runtime.bind rt ~event:"E2" (Handler.hir' "log_b");
+  Runtime.raise_timed rt "E1" ~delay:100 [ Value.Int 1 ];
+  Runtime.raise_timed rt "E2" ~delay:50 [ Value.Int 2 ];
+  Runtime.run rt;
+  Alcotest.(check (list string)) "timed order" [ "b"; "a" ] (tags rt)
+
+let test_run_until () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+  Runtime.raise_timed rt "E" ~delay:10 [ Value.Int 1 ];
+  Runtime.raise_timed rt "E" ~delay:1000 [ Value.Int 2 ];
+  Runtime.run ~until:500 rt;
+  Alcotest.(check int) "one ran" 1 (List.length (Runtime.emits rt));
+  Alcotest.(check int) "one pending" 1 (Runtime.pending rt);
+  Runtime.run rt;
+  Alcotest.(check int) "both ran" 2 (List.length (Runtime.emits rt))
+
+let test_multiple_handlers_in_order () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+  Runtime.bind rt ~event:"E" (Handler.hir' "double");
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_b");
+  Runtime.raise_sync rt "E" [ Value.Int 3 ];
+  Alcotest.(check (list string)) "order" [ "a"; "double"; "b" ] (tags rt)
+
+let test_unbound_event_ignored () =
+  let rt = mk () in
+  Runtime.raise_sync rt "Nobody" [ Value.Int 1 ];
+  Runtime.run rt;
+  Alcotest.(check (list string)) "ignored" [] (tags rt)
+
+let test_nested_sync_chain () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"Head" (Handler.hir' "chain_head");
+  Runtime.bind rt ~event:"Next" (Handler.hir' "chain_tail");
+  Runtime.raise_sync rt "Head" [ Value.Int 1 ];
+  Alcotest.(check (list string)) "nesting order" [ "head"; "tail"; "head_done" ] (tags rt)
+
+let test_native_handler () =
+  let rt = mk () in
+  let hits = ref 0 in
+  Runtime.bind rt ~event:"E"
+    (Handler.native "n" (fun _host args ->
+         incr hits;
+         match args with [ Value.Int 9 ] -> () | _ -> Alcotest.fail "args"));
+  Runtime.raise_sync rt "E" [ Value.Int 9 ];
+  Alcotest.(check int) "native ran" 1 !hits
+
+let test_globals_via_handlers () =
+  let rt = mk () in
+  Runtime.set_global rt "w" (Value.Int 0);
+  Runtime.bind rt ~event:"W" (Handler.hir' "writer");
+  Runtime.bind rt ~event:"R" (Handler.hir' "reader");
+  Runtime.raise_sync rt "W" [];
+  Runtime.raise_sync rt "W" [];
+  Runtime.raise_sync rt "R" [];
+  match Runtime.emits rt with
+  | [ ("w", [ Value.Int 2 ]) ] -> ()
+  | _ -> Alcotest.fail "global count wrong"
+
+let test_cost_accounting () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "slow");
+  let t0 = Runtime.now rt in
+  Runtime.raise_sync rt "E" [ Value.Int 100 ];
+  let t1 = Runtime.now rt in
+  Alcotest.(check bool) "time advanced" true (t1 > t0);
+  Alcotest.(check bool) "handler time tracked" true (Runtime.total_handler_time rt > 0);
+  Alcotest.(check int) "per-event time" (Runtime.total_handler_time rt)
+    (Runtime.event_processing_time rt "E")
+
+let test_marshal_cost_scales_with_args () =
+  let cost_of payload =
+    let rt = mk () in
+    Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+    Runtime.raise_sync rt "E" [ Value.Bytes (Bytes.create payload) ];
+    Runtime.event_processing_time rt "E"
+  in
+  Alcotest.(check bool) "bigger args, bigger cost" true (cost_of 2048 > cost_of 16)
+
+let test_cancel_timed () =
+  let rt = mk () in
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+  Runtime.raise_timed rt "E" ~delay:10 [ Value.Int 1 ];
+  Runtime.raise_timed rt "E" ~delay:20 [ Value.Int 2 ];
+  let n = Runtime.cancel rt "E" in
+  Alcotest.(check int) "both cancelled" 2 n;
+  Runtime.run rt;
+  Alcotest.(check (list string)) "nothing ran" [] (tags rt)
+
+let test_complex_event_composition () =
+  (* Sec. 2.1/2.3: complex events are built by having a handler detect
+     the condition and raise a new event — two clicks within a short
+     interval constitute a DoubleClick *)
+  let src =
+    {|
+handler click_watcher(t) {
+  if (global last_click >= 0 && t - global last_click <= 30) {
+    global last_click = -1;
+    raise sync DoubleClick(t);
+  } else {
+    global last_click = t;
+  }
+}
+handler on_double(t) { emit("double", t); }
+|}
+  in
+  let rt = Runtime.create ~program:(Parse.program src) () in
+  Runtime.set_global rt "last_click" (Value.Int (-1));
+  Runtime.bind rt ~event:"Click" (Handler.hir' "click_watcher");
+  Runtime.bind rt ~event:"DoubleClick" (Handler.hir' "on_double");
+  List.iter
+    (fun t -> Runtime.raise_sync rt "Click" [ Value.Int t ])
+    [ 0; 100; 110; 200; 300; 320; 400 ];
+  (* pairs within 30 units: (100,110) and (300,320) *)
+  Alcotest.(check (list string)) "two double-clicks" [ "double"; "double" ]
+    (List.map fst (Runtime.emits rt))
+
+let test_trace_records_modes () =
+  let rt = mk () in
+  Trace.enable_events rt.Runtime.trace;
+  Runtime.bind rt ~event:"E" (Handler.hir' "log_a");
+  Runtime.raise_sync rt "E" [];
+  Runtime.raise_async rt "E" [];
+  Runtime.run rt;
+  let seq = Trace.event_sequence rt.Runtime.trace in
+  Alcotest.(check bool) "two raises traced" true
+    (List.map snd seq = [ Ast.Sync; Ast.Async ])
+
+let test_depth_tracking () =
+  let rt = mk () in
+  Trace.enable_events rt.Runtime.trace;
+  Runtime.bind rt ~event:"Head" (Handler.hir' "chain_head");
+  Runtime.bind rt ~event:"Next" (Handler.hir' "chain_tail");
+  Runtime.raise_sync rt "Head" [ Value.Int 1 ];
+  let depths =
+    List.filter_map
+      (function Trace.Event_raised { depth; _ } -> Some depth | _ -> None)
+      (Trace.entries rt.Runtime.trace)
+  in
+  Alcotest.(check (list int)) "outer then nested" [ 0; 1 ] depths
+
+let suite =
+  [
+    Alcotest.test_case "sync runs now" `Quick test_sync_raise_runs_now;
+    Alcotest.test_case "async deferred" `Quick test_async_raise_deferred;
+    Alcotest.test_case "timed ordering" `Quick test_timed_ordering;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "handler order" `Quick test_multiple_handlers_in_order;
+    Alcotest.test_case "unbound ignored" `Quick test_unbound_event_ignored;
+    Alcotest.test_case "nested sync chain" `Quick test_nested_sync_chain;
+    Alcotest.test_case "native handler" `Quick test_native_handler;
+    Alcotest.test_case "globals via handlers" `Quick test_globals_via_handlers;
+    Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+    Alcotest.test_case "marshal cost scales" `Quick test_marshal_cost_scales_with_args;
+    Alcotest.test_case "cancel timed" `Quick test_cancel_timed;
+    Alcotest.test_case "complex events (double-click)" `Quick test_complex_event_composition;
+    Alcotest.test_case "trace modes" `Quick test_trace_records_modes;
+    Alcotest.test_case "depth tracking" `Quick test_depth_tracking;
+  ]

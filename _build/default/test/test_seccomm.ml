@@ -1,0 +1,207 @@
+(* SecComm integration: layer correctness across configurations, the
+   sender/receiver chains, and optimization equivalence. *)
+
+open Podopt
+module Sec = Podopt_seccomm.Seccomm
+module App = Podopt_apps.Secure_messenger
+
+let test_roundtrip_paper_config () =
+  let rt = App.create () in
+  List.iter
+    (fun size ->
+      Alcotest.(check bool) (Printf.sprintf "roundtrip %d" size) true
+        (App.roundtrip_ok rt ~size))
+    [ 0; 1; 64; 512; 2048 ]
+
+let test_roundtrip_all_configs () =
+  List.iter
+    (fun (des, xor, mac) ->
+      let rt = App.create ~config:{ Sec.des; xor; mac; replay = false; compress = false } () in
+      Alcotest.(check bool)
+        (Printf.sprintf "des=%b xor=%b mac=%b" des xor mac)
+        true
+        (App.roundtrip_ok rt ~size:200))
+    [
+      (true, true, false); (true, false, false); (false, true, false);
+      (false, false, false); (true, true, true); (false, false, true);
+    ]
+
+let test_wire_is_encrypted () =
+  let rt = App.create () in
+  let msg = App.message ~size:256 5 in
+  let wire = App.push_collect rt msg in
+  Alcotest.(check bool) "ciphertext differs from plaintext" true
+    (not (Bytes.equal wire msg));
+  (* DES pads to block size *)
+  Alcotest.(check int) "block padding" 0 (Bytes.length wire mod 8)
+
+let test_mac_detects_tampering () =
+  let rt = App.create ~config:{ Sec.des = true; xor = true; mac = true; replay = false; compress = false } () in
+  let msg = App.message ~size:128 1 in
+  let wire = App.push_collect rt msg in
+  Bytes.set wire 3 (Char.chr (Char.code (Bytes.get wire 3) lxor 1));
+  Sec.pop rt wire;
+  Alcotest.(check bool) "mac failure recorded" true (Sec.stat rt "mac_failures" >= 1)
+
+let full_config = { Sec.des = true; xor = true; mac = true; replay = true; compress = false }
+
+let test_replay_detected () =
+  let rt = App.create ~config:full_config () in
+  let wire1 = App.push_collect rt (App.message ~size:100 1) in
+  let wire2 = App.push_collect rt (App.message ~size:100 2) in
+  Sec.pop rt wire1;
+  Sec.pop rt wire2;
+  Alcotest.(check int) "fresh messages pass" 0 (Sec.stat rt "replay_drops");
+  (* replaying wire1 must be dropped before delivery *)
+  rt.Runtime.emit_log_enabled <- true;
+  Runtime.clear_emits rt;
+  Sec.pop rt wire1;
+  Alcotest.(check int) "replay dropped" 1 (Sec.stat rt "replay_drops");
+  Alcotest.(check bool) "not delivered" true
+    (not (List.exists (fun (tag, _) -> tag = "deliver") (Runtime.emits rt)))
+
+let test_replay_roundtrip_all_layers () =
+  let rt = App.create ~config:full_config () in
+  List.iter
+    (fun size ->
+      Alcotest.(check bool) (Printf.sprintf "full-stack roundtrip %d" size) true
+        (App.roundtrip_ok rt ~size))
+    [ 1; 128; 1024 ]
+
+let test_replay_with_optimization () =
+  let rt = App.create ~config:full_config () in
+  ignore
+    (Driver.profile_and_optimize ~threshold:10 rt
+       ~workload:(fun () -> App.profile_workload rt ()));
+  let w1 = App.push_collect rt (App.message ~size:64 7) in
+  Sec.pop rt w1;
+  Sec.pop rt w1;
+  Alcotest.(check int) "replay still dropped when optimized" 1
+    (Sec.stat rt "replay_drops");
+  Alcotest.(check bool) "roundtrip still ok" true (App.roundtrip_ok rt ~size:256)
+
+let compress_config =
+  { Sec.des = false; xor = true; mac = false; replay = false; compress = true }
+
+let test_compression_roundtrip () =
+  let rt = App.create ~config:compress_config () in
+  List.iter
+    (fun size ->
+      Alcotest.(check bool) (Printf.sprintf "rle roundtrip %d" size) true
+        (App.roundtrip_ok rt ~size))
+    [ 0; 1; 7; 64; 513; 1024 ]
+
+let test_compression_shrinks_runs () =
+  let rt = App.create ~config:compress_config () in
+  (* highly compressible payload: long runs *)
+  let msg = Bytes.make 1000 'z' in
+  let wire = App.push_collect rt msg in
+  Alcotest.(check bool)
+    (Printf.sprintf "wire %d << msg 1000" (Bytes.length wire))
+    true
+    (Bytes.length wire < 100);
+  Alcotest.(check int) "bytes in accounted" 1000 (Sec.stat rt "rle_bytes_in")
+
+let test_compression_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"rle roundtrip (random payloads)" ~count:100
+       ~print:(fun s -> Printf.sprintf "%d bytes" (String.length s))
+       QCheck2.Gen.(string_size (int_range 0 300))
+       (fun payload ->
+         let rt = App.create ~config:compress_config () in
+         rt.Runtime.emit_log_enabled <- true;
+         let wire = App.push_collect rt (Bytes.of_string payload) in
+         let delivered = ref None in
+         Runtime.on_emit rt (fun tag args ->
+             match tag, args with
+             | "deliver", [ Value.Bytes m ] -> delivered := Some (Bytes.to_string m)
+             | _ -> ());
+         Sec.pop rt wire;
+         !delivered = Some payload))
+
+let test_compression_interpreted_gain_larger_than_crypto () =
+  (* the RLE handlers are interpreted HIR loops, so compiling them should
+     yield a much larger relative gain than the DES-bound config *)
+  let gain config =
+    let run opt =
+      let rt = App.create ~config () in
+      if opt then
+        ignore
+          (Driver.profile_and_optimize ~threshold:10 rt
+             ~workload:(fun () -> App.profile_workload rt ()));
+      let m = App.measure rt ~size:512 ~rounds:30 in
+      m.App.push_mean
+    in
+    let t1 = run false in
+    let t2 = run true in
+    (t1 -. t2) /. t1
+  in
+  let g_rle = gain compress_config in
+  let g_des = gain Sec.paper_config in
+  Alcotest.(check bool)
+    (Printf.sprintf "rle gain %.2f > des gain %.2f" g_rle g_des)
+    true (g_rle > g_des +. 0.1)
+
+let test_sender_chain_detected () =
+  let rt = App.create () in
+  Trace.enable_events rt.Runtime.trace;
+  App.profile_workload rt ();
+  let plan = Driver.analyze ~threshold:10 rt in
+  let chains =
+    List.filter_map
+      (function Plan.Merge_chain { events; _ } -> Some events | _ -> None)
+      plan.Plan.actions
+  in
+  Alcotest.(check bool) "push chain" true
+    (List.exists (fun c -> c = [ "SecPush"; "SecNetOut" ]) chains);
+  Alcotest.(check bool) "pop chain" true
+    (List.exists (fun c -> c = [ "SecPop"; "SecDeliver" ]) chains)
+
+let test_optimization_preserves_and_speeds () =
+  let run opt =
+    let rt = App.create () in
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:10 rt
+           ~workload:(fun () -> App.profile_workload rt ()));
+    Alcotest.(check bool) "roundtrip still ok" true (App.roundtrip_ok rt ~size:512);
+    let m = App.measure rt ~size:512 ~rounds:50 in
+    (m.App.push_mean, m.App.pop_mean)
+  in
+  let push1, pop1 = run false in
+  let push2, pop2 = run true in
+  Alcotest.(check bool) (Printf.sprintf "push faster (%.0f < %.0f)" push2 push1)
+    true (push2 < push1);
+  Alcotest.(check bool) (Printf.sprintf "pop faster (%.0f < %.0f)" pop2 pop1)
+    true (pop2 < pop1);
+  (* crypto dominates: the relative win must be modest (paper: 4-13%)
+     rather than the >40% seen on pure event machinery *)
+  let rel = (push1 -. push2) /. push1 in
+  Alcotest.(check bool) (Printf.sprintf "improvement %.1f%% below 30%%" (100. *. rel))
+    true (rel < 0.30)
+
+let test_push_time_scales_with_size () =
+  let rt = App.create () in
+  let m64 = App.measure rt ~size:64 ~rounds:20 in
+  let m2048 = App.measure rt ~size:2048 ~rounds:20 in
+  Alcotest.(check bool) "push grows" true (m2048.App.push_mean > m64.App.push_mean);
+  Alcotest.(check bool) "pop grows" true (m2048.App.pop_mean > m64.App.pop_mean)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip paper config" `Quick test_roundtrip_paper_config;
+    Alcotest.test_case "roundtrip all configs" `Quick test_roundtrip_all_configs;
+    Alcotest.test_case "wire encrypted" `Quick test_wire_is_encrypted;
+    Alcotest.test_case "mac detects tampering" `Quick test_mac_detects_tampering;
+    Alcotest.test_case "replay detected" `Quick test_replay_detected;
+    Alcotest.test_case "replay full roundtrip" `Quick test_replay_roundtrip_all_layers;
+    Alcotest.test_case "replay with optimization" `Quick test_replay_with_optimization;
+    Alcotest.test_case "compression roundtrip" `Quick test_compression_roundtrip;
+    Alcotest.test_case "compression shrinks" `Quick test_compression_shrinks_runs;
+    test_compression_roundtrip_random;
+    Alcotest.test_case "interpreted gain > crypto gain" `Quick
+      test_compression_interpreted_gain_larger_than_crypto;
+    Alcotest.test_case "chains detected" `Quick test_sender_chain_detected;
+    Alcotest.test_case "optimization preserves+speeds" `Quick test_optimization_preserves_and_speeds;
+    Alcotest.test_case "time scales with size" `Quick test_push_time_scales_with_size;
+  ]

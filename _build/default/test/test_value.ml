@@ -1,0 +1,78 @@
+open Podopt
+
+let v = Helpers.value
+
+let test_marshal_roundtrip () =
+  let cases =
+    [
+      [];
+      [ Value.Unit ];
+      [ Value.Int 42; Value.Str "hello"; Value.Bool true ];
+      [ Value.Int min_int; Value.Int max_int; Value.Int (-1) ];
+      [ Value.Float 3.14159; Value.Float (-0.0); Value.Float infinity ];
+      [ Value.Bytes (Bytes.of_string "\x00\x01\xff\xfe") ];
+      [ Value.Pair (Value.Int 1, Value.Str "x") ];
+      [ Value.List [ Value.Int 1; Value.List [ Value.Bool false ]; Value.Unit ] ];
+      [ Value.Str "" ];
+      [ Value.Str (String.make 1000 'a') ];
+    ]
+  in
+  List.iter
+    (fun args ->
+      let buf = Value.marshal args in
+      let back = Value.unmarshal buf in
+      Alcotest.(check (list v)) "roundtrip" args back)
+    cases
+
+let test_marshal_rejects_garbage () =
+  Alcotest.check_raises "empty" (Value.Unmarshal_error "truncated int") (fun () ->
+      ignore (Value.unmarshal ""));
+  (* a valid buffer with trailing junk must be rejected *)
+  let buf = Value.marshal [ Value.Int 1 ] ^ "x" in
+  (try
+     ignore (Value.unmarshal buf);
+     Alcotest.fail "expected Unmarshal_error"
+   with Value.Unmarshal_error _ -> ())
+
+let test_equal () =
+  Alcotest.(check bool) "int eq" true (Value.equal (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool) "int ne" false (Value.equal (Value.Int 3) (Value.Int 4));
+  Alcotest.(check bool) "cross-type" false (Value.equal (Value.Int 0) (Value.Bool false));
+  Alcotest.(check bool) "nan eq" true
+    (Value.equal (Value.Float Float.nan) (Value.Float Float.nan));
+  Alcotest.(check bool) "list prefix" false
+    (Value.equal (Value.List [ Value.Int 1 ]) (Value.List [ Value.Int 1; Value.Int 2 ]))
+
+let test_truthy () =
+  Alcotest.(check bool) "true" true (Value.truthy (Value.Bool true));
+  Alcotest.(check bool) "nonzero" true (Value.truthy (Value.Int 7));
+  Alcotest.(check bool) "zero" false (Value.truthy (Value.Int 0));
+  Alcotest.(check bool) "unit" false (Value.truthy Value.Unit);
+  Alcotest.check_raises "string not condition"
+    (Value.Type_error "expected condition, got \"x\"") (fun () ->
+      ignore (Value.truthy (Value.Str "x")))
+
+let test_accessors () =
+  Alcotest.(check int) "as_int" 5 (Value.as_int (Value.Int 5));
+  Alcotest.(check (float 0.0)) "as_float of int" 5.0 (Value.as_float (Value.Int 5));
+  Alcotest.(check string) "as_str" "s" (Value.as_str (Value.Str "s"));
+  (try
+     ignore (Value.as_int (Value.Str "s"));
+     Alcotest.fail "expected Type_error"
+   with Value.Type_error _ -> ())
+
+let test_marshal_size_grows_with_payload () =
+  let small = Value.marshal [ Value.Bytes (Bytes.create 16) ] in
+  let big = Value.marshal [ Value.Bytes (Bytes.create 1024) ] in
+  Alcotest.(check bool) "bigger payload, bigger buffer" true
+    (String.length big > String.length small + 1000)
+
+let suite =
+  [
+    Alcotest.test_case "marshal roundtrip" `Quick test_marshal_roundtrip;
+    Alcotest.test_case "marshal rejects garbage" `Quick test_marshal_rejects_garbage;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "truthiness" `Quick test_truthy;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "marshal size scales" `Quick test_marshal_size_grows_with_payload;
+  ]

@@ -1,0 +1,246 @@
+(* X toolkit: translation parsing, routing, the three handler mechanisms,
+   and the Popup/Scroll scenarios with optimization equivalence. *)
+
+open Podopt
+open Podopt_xwin
+module Editor = Podopt_apps.Editor
+
+let test_translation_parsing () =
+  let table = Translation.parse "Ctrl<Btn1Down>: position-menu() popup-menu()" in
+  Alcotest.(check int) "one entry" 1 (List.length table);
+  let entry = List.hd table in
+  Alcotest.(check (list string)) "two actions" [ "position-menu"; "popup-menu" ]
+    entry.Translation.actions;
+  let ev =
+    Xevent.make ~detail:1
+      ~mods:{ Xevent.ctrl = true; shift = false; alt = false }
+      Xevent.ButtonPress
+  in
+  Alcotest.(check (option (list string))) "matches ctrl+btn"
+    (Some [ "position-menu"; "popup-menu" ])
+    (Translation.lookup table ev);
+  let no_ctrl = Xevent.make ~detail:1 Xevent.ButtonPress in
+  Alcotest.(check (option (list string))) "no ctrl, no match" None
+    (Translation.lookup table no_ctrl)
+
+let test_translation_parse_errors () =
+  List.iter
+    (fun line ->
+      match Translation.parse line with
+      | _ -> Alcotest.failf "expected parse error for %S" line
+      | exception Translation.Parse_error _ -> ())
+    [ "<NoSuchEvent>: act()"; "Ctrl Btn1Down: act()"; "<Btn1Down> act()" ]
+
+let test_event_masks () =
+  let mask = Xevent.mask_of_kinds [ Xevent.KeyPress; Xevent.Expose ] in
+  Alcotest.(check bool) "selects KeyPress" true (Xevent.selects mask Xevent.KeyPress);
+  Alcotest.(check bool) "selects Expose" true (Xevent.selects mask Xevent.Expose);
+  Alcotest.(check bool) "not ButtonPress" false (Xevent.selects mask Xevent.ButtonPress);
+  Alcotest.(check int) "33 distinct kinds" 33
+    (List.length (List.sort_uniq compare (List.map Xevent.mask_bit Xevent.all_kinds)))
+
+let test_widget_picking () =
+  let root = Widget.create ~name:"root" ~class_:"Root" ~width:100 ~height:100 () in
+  let inner = Widget.create ~name:"inner" ~class_:"Box" ~x:10 ~y:10 ~width:50 ~height:50 () in
+  let deep = Widget.create ~name:"deep" ~class_:"Box" ~x:5 ~y:5 ~width:10 ~height:10 () in
+  Widget.add_child root inner;
+  Widget.add_child inner deep;
+  Widget.map root;
+  Widget.map inner;
+  Widget.map deep;
+  let name_at x y =
+    match Widget.pick root ~x ~y with Some w -> w.Widget.name | None -> "-"
+  in
+  Alcotest.(check string) "root area" "root" (name_at 90 90);
+  Alcotest.(check string) "inner area" "inner" (name_at 40 40);
+  Alcotest.(check string) "deep area (absolute coords)" "deep" (name_at 17 17);
+  Widget.unmap deep;
+  Alcotest.(check string) "unmapped skipped" "inner" (name_at 17 17)
+
+let test_popup_scenario () =
+  let ed = Editor.create () in
+  Editor.popup_once ed ~at:(100, 150);
+  let rt = Editor.runtime ed in
+  Alcotest.(check Helpers.value) "menu inited" (Value.Int 1)
+    (Runtime.get_global rt "termmenu_inited");
+  Alcotest.(check Helpers.value) "menu visible" (Value.Int 1)
+    (Runtime.get_global rt "termmenu_visible");
+  Alcotest.(check bool) "motion callbacks ran" true
+    (Runtime.get_global rt "termmenu_motions" = Value.Int 1)
+
+let test_scroll_scenario () =
+  let ed = Editor.create () in
+  Editor.scroll_once ed ~y:300;
+  let rt = Editor.runtime ed in
+  Alcotest.(check Helpers.value) "query ran" (Value.Int 1)
+    (Runtime.get_global rt "vsb_queries");
+  Alcotest.(check Helpers.value) "update ran" (Value.Int 1)
+    (Runtime.get_global rt "vsb_updates");
+  (match Runtime.get_global rt "vsb_top_line" with
+   | Value.Int n -> Alcotest.(check bool) "document scrolled" true (n > 0)
+   | _ -> Alcotest.fail "top_line type");
+  (* scrolling back to the top returns the thumb *)
+  Editor.scroll_once ed ~y:0;
+  Alcotest.(check Helpers.value) "back to top" (Value.Int 0)
+    (Runtime.get_global rt "vsb_thumb_pos")
+
+let test_typing_scenario () =
+  let ed = Editor.create () in
+  let rt = Editor.runtime ed in
+  Editor.type_text ed "hello world";
+  Alcotest.(check Helpers.value) "chars typed" (Value.Int 11)
+    (Runtime.get_global rt "buf_chars");
+  Alcotest.(check Helpers.value) "cursor col" (Value.Int 11)
+    (Runtime.get_global rt "buf_cursor_col");
+  Alcotest.(check Helpers.value) "caret moved per key" (Value.Int 11)
+    (Runtime.get_global rt "buf_caret_moves");
+  Alcotest.(check Helpers.value) "change callbacks ran" (Value.Int 11)
+    (Runtime.get_global rt "buf_changed_count");
+  (* newline wraps to the next line *)
+  Editor.keystroke_once ed ~key:10;
+  Alcotest.(check Helpers.value) "line advanced" (Value.Int 1)
+    (Runtime.get_global rt "buf_cursor_line");
+  Alcotest.(check Helpers.value) "column reset" (Value.Int 0)
+    (Runtime.get_global rt "buf_cursor_col")
+
+let test_typing_wraps_at_column_limit () =
+  let ed = Editor.create () in
+  let rt = Editor.runtime ed in
+  Editor.type_text ed (String.make 85 'x');
+  (* 80 columns: wraps once *)
+  Alcotest.(check Helpers.value) "wrapped" (Value.Int 1)
+    (Runtime.get_global rt "buf_cursor_line");
+  Alcotest.(check Helpers.value) "col after wrap" (Value.Int 5)
+    (Runtime.get_global rt "buf_cursor_col")
+
+let test_keystroke_optimization_large_gain () =
+  let response opt =
+    let ed = Editor.create () in
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:10 (Editor.runtime ed)
+           ~workload:(fun () -> Editor.profile_workload ed ()))
+    else begin
+      Editor.profile_workload ed ();
+      Editor.profile_workload ed ()
+    end;
+    Editor.measure_keystroke ed ~n:200
+  in
+  let k1 = response false in
+  let k2 = response true in
+  (* keystrokes are machinery-dominated: expect a much larger relative
+     gain than Scroll's ~6% *)
+  Alcotest.(check bool) (Printf.sprintf "large gain (%.0f < 0.5 * %.0f)" k2 k1)
+    true (k2 < 0.5 *. k1)
+
+let test_expose_redraws () =
+  let ed = Editor.create () in
+  let rt = Editor.runtime ed in
+  Podopt_xwin.Xprims.reset_stats ();
+  (* target the text view explicitly by window id *)
+  Client.post ed.Editor.client
+    (Xevent.make ~window:ed.Editor.textview.Widget.id Xevent.Expose);
+  Client.process_all ed.Editor.client;
+  Alcotest.(check Helpers.value) "expose counted" (Value.Int 1)
+    (Runtime.get_global rt "buf_exposes");
+  Alcotest.(check bool) "viewport repainted" true
+    (Podopt_xwin.Xprims.stats.Podopt_xwin.Xprims.pixels_drawn
+    >= ed.Editor.textview.Widget.width * ed.Editor.textview.Widget.height)
+
+let test_timeout_runs_procedure () =
+  let ed = Editor.create () in
+  let rt = Editor.runtime ed in
+  Runtime.set_program rt
+    (Runtime.program rt
+    @ Parse.program "handler blink() { global blinks = global blinks + 1; }");
+  Runtime.set_global rt "blinks" (Value.Int 0);
+  Client.add_timeout ed.Editor.client ~delay:500 ~proc:"blink";
+  Client.run_pending ~until:100 ed.Editor.client;
+  Alcotest.(check Helpers.value) "not yet" (Value.Int 0) (Runtime.get_global rt "blinks");
+  Client.run_pending ed.Editor.client;
+  Alcotest.(check Helpers.value) "fired" (Value.Int 1) (Runtime.get_global rt "blinks")
+
+let test_key_events_follow_focus () =
+  let ed = Editor.create () in
+  let hits = ref 0 in
+  let rt = Editor.runtime ed in
+  Runtime.set_program rt
+    (Runtime.program rt @ Parse.program "handler on_key(x, y, k) { emit(\"key\", k); }");
+  Widget.add_event_handler ed.Editor.term Xevent.KeyPress "on_key";
+  (* rebind after realize: bind directly *)
+  Runtime.bind rt ~event:"XEV__xterm__KeyPress" (Handler.hir' "on_key");
+  Runtime.on_emit rt (fun tag _ -> if tag = "key" then incr hits);
+  Client.set_focus ed.Editor.client ed.Editor.term;
+  Client.post ed.Editor.client (Xevent.make ~detail:42 Xevent.KeyPress);
+  Client.process_all ed.Editor.client;
+  Alcotest.(check int) "key handler ran" 1 !hits
+
+let globals_snapshot rt names =
+  List.map (fun n -> (n, Runtime.get_global rt n)) names
+
+let xwin_state rt =
+  globals_snapshot rt
+    [
+      "termmenu_inited"; "termmenu_damage"; "termmenu_highlight"; "termmenu_motions";
+      "vsb_thumb_pos"; "vsb_top_line"; "vsb_damage"; "vsb_queries"; "vsb_updates";
+    ]
+
+let test_optimized_client_equivalent () =
+  let run opt =
+    let ed = Editor.create () in
+    (* both runs execute the profiling workload (it mutates widget state);
+       only the optimized run installs super-handlers *)
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:10 (Editor.runtime ed)
+           ~workload:(fun () -> Editor.profile_workload ed ()))
+    else begin
+      Editor.profile_workload ed ();
+      Editor.profile_workload ed ()
+    end;
+    (* identical interaction script *)
+    for i = 1 to 40 do
+      Editor.scroll_once ed ~y:(i * 17 mod 600);
+      if i mod 4 = 0 then Editor.popup_once ed ~at:(50 + i, 60 + (i * 3))
+    done;
+    (xwin_state (Editor.runtime ed), Runtime.total_handler_time (Editor.runtime ed))
+  in
+  let s1, _ = run false in
+  let s2, _ = run true in
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check string) "same global" n1 n2;
+      Alcotest.(check Helpers.value) ("global " ^ n1) v1 v2)
+    s1 s2
+
+let test_optimized_client_faster () =
+  let response opt =
+    let ed = Editor.create () in
+    if opt then
+      ignore
+        (Driver.profile_and_optimize ~threshold:10 (Editor.runtime ed)
+           ~workload:(fun () -> Editor.profile_workload ed ()));
+    (Editor.measure_scroll ed ~n:250, Editor.measure_popup ed ~n:250)
+  in
+  let s1, p1 = response false in
+  let s2, p2 = response true in
+  Alcotest.(check bool) (Printf.sprintf "scroll faster (%.0f < %.0f)" s2 s1) true (s2 < s1);
+  Alcotest.(check bool) (Printf.sprintf "popup faster (%.0f < %.0f)" p2 p1) true (p2 < p1)
+
+let suite =
+  [
+    Alcotest.test_case "translation parsing" `Quick test_translation_parsing;
+    Alcotest.test_case "translation errors" `Quick test_translation_parse_errors;
+    Alcotest.test_case "event masks" `Quick test_event_masks;
+    Alcotest.test_case "widget picking" `Quick test_widget_picking;
+    Alcotest.test_case "popup scenario" `Quick test_popup_scenario;
+    Alcotest.test_case "scroll scenario" `Quick test_scroll_scenario;
+    Alcotest.test_case "typing scenario" `Quick test_typing_scenario;
+    Alcotest.test_case "typing wraps" `Quick test_typing_wraps_at_column_limit;
+    Alcotest.test_case "keystroke gain" `Quick test_keystroke_optimization_large_gain;
+    Alcotest.test_case "expose redraw" `Quick test_expose_redraws;
+    Alcotest.test_case "timeout mechanism" `Quick test_timeout_runs_procedure;
+    Alcotest.test_case "key focus routing" `Quick test_key_events_follow_focus;
+    Alcotest.test_case "optimized equivalent" `Quick test_optimized_client_equivalent;
+    Alcotest.test_case "optimized faster" `Quick test_optimized_client_faster;
+  ]
