@@ -3,12 +3,14 @@
      podopt report   <app>      profile an app and print graphs/chains
      podopt graph    <app>      emit the event graph as Graphviz DOT
      podopt optimize <app>      profile, optimize, and report the speedup
+     podopt serve    <workload> run the sharded event broker and print stats
      podopt hir      <file>     parse, optimize and run a HIR program
 
    <app> is one of: video, seccomm, xclient. *)
 
 open Cmdliner
 open Podopt
+module B = Podopt_broker
 
 (* --- app harnesses ---------------------------------------------------- *)
 
@@ -129,6 +131,60 @@ let optimize app threshold strategy spec =
   Fmt.pr "handler time: %d -> %d units (%.1f%% saved)@." t_orig t_opt
     (100.0 *. float_of_int (t_orig - t_opt) /. float_of_int (max 1 t_orig));
   Fmt.pr "%a@." Runtime.pp_stats rt.Runtime.stats;
+  0
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve kind sessions shards batch queue_limit ops interval latency jitter
+    policy seed generic warmup =
+  match
+    List.find_opt
+      (fun (v, _) -> v <= 0)
+      [
+        (sessions, "--sessions");
+        (shards, "--shards");
+        (batch, "--batch");
+        (queue_limit, "--queue-limit");
+        (ops, "--ops");
+      ]
+  with
+  | Some (_, flag) ->
+    Fmt.epr "podopt: %s must be positive@." flag;
+    2
+  | None ->
+  let cfg =
+    {
+      B.Broker.default_config with
+      B.Broker.shards;
+      batch;
+      queue_limit;
+      policy;
+      kind;
+      optimize = not generic;
+      seed = Int64.of_int seed;
+    }
+  in
+  let broker = B.Broker.create cfg in
+  let profile =
+    {
+      B.Loadgen.default_profile with
+      B.Loadgen.sessions;
+      ops;
+      interval;
+      latency;
+      jitter;
+    }
+  in
+  let summary = B.Loadgen.steady ~warmup_ops:warmup broker profile in
+  Fmt.pr
+    "serving %s: %d sessions -> %d shards (batch %d, queue limit %d, policy %s, \
+     %s, seed %d)@.@."
+    (B.Workload.kind_to_string kind)
+    sessions shards batch queue_limit
+    (B.Policy.shed_to_string policy)
+    (if generic then "generic" else "optimized")
+    seed;
+  Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
   0
 
 (* --- trace / analyze ------------------------------------------------------ *)
@@ -277,6 +333,50 @@ let hir_cmd_t =
   in
   Cmd.v (Cmd.info "hir" ~doc) Term.(const hir_cmd $ file $ proc $ args $ show)
 
+let serve_cmd =
+  let doc = "Serve a workload through the sharded event broker." in
+  let kind_conv =
+    Arg.conv
+      ( (fun s ->
+          match B.Workload.kind_of_string s with
+          | Ok k -> Ok k
+          | Error msg -> Error (`Msg msg)),
+        fun ppf k -> Fmt.string ppf (B.Workload.kind_to_string k) )
+  in
+  let kind_arg =
+    Arg.(required & pos 0 (some kind_conv) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to serve: video or seccomm.")
+  in
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          match B.Policy.shed_of_string s with
+          | Ok p -> Ok p
+          | Error msg -> Error (`Msg msg)),
+        fun ppf p -> Fmt.string ppf (B.Policy.shed_to_string p) )
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv B.Policy.Drop_newest & info [ "policy" ] ~docv:"P"
+           ~doc:"Shed policy when an ingress queue is full: newest or oldest.")
+  in
+  let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc) in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ kind_arg
+      $ intopt "sessions" 8 "Concurrent client sessions."
+      $ intopt "shards" 2 "Broker shards (one runtime each)."
+      $ intopt "batch" 16 "Max events dispatched per shard per tick."
+      $ intopt "queue-limit" 64 "Per-shard ingress queue bound."
+      $ intopt "ops" 8 "Events per session."
+      $ intopt "interval" 200 "Virtual units between a session's events."
+      $ intopt "latency" 50 "Link latency in virtual units."
+      $ intopt "jitter" 0 "Link jitter bound in virtual units."
+      $ policy_arg
+      $ intopt "seed" 42 "Deterministic seed for the session links."
+      $ Arg.(value & flag & info [ "generic" ]
+               ~doc:"Disable per-shard adaptive optimization.")
+      $ intopt "warmup" 12 "Warm-up ops per session before measurement.")
+
 let trace_cmd =
   let doc = "Profile an application and save the trace to a file." in
   let output =
@@ -302,4 +402,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ report_cmd; graph_cmd; optimize_cmd; trace_cmd; analyze_cmd; hir_cmd_t ]))
+          [ report_cmd; graph_cmd; optimize_cmd; serve_cmd; trace_cmd; analyze_cmd;
+            hir_cmd_t ]))

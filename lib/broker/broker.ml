@@ -1,0 +1,111 @@
+open Podopt_eventsys
+module Packet = Podopt_net.Packet
+module V = Podopt_hir.Value
+
+type config = {
+  shards : int;
+  batch : int;
+  queue_limit : int;
+  policy : Policy.shed;
+  kind : Workload.kind;
+  optimize : bool;
+  seed : int64;
+  tick : int;
+}
+
+let default_config =
+  {
+    shards = 2;
+    batch = 16;
+    queue_limit = 64;
+    policy = Policy.Drop_newest;
+    kind = Workload.Seccomm;
+    optimize = true;
+    seed = 42L;
+    tick = 50;
+  }
+
+let deliver_event = "BrokerIngress"
+
+type t = {
+  cfg : config;
+  front : Runtime.t;
+  shards : Shard.t array;
+  nacks : (string, int -> int -> unit) Hashtbl.t;
+  session_shard : (string, int) Hashtbl.t;
+  mutable routed : int;
+}
+
+let config t = t.cfg
+let front t = t.front
+let shards t = t.shards
+let now t = Runtime.now t.front
+let register t ~id ~nack = Hashtbl.replace t.nacks id nack
+
+let route t (pkt : Packet.t) =
+  let idx = Shard_map.shard_of ~shards:t.cfg.shards pkt.Packet.src in
+  let shard = t.shards.(idx) in
+  if not (Hashtbl.mem t.session_shard pkt.Packet.src) then begin
+    Hashtbl.replace t.session_shard pkt.Packet.src idx;
+    shard.Shard.sessions <- shard.Shard.sessions + 1
+  end;
+  t.routed <- t.routed + 1;
+  match Shard.offer shard ~now:(now t) pkt with
+  | Ingress.Accepted -> ()
+  | Ingress.Shed victim ->
+    (match Hashtbl.find_opt t.nacks victim.Packet.src with
+     | Some nack -> nack victim.Packet.seq (now t)
+     | None -> ())
+
+let create (cfg : config) =
+  if cfg.shards <= 0 then invalid_arg "Broker.create: shards <= 0";
+  if cfg.batch <= 0 then invalid_arg "Broker.create: batch <= 0";
+  (* the front door is a landing pad for link deliveries, not a measured
+     runtime: routing must not consume simulation time, or the clock
+     would leap past pending sessions and turn steady traffic into
+     artificial bursts *)
+  let front = Runtime.create ~costs:Costs.free () in
+  front.Runtime.emit_log_enabled <- false;
+  let shards =
+    Array.init cfg.shards (fun id ->
+        Shard.create ~id ~kind:cfg.kind ~optimize:cfg.optimize
+          ~queue_limit:cfg.queue_limit ~policy:cfg.policy)
+  in
+  let t =
+    {
+      cfg;
+      front;
+      shards;
+      nacks = Hashtbl.create 64;
+      session_shard = Hashtbl.create 64;
+      routed = 0;
+    }
+  in
+  Runtime.bind front ~event:deliver_event
+    (Handler.native "broker_route" (fun _host args ->
+         match args with
+         | [ V.Bytes b ] ->
+           (match Packet.decode b with
+            | pkt -> route t pkt
+            | exception Packet.Decode_error -> ())
+         | _ -> ()));
+  t
+
+let pump t ~until = Runtime.run ~until t.front
+
+let drain t =
+  Array.fold_left (fun acc s -> acc + Shard.drain_batch s ~batch:t.cfg.batch) 0 t.shards
+
+let advance_to t upto = if upto > now t then Vclock.set t.front.Runtime.clock upto
+
+let idle t =
+  Runtime.pending t.front = 0
+  && Array.for_all (fun s -> Ingress.length s.Shard.ingress = 0) t.shards
+
+let routed t = t.routed
+let force_reoptimize t = Array.iter (fun s -> ignore (Shard.force_reoptimize s)) t.shards
+
+let reset_measurements t =
+  t.routed <- 0;
+  Hashtbl.reset t.session_shard;
+  Array.iter Shard.reset_measurements t.shards

@@ -1,0 +1,78 @@
+(** The event broker: many client sessions multiplexed onto N isolated
+    shards.
+
+    Encoded packets arrive over per-session links at the broker's
+    *front* runtime (the [BrokerIngress] event — external stimuli enter
+    as implicitly raised events, exactly like the paper's Sec. 2.2).  A
+    native routing handler decodes each packet and offers it to the
+    shard owning the session ({!Shard_map} of the packet source); full
+    ingress queues shed per {!Policy.shed}, and shed packets are
+    nack'ed back to the owning session for retry-with-backoff.
+
+    The front runtime's virtual clock is the simulation clock; shards
+    advance their own clocks as they dispatch.  Everything downstream
+    of the seeded links is deterministic. *)
+
+open Podopt_eventsys
+
+type config = {
+  shards : int;
+  batch : int;           (** max ops drained per shard per pump *)
+  queue_limit : int;     (** per-shard ingress bound *)
+  policy : Policy.shed;
+  kind : Workload.kind;
+  optimize : bool;       (** per-shard adaptive optimization on/off *)
+  seed : int64;          (** base seed for session links *)
+  tick : int;            (** virtual units per simulation step *)
+}
+
+val default_config : config
+(** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
+    optimized, seed 42, tick 50. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+(** The event sessions address their packets to. *)
+val deliver_event : string
+
+(** The front (ingress) runtime — hand this to {!Session.pump}. *)
+val front : t -> Runtime.t
+
+val shards : t -> Shard.t array
+val now : t -> int
+
+(** Register the shed-notification callback for a session id. *)
+val register : t -> id:string -> nack:(int -> int -> unit) -> unit
+
+(** Route a decoded packet (exposed for tests; live traffic arrives via
+    the front runtime's [BrokerIngress] handler). *)
+val route : t -> Podopt_net.Packet.t -> unit
+
+(** Deliver every link packet due by [until] (routing each into its
+    shard's ingress queue). *)
+val pump : t -> until:int -> unit
+
+(** Drain one batch from every shard in shard order; returns the total
+    ops dispatched. *)
+val drain : t -> int
+
+(** Advance the front clock to [upto] (never backwards). *)
+val advance_to : t -> int -> unit
+
+(** No packet in flight and every ingress queue empty. *)
+val idle : t -> bool
+
+(** Packets routed since the last reset. *)
+val routed : t -> int
+
+(** Force adaptive analysis on shards with nothing installed yet (the
+    end-of-warm-up hook). *)
+val force_reoptimize : t -> unit
+
+(** Steady-state measurement boundary: reset every shard's runtime
+    measurements and counters, the routed count, and session-to-shard
+    accounting. *)
+val reset_measurements : t -> unit

@@ -1,0 +1,75 @@
+(* Bounded ingress queue on top of Equeue: due = arrival time, and the
+   heap's (due, seq) order preserves offer order within a tick — the
+   ordering guarantee the shard's batch drain relies on. *)
+
+open Podopt_eventsys
+open Podopt_net
+
+type stats = {
+  mutable offered : int;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable high_water : int;
+}
+
+type t = {
+  limit : int;
+  policy : Policy.shed;
+  q : Packet.t Equeue.t;
+  stats : stats;
+}
+
+let create ~limit ~policy =
+  if limit <= 0 then invalid_arg "Ingress.create: limit <= 0";
+  {
+    limit;
+    policy;
+    q = Equeue.create ();
+    stats = { offered = 0; accepted = 0; shed = 0; high_water = 0 };
+  }
+
+type outcome = Accepted | Shed of Packet.t
+
+let length t = Equeue.length t.q
+
+let accept t ~now pkt =
+  Equeue.push t.q ~due:now pkt;
+  t.stats.accepted <- t.stats.accepted + 1;
+  if Equeue.length t.q > t.stats.high_water then
+    t.stats.high_water <- Equeue.length t.q
+
+let offer t ~now pkt =
+  t.stats.offered <- t.stats.offered + 1;
+  if Equeue.length t.q < t.limit then begin
+    accept t ~now pkt;
+    Accepted
+  end
+  else begin
+    t.stats.shed <- t.stats.shed + 1;
+    match t.policy with
+    | Policy.Drop_newest -> Shed pkt
+    | Policy.Drop_oldest ->
+      (match Equeue.pop t.q with
+       | Some (_, victim) ->
+         accept t ~now pkt;
+         Shed victim
+       | None -> (* limit >= 1 makes this unreachable *) Shed pkt)
+  end
+
+let drain t ~max =
+  let rec go n acc =
+    if n >= max then List.rev acc
+    else
+      match Equeue.pop t.q with
+      | None -> List.rev acc
+      | Some (_, pkt) -> go (n + 1) (pkt :: acc)
+  in
+  go 0 []
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.offered <- 0;
+  t.stats.accepted <- 0;
+  t.stats.shed <- 0;
+  t.stats.high_water <- Equeue.length t.q

@@ -1,0 +1,41 @@
+(** Bounded per-shard ingress queue.
+
+    Arriving events wait here until the shard drains them in batches.
+    Ordering rides on {!Podopt_eventsys.Equeue}: items are keyed by
+    arrival time and, within one arrival time, preserve offer order —
+    the same (due, sequence) discipline the runtime's pending queue
+    uses, so a batch replays events exactly as they arrived.
+
+    The queue is bounded: offers beyond [limit] shed an event according
+    to the {!Policy.shed} policy instead of growing the queue. *)
+
+open Podopt_net
+
+type stats = {
+  mutable offered : int;     (** every packet presented to the queue *)
+  mutable accepted : int;    (** packets that entered the queue (an
+                                 accepted packet can still be evicted
+                                 later under [Drop_oldest]) *)
+  mutable shed : int;        (** packets rejected or evicted *)
+  mutable high_water : int;  (** maximum queue length observed *)
+}
+
+type t
+
+val create : limit:int -> policy:Policy.shed -> t
+
+type outcome =
+  | Accepted
+  | Shed of Packet.t
+      (** the shed packet: the arrival itself under [Drop_newest], the
+          evicted queue head under [Drop_oldest] *)
+
+(** Offer a packet that arrived at virtual time [now]. *)
+val offer : t -> now:int -> Packet.t -> outcome
+
+(** Remove and return up to [max] packets in arrival order. *)
+val drain : t -> max:int -> Packet.t list
+
+val length : t -> int
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,107 @@
+module Link = Podopt_net.Link
+
+type profile = {
+  sessions : int;
+  ops : int;
+  interval : int;
+  spread : int;
+  latency : int;
+  jitter : int;
+}
+
+let default_profile =
+  { sessions = 8; ops = 8; interval = 200; spread = 37; latency = 50; jitter = 0 }
+
+type summary = {
+  sent : int;
+  retries : int;
+  nacks : int;
+  gave_up : int;
+  routed : int;
+  shed : int;
+  dispatched : int;
+  batches : int;
+  optimized : int;
+  generic : int;
+  fallbacks : int;
+  busy : int;
+  makespan : int;
+  elapsed : int;
+}
+
+let opt_pct s =
+  let total = s.optimized + s.generic in
+  if total = 0 then 100.0 else 100.0 *. float_of_int s.optimized /. float_of_int total
+
+let make_sessions broker profile =
+  let cfg = Broker.config broker in
+  let start0 = Broker.now broker in
+  List.init profile.sessions (fun i ->
+      let id = Printf.sprintf "s%03d" i in
+      let seed = Int64.add cfg.Broker.seed (Int64.of_int (i + 1)) in
+      let link =
+        Link.create ~latency:profile.latency ~jitter:profile.jitter ~seed ()
+      in
+      let ops =
+        Array.init profile.ops (fun k ->
+            Workload.op_payload cfg.Broker.kind ~session:i ~seq:k)
+      in
+      let s =
+        Session.create ~id ~link ~ops ~start:(start0 + (i * profile.spread))
+          ~interval:profile.interval ~backoff:Policy.default_backoff ()
+      in
+      Broker.register broker ~id ~nack:(fun seq now -> Session.nack s ~seq ~now);
+      s)
+
+let summarize broker sessions ~elapsed =
+  let shards = Broker.shards broker in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  let maxi f = Array.fold_left (fun acc s -> max acc (f s)) 0 shards in
+  let client f = List.fold_left (fun acc s -> acc + f (Session.stats s)) 0 sessions in
+  {
+    sent = client (fun st -> st.Session.sent);
+    retries = client (fun st -> st.Session.retries);
+    nacks = client (fun st -> st.Session.nacks);
+    gave_up = client (fun st -> st.Session.gave_up);
+    routed = Broker.routed broker;
+    shed = sum (fun s -> (Ingress.stats s.Shard.ingress).Ingress.shed);
+    dispatched = sum (fun s -> s.Shard.stats.Shard.dispatched);
+    batches = sum (fun s -> s.Shard.stats.Shard.batches);
+    optimized = sum Shard.optimized_dispatches;
+    generic = sum Shard.generic_dispatches;
+    fallbacks = sum Shard.fallbacks;
+    busy = sum Shard.busy;
+    makespan = maxi Shard.busy;
+    elapsed;
+  }
+
+let run ?(max_ticks = 1_000_000) broker sessions =
+  let tick = (Broker.config broker).Broker.tick in
+  let t0 = Broker.now broker in
+  let finished () =
+    List.for_all Session.finished sessions && Broker.idle broker
+  in
+  let ticks = ref 0 in
+  while (not (finished ())) && !ticks < max_ticks do
+    incr ticks;
+    let now = Broker.now broker in
+    List.iter
+      (fun s ->
+        Session.pump s ~now ~rt:(Broker.front broker)
+          ~deliver_event:Broker.deliver_event)
+      sessions;
+    Broker.pump broker ~until:now;
+    ignore (Broker.drain broker);
+    Broker.advance_to broker (now + tick)
+  done;
+  summarize broker sessions ~elapsed:(Broker.now broker - t0)
+
+let steady ?(warmup_ops = 12) broker profile =
+  if warmup_ops > 0 then begin
+    let warm = make_sessions broker { profile with ops = warmup_ops } in
+    ignore (run broker warm);
+    if (Broker.config broker).Broker.optimize then Broker.force_reoptimize broker
+  end;
+  Broker.reset_measurements broker;
+  let sessions = make_sessions broker profile in
+  run broker sessions

@@ -1,0 +1,58 @@
+(** Load generator: replays an application workload as many concurrent
+    client sessions and drives the broker simulation to completion.
+
+    Session links are seeded from the broker seed plus the session
+    index, so a whole run — arrival times, routing, shedding, retries,
+    and every stats counter — is reproducible bit-for-bit. *)
+
+type profile = {
+  sessions : int;
+  ops : int;        (** ops per session *)
+  interval : int;   (** virtual units between a session's ops *)
+  spread : int;     (** stagger between consecutive sessions' starts *)
+  latency : int;    (** link latency *)
+  jitter : int;     (** link jitter bound (0 = none) *)
+}
+
+val default_profile : profile
+(** 8 sessions, 8 ops, interval 200, spread 37, latency 50, no jitter. *)
+
+type summary = {
+  sent : int;
+  retries : int;
+  nacks : int;
+  gave_up : int;
+  routed : int;
+  shed : int;
+  dispatched : int;
+  batches : int;
+  optimized : int;
+  generic : int;
+  fallbacks : int;
+  busy : int;      (** total handler-time units across shards *)
+  makespan : int;  (** the busiest shard's handler time — the parallel
+                       completion-time proxy *)
+  elapsed : int;   (** front-clock virtual time consumed by the run *)
+}
+
+(** Fraction of dispatches that took the optimized path, in percent
+    (100 when there were none). *)
+val opt_pct : summary -> float
+
+(** Build the sessions for a profile and register their nack callbacks
+    with the broker.  Ids are ["s000"], ["s001"], ... (stable across
+    phases, so a warm-up reaches exactly the shards the steady phase
+    will use). *)
+val make_sessions : Broker.t -> profile -> Session.t list
+
+(** Drive sessions + broker until every session finished and the broker
+    is idle; returns the run's summary.  [max_ticks] bounds the
+    simulation as a safety net. *)
+val run : ?max_ticks:int -> Broker.t -> Session.t list -> summary
+
+(** The measured protocol: run a warm-up phase of [warmup_ops] ops per
+    session (letting each shard's adaptive optimizer install its
+    super-handlers), force the analysis on any shard the warm-up left
+    generic, reset all measurements, then run and measure the steady
+    phase. *)
+val steady : ?warmup_ops:int -> Broker.t -> profile -> summary

@@ -1,0 +1,25 @@
+(* Overload policies: shedding on the broker side, exponential backoff
+   on the client side.  Everything is in virtual time units, so retry
+   schedules are deterministic. *)
+
+type shed = Drop_newest | Drop_oldest
+
+let shed_of_string = function
+  | "newest" | "drop-newest" -> Ok Drop_newest
+  | "oldest" | "drop-oldest" -> Ok Drop_oldest
+  | s -> Error (Printf.sprintf "unknown shed policy %S (expected newest|oldest)" s)
+
+let shed_to_string = function Drop_newest -> "newest" | Drop_oldest -> "oldest"
+
+type backoff = {
+  base : int;
+  factor : int;
+  cap : int;
+  max_retries : int;
+}
+
+let default_backoff = { base = 100; factor = 2; cap = 2_000; max_retries = 4 }
+
+let delay b ~attempt =
+  let rec grow d n = if n <= 1 || d >= b.cap then d else grow (d * b.factor) (n - 1) in
+  min b.cap (grow b.base attempt)

@@ -1,0 +1,26 @@
+(** Broker overload policies: what to do when a shard's bounded ingress
+    queue is full (shedding), and how rejected clients retry
+    (exponential backoff). *)
+
+(** What to shed when an ingress queue is at its limit. *)
+type shed =
+  | Drop_newest  (** reject the arriving event *)
+  | Drop_oldest  (** evict the queue head to make room for the arrival *)
+
+val shed_of_string : string -> (shed, string) result
+val shed_to_string : shed -> string
+
+(** Client-side retry schedule for shed events: the [n]-th retry waits
+    [base * factor^(n-1)] virtual units, capped at [cap]; after
+    [max_retries] rejections of the same event the client gives up. *)
+type backoff = {
+  base : int;
+  factor : int;
+  cap : int;
+  max_retries : int;
+}
+
+val default_backoff : backoff
+
+(** Delay before retry number [attempt] (1-based). *)
+val delay : backoff -> attempt:int -> int

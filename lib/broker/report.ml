@@ -1,0 +1,47 @@
+(* The broker stats table.  Same conventions as Podopt_profile.Report:
+   fixed-width columns, deterministic numbers only. *)
+
+let pct opt generic =
+  let total = opt + generic in
+  if total = 0 then 100.0 else 100.0 *. float_of_int opt /. float_of_int total
+
+let pp_table ppf broker =
+  let shards = Broker.shards broker in
+  Fmt.pf ppf "%5s | %8s %8s %6s | %7s %10s | %9s %8s %7s %6s | %10s@." "shard"
+    "sessions" "ingress" "shed" "batches" "dispatched" "optimized" "generic"
+    "fallbk" "opt%" "busy";
+  let row label ~sessions ~ingress ~shed ~batches ~dispatched ~optimized ~generic
+      ~fallbacks ~busy =
+    Fmt.pf ppf "%5s | %8d %8d %6d | %7d %10d | %9d %8d %7d %6.1f | %10d@." label
+      sessions ingress shed batches dispatched optimized generic fallbacks
+      (pct optimized generic) busy
+  in
+  Array.iter
+    (fun (s : Shard.t) ->
+      let ist = Ingress.stats s.Shard.ingress in
+      row (string_of_int s.Shard.id) ~sessions:s.Shard.sessions
+        ~ingress:ist.Ingress.offered ~shed:ist.Ingress.shed
+        ~batches:s.Shard.stats.Shard.batches
+        ~dispatched:s.Shard.stats.Shard.dispatched
+        ~optimized:(Shard.optimized_dispatches s)
+        ~generic:(Shard.generic_dispatches s) ~fallbacks:(Shard.fallbacks s)
+        ~busy:(Shard.busy s))
+    shards;
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  row "total"
+    ~sessions:(sum (fun s -> s.Shard.sessions))
+    ~ingress:(sum (fun s -> (Ingress.stats s.Shard.ingress).Ingress.offered))
+    ~shed:(sum (fun s -> (Ingress.stats s.Shard.ingress).Ingress.shed))
+    ~batches:(sum (fun s -> s.Shard.stats.Shard.batches))
+    ~dispatched:(sum (fun s -> s.Shard.stats.Shard.dispatched))
+    ~optimized:(sum Shard.optimized_dispatches)
+    ~generic:(sum Shard.generic_dispatches)
+    ~fallbacks:(sum Shard.fallbacks) ~busy:(sum Shard.busy)
+
+let pp_summary ppf (s : Loadgen.summary) =
+  Fmt.pf ppf
+    "clients: %d sent, %d retries, %d nacks, %d gave up@.totals: %d dispatched, \
+     %d shed, opt-path %.1f%%, handler time %d units (makespan %d, elapsed %d)@."
+    s.Loadgen.sent s.Loadgen.retries s.Loadgen.nacks s.Loadgen.gave_up
+    s.Loadgen.dispatched s.Loadgen.shed (Loadgen.opt_pct s) s.Loadgen.busy
+    s.Loadgen.makespan s.Loadgen.elapsed

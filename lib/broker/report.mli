@@ -1,0 +1,9 @@
+(** Observability: the broker's per-shard and totals stats table, in
+    the same fixed-width deterministic style as the profiling reports
+    (every number is virtual / counter state, so the output is
+    reproducible bit-for-bit and safe to assert in cram tests). *)
+
+val pp_table : Format.formatter -> Broker.t -> unit
+
+(** One-line run summary (clients + totals). *)
+val pp_summary : Format.formatter -> Loadgen.summary -> unit

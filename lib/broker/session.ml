@@ -1,0 +1,82 @@
+(* A client session.  The retry queue reuses Equeue so that retries due
+   at the same tick replay in nack order — the whole pipeline keeps one
+   ordering discipline. *)
+
+open Podopt_eventsys
+module Packet = Podopt_net.Packet
+module Link = Podopt_net.Link
+
+type stats = {
+  mutable sent : int;
+  mutable retries : int;
+  mutable nacks : int;
+  mutable gave_up : int;
+}
+
+type t = {
+  id : string;
+  link : Link.t;
+  ops : bytes array;
+  start : int;
+  interval : int;
+  backoff : Policy.backoff;
+  retryq : int Equeue.t;  (* due -> op seq *)
+  attempts : (int, int) Hashtbl.t;
+  mutable next_op : int;
+  stats : stats;
+}
+
+let create ~id ~link ~ops ?(start = 0) ?(interval = 200) ~backoff () =
+  {
+    id;
+    link;
+    ops;
+    start;
+    interval;
+    backoff;
+    retryq = Equeue.create ();
+    attempts = Hashtbl.create 8;
+    next_op = 0;
+    stats = { sent = 0; retries = 0; nacks = 0; gave_up = 0 };
+  }
+
+let id t = t.id
+let finished t = t.next_op >= Array.length t.ops && Equeue.is_empty t.retryq
+
+let send_op t ~rt ~deliver_event ~seq ~retry =
+  let pkt = Packet.make ~src:t.id ~dst:"broker" ~seq t.ops.(seq) in
+  if retry then t.stats.retries <- t.stats.retries + 1
+  else t.stats.sent <- t.stats.sent + 1;
+  Link.send t.link rt ~deliver_event pkt
+
+let pump t ~now ~rt ~deliver_event =
+  let rec resend () =
+    match Equeue.peek t.retryq with
+    | Some (due, _) when due <= now ->
+      (match Equeue.pop t.retryq with
+       | Some (_, seq) ->
+         send_op t ~rt ~deliver_event ~seq ~retry:true;
+         resend ()
+       | None -> ())
+    | _ -> ()
+  in
+  resend ();
+  while
+    t.next_op < Array.length t.ops && t.start + (t.next_op * t.interval) <= now
+  do
+    send_op t ~rt ~deliver_event ~seq:t.next_op ~retry:false;
+    t.next_op <- t.next_op + 1
+  done
+
+let nack t ~seq ~now =
+  t.stats.nacks <- t.stats.nacks + 1;
+  let attempt =
+    1 + (match Hashtbl.find_opt t.attempts seq with Some a -> a | None -> 0)
+  in
+  Hashtbl.replace t.attempts seq attempt;
+  if attempt > t.backoff.Policy.max_retries then
+    t.stats.gave_up <- t.stats.gave_up + 1
+  else
+    Equeue.push t.retryq ~due:(now + Policy.delay t.backoff ~attempt) seq
+
+let stats t = t.stats

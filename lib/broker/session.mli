@@ -1,0 +1,38 @@
+(** A client session: a stream of ops sent towards the broker over a
+    simulated {!Podopt_net.Link}, with retry-with-backoff when the
+    broker sheds one of its events.
+
+    Ops are sent on a fixed virtual-time schedule ([start], then every
+    [interval] units).  A shed notification ({!nack}) schedules a
+    resend after the {!Policy.backoff} delay for that op's attempt
+    count; after [max_retries] rejections the op is abandoned. *)
+
+open Podopt_eventsys
+open Podopt_net
+
+type stats = {
+  mutable sent : int;     (** first sends (not counting retries) *)
+  mutable retries : int;  (** resends after a shed notification *)
+  mutable nacks : int;    (** shed notifications received *)
+  mutable gave_up : int;  (** ops abandoned after max_retries *)
+}
+
+type t
+
+val create :
+  id:string -> link:Link.t -> ops:bytes array -> ?start:int -> ?interval:int ->
+  backoff:Policy.backoff -> unit -> t
+
+val id : t -> string
+
+(** All ops sent and no retry pending. *)
+val finished : t -> bool
+
+(** Send every op and due retry whose schedule time is [<= now] over
+    the link towards [rt] (the broker's front runtime). *)
+val pump : t -> now:int -> rt:Runtime.t -> deliver_event:string -> unit
+
+(** The broker shed this session's op [seq] at time [now]. *)
+val nack : t -> seq:int -> now:int -> unit
+
+val stats : t -> stats

@@ -1,0 +1,68 @@
+open Podopt_eventsys
+open Podopt_optimize
+
+type stats = {
+  mutable batches : int;
+  mutable dispatched : int;
+}
+
+type t = {
+  id : int;
+  kind : Workload.kind;
+  rt : Runtime.t;
+  ingress : Ingress.t;
+  adaptive : Adaptive.t option;
+  stats : stats;
+  mutable sessions : int;
+}
+
+let create ~id ~kind ~optimize ~queue_limit ~policy =
+  let rt = Workload.runtime kind in
+  let adaptive =
+    if optimize then Some (Adaptive.create ~policy:(Workload.adaptive_policy kind) rt)
+    else None
+  in
+  {
+    id;
+    kind;
+    rt;
+    ingress = Ingress.create ~limit:queue_limit ~policy;
+    adaptive;
+    stats = { batches = 0; dispatched = 0 };
+    sessions = 0;
+  }
+
+let offer t ~now pkt = Ingress.offer t.ingress ~now pkt
+
+let drain_batch t ~batch =
+  match Ingress.drain t.ingress ~max:batch with
+  | [] -> 0
+  | pkts ->
+    t.stats.batches <- t.stats.batches + 1;
+    List.iter
+      (fun (p : Podopt_net.Packet.t) ->
+        Workload.dispatch t.kind t.rt p.Podopt_net.Packet.payload;
+        t.stats.dispatched <- t.stats.dispatched + 1)
+      pkts;
+    (match t.adaptive with Some a -> ignore (Adaptive.tick a) | None -> ());
+    List.length pkts
+
+let force_reoptimize t =
+  match t.adaptive with
+  | Some a when Runtime.optimized_events t.rt = [] ->
+    (match Adaptive.reoptimize a with Some _ -> true | None -> false)
+  | _ -> false
+
+let busy t = Runtime.total_handler_time t.rt
+let optimized_dispatches t = t.rt.Runtime.stats.Runtime.optimized_dispatches
+let generic_dispatches t = t.rt.Runtime.stats.Runtime.generic_dispatches
+
+let fallbacks t =
+  t.rt.Runtime.stats.Runtime.fallbacks + t.rt.Runtime.stats.Runtime.segment_fallbacks
+
+let reset_measurements t =
+  Runtime.reset_measurements t.rt;
+  Ingress.reset_stats t.ingress;
+  t.stats.batches <- 0;
+  t.stats.dispatched <- 0;
+  t.sessions <- 0

@@ -1,0 +1,54 @@
+(** One broker shard: a bounded ingress queue in front of a private
+    application runtime with its own registry and on-line adaptive
+    optimizer.
+
+    Shards never share state, so N shards dispatch N batches of events
+    with no locking between them; the broker routes every packet of a
+    session to the same shard (see {!Shard_map}), which is what makes
+    the isolation safe. *)
+
+open Podopt_eventsys
+open Podopt_net
+
+type stats = {
+  mutable batches : int;      (** non-empty batch drains *)
+  mutable dispatched : int;   (** ops replayed into the runtime *)
+}
+
+type t = {
+  id : int;
+  kind : Workload.kind;
+  rt : Runtime.t;
+  ingress : Ingress.t;
+  adaptive : Podopt_optimize.Adaptive.t option;  (** [None] = generic shard *)
+  stats : stats;
+  mutable sessions : int;  (** distinct sessions routed here *)
+}
+
+(** [optimize] enables continuous tracing plus the adaptive controller;
+    a generic shard pays no tracing and never installs super-handlers. *)
+val create :
+  id:int -> kind:Workload.kind -> optimize:bool -> queue_limit:int ->
+  policy:Policy.shed -> t
+
+val offer : t -> now:int -> Packet.t -> Ingress.outcome
+
+(** Drain up to [batch] ingress packets and dispatch each; ticks the
+    adaptive controller once per non-empty batch.  Returns how many
+    ops were dispatched. *)
+val drain_batch : t -> batch:int -> int
+
+(** Run the adaptive analysis now if nothing is installed yet (used
+    after a warm-up phase); true when super-handlers were installed. *)
+val force_reoptimize : t -> bool
+
+(** Handler-time units consumed by this shard's runtime. *)
+val busy : t -> int
+
+val optimized_dispatches : t -> int
+val generic_dispatches : t -> int
+val fallbacks : t -> int
+
+(** Reset runtime measurements, ingress stats, shard counters, and the
+    session count (the steady-state measurement boundary). *)
+val reset_measurements : t -> unit

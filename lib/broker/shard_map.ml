@@ -1,0 +1,18 @@
+(* FNV-1a routing hash.  xorshift (Prng) needs a seed per stream; here we
+   need a stateless stable map from ids to shards, which is exactly what
+   FNV-1a gives: cheap, deterministic, and well-spread on short ASCII
+   keys like session ids. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let hash (s : string) : int64 =
+  let h = ref offset_basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let shard_of ~shards id =
+  if shards <= 0 then invalid_arg "Shard_map.shard_of: shards <= 0";
+  Int64.to_int (Int64.unsigned_rem (hash id) (Int64.of_int shards))

@@ -1,0 +1,13 @@
+(** Stable session-to-shard routing.
+
+    A session id is hashed with FNV-1a (64-bit) and reduced modulo the
+    shard count, so the same session always lands on the same shard —
+    the invariant that lets each shard keep per-session protocol state
+    in its own runtime — and ids spread near-uniformly across shards. *)
+
+val hash : string -> int64
+(** FNV-1a over the id's bytes. *)
+
+val shard_of : shards:int -> string -> int
+(** Shard index in [0, shards); raises [Invalid_argument] when
+    [shards <= 0]. *)

@@ -1,0 +1,46 @@
+(* Application workloads served by broker shards.  Dispatch mirrors the
+   apps' own drivers (Ctp.send / Secure_messenger push_collect + pop) so
+   shard traffic raises the exact event vocabulary the optimizer's
+   chains cover. *)
+
+open Podopt_eventsys
+module Player = Podopt_apps.Video_player
+module Messenger = Podopt_apps.Secure_messenger
+
+type kind = Video | Seccomm
+
+let kind_of_string = function
+  | "video" -> Ok Video
+  | "seccomm" -> Ok Seccomm
+  | s -> Error (Printf.sprintf "unknown workload %S (expected video|seccomm)" s)
+
+let kind_to_string = function Video -> "video" | Seccomm -> "seccomm"
+
+let runtime = function
+  | Video -> Player.create ()
+  | Seccomm -> Messenger.create ()
+
+let op_payload kind ~session ~seq =
+  match kind with
+  | Video -> Player.frame_payload ((session * 7) + seq + 1)
+  | Seccomm -> Messenger.message ~size:256 ((session * 131) + seq)
+
+let dispatch kind rt payload =
+  match kind with
+  | Video ->
+    (* steady-state frames ride the high-priority path (the profiled
+       SendMsg -> MsgFrmUserH -> SegFromUser -> Seg2Net chain) *)
+    Podopt_ctp.Ctp.send rt ~priority:1 payload;
+    Runtime.run rt
+  | Seccomm ->
+    let wire = Messenger.push_collect rt payload in
+    Podopt_seccomm.Seccomm.pop rt wire
+
+let adaptive_policy _kind =
+  {
+    Podopt_optimize.Adaptive.default_policy with
+    Podopt_optimize.Adaptive.threshold = 10;
+    min_trace = 120;
+    fallback_limit = 64;
+    max_trace = 50_000;
+  }

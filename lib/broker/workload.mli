@@ -1,0 +1,33 @@
+(** The application workloads a shard can serve.
+
+    A broker run serves one application; every shard hosts its own
+    runtime for it.  A session op is a deterministic payload (the wire
+    bytes of one application message), and [dispatch] replays it
+    against a shard runtime exactly the way the app's own driver
+    would — so broker traffic exercises the same event chains the
+    optimizer was built for. *)
+
+open Podopt_eventsys
+
+type kind =
+  | Video    (** video player frames through the CTP composite *)
+  | Seccomm  (** SecComm messenger push/pop round trips *)
+
+val kind_of_string : string -> (kind, string) result
+val kind_to_string : kind -> string
+
+(** Fresh shard runtime hosting the application (emit-log retention
+    off, session opened where the app needs one). *)
+val runtime : kind -> Runtime.t
+
+(** Deterministic payload for op [seq] of session number [session]. *)
+val op_payload : kind -> session:int -> seq:int -> bytes
+
+(** Replay one op against a shard runtime: a CTP frame send (with a
+    full drain of acks and timers) or a SecComm push/pop round trip. *)
+val dispatch : kind -> Runtime.t -> bytes -> unit
+
+(** Policy for the shard's on-line adaptive optimizer: a low analysis
+    threshold (shards see a slice of the traffic) and a trace window
+    sized to a few hundred ops. *)
+val adaptive_policy : kind -> Podopt_optimize.Adaptive.policy

@@ -20,7 +20,9 @@
    - {!Event_graph}, {!Reduce}, {!Paths}, {!Chains}, {!Handler_graph},
      {!Subsume}, {!Dot}: profiling and analysis.
    - {!Plan}, {!Superhandler}, {!Chain_merge}, {!Guard}, {!Speculate},
-     {!Driver}: the optimizer. *)
+     {!Driver}: the optimizer.
+   - {!Broker}, {!Shard_map}, {!Ingress}, {!Session}, {!Loadgen},
+     {!Broker_report}: the sharded, backpressured event-serving layer. *)
 
 (* HIR *)
 module Value = Podopt_hir.Value
@@ -74,6 +76,17 @@ module Speculate = Podopt_optimize.Speculate
 module Defer = Podopt_optimize.Defer
 module Adaptive = Podopt_optimize.Adaptive
 module Driver = Podopt_optimize.Driver
+
+(* Serving (the broker layer: many sessions onto sharded runtimes) *)
+module Broker = Podopt_broker.Broker
+module Broker_policy = Podopt_broker.Policy
+module Broker_shard = Podopt_broker.Shard
+module Broker_workload = Podopt_broker.Workload
+module Broker_report = Podopt_broker.Report
+module Shard_map = Podopt_broker.Shard_map
+module Ingress = Podopt_broker.Ingress
+module Session = Podopt_broker.Session
+module Loadgen = Podopt_broker.Loadgen
 
 type applied = Driver.applied
 

@@ -28,4 +28,5 @@ let () =
       ("stacked", Test_stack.suite);
       ("apps", Test_apps.suite);
       ("guards", Test_guard.suite);
+      ("broker", Test_broker.suite);
     ]
