@@ -454,9 +454,106 @@ handler dc(x) { global dc_sum = global dc_sum + x * 3 - global d_sum; }
 
 module Bk = Podopt_broker
 
-let broker_row ~kind ~shards ~profile ~warmup_ops =
-  let run optimize =
-    let cfg =
+(* Machine-readable results: every broker measurement also lands in an
+   in-memory journal; [--json] dumps it as BENCH_broker.json (schema in
+   doc/BROKER.md) — the repo's perf-trajectory format.  Virtual-cost
+   fields are deterministic; [wall_ns] is the real monotonic clock. *)
+module Bjson = struct
+  type entry = {
+    bsection : string;
+    bkind : string;
+    bmode : string; (* "generic" | "optimized" *)
+    bshards : int;
+    bdomains : int;
+    bsessions : int;
+    bops : int;
+    bwall_ns : int64;
+    bbusy : int;
+    bmakespan : int;
+    bdispatched : int;
+    bshed : int;
+    boptimized : int;
+    bgeneric : int;
+    bfallbacks : int;
+    belapsed : int;
+  }
+
+  let entries : entry list ref = ref []
+  let record e = entries := e :: !entries
+
+  let of_summary ~bsection ~bkind ~bmode ~bshards ~bdomains
+      ~(profile : Bk.Loadgen.profile) ~wall_ns (s : Bk.Loadgen.summary) =
+    {
+      bsection;
+      bkind;
+      bmode;
+      bshards;
+      bdomains;
+      bsessions = profile.Bk.Loadgen.sessions;
+      bops = profile.Bk.Loadgen.ops;
+      bwall_ns = wall_ns;
+      bbusy = s.Bk.Loadgen.busy;
+      bmakespan = s.Bk.Loadgen.makespan;
+      bdispatched = s.Bk.Loadgen.dispatched;
+      bshed = s.Bk.Loadgen.shed;
+      boptimized = s.Bk.Loadgen.optimized;
+      bgeneric = s.Bk.Loadgen.generic;
+      bfallbacks = s.Bk.Loadgen.fallbacks;
+      belapsed = s.Bk.Loadgen.elapsed;
+    }
+
+  let write path =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v1\",\n";
+    Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+    Buffer.add_string b "  \"entries\": [\n";
+    let n = List.length !entries in
+    List.iteri
+      (fun i e ->
+        Printf.bprintf b
+          "    {\"section\": %S, \"kind\": %S, \"mode\": %S, \"shards\": %d, \
+           \"domains\": %d, \"sessions\": %d, \"ops\": %d, \"wall_ns\": %Ld, \
+           \"busy\": %d, \"makespan\": %d, \"dispatched\": %d, \"shed\": %d, \
+           \"optimized\": %d, \"generic\": %d, \"fallbacks\": %d, \
+           \"elapsed\": %d}%s\n"
+          e.bsection e.bkind e.bmode e.bshards e.bdomains e.bsessions e.bops
+          e.bwall_ns e.bbusy e.bmakespan e.bdispatched e.bshed e.boptimized
+          e.bgeneric e.bfallbacks e.belapsed
+          (if i = n - 1 then "" else ","))
+      (List.rev !entries);
+    Buffer.add_string b "  ]\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Fmt.pr "@.wrote %s (%d entries)@." path n
+end
+
+(* Warm up and reset outside the timed window, then measure the steady
+   phase under the monotonic clock (same protocol as Loadgen.steady,
+   opened up so wall time covers exactly the measured run). *)
+let timed_steady ?(warmup_ops = 12) broker profile =
+  let cfg = Bk.Broker.config broker in
+  if warmup_ops > 0 then begin
+    let warm =
+      Bk.Loadgen.make_sessions broker { profile with Bk.Loadgen.ops = warmup_ops }
+    in
+    ignore (Bk.Loadgen.run broker warm);
+    if cfg.Bk.Broker.optimize then Bk.Broker.force_reoptimize broker
+  end;
+  Bk.Broker.reset_measurements broker;
+  let sessions = Bk.Loadgen.make_sessions broker profile in
+  let t0 = Monotonic_clock.now () in
+  let s = Bk.Loadgen.run broker sessions in
+  let t1 = Monotonic_clock.now () in
+  (s, Int64.sub t1 t0)
+
+(* Build a broker, run the steady protocol, record the JSON entry, shut
+   the pool down.  Returns (summary, wall ns). *)
+let run_broker ~bsection ~kind ~shards ~domains ~optimize ~profile ~warmup_ops
+    ?(tweak = fun c -> c) () =
+  let cfg =
+    tweak
       {
         Bk.Broker.default_config with
         Bk.Broker.shards;
@@ -465,10 +562,26 @@ let broker_row ~kind ~shards ~profile ~warmup_ops =
         batch = 16;
         queue_limit = 256;
         seed = 11L;
+        domains;
       }
-    in
-    let b = Bk.Broker.create cfg in
-    Bk.Loadgen.steady ~warmup_ops b profile
+  in
+  let b = Bk.Broker.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Bk.Broker.shutdown b)
+    (fun () ->
+      let s, wall_ns = timed_steady ~warmup_ops b profile in
+      Bjson.record
+        (Bjson.of_summary ~bsection
+           ~bkind:(Bk.Workload.kind_to_string kind)
+           ~bmode:(if optimize then "optimized" else "generic")
+           ~bshards:shards ~bdomains:domains ~profile ~wall_ns s);
+      (s, wall_ns))
+
+let broker_row ~kind ~shards ~profile ~warmup_ops =
+  let run optimize =
+    fst
+      (run_broker ~bsection:"broker" ~kind ~shards ~domains:1 ~optimize ~profile
+         ~warmup_ops ())
   in
   let g = run false in
   let o = run true in
@@ -481,22 +594,22 @@ let broker_header () =
   Fmt.pr "%6s | %10s | %12s %12s %6s | %9s | %12s %12s@." "shards" "dispatched"
     "cost gen" "cost opt" "(%)" "opt-path%" "makespan g" "makespan o"
 
-let broker () =
+let broker ?(quick = false) () =
   section
     "Broker: sharded serving, generic vs per-shard-optimized (SecComm steady state)";
   broker_header ();
   let profile =
     {
       Bk.Loadgen.default_profile with
-      Bk.Loadgen.sessions = 24;
-      ops = 25;
+      Bk.Loadgen.sessions = (if quick then 8 else 24);
+      ops = (if quick then 8 else 25);
       interval = 120;
       spread = 31;
     }
   in
   List.iter
     (fun shards -> broker_row ~kind:Bk.Workload.Seccomm ~shards ~profile ~warmup_ops:12)
-    [ 1; 2; 4; 8 ];
+    (if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ]);
   Fmt.pr
     "@.(every session's events route to one shard by stable hash; each shard's@. \
      adaptive controller installs SecPush/SecPop super-handlers from its own@. \
@@ -508,15 +621,15 @@ let broker () =
   let profile =
     {
       Bk.Loadgen.default_profile with
-      Bk.Loadgen.sessions = 8;
-      ops = 6;
+      Bk.Loadgen.sessions = (if quick then 4 else 8);
+      ops = (if quick then 3 else 6);
       interval = 400;
       spread = 53;
     }
   in
   List.iter
     (fun shards -> broker_row ~kind:Bk.Workload.Video ~shards ~profile ~warmup_ops:10)
-    [ 1; 2; 4 ];
+    (if quick then [ 1; 2 ] else [ 1; 2; 4 ]);
   Fmt.pr
     "@.(the frame chain SendMsg -> MsgFrmUserH -> SegFromUser -> Seg2Net is one@. \
      optimized dispatch; acks, timeouts and flow control stay generic, so the@. \
@@ -543,12 +656,122 @@ let broker () =
       spread = 11;
     }
   in
-  let s = Bk.Loadgen.steady ~warmup_ops:0 b profile in
+  let s, wall_ns = timed_steady ~warmup_ops:0 b profile in
+  Bjson.record
+    (Bjson.of_summary ~bsection:"broker-overload" ~bkind:"seccomm"
+       ~bmode:"generic" ~bshards:2 ~bdomains:1 ~profile ~wall_ns s);
   Fmt.pr "%a@.%a" Bk.Report.pp_table b Bk.Report.pp_summary s;
   Fmt.pr
     "@.(arrivals outrun the drain rate; the bounded ingress queues shed per@. \
      policy, clients retry with exponential backoff and eventually give up —@. \
      the broker degrades deterministically instead of growing without bound)@."
+
+(* --- Broker: parallel drain on OCaml 5 domains --------------------------- *)
+
+let ms ns = Int64.to_float ns /. 1.0e6
+
+let broker_par ?(quick = false) () =
+  section
+    (Printf.sprintf
+       "Broker: parallel drain on OCaml 5 domains (wall-clock ms, monotonic; \
+        host has %d core%s)"
+       (Domain.recommended_domain_count ())
+       (if Domain.recommended_domain_count () = 1 then "" else "s"));
+  let domains_list = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let shard_list = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let profile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = (if quick then 8 else 32);
+      ops = (if quick then 6 else 30);
+      interval = 120;
+      spread = 31;
+    }
+  in
+  Fmt.pr "%6s %7s | %12s %12s | %12s %12s | %9s | %s@." "shards" "domains"
+    "wall gen" "wall opt" "cost gen" "cost opt" "speedup" "deterministic";
+  List.iter
+    (fun shards ->
+      let base = ref None in
+      List.iter
+        (fun domains ->
+          let g, gw =
+            run_broker ~bsection:"broker-par" ~kind:Bk.Workload.Seccomm ~shards
+              ~domains ~optimize:false ~profile ~warmup_ops:12 ()
+          in
+          let o, ow =
+            run_broker ~bsection:"broker-par" ~kind:Bk.Workload.Seccomm ~shards
+              ~domains ~optimize:true ~profile ~warmup_ops:12 ()
+          in
+          (* the virtual summaries must not depend on the domain count:
+             compare every run against its 1-domain twin live *)
+          let deterministic, speedup =
+            match !base with
+            | None ->
+              base := Some (g, o, ow);
+              (true, 1.0)
+            | Some (g1, o1, ow1) ->
+              (g = g1 && o = o1, Int64.to_float ow1 /. Int64.to_float ow)
+          in
+          Fmt.pr "%6d %7d | %12.2f %12.2f | %12d %12d | %8.2fx | %s@." shards
+            domains (ms gw) (ms ow) g.Bk.Loadgen.busy o.Bk.Loadgen.busy speedup
+            (if deterministic then "yes" else "NO — BUG");
+          if not deterministic then
+            Fmt.epr "broker-par: %d shards x %d domains diverged from the \
+                     sequential run@." shards domains)
+        domains_list)
+    shard_list;
+  Fmt.pr
+    "@.(wall-clock for the measured steady phase only; speedup = optimized@. \
+     1-domain wall time over this row's optimized wall time.  The virtual@. \
+     summaries — every per-shard counter and clock — are checked identical@. \
+     across domain counts: parallel drains change elapsed seconds, never@. \
+     results.  Speedup needs real cores; on a 1-core host expect ~1.0x@. \
+     minus coordination overhead)@.";
+  section "Broker: overload under parallel drain (batch 1, queue limit 2)";
+  let overload_shards = if quick then 2 else 4 in
+  let oprofile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = 12;
+      ops = 10;
+      interval = 60;
+      spread = 11;
+    }
+  in
+  let tweak c =
+    {
+      c with
+      Bk.Broker.batch = 1;
+      queue_limit = 2;
+      policy = Bk.Policy.Drop_oldest;
+    }
+  in
+  Fmt.pr "%6s %7s | %12s | %10s %6s %8s | %s@." "shards" "domains" "wall"
+    "dispatched" "shed" "gave up" "deterministic";
+  let base = ref None in
+  List.iter
+    (fun domains ->
+      let s, wall =
+        run_broker ~bsection:"broker-par-overload" ~kind:Bk.Workload.Seccomm
+          ~shards:overload_shards ~domains ~optimize:false ~profile:oprofile
+          ~warmup_ops:0 ~tweak ()
+      in
+      let deterministic =
+        match !base with
+        | None ->
+          base := Some s;
+          true
+        | Some s1 -> s = s1
+      in
+      Fmt.pr "%6d %7d | %12.2f | %10d %6d %8d | %s@." overload_shards domains
+        (ms wall) s.Bk.Loadgen.dispatched s.Bk.Loadgen.shed s.Bk.Loadgen.gave_up
+        (if deterministic then "yes" else "NO — BUG"))
+    domains_list;
+  Fmt.pr
+    "@.(shedding, nacks, and retry backoff all happen on the coordinator's@. \
+     routing step, so even an overloaded run is bit-identical at every@. \
+     domain count)@."
 
 (* --- Bechamel wall-clock suite ------------------------------------------ *)
 
@@ -623,7 +846,12 @@ let all_tables () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (( <> ) "--") in
-  match args with
+  let json = List.mem "--json" args in
+  let quick = List.mem "--quick" args in
+  let names =
+    List.filter (fun a -> a <> "--json" && a <> "--quick") args
+  in
+  (match names with
   | [] ->
     all_tables ();
     bechamel ()
@@ -643,10 +871,12 @@ let () =
         | "speculate" -> speculate ()
         | "defer" -> defer ()
         | "configs" -> configs ()
-        | "broker" -> broker ()
+        | "broker" -> broker ~quick ()
+        | "broker-par" -> broker_par ~quick ()
         | "bechamel" -> bechamel ()
         | "tables" -> all_tables ()
         | other ->
           Fmt.epr "unknown benchmark %s@." other;
           exit 2)
-      names
+      names);
+  if json then Bjson.write "BENCH_broker.json"

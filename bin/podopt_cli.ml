@@ -136,7 +136,7 @@ let optimize app threshold strategy spec =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup =
+    policy seed generic warmup domains =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -146,6 +146,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
         (batch, "--batch");
         (queue_limit, "--queue-limit");
         (ops, "--ops");
+        (domains, "--domains");
       ]
   with
   | Some (_, flag) ->
@@ -162,28 +163,34 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       kind;
       optimize = not generic;
       seed = Int64.of_int seed;
+      domains;
     }
   in
   let broker = B.Broker.create cfg in
-  let profile =
-    {
-      B.Loadgen.default_profile with
-      B.Loadgen.sessions;
-      ops;
-      interval;
-      latency;
-      jitter;
-    }
+  let summary =
+    Fun.protect
+      ~finally:(fun () -> B.Broker.shutdown broker)
+      (fun () ->
+        let profile =
+          {
+            B.Loadgen.default_profile with
+            B.Loadgen.sessions;
+            ops;
+            interval;
+            latency;
+            jitter;
+          }
+        in
+        B.Loadgen.steady ~warmup_ops:warmup broker profile)
   in
-  let summary = B.Loadgen.steady ~warmup_ops:warmup broker profile in
   Fmt.pr
     "serving %s: %d sessions -> %d shards (batch %d, queue limit %d, policy %s, \
-     %s, seed %d)@.@."
+     %s, seed %d, domains %d)@.@."
     (B.Workload.kind_to_string kind)
     sessions shards batch queue_limit
     (B.Policy.shed_to_string policy)
     (if generic then "generic" else "optimized")
-    seed;
+    seed domains;
   Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
   0
 
@@ -375,7 +382,10 @@ let serve_cmd =
       $ intopt "seed" 42 "Deterministic seed for the session links."
       $ Arg.(value & flag & info [ "generic" ]
                ~doc:"Disable per-shard adaptive optimization.")
-      $ intopt "warmup" 12 "Warm-up ops per session before measurement.")
+      $ intopt "warmup" 12 "Warm-up ops per session before measurement."
+      $ intopt "domains" 1
+          "Worker domains draining the shards in parallel (1 = sequential; \
+           results are identical at any domain count).")
 
 let trace_cmd =
   let doc = "Profile an application and save the trace to a file." in

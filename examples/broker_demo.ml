@@ -7,7 +7,9 @@
    dispatches take the guarded super-handler path.  Phase 2 overloads 2
    shards (batch 1, queue limit 2): the ingress queues shed per policy,
    clients retry with exponential backoff, and the stats table shows the
-   shed/retry counts.  Every number is deterministic. *)
+   shed/retry counts.  Phase 3 reruns phase 1 with [domains = 2]: the
+   shards drain on worker domains, and every per-shard counter comes out
+   identical to the sequential run.  Every number is deterministic. *)
 
 open Podopt_broker
 
@@ -18,6 +20,7 @@ let () =
     { Loadgen.default_profile with Loadgen.sessions = 12; ops = 10 }
   in
   let s = Loadgen.steady broker profile in
+  let sequential_snapshots = Fmt.str "%a" Report.pp_snapshots broker in
   Fmt.pr "steady state (3 shards, 12 sessions x 10 ops):@.@.%a@.%a@."
     Report.pp_table broker Report.pp_summary s;
 
@@ -37,4 +40,19 @@ let () =
     Report.pp_table broker Report.pp_summary s;
   Fmt.pr
     "(shed events were retried with backoff; the remainder were abandoned@. \
-     after max retries — overload degrades, it does not crash)@."
+     after max retries — overload degrades, it does not crash)@.";
+
+  let cfg = { Broker.default_config with Broker.shards = 3; seed = 7L; domains = 2 } in
+  let broker = Broker.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Broker.shutdown broker)
+    (fun () ->
+      let profile =
+        { Loadgen.default_profile with Loadgen.sessions = 12; ops = 10 }
+      in
+      let s = Loadgen.steady broker profile in
+      let parallel_snapshots = Fmt.str "%a" Report.pp_snapshots broker in
+      Fmt.pr "@.parallel drain (same 3 shards on 2 worker domains):@.@.%a@."
+        Report.pp_summary s;
+      Fmt.pr "per-shard results identical to the sequential run: %b@."
+        (String.equal sequential_snapshots parallel_snapshots))

@@ -11,6 +11,7 @@ type config = {
   optimize : bool;
   seed : int64;
   tick : int;
+  domains : int;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     optimize = true;
     seed = 42L;
     tick = 50;
+    domains = 1;
   }
 
 let deliver_event = "BrokerIngress"
@@ -31,6 +33,8 @@ type t = {
   cfg : config;
   front : Runtime.t;
   shards : Shard.t array;
+  pool : Podopt_exec.Pool.t option;  (* [None] = sequential drain *)
+  drained : int array;               (* per-shard scratch for parallel epochs *)
   nacks : (string, int -> int -> unit) Hashtbl.t;
   session_shard : (string, int) Hashtbl.t;
   mutable routed : int;
@@ -60,6 +64,7 @@ let route t (pkt : Packet.t) =
 let create (cfg : config) =
   if cfg.shards <= 0 then invalid_arg "Broker.create: shards <= 0";
   if cfg.batch <= 0 then invalid_arg "Broker.create: batch <= 0";
+  if cfg.domains <= 0 then invalid_arg "Broker.create: domains <= 0";
   (* the front door is a landing pad for link deliveries, not a measured
      runtime: routing must not consume simulation time, or the clock
      would leap past pending sessions and turn steady traffic into
@@ -71,11 +76,21 @@ let create (cfg : config) =
         Shard.create ~id ~kind:cfg.kind ~optimize:cfg.optimize
           ~queue_limit:cfg.queue_limit ~policy:cfg.policy)
   in
+  (* the pool spawns after the shards exist: shard construction installs
+     HIR primitives and parses programs on the coordinator, so workers
+     only ever see fully built shards (published by the pool's own
+     channel/barrier synchronization) *)
+  let pool =
+    if cfg.domains > 1 then Some (Podopt_exec.Pool.create ~domains:cfg.domains)
+    else None
+  in
   let t =
     {
       cfg;
       front;
       shards;
+      pool;
+      drained = Array.make cfg.shards 0;
       nacks = Hashtbl.create 64;
       session_shard = Hashtbl.create 64;
       routed = 0;
@@ -93,8 +108,34 @@ let create (cfg : config) =
 
 let pump t ~until = Runtime.run ~until t.front
 
+(* One drain epoch.  Sequential: shards drain in shard-id order on the
+   caller.  Parallel: shard [i] is pinned to pool worker [i mod domains],
+   each worker walks its shards in increasing id, and the pool's barrier
+   separates this drain step from the next routing step — so every shard
+   sees the exact batch boundaries and dispatch order of the sequential
+   run, and no shard is ever touched by two domains at once. *)
 let drain t =
-  Array.fold_left (fun acc s -> acc + Shard.drain_batch s ~batch:t.cfg.batch) 0 t.shards
+  match t.pool with
+  | None ->
+    Array.fold_left
+      (fun acc s -> acc + Shard.drain_batch s ~batch:t.cfg.batch)
+      0 t.shards
+  | Some pool ->
+    let domains = t.cfg.domains and batch = t.cfg.batch in
+    Podopt_exec.Pool.run pool (fun w ->
+        Array.iteri
+          (fun i shard ->
+            if i mod domains = w then
+              t.drained.(i) <- Shard.drain_batch shard ~batch)
+          t.shards);
+    (* merge in shard-id order on the coordinator *)
+    Array.fold_left ( + ) 0 t.drained
+
+let parallel t = match t.pool with Some _ -> true | None -> false
+let domains t = t.cfg.domains
+
+let shutdown t =
+  match t.pool with Some pool -> Podopt_exec.Pool.shutdown pool | None -> ()
 
 let advance_to t upto = if upto > now t then Vclock.set t.front.Runtime.clock upto
 

@@ -11,7 +11,17 @@
 
     The front runtime's virtual clock is the simulation clock; shards
     advance their own clocks as they dispatch.  Everything downstream
-    of the seeded links is deterministic. *)
+    of the seeded links is deterministic.
+
+    With [domains > 1] the broker runs its shards on a fixed pool of
+    OCaml 5 domains ({!Podopt_exec.Pool}): every simulation epoch
+    routes packets on the coordinator, then drains each shard's pending
+    batch on the pool worker the shard is pinned to
+    ([shard_id mod domains]), then joins at a barrier before the next
+    routing step.  Pinning plus the epoch barrier keep per-shard
+    dispatch order — and therefore every per-shard stat, trace, and
+    adaptive-optimizer decision — byte-identical to the sequential run
+    (see the broker-par test suite). *)
 
 open Podopt_eventsys
 
@@ -24,11 +34,12 @@ type config = {
   optimize : bool;       (** per-shard adaptive optimization on/off *)
   seed : int64;          (** base seed for session links *)
   tick : int;            (** virtual units per simulation step *)
+  domains : int;         (** drain lanes; 1 = sequential (no pool) *)
 }
 
 val default_config : config
 (** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
-    optimized, seed 42, tick 50. *)
+    optimized, seed 42, tick 50, 1 domain. *)
 
 type t
 
@@ -55,9 +66,22 @@ val route : t -> Podopt_net.Packet.t -> unit
     shard's ingress queue). *)
 val pump : t -> until:int -> unit
 
-(** Drain one batch from every shard in shard order; returns the total
-    ops dispatched. *)
+(** Drain one batch from every shard; returns the total ops dispatched.
+    Sequential ([domains = 1]): shards drain in shard-id order on the
+    caller.  Parallel: one epoch on the domain pool — each shard drains
+    on its pinned worker, the epoch joins at a barrier, and totals merge
+    in shard-id order. *)
 val drain : t -> int
+
+(** Whether drains run on a domain pool ([domains > 1]). *)
+val parallel : t -> bool
+
+val domains : t -> int
+
+(** Join the worker domains ([domains > 1]; a no-op otherwise).  Call
+    when done with a parallel broker; using {!drain} afterwards raises.
+    Idempotent. *)
+val shutdown : t -> unit
 
 (** Advance the front clock to [upto] (never backwards). *)
 val advance_to : t -> int -> unit

@@ -38,6 +38,13 @@ let pp_table ppf broker =
     ~generic:(sum Shard.generic_dispatches)
     ~fallbacks:(sum Shard.fallbacks) ~busy:(sum Shard.busy)
 
+(* One line per shard from Shard.snapshot — the record the parallel
+   determinism suite compares, printed for diffable diagnostics. *)
+let pp_snapshots ppf broker =
+  Array.iter
+    (fun s -> Fmt.pf ppf "%a@." Shard.pp_snapshot (Shard.snapshot s))
+    (Broker.shards broker)
+
 let pp_summary ppf (s : Loadgen.summary) =
   Fmt.pf ppf
     "clients: %d sent, %d retries, %d nacks, %d gave up@.totals: %d dispatched, \

@@ -5,5 +5,10 @@
 
 val pp_table : Format.formatter -> Broker.t -> unit
 
+(** One {!Shard.snapshot} line per shard — the exact state the
+    parallel-determinism tests compare; useful for diffing a parallel
+    run against its sequential twin. *)
+val pp_snapshots : Format.formatter -> Broker.t -> unit
+
 (** One-line run summary (clients + totals). *)
 val pp_summary : Format.formatter -> Loadgen.summary -> unit

@@ -54,11 +54,51 @@ let force_reoptimize t =
   | _ -> false
 
 let busy t = Runtime.total_handler_time t.rt
+
+type snapshot = {
+  snap_id : int;
+  snap_sessions : int;
+  snap_offered : int;
+  snap_accepted : int;
+  snap_shed : int;
+  snap_batches : int;
+  snap_dispatched : int;
+  snap_optimized : int;
+  snap_generic : int;
+  snap_fallbacks : int;
+  snap_busy : int;
+  snap_clock : int;
+}
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf
+    "shard %d: sessions %d, offered %d, accepted %d, shed %d, batches %d, \
+     dispatched %d, optimized %d, generic %d, fallbacks %d, busy %d, clock %d"
+    s.snap_id s.snap_sessions s.snap_offered s.snap_accepted s.snap_shed
+    s.snap_batches s.snap_dispatched s.snap_optimized s.snap_generic
+    s.snap_fallbacks s.snap_busy s.snap_clock
 let optimized_dispatches t = t.rt.Runtime.stats.Runtime.optimized_dispatches
 let generic_dispatches t = t.rt.Runtime.stats.Runtime.generic_dispatches
 
 let fallbacks t =
   t.rt.Runtime.stats.Runtime.fallbacks + t.rt.Runtime.stats.Runtime.segment_fallbacks
+
+let snapshot t =
+  let ist = Ingress.stats t.ingress in
+  {
+    snap_id = t.id;
+    snap_sessions = t.sessions;
+    snap_offered = ist.Ingress.offered;
+    snap_accepted = ist.Ingress.accepted;
+    snap_shed = ist.Ingress.shed;
+    snap_batches = t.stats.batches;
+    snap_dispatched = t.stats.dispatched;
+    snap_optimized = optimized_dispatches t;
+    snap_generic = generic_dispatches t;
+    snap_fallbacks = fallbacks t;
+    snap_busy = busy t;
+    snap_clock = Runtime.now t.rt;
+  }
 
 let reset_measurements t =
   Runtime.reset_measurements t.rt;

@@ -49,6 +49,30 @@ val optimized_dispatches : t -> int
 val generic_dispatches : t -> int
 val fallbacks : t -> int
 
+(** An immutable copy of every per-shard observable: ingress accounting,
+    batch/dispatch counters, dispatch-path split, fallbacks, handler
+    time, and the shard runtime's final virtual clock.  Two runs of the
+    same configuration are equivalent iff their snapshot arrays are
+    structurally equal — this is what the parallel-determinism suite
+    compares between [domains = 1] and [domains = N]. *)
+type snapshot = {
+  snap_id : int;
+  snap_sessions : int;
+  snap_offered : int;
+  snap_accepted : int;
+  snap_shed : int;
+  snap_batches : int;
+  snap_dispatched : int;
+  snap_optimized : int;
+  snap_generic : int;
+  snap_fallbacks : int;
+  snap_busy : int;
+  snap_clock : int;
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
 (** Reset runtime measurements, ingress stats, shard counters, and the
     session count (the steady-state measurement boundary). *)
 val reset_measurements : t -> unit

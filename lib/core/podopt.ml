@@ -77,6 +77,11 @@ module Defer = Podopt_optimize.Defer
 module Adaptive = Podopt_optimize.Adaptive
 module Driver = Podopt_optimize.Driver
 
+(* Multicore execution (the domain pool the parallel broker drains on) *)
+module Exec_chan = Podopt_exec.Chan
+module Exec_barrier = Podopt_exec.Barrier
+module Exec_pool = Podopt_exec.Pool
+
 (* Serving (the broker layer: many sessions onto sharded runtimes) *)
 module Broker = Podopt_broker.Broker
 module Broker_policy = Podopt_broker.Policy

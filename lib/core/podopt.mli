@@ -68,6 +68,33 @@ module Defer = Podopt_optimize.Defer
 module Adaptive = Podopt_optimize.Adaptive
 module Driver = Podopt_optimize.Driver
 
+(** {1 Multicore execution}
+
+    The domain-pool layer ([lib/exec]) the parallel broker drains on:
+    a bounded MPSC handoff channel, a reusable round barrier, and a
+    fixed pool of worker domains driven in epochs. *)
+
+module Exec_chan = Podopt_exec.Chan
+module Exec_barrier = Podopt_exec.Barrier
+module Exec_pool = Podopt_exec.Pool
+
+(** {1 Serving — the broker layer}
+
+    Many client sessions multiplexed onto N isolated shard runtimes,
+    each with its own on-line adaptive optimizer; [domains > 1] drains
+    shards in parallel with sequential-identical results (see
+    [doc/BROKER.md]). *)
+
+module Broker = Podopt_broker.Broker
+module Broker_policy = Podopt_broker.Policy
+module Broker_shard = Podopt_broker.Shard
+module Broker_workload = Podopt_broker.Workload
+module Broker_report = Podopt_broker.Report
+module Shard_map = Podopt_broker.Shard_map
+module Ingress = Podopt_broker.Ingress
+module Session = Podopt_broker.Session
+module Loadgen = Podopt_broker.Loadgen
+
 type applied = Driver.applied
 
 (** The paper's methodology in one call: profile [workload] (two runs —

@@ -79,12 +79,13 @@ let pop t =
    on delayed events.  Returns the number of removed items. *)
 let remove_if t pred =
   let kept = ref [] in
+  let removed = ref 0 in
   for i = 0 to t.size - 1 do
     let item = get t i in
-    if not (pred item.payload) then kept := item :: !kept
+    if pred item.payload then incr removed else kept := item :: !kept
   done;
   let kept = List.rev !kept in
-  let removed = t.size - List.length kept in
+  let removed = !removed in
   Array.fill t.heap 0 t.size None;
   t.size <- 0;
   List.iter

@@ -41,9 +41,15 @@ let bind t ev ?order (h : Handler.t) : unit =
 (* Remove all bindings of the handler named [name] from [ev]. *)
 let unbind t ev ~name : bool =
   let e = entry t ev in
-  let before = List.length e.handlers in
-  e.handlers <- List.filter (fun (_, h) -> h.Handler.name <> name) e.handlers;
-  if List.length e.handlers <> before then begin
+  let removed = ref 0 in
+  e.handlers <-
+    List.filter
+      (fun (_, h) ->
+        let keep = h.Handler.name <> name in
+        if not keep then incr removed;
+        keep)
+      e.handlers;
+  if !removed > 0 then begin
     e.version <- e.version + 1;
     true
   end

@@ -1,0 +1,44 @@
+(* Classic generation-counting barrier: waiters sleep until the round
+   number moves on, so a fast thread re-entering [await] for round n+1
+   can never consume round n's broadcast. *)
+
+type t = {
+  n : int;
+  lock : Mutex.t;
+  released : Condition.t;
+  mutable arrived : int;
+  mutable round : int;
+}
+
+let create ~parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties <= 0";
+  {
+    n = parties;
+    lock = Mutex.create ();
+    released = Condition.create ();
+    arrived = 0;
+    round = 0;
+  }
+
+let parties t = t.n
+
+let await t =
+  Mutex.lock t.lock;
+  let round = t.round in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.n then begin
+    t.arrived <- 0;
+    t.round <- round + 1;
+    Condition.broadcast t.released
+  end
+  else
+    while t.round = round do
+      Condition.wait t.released t.lock
+    done;
+  Mutex.unlock t.lock
+
+let rounds t =
+  Mutex.lock t.lock;
+  let r = t.round in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,89 @@
+(* Ring buffer under one mutex with two condition variables (not-empty
+   for the consumer, not-full for producers).  Every cross-domain
+   handoff goes through the mutex, which is also what publishes the
+   coordinator's writes to the workers (happens-before). *)
+
+type 'a t = {
+  buf : 'a option array;
+  capacity : int;
+  mutable head : int;  (* next pop position *)
+  mutable count : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+exception Closed
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Chan.create: capacity <= 0";
+  {
+    buf = Array.make capacity None;
+    capacity;
+    head = 0;
+    count = 0;
+    closed = false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let enqueue t x =
+  t.buf.((t.head + t.count) mod t.capacity) <- Some x;
+  t.count <- t.count + 1;
+  Condition.signal t.not_empty
+
+let dequeue t =
+  match t.buf.(t.head) with
+  | None -> invalid_arg "Chan: corrupt ring"
+  | Some x ->
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.count <- t.count - 1;
+    Condition.signal t.not_full;
+    x
+
+let push t x =
+  with_lock t (fun () ->
+      while t.count = t.capacity && not t.closed do
+        Condition.wait t.not_full t.lock
+      done;
+      if t.closed then raise Closed;
+      enqueue t x)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      if t.count = t.capacity then false
+      else begin
+        enqueue t x;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while t.count = 0 && not t.closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      if t.count = 0 then None else Some (dequeue t))
+
+let try_pop t =
+  with_lock t (fun () -> if t.count = 0 then None else Some (dequeue t))
+
+let length t = with_lock t (fun () -> t.count)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (* wake everyone: blocked producers fail, the consumer drains *)
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full
+      end)
+
+let is_closed t = with_lock t (fun () -> t.closed)

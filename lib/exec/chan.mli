@@ -1,0 +1,42 @@
+(** Bounded multi-producer single-consumer handoff queue.
+
+    The broker's coordinator pushes one work item per epoch into each
+    pool worker's channel (the routed shard batches); the worker blocks
+    in {!pop} between epochs.  Built on [Mutex]/[Condition] only — the
+    queue is a plain ring buffer under one lock, which is all the epoch
+    cadence needs (one push and one pop per worker per epoch).
+
+    [push] blocks while the queue is full, so a runaway producer is
+    backpressured instead of growing the queue without bound — the same
+    discipline the broker's ingress queues apply to clients. *)
+
+type 'a t
+
+exception Closed
+
+(** [create ~capacity] is an empty queue holding at most [capacity]
+    items.  Raises [Invalid_argument] when [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+(** Block until a slot is free, then enqueue.  Raises {!Closed} if the
+    queue is (or becomes) closed while waiting. *)
+val push : 'a t -> 'a -> unit
+
+(** Non-blocking enqueue; false when the queue is full.  Raises
+    {!Closed} on a closed queue. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Block until an item is available and dequeue it.  [None] once the
+    queue is closed and drained. *)
+val pop : 'a t -> 'a option
+
+(** Non-blocking dequeue: [None] when empty (closed or not). *)
+val try_pop : 'a t -> 'a option
+
+val length : 'a t -> int
+
+(** Close the queue: producers fail fast, the consumer drains what is
+    left and then sees [None].  Idempotent. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,56 @@
+(* One chan per worker (capacity 1: the epoch cadence admits a single
+   in-flight task) and one barrier shared by workers + caller.  The
+   caller never runs tasks itself: with the coordinator parked on the
+   barrier, the OS can give every core to the workers, and the
+   coordinator's own state is quiescent during the parallel phase. *)
+
+type t = {
+  chans : (int -> unit) Chan.t array;
+  barrier : Barrier.t;
+  failure : exn option Atomic.t;
+  mutable workers : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let worker t w =
+  let chan = t.chans.(w) in
+  let rec loop () =
+    match Chan.pop chan with
+    | None -> ()  (* closed and drained: shut down *)
+    | Some f ->
+      (try f w
+       with exn -> ignore (Atomic.compare_and_set t.failure None (Some exn)));
+      Barrier.await t.barrier;
+      loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains <= 0 then invalid_arg "Pool.create: domains <= 0";
+  let t =
+    {
+      chans = Array.init domains (fun _ -> Chan.create ~capacity:1);
+      barrier = Barrier.create ~parties:(domains + 1);
+      failure = Atomic.make None;
+      workers = [||];
+      alive = true;
+    }
+  in
+  t.workers <- Array.init domains (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let size t = Array.length t.chans
+
+let run t f =
+  if not t.alive then invalid_arg "Pool.run: pool is shut down";
+  Atomic.set t.failure None;
+  Array.iter (fun chan -> Chan.push chan f) t.chans;
+  Barrier.await t.barrier;
+  match Atomic.get t.failure with Some exn -> raise exn | None -> ()
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter Chan.close t.chans;
+    Array.iter Domain.join t.workers
+  end

@@ -1,0 +1,33 @@
+(** Fixed pool of worker domains driven in epochs.
+
+    {!create} spawns [domains] workers, each blocked on its own
+    {!Chan}.  {!run} is one epoch: every worker receives the same task
+    function, applies it to its own worker index, and the caller joins
+    the pool at a {!Barrier} — when {!run} returns, every worker has
+    finished and gone back to sleep.  Work partitioning is the caller's
+    contract (the broker pins shard [i] to worker [i mod domains]), so
+    the per-worker work — and therefore everything each worker mutates —
+    is identical from run to run regardless of scheduling.
+
+    Tasks run on worker domains: they must only touch state the caller
+    partitioned to that worker.  An exception in a task is caught on
+    the worker (the epoch still completes for everyone) and re-raised
+    from {!run} on the caller — the first one wins when several workers
+    fail in the same epoch. *)
+
+type t
+
+(** Spawn the workers.  Raises [Invalid_argument] when [domains <= 0]. *)
+val create : domains:int -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** [run t f] executes [f w] on worker [w] for every [w] in
+    [0 .. size-1], blocking until all are done.  Raises the first
+    worker exception, if any.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+val run : t -> (int -> unit) -> unit
+
+(** Close every channel and join the worker domains.  Idempotent. *)
+val shutdown : t -> unit

@@ -2,10 +2,13 @@
    Generated names use a [%] -free but unparseable-by-accident prefix to
    avoid capturing user identifiers. *)
 
-let counter = ref 0
+(* Atomic: broker shards may re-optimize concurrently on separate
+   domains.  Names stay unique process-wide either way; nothing
+   measurable depends on the numbering (generated names never reach
+   stats, traces, or reports). *)
+let counter = Atomic.make 0
 
-let reset () = counter := 0
+let reset () = Atomic.set counter 0
 
 let var prefix =
-  incr counter;
-  Printf.sprintf "%s__%d" prefix !counter
+  Printf.sprintf "%s__%d" prefix (Atomic.fetch_and_add counter 1 + 1)

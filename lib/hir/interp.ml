@@ -38,12 +38,15 @@ let max_call_depth = 2_000
 
 exception Call_depth_exceeded
 
-let call_depth = ref 0
+(* Domain-local: call depth tracks one execution stack, and broker
+   shards interpret handlers on separate domains concurrently. *)
+let call_depth = Domain.DLS.new_key (fun () -> ref 0)
 
 let with_call_depth f =
-  if !call_depth >= max_call_depth then raise Call_depth_exceeded;
-  incr call_depth;
-  Fun.protect ~finally:(fun () -> decr call_depth) f
+  let depth = Domain.DLS.get call_depth in
+  if !depth >= max_call_depth then raise Call_depth_exceeded;
+  incr depth;
+  Fun.protect ~finally:(fun () -> decr depth) f
 
 type frame = {
   env : (string, Value.t) Hashtbl.t;

@@ -29,4 +29,6 @@ let () =
       ("apps", Test_apps.suite);
       ("guards", Test_guard.suite);
       ("broker", Test_broker.suite);
+      ("exec", Test_exec.suite);
+      ("parallel", Test_parallel.suite);
     ]
