@@ -475,6 +475,12 @@ module Bjson = struct
     boptimized : int;
     bgeneric : int;
     bfallbacks : int;
+    bfailures : int;
+    brequeued : int;
+    bquarantined : int;
+    btrips : int;
+    bdropped : int;
+    bdecode : int;
     belapsed : int;
   }
 
@@ -499,13 +505,19 @@ module Bjson = struct
       boptimized = s.Bk.Loadgen.optimized;
       bgeneric = s.Bk.Loadgen.generic;
       bfallbacks = s.Bk.Loadgen.fallbacks;
+      bfailures = s.Bk.Loadgen.failures;
+      brequeued = s.Bk.Loadgen.requeued;
+      bquarantined = s.Bk.Loadgen.quarantined;
+      btrips = s.Bk.Loadgen.breaker_trips;
+      bdropped = s.Bk.Loadgen.link_dropped;
+      bdecode = s.Bk.Loadgen.decode_failures;
       belapsed = s.Bk.Loadgen.elapsed;
     }
 
   let write path =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v1\",\n";
+    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v2\",\n";
     Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
     Buffer.add_string b "  \"entries\": [\n";
     let n = List.length !entries in
@@ -516,10 +528,13 @@ module Bjson = struct
            \"domains\": %d, \"sessions\": %d, \"ops\": %d, \"wall_ns\": %Ld, \
            \"busy\": %d, \"makespan\": %d, \"dispatched\": %d, \"shed\": %d, \
            \"optimized\": %d, \"generic\": %d, \"fallbacks\": %d, \
+           \"failures\": %d, \"requeued\": %d, \"quarantined\": %d, \
+           \"breaker_trips\": %d, \"link_dropped\": %d, \"decode_failures\": %d, \
            \"elapsed\": %d}%s\n"
           e.bsection e.bkind e.bmode e.bshards e.bdomains e.bsessions e.bops
           e.bwall_ns e.bbusy e.bmakespan e.bdispatched e.bshed e.boptimized
-          e.bgeneric e.bfallbacks e.belapsed
+          e.bgeneric e.bfallbacks e.bfailures e.brequeued e.bquarantined
+          e.btrips e.bdropped e.bdecode e.belapsed
           (if i = n - 1 then "" else ","))
       (List.rev !entries);
     Buffer.add_string b "  ]\n}\n";
@@ -773,6 +788,73 @@ let broker_par ?(quick = false) () =
      routing step, so even an overloaded run is bit-identical at every@. \
      domain count)@."
 
+(* --- Broker: deterministic fault injection ------------------------------- *)
+
+let broker_faults ?(quick = false) () =
+  section
+    "Broker: fault injection (seeded crash/spike/drop plans, SecComm steady \
+     state)";
+  let profile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = (if quick then 8 else 16);
+      ops = (if quick then 8 else 20);
+      interval = 120;
+      spread = 31;
+    }
+  in
+  let shards = 2 in
+  Fmt.pr "%6s | %10s %8s %8s %5s %5s | %12s %12s %6s | %s@." "crash%"
+    "dispatched" "failed" "requeued" "quar" "trips" "cost gen" "cost opt" "(%)"
+    "deterministic";
+  List.iter
+    (fun crash_permille ->
+      (* crashes dominate; spikes at half the rate, a sprinkle of wire
+         drops — all from the same seeded plan *)
+      let spec =
+        {
+          Podopt_faults.Plan.none with
+          Podopt_faults.Plan.seed = 7L;
+          crash_permille;
+          spike_permille = crash_permille / 2;
+          drop_permille = crash_permille / 20;
+        }
+      in
+      let tweak c = { c with Bk.Broker.faults = spec } in
+      let g, _ =
+        run_broker ~bsection:"broker-faults" ~kind:Bk.Workload.Seccomm ~shards
+          ~domains:1 ~optimize:false ~profile ~warmup_ops:12 ~tweak ()
+      in
+      let o, _ =
+        run_broker ~bsection:"broker-faults" ~kind:Bk.Workload.Seccomm ~shards
+          ~domains:1 ~optimize:true ~profile ~warmup_ops:12 ~tweak ()
+      in
+      (* faulty runs obey the same law as clean ones: the virtual summary
+         must not depend on the domain count *)
+      let o2, _ =
+        run_broker ~bsection:"broker-faults" ~kind:Bk.Workload.Seccomm ~shards
+          ~domains:2 ~optimize:true ~profile ~warmup_ops:12 ~tweak ()
+      in
+      let deterministic = o = o2 in
+      Fmt.pr "%6.1f | %10d %8d %8d %5d %5d | %12d %12d %6.1f | %s@."
+        (float_of_int crash_permille /. 10.0)
+        o.Bk.Loadgen.dispatched o.Bk.Loadgen.failures o.Bk.Loadgen.requeued
+        o.Bk.Loadgen.quarantined o.Bk.Loadgen.breaker_trips g.Bk.Loadgen.busy
+        o.Bk.Loadgen.busy
+        (pct (float_of_int o.Bk.Loadgen.busy) (float_of_int g.Bk.Loadgen.busy))
+        (if deterministic then "yes" else "NO — BUG");
+      if not deterministic then
+        Fmt.epr "broker-faults: crash=%d diverged across domain counts@."
+          crash_permille)
+    (if quick then [ 0; 200 ] else [ 0; 10; 50; 200 ]);
+  Fmt.pr
+    "@.(every fault is drawn from a per-kind, per-shard seeded PRNG stream, so@. \
+     a fault scenario replays bit-identically at any domain count.  Failed ops@. \
+     are isolated at the dispatch boundary and retried; after 3 consecutive@. \
+     failures an op is quarantined to the shard's dead-letter queue.  When@. \
+     the optimized path's fault rate trips the circuit breaker the shard@. \
+     falls back to generic dispatch and re-optimizes after the cool-down)@."
+
 (* --- Bechamel wall-clock suite ------------------------------------------ *)
 
 let bechamel () =
@@ -842,7 +924,8 @@ let all_tables () =
   speculate ();
   defer ();
   configs ();
-  broker ()
+  broker ();
+  broker_faults ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (( <> ) "--") in
@@ -873,6 +956,7 @@ let () =
         | "configs" -> configs ()
         | "broker" -> broker ~quick ()
         | "broker-par" -> broker_par ~quick ()
+        | "broker-faults" -> broker_faults ~quick ()
         | "bechamel" -> bechamel ()
         | "tables" -> all_tables ()
         | other ->

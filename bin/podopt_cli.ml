@@ -136,7 +136,7 @@ let optimize app threshold strategy spec =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup domains =
+    policy seed generic warmup domains faults =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -164,6 +164,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       optimize = not generic;
       seed = Int64.of_int seed;
       domains;
+      faults;
     }
   in
   let broker = B.Broker.create cfg in
@@ -185,12 +186,13 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
   in
   Fmt.pr
     "serving %s: %d sessions -> %d shards (batch %d, queue limit %d, policy %s, \
-     %s, seed %d, domains %d)@.@."
+     %s, seed %d, domains %d, faults %s)@.@."
     (B.Workload.kind_to_string kind)
     sessions shards batch queue_limit
     (B.Policy.shed_to_string policy)
     (if generic then "generic" else "optimized")
-    seed domains;
+    seed domains
+    (Podopt.Faults.to_string faults);
   Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
   0
 
@@ -366,6 +368,21 @@ let serve_cmd =
     Arg.(value & opt policy_conv B.Policy.Drop_newest & info [ "policy" ] ~docv:"P"
            ~doc:"Shed policy when an ingress queue is full: newest or oldest.")
   in
+  let faults_conv =
+    Arg.conv
+      ( (fun s ->
+          match Podopt.Faults.of_string s with
+          | Ok spec -> Ok spec
+          | Error msg -> Error (`Msg msg)),
+        fun ppf spec -> Fmt.string ppf (Podopt.Faults.to_string spec) )
+  in
+  let faults_arg =
+    Arg.(value & opt faults_conv Podopt.Faults.none & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault plan: comma-separated key=value pairs \
+                 with keys seed (stream seed), crash, spike (optionally \
+                 rate:cost), corrupt, drop (permille rates, 0..1000); \
+                 'none' disables. Example: seed=7,crash=200,drop=5.")
+  in
   let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc) in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
@@ -385,7 +402,8 @@ let serve_cmd =
       $ intopt "warmup" 12 "Warm-up ops per session before measurement."
       $ intopt "domains" 1
           "Worker domains draining the shards in parallel (1 = sequential; \
-           results are identical at any domain count).")
+           results are identical at any domain count)."
+      $ faults_arg)
 
 let trace_cmd =
   let doc = "Profile an application and save the trace to a file." in

@@ -1,0 +1,42 @@
+Fault injection is seed-driven: with a fixed --faults spec every
+crash, latency spike, wire corruption, and link drop lands on the same
+packet in every run, so the whole faulty table is pinned here.  Failed
+ops are isolated at the dispatch boundary and retried; the counters
+show up per shard and in the summary's faults line.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --faults seed=9,crash=200,spike=100:4000,drop=20
+  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
+  
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
+      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     574140
+      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      5     0     0 |     574140
+  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      5     0     0 |    1148280
+  front: 0 link-dropped, 0 decode-failed
+  
+  clients: 30 sent, 0 retries, 0 nacks, 0 gave up
+  totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1148280 units (makespan 574140, elapsed 1100)
+  faults: 5 failures, 5 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+
+A faulty parallel run replays the sequential one byte-for-byte: only
+the domains field of the header changes.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --faults seed=9,crash=200,spike=100:4000,drop=20 --domains 2
+  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
+  
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
+      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     574140
+      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      5     0     0 |     574140
+  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      5     0     0 |    1148280
+  front: 0 link-dropped, 0 decode-failed
+  
+  clients: 30 sent, 0 retries, 0 nacks, 0 gave up
+  totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1148280 units (makespan 574140, elapsed 1100)
+  faults: 5 failures, 5 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+
+A malformed spec is rejected with a usage error before anything runs.
+
+  $ ../bin/podopt_cli.exe serve seccomm --faults crash=2000 2>&1 | head -2
+  podopt: option '--faults': crash=2000 out of range (permille, 0..1000)
+  Usage: podopt serve [OPTION]… WORKLOAD

@@ -4,15 +4,17 @@ per-shard adaptive optimization.  After the warm-up installs
 super-handlers, the steady phase rides the optimized path end to end.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7
-  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 1)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |     562140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |     562140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
+      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
+      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
+  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0 |    1124280
+  front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
   totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1124280 units (makespan 562140, elapsed 1100)
+  faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
 
 Overload: a tiny ingress queue (2) drained one op at a time forces the
 broker to shed per Drop_oldest; clients retry with backoff until every
@@ -21,15 +23,17 @@ op lands.  No crash, and the shed counts show up in the table.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 \
   >   --queue-limit 2 --batch 1 --interval 60 --policy oldest --seed 7 \
   >   --generic --warmup 0
-  serving seccomm: 6 sessions -> 2 shards (batch 1, queue limit 2, policy oldest, generic, seed 7, domains 1)
+  serving seccomm: 6 sessions -> 2 shards (batch 1, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% |       busy
-      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |     616650
-      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |     616650
-  total |        6       53     23 |      30         30 |         0      120       0    0.0 |    1233300
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
+      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |      0     0     0 |     616650
+      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |      0     0     0 |     616650
+  total |        6       53     23 |      30         30 |         0      120       0    0.0 |      0     0     0 |    1233300
+  front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
   totals: 30 dispatched, 23 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
+  faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
 
 
 Parallel drain: --domains 2 runs the two shards on worker domains.
@@ -38,12 +42,14 @@ number identical to the sequential run above — only the header and the
 wall clock change.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2
-  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 2)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |     562140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |     562140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
+      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
+      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
+  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0 |    1124280
+  front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
   totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1124280 units (makespan 562140, elapsed 1100)
+  faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed

@@ -1,5 +1,6 @@
 open Podopt_eventsys
 module Packet = Podopt_net.Packet
+module Plan = Podopt_faults.Plan
 module V = Podopt_hir.Value
 
 type config = {
@@ -12,6 +13,7 @@ type config = {
   seed : int64;
   tick : int;
   domains : int;
+  faults : Plan.spec;
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     seed = 42L;
     tick = 50;
     domains = 1;
+    faults = Plan.none;
   }
 
 let deliver_event = "BrokerIngress"
@@ -38,6 +41,9 @@ type t = {
   nacks : (string, int -> int -> unit) Hashtbl.t;
   session_shard : (string, int) Hashtbl.t;
   mutable routed : int;
+  front_faults : Plan.t option;      (* salt 0: wire faults before decode *)
+  mutable link_dropped : int;
+  mutable decode_failures : int;
 }
 
 let config t = t.cfg
@@ -73,8 +79,9 @@ let create (cfg : config) =
   front.Runtime.emit_log_enabled <- false;
   let shards =
     Array.init cfg.shards (fun id ->
-        Shard.create ~id ~kind:cfg.kind ~optimize:cfg.optimize
-          ~queue_limit:cfg.queue_limit ~policy:cfg.policy)
+        Shard.create ~faults:cfg.faults ~id ~kind:cfg.kind
+          ~optimize:cfg.optimize ~queue_limit:cfg.queue_limit
+          ~policy:cfg.policy ())
   in
   (* the pool spawns after the shards exist: shard construction installs
      HIR primitives and parses programs on the coordinator, so workers
@@ -94,15 +101,36 @@ let create (cfg : config) =
       nacks = Hashtbl.create 64;
       session_shard = Hashtbl.create 64;
       routed = 0;
+      front_faults =
+        (if Plan.enabled cfg.faults then Some (Plan.create ~salt:0 cfg.faults)
+         else None);
+      link_dropped = 0;
+      decode_failures = 0;
     }
   in
   Runtime.bind front ~event:deliver_event
     (Handler.native "broker_route" (fun _host args ->
          match args with
          | [ V.Bytes b ] ->
-           (match Packet.decode b with
-            | pkt -> route t pkt
-            | exception Packet.Decode_error -> ())
+           (* Exactly one draw per packet from each wire-fault stream,
+              whether or not the other fault fires: a drop-rate change
+              never shifts which packets the corrupt stream picks. *)
+           let dropped, b =
+             match t.front_faults with
+             | None -> (false, b)
+             | Some inj ->
+               let dropped = Plan.drop inj in
+               let b =
+                 match Plan.corrupt inj b with Some b' -> b' | None -> b
+               in
+               (dropped, b)
+           in
+           if dropped then t.link_dropped <- t.link_dropped + 1
+           else (
+             match Packet.decode b with
+             | pkt -> route t pkt
+             | exception Packet.Decode_error ->
+               t.decode_failures <- t.decode_failures + 1)
          | _ -> ()));
   t
 
@@ -144,9 +172,13 @@ let idle t =
   && Array.for_all (fun s -> Ingress.length s.Shard.ingress = 0) t.shards
 
 let routed t = t.routed
+let link_dropped t = t.link_dropped
+let decode_failures t = t.decode_failures
 let force_reoptimize t = Array.iter (fun s -> ignore (Shard.force_reoptimize s)) t.shards
 
 let reset_measurements t =
   t.routed <- 0;
+  t.link_dropped <- 0;
+  t.decode_failures <- 0;
   Hashtbl.reset t.session_shard;
   Array.iter Shard.reset_measurements t.shards

@@ -35,11 +35,15 @@ type config = {
   seed : int64;          (** base seed for session links *)
   tick : int;            (** virtual units per simulation step *)
   domains : int;         (** drain lanes; 1 = sequential (no pool) *)
+  faults : Podopt_faults.Plan.spec;
+      (** deterministic fault plan; the front injector (salt 0) applies
+          drops and wire corruption before decode, each shard's injector
+          (salt id+1) applies crashes and latency spikes at dispatch *)
 }
 
 val default_config : config
 (** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
-    optimized, seed 42, tick 50, 1 domain. *)
+    optimized, seed 42, tick 50, 1 domain, no faults. *)
 
 type t
 
@@ -91,6 +95,13 @@ val idle : t -> bool
 
 (** Packets routed since the last reset. *)
 val routed : t -> int
+
+(** Packets the fault plan dropped at the front (before decode). *)
+val link_dropped : t -> int
+
+(** Wire buffers that failed to decode (e.g. corrupted by the fault
+    plan); each is counted, never silently swallowed. *)
+val decode_failures : t -> int
 
 (** Force adaptive analysis on shards with nothing installed yet (the
     end-of-warm-up hook). *)

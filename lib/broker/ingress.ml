@@ -56,6 +56,16 @@ let offer t ~now pkt =
        | None -> (* limit >= 1 makes this unreachable *) Shed pkt)
   end
 
+(* Re-entry for a packet the shard already accepted once (failure
+   retry, dead-letter re-drain): no offered/accepted/shed accounting,
+   and no limit check — the packet's admission was already paid for.
+   [due] should be the shard clock so fresh arrivals (due = broker
+   time, far smaller) keep draining first. *)
+let requeue t ~due pkt =
+  Equeue.push t.q ~due pkt;
+  if Equeue.length t.q > t.stats.high_water then
+    t.stats.high_water <- Equeue.length t.q
+
 let drain t ~max =
   let rec go n acc =
     if n >= max then List.rev acc

@@ -33,6 +33,12 @@ type outcome =
 (** Offer a packet that arrived at virtual time [now]. *)
 val offer : t -> now:int -> Packet.t -> outcome
 
+(** Re-enqueue a packet the shard already accepted once (failure retry
+    or dead-letter re-drain).  Skips the offered/accepted/shed counters
+    and the limit check; pass the shard clock as [due] so retried
+    packets sort after fresh arrivals (whose due is broker time). *)
+val requeue : t -> due:int -> Packet.t -> unit
+
 (** Remove and return up to [max] packets in arrival order. *)
 val drain : t -> max:int -> Packet.t list
 

@@ -24,6 +24,12 @@ type summary = {
   optimized : int;
   generic : int;
   fallbacks : int;
+  failures : int;
+  requeued : int;
+  quarantined : int;
+  breaker_trips : int;
+  link_dropped : int;
+  decode_failures : int;
   busy : int;
   makespan : int;
   elapsed : int;
@@ -70,6 +76,12 @@ let summarize broker sessions ~elapsed =
     optimized = sum Shard.optimized_dispatches;
     generic = sum Shard.generic_dispatches;
     fallbacks = sum Shard.fallbacks;
+    failures = sum Shard.handler_failures;
+    requeued = sum (fun s -> s.Shard.stats.Shard.requeued);
+    quarantined = sum (fun s -> s.Shard.stats.Shard.quarantined);
+    breaker_trips = sum Shard.breaker_trips;
+    link_dropped = Broker.link_dropped broker;
+    decode_failures = Broker.decode_failures broker;
     busy = sum Shard.busy;
     makespan = maxi Shard.busy;
     elapsed;

@@ -29,6 +29,12 @@ type summary = {
   optimized : int;
   generic : int;
   fallbacks : int;
+  failures : int;       (** handler failures isolated across shards *)
+  requeued : int;       (** failed ops put back for retry *)
+  quarantined : int;    (** ops moved to dead-letter queues *)
+  breaker_trips : int;  (** optimizer circuit-breaker trips *)
+  link_dropped : int;   (** packets the fault plan dropped at the front *)
+  decode_failures : int;(** wire buffers that failed to decode *)
   busy : int;      (** total handler-time units across shards *)
   makespan : int;  (** the busiest shard's handler time — the parallel
                        completion-time proxy *)

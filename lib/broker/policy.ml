@@ -21,5 +21,12 @@ type backoff = {
 let default_backoff = { base = 100; factor = 2; cap = 2_000; max_retries = 4 }
 
 let delay b ~attempt =
+  if attempt < 1 then
+    invalid_arg (Printf.sprintf "Policy.delay: attempt %d < 1" attempt);
   let rec grow d n = if n <= 1 || d >= b.cap then d else grow (d * b.factor) (n - 1) in
   min b.cap (grow b.base attempt)
+
+let exhausted b ~attempt =
+  if attempt < 1 then
+    invalid_arg (Printf.sprintf "Policy.exhausted: attempt %d < 1" attempt);
+  attempt > b.max_retries

@@ -22,5 +22,11 @@ type backoff = {
 
 val default_backoff : backoff
 
-(** Delay before retry number [attempt] (1-based). *)
+(** Delay before retry number [attempt] (1-based; [Invalid_argument]
+    below 1). *)
 val delay : backoff -> attempt:int -> int
+
+(** Whether rejection number [attempt] (1-based; [Invalid_argument]
+    below 1) exceeds the schedule — the single definition of "give up",
+    so callers never open-code a [max_retries] comparison. *)
+val exhausted : backoff -> attempt:int -> bool

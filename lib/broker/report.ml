@@ -7,14 +7,16 @@ let pct opt generic =
 
 let pp_table ppf broker =
   let shards = Broker.shards broker in
-  Fmt.pf ppf "%5s | %8s %8s %6s | %7s %10s | %9s %8s %7s %6s | %10s@." "shard"
-    "sessions" "ingress" "shed" "batches" "dispatched" "optimized" "generic"
-    "fallbk" "opt%" "busy";
+  Fmt.pf ppf
+    "%5s | %8s %8s %6s | %7s %10s | %9s %8s %7s %6s | %6s %5s %5s | %10s@."
+    "shard" "sessions" "ingress" "shed" "batches" "dispatched" "optimized"
+    "generic" "fallbk" "opt%" "failed" "quar" "trips" "busy";
   let row label ~sessions ~ingress ~shed ~batches ~dispatched ~optimized ~generic
-      ~fallbacks ~busy =
-    Fmt.pf ppf "%5s | %8d %8d %6d | %7d %10d | %9d %8d %7d %6.1f | %10d@." label
-      sessions ingress shed batches dispatched optimized generic fallbacks
-      (pct optimized generic) busy
+      ~fallbacks ~failures ~quarantined ~trips ~busy =
+    Fmt.pf ppf
+      "%5s | %8d %8d %6d | %7d %10d | %9d %8d %7d %6.1f | %6d %5d %5d | %10d@."
+      label sessions ingress shed batches dispatched optimized generic fallbacks
+      (pct optimized generic) failures quarantined trips busy
   in
   Array.iter
     (fun (s : Shard.t) ->
@@ -25,7 +27,9 @@ let pp_table ppf broker =
         ~dispatched:s.Shard.stats.Shard.dispatched
         ~optimized:(Shard.optimized_dispatches s)
         ~generic:(Shard.generic_dispatches s) ~fallbacks:(Shard.fallbacks s)
-        ~busy:(Shard.busy s))
+        ~failures:(Shard.handler_failures s)
+        ~quarantined:s.Shard.stats.Shard.quarantined
+        ~trips:(Shard.breaker_trips s) ~busy:(Shard.busy s))
     shards;
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
   row "total"
@@ -36,7 +40,13 @@ let pp_table ppf broker =
     ~dispatched:(sum (fun s -> s.Shard.stats.Shard.dispatched))
     ~optimized:(sum Shard.optimized_dispatches)
     ~generic:(sum Shard.generic_dispatches)
-    ~fallbacks:(sum Shard.fallbacks) ~busy:(sum Shard.busy)
+    ~fallbacks:(sum Shard.fallbacks)
+    ~failures:(sum Shard.handler_failures)
+    ~quarantined:(sum (fun s -> s.Shard.stats.Shard.quarantined))
+    ~trips:(sum Shard.breaker_trips) ~busy:(sum Shard.busy);
+  Fmt.pf ppf "front: %d link-dropped, %d decode-failed@."
+    (Broker.link_dropped broker)
+    (Broker.decode_failures broker)
 
 (* One line per shard from Shard.snapshot — the record the parallel
    determinism suite compares, printed for diffable diagnostics. *)
@@ -48,7 +58,11 @@ let pp_snapshots ppf broker =
 let pp_summary ppf (s : Loadgen.summary) =
   Fmt.pf ppf
     "clients: %d sent, %d retries, %d nacks, %d gave up@.totals: %d dispatched, \
-     %d shed, opt-path %.1f%%, handler time %d units (makespan %d, elapsed %d)@."
+     %d shed, opt-path %.1f%%, handler time %d units (makespan %d, elapsed %d)@.\
+     faults: %d failures, %d requeued, %d quarantined, %d breaker trips, %d \
+     link-dropped, %d decode-failed@."
     s.Loadgen.sent s.Loadgen.retries s.Loadgen.nacks s.Loadgen.gave_up
     s.Loadgen.dispatched s.Loadgen.shed (Loadgen.opt_pct s) s.Loadgen.busy
-    s.Loadgen.makespan s.Loadgen.elapsed
+    s.Loadgen.makespan s.Loadgen.elapsed s.Loadgen.failures s.Loadgen.requeued
+    s.Loadgen.quarantined s.Loadgen.breaker_trips s.Loadgen.link_dropped
+    s.Loadgen.decode_failures

@@ -3,6 +3,9 @@
     (every number is virtual / counter state, so the output is
     reproducible bit-for-bit and safe to assert in cram tests). *)
 
+(** Per-shard rows + totals, then a [front:] line with the wire-fault
+    counters (link drops and decode failures happen before routing, so
+    they belong to the broker front, not any shard). *)
 val pp_table : Format.formatter -> Broker.t -> unit
 
 (** One {!Shard.snapshot} line per shard — the exact state the
@@ -10,5 +13,5 @@ val pp_table : Format.formatter -> Broker.t -> unit
     run against its sequential twin. *)
 val pp_snapshots : Format.formatter -> Broker.t -> unit
 
-(** One-line run summary (clients + totals). *)
+(** Run summary: clients, totals, and the fault/robustness line. *)
 val pp_summary : Format.formatter -> Loadgen.summary -> unit

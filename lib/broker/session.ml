@@ -74,7 +74,7 @@ let nack t ~seq ~now =
     1 + (match Hashtbl.find_opt t.attempts seq with Some a -> a | None -> 0)
   in
   Hashtbl.replace t.attempts seq attempt;
-  if attempt > t.backoff.Policy.max_retries then
+  if Policy.exhausted t.backoff ~attempt then
     t.stats.gave_up <- t.stats.gave_up + 1
   else
     Equeue.push t.retryq ~due:(now + Policy.delay t.backoff ~attempt) seq

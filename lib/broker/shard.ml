@@ -1,9 +1,15 @@
 open Podopt_eventsys
 open Podopt_optimize
+module Plan = Podopt_faults.Plan
+module Packet = Podopt_net.Packet
 
 type stats = {
   mutable batches : int;
   mutable dispatched : int;
+  mutable failures : int;
+  mutable requeued : int;
+  mutable quarantined : int;
+  mutable dead_dropped : int;
 }
 
 type t = {
@@ -12,15 +18,32 @@ type t = {
   rt : Runtime.t;
   ingress : Ingress.t;
   adaptive : Adaptive.t option;
+  breaker : Breaker.t option;
   stats : stats;
   mutable sessions : int;
+  mutable faults : Plan.t option;
+  max_failures : int;
+  dead_limit : int;
+  retry : (string * int, int) Hashtbl.t;
+  dead : Packet.t Queue.t;
 }
 
-let create ~id ~kind ~optimize ~queue_limit ~policy =
+let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
+    ~optimize ~queue_limit ~policy () =
+  if max_failures < 1 then invalid_arg "Shard.create: max_failures < 1";
+  if dead_limit < 1 then invalid_arg "Shard.create: dead_limit < 1";
   let rt = Workload.runtime kind in
+  (* one hostile handler must not abort the drain loop *)
+  rt.Runtime.isolate_failures <- true;
   let adaptive =
     if optimize then Some (Adaptive.create ~policy:(Workload.adaptive_policy kind) rt)
     else None
+  in
+  let breaker =
+    match (optimize, breaker) with
+    | true, Some policy -> Some (Breaker.create ~policy ())
+    | true, None -> Some (Breaker.create ())
+    | false, _ -> None
   in
   {
     id;
@@ -28,24 +51,131 @@ let create ~id ~kind ~optimize ~queue_limit ~policy =
     rt;
     ingress = Ingress.create ~limit:queue_limit ~policy;
     adaptive;
-    stats = { batches = 0; dispatched = 0 };
+    breaker;
+    stats =
+      {
+        batches = 0;
+        dispatched = 0;
+        failures = 0;
+        requeued = 0;
+        quarantined = 0;
+        dead_dropped = 0;
+      };
     sessions = 0;
+    faults =
+      (match faults with
+       | Some spec when Plan.enabled spec ->
+         (* salt id+1: the broker front owns salt 0 *)
+         Some (Plan.create ~salt:(id + 1) spec)
+       | _ -> None);
+    max_failures;
+    dead_limit;
+    retry = Hashtbl.create 64;
+    dead = Queue.create ();
   }
 
+let set_faults t spec =
+  t.faults <-
+    (match spec with
+     | Some s when Plan.enabled s -> Some (Plan.create ~salt:(t.id + 1) s)
+     | _ -> None)
+
 let offer t ~now pkt = Ingress.offer t.ingress ~now pkt
+
+let retry_key (p : Packet.t) = (p.Packet.src, p.Packet.seq)
+
+(* Dispatch one op behind the isolation boundary.  Returns true when the
+   op completed without a handler failure (injected or real).  Injected
+   crashes surface through the same counter as real ones so the
+   snapshot, the breaker, and the quarantine logic see a single failure
+   stream. *)
+let dispatch_one t (p : Packet.t) =
+  let rt = t.rt in
+  let st = rt.Runtime.stats in
+  let before = st.Runtime.handler_failures in
+  (try
+     (match t.faults with
+      | Some inj ->
+        (match Plan.spike inj with
+         | Some cost ->
+           (* latency spike: inflate the op's virtual cost and attribute
+              it to handler time, where a slow handler would charge it *)
+           Runtime.charge rt cost;
+           rt.Runtime.handler_time <- rt.Runtime.handler_time + cost
+         | None -> ());
+        if Plan.crash inj then raise Plan.Injected_failure
+      | None -> ());
+     Workload.dispatch t.kind rt p.Packet.payload
+   with _ ->
+     (* injected crash, or an exception from native workload code
+        outside the runtime's own isolation (e.g. decoding a corrupted
+        payload): count it like any handler failure *)
+     st.Runtime.handler_failures <- st.Runtime.handler_failures + 1);
+  st.Runtime.handler_failures = before
+
+let quarantine t pkt =
+  t.stats.quarantined <- t.stats.quarantined + 1;
+  if Queue.length t.dead >= t.dead_limit then begin
+    ignore (Queue.pop t.dead);
+    t.stats.dead_dropped <- t.stats.dead_dropped + 1
+  end;
+  Queue.push pkt t.dead
+
+let note_failure t (p : Packet.t) =
+  t.stats.failures <- t.stats.failures + 1;
+  let key = retry_key p in
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.retry key) in
+  if count >= t.max_failures then begin
+    Hashtbl.remove t.retry key;
+    quarantine t p
+  end
+  else begin
+    Hashtbl.replace t.retry key count;
+    t.stats.requeued <- t.stats.requeued + 1;
+    Ingress.requeue t.ingress ~due:(Runtime.now t.rt) p
+  end
+
+let fallbacks t =
+  t.rt.Runtime.stats.Runtime.fallbacks + t.rt.Runtime.stats.Runtime.segment_fallbacks
 
 let drain_batch t ~batch =
   match Ingress.drain t.ingress ~max:batch with
   | [] -> 0
   | pkts ->
     t.stats.batches <- t.stats.batches + 1;
+    let failures0 = t.rt.Runtime.stats.Runtime.handler_failures in
+    let fallbacks0 = fallbacks t in
     List.iter
-      (fun (p : Podopt_net.Packet.t) ->
-        Workload.dispatch t.kind t.rt p.Podopt_net.Packet.payload;
-        t.stats.dispatched <- t.stats.dispatched + 1)
+      (fun (p : Packet.t) ->
+        if dispatch_one t p then begin
+          Hashtbl.remove t.retry (retry_key p);
+          t.stats.dispatched <- t.stats.dispatched + 1
+        end
+        else note_failure t p)
       pkts;
-    (match t.adaptive with Some a -> ignore (Adaptive.tick a) | None -> ());
-    List.length pkts
+    let events = List.length pkts in
+    let faults =
+      t.rt.Runtime.stats.Runtime.handler_failures - failures0
+      + (fallbacks t - fallbacks0)
+    in
+    (match t.adaptive with
+     | None -> ()
+     | Some a -> (
+       let installed = Runtime.optimized_events t.rt <> [] in
+       match t.breaker with
+       | Some b when installed || Breaker.is_open b -> (
+         match Breaker.observe b ~events ~faults with
+         | Breaker.Tripped ->
+           (* revert to generic dispatch for the cool-down *)
+           Runtime.uninstall_all t.rt;
+           Runtime.clear_speculation t.rt
+         | Breaker.Cooling -> ()
+         | Breaker.Ok | Breaker.Recovered ->
+           (* Recovered leaves nothing installed, so the controller's
+              next re-optimization check takes over from here *)
+           ignore (Adaptive.tick a))
+       | _ -> ignore (Adaptive.tick a)));
+    events
 
 let force_reoptimize t =
   match t.adaptive with
@@ -54,6 +184,19 @@ let force_reoptimize t =
   | _ -> false
 
 let busy t = Runtime.total_handler_time t.rt
+let dead_letters t = List.of_seq (Queue.to_seq t.dead)
+
+let redrain_dead t =
+  let n = Queue.length t.dead in
+  while not (Queue.is_empty t.dead) do
+    let pkt = Queue.pop t.dead in
+    Hashtbl.remove t.retry (retry_key pkt);
+    Ingress.requeue t.ingress ~due:(Runtime.now t.rt) pkt
+  done;
+  n
+
+let breaker_open t = match t.breaker with Some b -> Breaker.is_open b | None -> false
+let breaker_trips t = match t.breaker with Some b -> Breaker.trips b | None -> 0
 
 type snapshot = {
   snap_id : int;
@@ -66,6 +209,11 @@ type snapshot = {
   snap_optimized : int;
   snap_generic : int;
   snap_fallbacks : int;
+  snap_handler_failures : int;
+  snap_requeued : int;
+  snap_quarantined : int;
+  snap_dead_dropped : int;
+  snap_breaker_trips : int;
   snap_busy : int;
   snap_clock : int;
 }
@@ -73,15 +221,17 @@ type snapshot = {
 let pp_snapshot ppf s =
   Fmt.pf ppf
     "shard %d: sessions %d, offered %d, accepted %d, shed %d, batches %d, \
-     dispatched %d, optimized %d, generic %d, fallbacks %d, busy %d, clock %d"
+     dispatched %d, optimized %d, generic %d, fallbacks %d, failures %d, \
+     requeued %d, quarantined %d, dead-dropped %d, breaker-trips %d, busy %d, \
+     clock %d"
     s.snap_id s.snap_sessions s.snap_offered s.snap_accepted s.snap_shed
     s.snap_batches s.snap_dispatched s.snap_optimized s.snap_generic
-    s.snap_fallbacks s.snap_busy s.snap_clock
+    s.snap_fallbacks s.snap_handler_failures s.snap_requeued s.snap_quarantined
+    s.snap_dead_dropped s.snap_breaker_trips s.snap_busy s.snap_clock
+
 let optimized_dispatches t = t.rt.Runtime.stats.Runtime.optimized_dispatches
 let generic_dispatches t = t.rt.Runtime.stats.Runtime.generic_dispatches
-
-let fallbacks t =
-  t.rt.Runtime.stats.Runtime.fallbacks + t.rt.Runtime.stats.Runtime.segment_fallbacks
+let handler_failures t = t.rt.Runtime.stats.Runtime.handler_failures
 
 let snapshot t =
   let ist = Ingress.stats t.ingress in
@@ -96,6 +246,11 @@ let snapshot t =
     snap_optimized = optimized_dispatches t;
     snap_generic = generic_dispatches t;
     snap_fallbacks = fallbacks t;
+    snap_handler_failures = handler_failures t;
+    snap_requeued = t.stats.requeued;
+    snap_quarantined = t.stats.quarantined;
+    snap_dead_dropped = t.stats.dead_dropped;
+    snap_breaker_trips = breaker_trips t;
     snap_busy = busy t;
     snap_clock = Runtime.now t.rt;
   }
@@ -105,4 +260,9 @@ let reset_measurements t =
   Ingress.reset_stats t.ingress;
   t.stats.batches <- 0;
   t.stats.dispatched <- 0;
+  t.stats.failures <- 0;
+  t.stats.requeued <- 0;
+  t.stats.quarantined <- 0;
+  t.stats.dead_dropped <- 0;
+  (match t.breaker with Some b -> Breaker.reset_measurements b | None -> ());
   t.sessions <- 0

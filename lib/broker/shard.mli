@@ -5,14 +5,37 @@
     Shards never share state, so N shards dispatch N batches of events
     with no locking between them; the broker routes every packet of a
     session to the same shard (see {!Shard_map}), which is what makes
-    the isolation safe. *)
+    the isolation safe.
+
+    {2 Fault tolerance}
+
+    The shard runtime runs with
+    {!Podopt_eventsys.Runtime.t.isolate_failures} on: an exception
+    escaping handler code is counted, not propagated, so one hostile
+    handler (or an injected crash from a {!Podopt_faults.Plan}) cannot
+    abort a drain loop.  A failed op is retried — requeued behind fresh
+    arrivals — until it fails [max_failures] consecutive times, at which
+    point it is quarantined into a bounded per-shard dead-letter queue
+    (inspect with {!dead_letters}, put back with {!redrain_dead}; when
+    full, the oldest dead packet is dropped).  A success resets the op's
+    consecutive-failure count.
+
+    Optimizing shards also carry a {!Podopt_optimize.Breaker}: when the
+    optimized path's fault rate (guard fallbacks + handler failures)
+    trips it, the shard uninstalls its super-handlers and serves generic
+    dispatch for the cool-down, after which the adaptive controller may
+    re-optimize from the live trace. *)
 
 open Podopt_eventsys
 open Podopt_net
 
 type stats = {
   mutable batches : int;      (** non-empty batch drains *)
-  mutable dispatched : int;   (** ops replayed into the runtime *)
+  mutable dispatched : int;   (** ops replayed successfully *)
+  mutable failures : int;     (** op attempts ending in a handler failure *)
+  mutable requeued : int;     (** failed ops put back for retry *)
+  mutable quarantined : int;  (** ops moved to the dead-letter queue *)
+  mutable dead_dropped : int; (** dead ops evicted by the queue bound *)
 }
 
 type t = {
@@ -21,21 +44,39 @@ type t = {
   rt : Runtime.t;
   ingress : Ingress.t;
   adaptive : Podopt_optimize.Adaptive.t option;  (** [None] = generic shard *)
+  breaker : Podopt_optimize.Breaker.t option;    (** optimizing shards only *)
   stats : stats;
   mutable sessions : int;  (** distinct sessions routed here *)
+  mutable faults : Podopt_faults.Plan.t option;
+  max_failures : int;  (** consecutive failures before quarantine *)
+  dead_limit : int;    (** dead-letter queue bound *)
+  retry : (string * int, int) Hashtbl.t;
+      (** (src, seq) -> consecutive failures so far *)
+  dead : Packet.t Queue.t;
 }
 
-(** [optimize] enables continuous tracing plus the adaptive controller;
-    a generic shard pays no tracing and never installs super-handlers. *)
+(** [optimize] enables continuous tracing plus the adaptive controller
+    (and a circuit breaker — pass [?breaker] to override its policy); a
+    generic shard pays no tracing and never installs super-handlers.
+    [?faults] installs an injector derived with salt [id + 1] (the
+    broker front owns salt 0). *)
 val create :
-  id:int -> kind:Workload.kind -> optimize:bool -> queue_limit:int ->
-  policy:Policy.shed -> t
+  ?faults:Podopt_faults.Plan.spec -> ?max_failures:int -> ?dead_limit:int ->
+  ?breaker:Podopt_optimize.Breaker.policy -> id:int -> kind:Workload.kind ->
+  optimize:bool -> queue_limit:int -> policy:Policy.shed -> unit -> t
+
+(** Replace (or with [None] / a disabled spec, remove) the shard's fault
+    injector; streams restart from the spec's seed. *)
+val set_faults : t -> Podopt_faults.Plan.spec option -> unit
 
 val offer : t -> now:int -> Packet.t -> Ingress.outcome
 
-(** Drain up to [batch] ingress packets and dispatch each; ticks the
-    adaptive controller once per non-empty batch.  Returns how many
-    ops were dispatched. *)
+(** Drain up to [batch] ingress packets and dispatch each behind the
+    isolation boundary; failed ops are retried or quarantined as
+    described above.  Feeds the batch's (events, faults) sample to the
+    breaker when super-handlers are installed, and ticks the adaptive
+    controller once per non-empty batch unless the breaker is open.
+    Returns how many ops were drained (including failed attempts). *)
 val drain_batch : t -> batch:int -> int
 
 (** Run the adaptive analysis now if nothing is installed yet (used
@@ -49,12 +90,29 @@ val optimized_dispatches : t -> int
 val generic_dispatches : t -> int
 val fallbacks : t -> int
 
+(** Handler failures isolated at this shard's dispatch boundary
+    (injected crashes included). *)
+val handler_failures : t -> int
+
+(** The dead-letter queue, oldest first (a copy; the queue is not
+    touched). *)
+val dead_letters : t -> Packet.t list
+
+(** Move every dead-letter packet back into the ingress queue with a
+    fresh consecutive-failure count; returns how many.  Typical use:
+    clear the fault plan, then re-drain. *)
+val redrain_dead : t -> int
+
+val breaker_open : t -> bool
+val breaker_trips : t -> int
+
 (** An immutable copy of every per-shard observable: ingress accounting,
-    batch/dispatch counters, dispatch-path split, fallbacks, handler
-    time, and the shard runtime's final virtual clock.  Two runs of the
-    same configuration are equivalent iff their snapshot arrays are
-    structurally equal — this is what the parallel-determinism suite
-    compares between [domains = 1] and [domains = N]. *)
+    batch/dispatch counters, dispatch-path split, fallbacks, failure and
+    quarantine accounting, breaker trips, handler time, and the shard
+    runtime's final virtual clock.  Two runs of the same configuration
+    are equivalent iff their snapshot arrays are structurally equal —
+    this is what the parallel-determinism suite compares between
+    [domains = 1] and [domains = N], fault plans included. *)
 type snapshot = {
   snap_id : int;
   snap_sessions : int;
@@ -66,6 +124,11 @@ type snapshot = {
   snap_optimized : int;
   snap_generic : int;
   snap_fallbacks : int;
+  snap_handler_failures : int;
+  snap_requeued : int;
+  snap_quarantined : int;
+  snap_dead_dropped : int;
+  snap_breaker_trips : int;
   snap_busy : int;
   snap_clock : int;
 }
@@ -73,6 +136,8 @@ type snapshot = {
 val snapshot : t -> snapshot
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
-(** Reset runtime measurements, ingress stats, shard counters, and the
-    session count (the steady-state measurement boundary). *)
+(** Reset runtime measurements, ingress stats, shard counters, breaker
+    trip counts, and the session count (the steady-state measurement
+    boundary).  The breaker's open/closed position and the retry table
+    survive — in-flight state is not measurement. *)
 val reset_measurements : t -> unit

@@ -22,7 +22,9 @@
    - {!Plan}, {!Superhandler}, {!Chain_merge}, {!Guard}, {!Speculate},
      {!Driver}: the optimizer.
    - {!Broker}, {!Shard_map}, {!Ingress}, {!Session}, {!Loadgen},
-     {!Broker_report}: the sharded, backpressured event-serving layer. *)
+     {!Broker_report}: the sharded, backpressured event-serving layer.
+   - {!Faults}, {!Breaker}: deterministic fault injection and the
+     optimizer circuit breaker (the robustness layer). *)
 
 (* HIR *)
 module Value = Podopt_hir.Value
@@ -75,7 +77,11 @@ module Guard = Podopt_optimize.Guard
 module Speculate = Podopt_optimize.Speculate
 module Defer = Podopt_optimize.Defer
 module Adaptive = Podopt_optimize.Adaptive
+module Breaker = Podopt_optimize.Breaker
 module Driver = Podopt_optimize.Driver
+
+(* Fault injection (deterministic, seed-driven) *)
+module Faults = Podopt_faults.Plan
 
 (* Multicore execution (the domain pool the parallel broker drains on) *)
 module Exec_chan = Podopt_exec.Chan

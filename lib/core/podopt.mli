@@ -66,7 +66,18 @@ module Guard = Podopt_optimize.Guard
 module Speculate = Podopt_optimize.Speculate
 module Defer = Podopt_optimize.Defer
 module Adaptive = Podopt_optimize.Adaptive
+module Breaker = Podopt_optimize.Breaker
 module Driver = Podopt_optimize.Driver
+
+(** {1 Fault injection}
+
+    Deterministic, seed-driven fault plans ([lib/faults]): handler
+    crashes, latency spikes, wire corruption, and link drops, each on
+    an independent PRNG stream so scenarios replay byte-identically at
+    any domain count.  {!Breaker} is the matching optimizer circuit
+    breaker. *)
+
+module Faults = Podopt_faults.Plan
 
 (** {1 Multicore execution}
 

@@ -70,6 +70,7 @@ type stats = {
   mutable marshal_bytes : int;
   mutable deferred_pairs : int;     (* deferral consumed by a pair body *)
   mutable deferred_flushes : int;   (* deferral flushed alone *)
+  mutable handler_failures : int;   (* exceptions isolated at dispatch *)
 }
 
 type t = {
@@ -99,6 +100,10 @@ type t = {
      being captured. *)
   mutable capture : (int * int * Value.t list option ref) option;
   mutable deferred : (Event.t * Value.t list * deferred_entry) option;
+  (* with isolation on, an exception escaping handler code is caught at
+     the dispatch boundary (counted in stats.handler_failures) instead
+     of unwinding the caller's loop; Prim.Halt_event stays control flow *)
+  mutable isolate_failures : bool;
 }
 
 let create ?(costs = Costs.default) ?(program = []) () =
@@ -132,9 +137,11 @@ let create ?(costs = Costs.default) ?(program = []) () =
         marshal_bytes = 0;
         deferred_pairs = 0;
         deferred_flushes = 0;
+        handler_failures = 0;
       };
     capture = None;
     deferred = None;
+    isolate_failures = false;
   }
 
 let charge t units = Vclock.advance t.clock units
@@ -240,12 +247,27 @@ and compiled_host t : Interp.host =
     work = (fun w -> charge t w);
   }
 
+and note_failure t = t.stats.handler_failures <- t.stats.handler_failures + 1
+
+(* Run a compiled super-handler body.  Halt_event is control flow; any
+   other exception is isolated (counted, swallowed) when the runtime is
+   in isolation mode, so one hostile handler cannot unwind the caller's
+   drain loop. *)
+and run_compiled t compiled args =
+  try ignore (compiled (compiled_host t) args) with
+  | Prim.Halt_event -> ()
+  | _ when t.isolate_failures -> note_failure t
+
 and run_handler t (ev : Event.t) (h : Handler.t) args =
   Trace.record_handler_begin t.trace ~event:ev.Event.name ~handler:h.Handler.name
     ~time:(now t) ~depth:t.depth;
-  (match h.Handler.code with
-   | Handler.Native f -> f (interp_host t) args
-   | Handler.Hir proc -> ignore (Interp.run ~host:(interp_host t) t.program proc args));
+  (try
+     match h.Handler.code with
+     | Handler.Native f -> f (interp_host t) args
+     | Handler.Hir proc -> ignore (Interp.run ~host:(interp_host t) t.program proc args)
+   with
+   | Prim.Halt_event as e -> raise e  (* stops this event's remaining handlers *)
+   | _ when t.isolate_failures -> note_failure t);
   Trace.record_handler_end t.trace ~event:ev.Event.name ~handler:h.Handler.name
     ~time:(now t) ~depth:t.depth
 
@@ -308,8 +330,7 @@ and run_partitioned t segments args =
        | None -> ());
       (if Registry.version t.registry seg.seg_event = seg.seg_version then begin
          charge t t.costs.direct_call;
-         try ignore (seg.seg_compiled (compiled_host t) (pad_args seg.seg_arity args))
-         with Prim.Halt_event -> ()
+         run_compiled t seg.seg_compiled (pad_args seg.seg_arity args)
        end
        else begin
          t.stats.segment_fallbacks <- t.stats.segment_fallbacks + 1;
@@ -344,14 +365,12 @@ and resolve_deferred t (ev : Event.t) args : bool =
        t.stats.optimized_dispatches <- t.stats.optimized_dispatches + 1;
        charge t (t.costs.guard_check + t.costs.direct_call);
        let combined = pad_args de.def_arity aargs @ pad_args p.pair_arity args in
-       (try ignore (p.pair_compiled (compiled_host t) combined)
-        with Prim.Halt_event -> ());
+       run_compiled t p.pair_compiled combined;
        true
      | _ ->
        t.stats.deferred_flushes <- t.stats.deferred_flushes + 1;
        charge t t.costs.direct_call;
-       (try ignore (de.def_alone (compiled_host t) (pad_args de.def_arity aargs))
-        with Prim.Halt_event -> ());
+       run_compiled t de.def_alone (pad_args de.def_arity aargs);
        false)
 
 and dispatch t (ev : Event.t) args =
@@ -368,8 +387,7 @@ and dispatch t (ev : Event.t) args =
         if guard_ok t entry then begin
           t.stats.optimized_dispatches <- t.stats.optimized_dispatches + 1;
           charge t t.costs.direct_call;
-          try ignore (compiled (compiled_host t) (pad_args entry.arity args))
-          with Prim.Halt_event -> ()
+          run_compiled t compiled (pad_args entry.arity args)
         end
         else begin
           t.stats.fallbacks <- t.stats.fallbacks + 1;
@@ -384,8 +402,7 @@ and dispatch t (ev : Event.t) args =
           (* nested occurrence: run the event's own super-handler now *)
           t.stats.optimized_dispatches <- t.stats.optimized_dispatches + 1;
           charge t t.costs.direct_call;
-          try ignore (de.def_alone (compiled_host t) (pad_args de.def_arity args))
-          with Prim.Halt_event -> ()
+          run_compiled t de.def_alone (pad_args de.def_arity args)
         end
         else begin
           t.stats.fallbacks <- t.stats.fallbacks + 1;
@@ -433,8 +450,7 @@ let flush_deferred t =
     t.depth <- t.depth + 1;
     t.stats.deferred_flushes <- t.stats.deferred_flushes + 1;
     charge t t.costs.direct_call;
-    (try ignore (de.def_alone (compiled_host t) (pad_args de.def_arity aargs))
-     with Prim.Halt_event -> ());
+    run_compiled t de.def_alone (pad_args de.def_arity aargs);
     t.depth <- t.depth - 1;
     let dt = now t - t0 in
     (* the dispatch that deferred already counted the occurrence; only
@@ -562,9 +578,11 @@ let total_handler_time t = t.handler_time
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "dispatches: %d optimized, %d generic, %d fallbacks (+%d segment); speculation \
-     %d/%d hit/miss; deferral %d pairs, %d flushes; %d bytes marshaled"
+     %d/%d hit/miss; deferral %d pairs, %d flushes; %d bytes marshaled; %d handler \
+     failures"
     s.optimized_dispatches s.generic_dispatches s.fallbacks s.segment_fallbacks
     s.spec_hits s.spec_misses s.deferred_pairs s.deferred_flushes s.marshal_bytes
+    s.handler_failures
 
 let reset_measurements t =
   Hashtbl.reset t.event_time;
@@ -578,4 +596,5 @@ let reset_measurements t =
   t.stats.spec_misses <- 0;
   t.stats.marshal_bytes <- 0;
   t.stats.deferred_pairs <- 0;
-  t.stats.deferred_flushes <- 0
+  t.stats.deferred_flushes <- 0;
+  t.stats.handler_failures <- 0

@@ -65,6 +65,9 @@ type stats = {
   mutable marshal_bytes : int;
   mutable deferred_pairs : int;    (** deferral consumed by a pair body *)
   mutable deferred_flushes : int;  (** deferral flushed alone *)
+  mutable handler_failures : int;
+      (** exceptions isolated at the dispatch boundary
+          (only counted with {!t.isolate_failures} on) *)
 }
 
 type t = {
@@ -91,6 +94,13 @@ type t = {
       (** (event id, arming depth, cell) for partitioned-chain tail
           raises; the depth guard excludes raises from nested dispatches *)
   mutable deferred : (Event.t * Value.t list * deferred_entry) option;
+  mutable isolate_failures : bool;
+      (** when on (default off), an exception escaping handler code —
+          interpreted, native, or compiled — is caught at the dispatch
+          boundary and counted in [stats.handler_failures] instead of
+          unwinding the caller; {!Podopt_hir.Prim.Halt_event} keeps its
+          control-flow meaning.  Shards run with isolation on so one
+          hostile handler cannot abort a drain loop. *)
 }
 
 val create : ?costs:Costs.model -> ?program:Ast.program -> unit -> t

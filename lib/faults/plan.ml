@@ -1,0 +1,157 @@
+(* Seeded fault plans.  Each fault kind draws from its own xorshift
+   stream (Podopt_net.Prng) whose seed is splitmix64(base seed, salt,
+   kind index): changing one kind's rate never shifts another kind's
+   decision sequence, and each salt (shard id / broker front) owns a
+   disjoint stream — the same seed discipline the broker's links use,
+   so fault scenarios replay byte-identically at any domain count. *)
+
+module Prng = Podopt_net.Prng
+
+exception Injected_failure
+
+type spec = {
+  seed : int64;
+  crash_permille : int;
+  spike_permille : int;
+  spike_cost : int;
+  corrupt_permille : int;
+  drop_permille : int;
+}
+
+let none =
+  {
+    seed = 1L;
+    crash_permille = 0;
+    spike_permille = 0;
+    spike_cost = 4_000;
+    corrupt_permille = 0;
+    drop_permille = 0;
+  }
+
+let enabled s =
+  s.crash_permille > 0 || s.spike_permille > 0 || s.corrupt_permille > 0
+  || s.drop_permille > 0
+
+(* --- spec grammar ------------------------------------------------------ *)
+
+let permille key v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 && n <= 1000 -> Ok n
+  | Some n -> Error (Printf.sprintf "%s=%d out of range (permille, 0..1000)" key n)
+  | None -> Error (Printf.sprintf "%s=%S is not an integer" key v)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    let rec go acc = function
+      | [] -> Ok acc
+      | field :: rest -> (
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "bad fault field %S (expected key=value)" field)
+        | Some i -> (
+          let key = String.sub field 0 i in
+          let v = String.sub field (i + 1) (String.length field - i - 1) in
+          let ( let* ) = Result.bind in
+          match key with
+          | "seed" -> (
+            match Int64.of_string_opt v with
+            | Some seed -> go { acc with seed } rest
+            | None -> Error (Printf.sprintf "seed=%S is not an integer" v))
+          | "crash" ->
+            let* crash_permille = permille key v in
+            go { acc with crash_permille } rest
+          | "spike" -> (
+            (* spike=RATE or spike=RATE:COST *)
+            let rate, cost =
+              match String.index_opt v ':' with
+              | None -> (v, None)
+              | Some j ->
+                ( String.sub v 0 j,
+                  Some (String.sub v (j + 1) (String.length v - j - 1)) )
+            in
+            let* spike_permille = permille key rate in
+            match cost with
+            | None -> go { acc with spike_permille } rest
+            | Some c -> (
+              match int_of_string_opt c with
+              | Some spike_cost when spike_cost > 0 ->
+                go { acc with spike_permille; spike_cost } rest
+              | _ -> Error (Printf.sprintf "spike cost %S must be a positive integer" c)))
+          | "corrupt" ->
+            let* corrupt_permille = permille key v in
+            go { acc with corrupt_permille } rest
+          | "drop" ->
+            let* drop_permille = permille key v in
+            go { acc with drop_permille } rest
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown fault key %S (expected seed|crash|spike|corrupt|drop)" key)))
+    in
+    go none (String.split_on_char ',' s)
+
+let to_string s =
+  if not (enabled s) then "none"
+  else
+    Printf.sprintf "seed=%Ld,crash=%d,spike=%d:%d,corrupt=%d,drop=%d" s.seed
+      s.crash_permille s.spike_permille s.spike_cost s.corrupt_permille
+      s.drop_permille
+
+(* --- injector ---------------------------------------------------------- *)
+
+type t = {
+  spec : spec;
+  crash_rng : Prng.t;
+  spike_rng : Prng.t;
+  corrupt_rng : Prng.t;
+  drop_rng : Prng.t;
+}
+
+(* splitmix64: one finalization round per derived stream *)
+let mix (z : int64) : int64 =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let stream seed ~salt ~kind =
+  let open Int64 in
+  let z =
+    add seed (mul 0x9E3779B97F4A7C15L (of_int (((salt + 1) * 8) + kind)))
+  in
+  let s = mix z in
+  Prng.create ~seed:(if s = 0L then 1L else s)
+
+let create ?(salt = 0) spec =
+  {
+    spec;
+    crash_rng = stream spec.seed ~salt ~kind:1;
+    spike_rng = stream spec.seed ~salt ~kind:2;
+    corrupt_rng = stream spec.seed ~salt ~kind:3;
+    drop_rng = stream spec.seed ~salt ~kind:4;
+  }
+
+let spec t = t.spec
+let crash t = Prng.bool t.crash_rng ~permille:t.spec.crash_permille
+
+let spike t =
+  if Prng.bool t.spike_rng ~permille:t.spec.spike_permille then
+    Some t.spec.spike_cost
+  else None
+
+let drop t = Prng.bool t.drop_rng ~permille:t.spec.drop_permille
+
+let corrupt t (b : bytes) =
+  if
+    Bytes.length b > 0
+    && Prng.bool t.corrupt_rng ~permille:t.spec.corrupt_permille
+  then begin
+    let b' = Bytes.copy b in
+    let i = Prng.int t.corrupt_rng (Bytes.length b') in
+    (* xor with a non-zero mask so the byte always changes *)
+    let mask = 1 + Prng.int t.corrupt_rng 255 in
+    Bytes.set b' i (Char.chr (Char.code (Bytes.get b' i) lxor mask));
+    Some b'
+  end
+  else None

@@ -1,0 +1,66 @@
+(** Deterministic, seed-driven fault injection.
+
+    A {!spec} describes *what* to inject — handler crashes, handler
+    latency spikes (virtual-time cost inflation), packet corruption
+    before decode, and link-level drops — each as a permille rate.  A
+    {!t} is a live injector: the spec plus one independent PRNG stream
+    per fault kind, derived from [spec.seed] and a caller-chosen salt
+    with a splitmix64 mixer.
+
+    Independent streams mean the decision sequence of one fault kind
+    does not shift when another kind's rate changes, and salting means
+    every shard (and the broker front) draws from its own stream — so a
+    fault scenario replays byte-identically run-to-run and across any
+    domain count, exactly like the broker's seeded links. *)
+
+(** Raised by injected handler crashes; shards catch it at the dispatch
+    boundary like any other handler exception. *)
+exception Injected_failure
+
+type spec = {
+  seed : int64;           (** base seed for every derived stream *)
+  crash_permille : int;   (** handler exception during an op dispatch *)
+  spike_permille : int;   (** handler latency spike during an op *)
+  spike_cost : int;       (** virtual units one spike adds *)
+  corrupt_permille : int; (** flip one wire byte before decode *)
+  drop_permille : int;    (** drop the packet at link delivery *)
+}
+
+(** All rates zero (seed 1): injects nothing. *)
+val none : spec
+
+(** Any rate non-zero? *)
+val enabled : spec -> bool
+
+(** Parse a [--faults] spec: comma-separated [key=value] pairs with
+    keys [seed] (int), [crash]/[spike]/[corrupt]/[drop] (permille,
+    0..1000), and [spike] optionally as [rate:cost].  [""] and ["none"]
+    mean {!none}.  Example: ["seed=7,crash=200,spike=50:4000,drop=5"]. *)
+val of_string : string -> (spec, string) result
+
+(** Canonical round-trippable form of a spec. *)
+val to_string : spec -> string
+
+(** A live injector: spec + per-fault-kind PRNG streams. *)
+type t
+
+(** [create ?salt spec] derives the injector's streams from
+    [spec.seed] and [salt] (use the shard id; the broker front uses the
+    default 0). *)
+val create : ?salt:int -> spec -> t
+
+val spec : t -> spec
+
+(** One crash decision (advances only the crash stream). *)
+val crash : t -> bool
+
+(** One spike decision; [Some cost] when it fires. *)
+val spike : t -> int option
+
+(** One drop decision (the front's link-loss draw). *)
+val drop : t -> bool
+
+(** One corruption decision over the wire bytes; [Some b'] is a copy
+    with one byte deterministically flipped, [None] means intact.  The
+    input is never mutated. *)
+val corrupt : t -> bytes -> bytes option

@@ -21,7 +21,14 @@ exception Decode_error
 
 let decode (b : bytes) : t =
   let open Podopt_hir in
+  (* a corrupted length field makes unmarshal slice out of bounds
+     (Invalid_argument) rather than fail its own format check — any
+     parse failure on wire bytes is the same event: a bad packet *)
   match Value.unmarshal (Bytes.to_string b) with
   | [ Value.Str src; Value.Str dst; Value.Int seq; Value.Bytes payload ] ->
     { src; dst; seq; payload }
-  | _ | (exception Value.Unmarshal_error _) -> raise Decode_error
+  | _
+  | (exception Value.Unmarshal_error _)
+  | (exception Invalid_argument _)
+  | (exception Failure _) ->
+    raise Decode_error

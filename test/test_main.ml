@@ -31,4 +31,5 @@ let () =
       ("broker", Test_broker.suite);
       ("exec", Test_exec.suite);
       ("parallel", Test_parallel.suite);
+      ("faults", Test_faults.suite);
     ]
