@@ -136,7 +136,7 @@ let optimize app threshold strategy spec =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup domains faults =
+    policy seed generic warmup domains faults metrics json =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -184,16 +184,20 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
         in
         B.Loadgen.steady ~warmup_ops:warmup broker profile)
   in
-  Fmt.pr
-    "serving %s: %d sessions -> %d shards (batch %d, queue limit %d, policy %s, \
-     %s, seed %d, domains %d, faults %s)@.@."
-    (B.Workload.kind_to_string kind)
-    sessions shards batch queue_limit
-    (B.Policy.shed_to_string policy)
-    (if generic then "generic" else "optimized")
-    seed domains
-    (Podopt.Faults.to_string faults);
-  Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
+  if json then print_string (B.Report.json ~metrics broker summary)
+  else begin
+    Fmt.pr
+      "serving %s: %d sessions -> %d shards (batch %d, queue limit %d, policy %s, \
+       %s, seed %d, domains %d, faults %s)@.@."
+      (B.Workload.kind_to_string kind)
+      sessions shards batch queue_limit
+      (B.Policy.shed_to_string policy)
+      (if generic then "generic" else "optimized")
+      seed domains
+      (Podopt.Faults.to_string faults);
+    Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
+    if metrics then Fmt.pr "@.%a" B.Report.pp_metrics broker
+  end;
   0
 
 (* --- trace / analyze ------------------------------------------------------ *)
@@ -403,7 +407,15 @@ let serve_cmd =
       $ intopt "domains" 1
           "Worker domains draining the shards in parallel (1 = sequential; \
            results are identical at any domain count)."
-      $ faults_arg)
+      $ faults_arg
+      $ Arg.(value & flag & info [ "metrics" ]
+               ~doc:"Print the latency metrics section: per-shard and total \
+                     queue-wait and service-time percentiles, plus per-event \
+                     dispatch-time distributions.")
+      $ Arg.(value & flag & info [ "json" ]
+               ~doc:"Print the run as a JSON document (schema podopt/serve/v3) \
+                     instead of the tables; deterministic and independent of \
+                     --domains."))
 
 let trace_cmd =
   let doc = "Profile an application and save the trace to a file." in

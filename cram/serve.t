@@ -6,10 +6,10 @@ super-handlers, the steady phase rides the optimized path end to end.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7
   serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
+      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
+  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0     0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -25,16 +25,51 @@ op lands.  No crash, and the shed counts show up in the table.
   >   --generic --warmup 0
   serving seccomm: 6 sessions -> 2 shards (batch 1, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
-      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |      0     0     0 |     616650
-      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |      0     0     0 |     616650
-  total |        6       53     23 |      30         30 |         0      120       0    0.0 |      0     0     0 |    1233300
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
+      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
+  total |        6       53     23 |      30         30 |         0      120       0    0.0 |      0     0     0     0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
   totals: 30 dispatched, 23 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
   faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
 
+
+--metrics appends the latency section: queue wait (front-clock units
+from arrival to drain) and service time (shard-clock units per op,
+optimized vs generic path), p50/p90/p99/max per shard plus the merged
+total, then per-event dispatch-time distributions.  Under the same
+overload the queue waits are nonzero; the generic run has no
+optimized-path samples, so that column prints "-".
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 \
+  >   --queue-limit 2 --batch 1 --interval 60 --policy oldest --seed 7 \
+  >   --generic --warmup 0 --metrics
+  serving seccomm: 6 sessions -> 2 shards (batch 1, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
+  
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
+      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
+  total |        6       53     23 |      30         30 |         0      120       0    0.0 |      0     0     0     0 |    1233300
+  front: 0 link-dropped, 0 decode-failed
+  
+  clients: 30 sent, 23 retries, 23 nacks, 0 gave up
+  totals: 30 dispatched, 23 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
+  faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+  
+  latency percentiles (p50/p90/p99/max, virtual units):
+  shard |                queue-wait |               service-opt |               service-gen
+      0 |                0/50/50/50 |                         - |   41110/41110/41110/41110
+      1 |                0/50/50/50 |                         - |   41110/41110/41110/41110
+  total |                0/50/50/50 |                         - |   41110/41110/41110/41110
+  
+  dispatch time by event (all shards):
+             event |   count |           p50/p90/p99/max
+        SecDeliver |      30 |           737/737/737/737
+         SecNetOut |      30 |           753/753/753/753
+            SecPop |      30 |   20715/20715/20715/20715
+           SecPush |      30 |   20395/20395/20395/20395
 
 Parallel drain: --domains 2 runs the two shards on worker domains.
 Shard-to-worker pinning and the route/drain epoch barrier make every
@@ -44,10 +79,10 @@ wall clock change.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2
   serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar trips |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0 |     562140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
+      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
+  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0     0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up

@@ -143,10 +143,14 @@ let pump t ~until = Runtime.run ~until t.front
    sees the exact batch boundaries and dispatch order of the sequential
    run, and no shard is ever touched by two domains at once. *)
 let drain t =
+  (* the epoch's front clock is captured once on the coordinator, so
+     every shard — sequential or parallel — stamps queue waits against
+     the same [now] *)
+  let now = now t in
   match t.pool with
   | None ->
     Array.fold_left
-      (fun acc s -> acc + Shard.drain_batch s ~batch:t.cfg.batch)
+      (fun acc s -> acc + Shard.drain_batch s ~now ~batch:t.cfg.batch)
       0 t.shards
   | Some pool ->
     let domains = t.cfg.domains and batch = t.cfg.batch in
@@ -154,7 +158,7 @@ let drain t =
         Array.iteri
           (fun i shard ->
             if i mod domains = w then
-              t.drained.(i) <- Shard.drain_batch shard ~batch)
+              t.drained.(i) <- Shard.drain_batch shard ~now ~batch)
           t.shards);
     (* merge in shard-id order on the coordinator *)
     Array.fold_left ( + ) 0 t.drained

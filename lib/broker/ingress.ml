@@ -10,6 +10,8 @@ type stats = {
   mutable accepted : int;
   mutable shed : int;
   mutable high_water : int;
+  mutable requeued : int;
+  mutable requeue_overflow : int;
 }
 
 type t = {
@@ -25,7 +27,15 @@ let create ~limit ~policy =
     limit;
     policy;
     q = Equeue.create ();
-    stats = { offered = 0; accepted = 0; shed = 0; high_water = 0 };
+    stats =
+      {
+        offered = 0;
+        accepted = 0;
+        shed = 0;
+        high_water = 0;
+        requeued = 0;
+        requeue_overflow = 0;
+      };
   }
 
 type outcome = Accepted | Shed of Packet.t
@@ -58,23 +68,32 @@ let offer t ~now pkt =
 
 (* Re-entry for a packet the shard already accepted once (failure
    retry, dead-letter re-drain): no offered/accepted/shed accounting,
-   and no limit check — the packet's admission was already paid for.
-   [due] should be the shard clock so fresh arrivals (due = broker
-   time, far smaller) keep draining first. *)
+   and no limit check — the packet's admission was already paid for,
+   and shedding a retry would silently drop an accepted op.  The cost
+   of that invariant is that a retry storm can push the queue past
+   [limit]; [requeued] / [requeue_overflow] make the excursion visible
+   instead of letting it hide inside high_water.  [due] should be the
+   shard clock so fresh arrivals (due = broker time, far smaller) keep
+   draining first. *)
 let requeue t ~due pkt =
   Equeue.push t.q ~due pkt;
+  t.stats.requeued <- t.stats.requeued + 1;
+  if Equeue.length t.q > t.limit then
+    t.stats.requeue_overflow <- t.stats.requeue_overflow + 1;
   if Equeue.length t.q > t.stats.high_water then
     t.stats.high_water <- Equeue.length t.q
 
-let drain t ~max =
+let drain_timed t ~max =
   let rec go n acc =
     if n >= max then List.rev acc
     else
       match Equeue.pop t.q with
       | None -> List.rev acc
-      | Some (_, pkt) -> go (n + 1) (pkt :: acc)
+      | Some (due, pkt) -> go (n + 1) ((due, pkt) :: acc)
   in
   go 0 []
+
+let drain t ~max = List.map snd (drain_timed t ~max)
 
 let stats t = t.stats
 
@@ -82,4 +101,6 @@ let reset_stats t =
   t.stats.offered <- 0;
   t.stats.accepted <- 0;
   t.stats.shed <- 0;
+  t.stats.requeued <- 0;
+  t.stats.requeue_overflow <- 0;
   t.stats.high_water <- Equeue.length t.q

@@ -18,6 +18,11 @@ type stats = {
                                  later under [Drop_oldest]) *)
   mutable shed : int;        (** packets rejected or evicted *)
   mutable high_water : int;  (** maximum queue length observed *)
+  mutable requeued : int;    (** re-entries through {!requeue} *)
+  mutable requeue_overflow : int;
+      (** requeues that landed while the queue was already at or past
+          [limit] — the admission-free re-entry growing a "bounded"
+          queue beyond its bound (a retry-storm signal) *)
 }
 
 type t
@@ -35,12 +40,20 @@ val offer : t -> now:int -> Packet.t -> outcome
 
 (** Re-enqueue a packet the shard already accepted once (failure retry
     or dead-letter re-drain).  Skips the offered/accepted/shed counters
-    and the limit check; pass the shard clock as [due] so retried
-    packets sort after fresh arrivals (whose due is broker time). *)
+    and the limit check — its admission was already paid for, and a
+    retry must never be shed — but counts into [stats.requeued], and
+    into [stats.requeue_overflow] when the queue was already full.
+    Pass the shard clock as [due] so retried packets sort after fresh
+    arrivals (whose due is broker time). *)
 val requeue : t -> due:int -> Packet.t -> unit
 
 (** Remove and return up to [max] packets in arrival order. *)
 val drain : t -> max:int -> Packet.t list
+
+(** Like {!drain}, also returning each packet's queue entry time (its
+    arrival time for offered packets, the requeue [due] for retries) —
+    what the shard's queue-wait histogram is measured from. *)
+val drain_timed : t -> max:int -> (int * Packet.t) list
 
 val length : t -> int
 val stats : t -> stats

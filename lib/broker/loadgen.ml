@@ -1,4 +1,6 @@
 module Link = Podopt_net.Link
+module Hist = Podopt_obs.Hist
+module Metrics = Podopt_obs.Metrics
 
 type profile = {
   sessions : int;
@@ -11,6 +13,12 @@ type profile = {
 
 let default_profile =
   { sessions = 8; ops = 8; interval = 200; spread = 37; latency = 50; jitter = 0 }
+
+type latency = {
+  queue_wait : Hist.dist;
+  service_opt : Hist.dist;
+  service_gen : Hist.dist;
+}
 
 type summary = {
   sent : int;
@@ -30,6 +38,7 @@ type summary = {
   breaker_trips : int;
   link_dropped : int;
   decode_failures : int;
+  latency : latency;
   busy : int;
   makespan : int;
   elapsed : int;
@@ -37,7 +46,7 @@ type summary = {
 
 let opt_pct s =
   let total = s.optimized + s.generic in
-  if total = 0 then 100.0 else 100.0 *. float_of_int s.optimized /. float_of_int total
+  if total = 0 then 0.0 else 100.0 *. float_of_int s.optimized /. float_of_int total
 
 let make_sessions broker profile =
   let cfg = Broker.config broker in
@@ -82,6 +91,16 @@ let summarize broker sessions ~elapsed =
     breaker_trips = sum Shard.breaker_trips;
     link_dropped = Broker.link_dropped broker;
     decode_failures = Broker.decode_failures broker;
+    latency =
+      (let merged =
+         Metrics.merge_all
+           (Array.to_list (Array.map (fun s -> s.Shard.metrics) shards))
+       in
+       {
+         queue_wait = Hist.dist (Metrics.histogram merged "queue_wait");
+         service_opt = Hist.dist (Metrics.histogram merged "service.optimized");
+         service_gen = Hist.dist (Metrics.histogram merged "service.generic");
+       });
     busy = sum Shard.busy;
     makespan = maxi Shard.busy;
     elapsed;

@@ -17,6 +17,17 @@ type profile = {
 val default_profile : profile
 (** 8 sessions, 8 ops, interval 200, spread 37, latency 50, no jitter. *)
 
+(** Latency percentile summaries from the merged per-shard histograms:
+    queue wait in front-clock units (arrival to drain, fresh arrivals
+    only), service time in shard-clock units per op, split by whether
+    the op took the optimized path.  All-zero when nothing was
+    recorded. *)
+type latency = {
+  queue_wait : Podopt_obs.Hist.dist;
+  service_opt : Podopt_obs.Hist.dist;
+  service_gen : Podopt_obs.Hist.dist;
+}
+
 type summary = {
   sent : int;
   retries : int;
@@ -35,6 +46,7 @@ type summary = {
   breaker_trips : int;  (** optimizer circuit-breaker trips *)
   link_dropped : int;   (** packets the fault plan dropped at the front *)
   decode_failures : int;(** wire buffers that failed to decode *)
+  latency : latency;    (** merged-across-shards latency percentiles *)
   busy : int;      (** total handler-time units across shards *)
   makespan : int;  (** the busiest shard's handler time — the parallel
                        completion-time proxy *)
@@ -42,7 +54,7 @@ type summary = {
 }
 
 (** Fraction of dispatches that took the optimized path, in percent
-    (100 when there were none). *)
+    (0 when there were none — an idle run is not "fully optimized"). *)
 val opt_pct : summary -> float
 
 (** Build the sessions for a profile and register their nack callbacks

@@ -2,6 +2,13 @@ open Podopt_eventsys
 open Podopt_optimize
 module Plan = Podopt_faults.Plan
 module Packet = Podopt_net.Packet
+module Hist = Podopt_obs.Hist
+module Metrics = Podopt_obs.Metrics
+
+(* Histogram names in the shard's metrics registry. *)
+let m_queue_wait = "queue_wait"
+let m_service_opt = "service.optimized"
+let m_service_gen = "service.generic"
 
 type stats = {
   mutable batches : int;
@@ -26,6 +33,7 @@ type t = {
   dead_limit : int;
   retry : (string * int, int) Hashtbl.t;
   dead : Packet.t Queue.t;
+  metrics : Metrics.t;
 }
 
 let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
@@ -35,6 +43,11 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
   let rt = Workload.runtime kind in
   (* one hostile handler must not abort the drain loop *)
   rt.Runtime.isolate_failures <- true;
+  let metrics = Metrics.create () in
+  (* per-event-kind dispatch-time distributions, nested dispatches
+     included; purely observational, so the hook spends no virtual time
+     and determinism is untouched *)
+  Runtime.on_dispatch rt (fun ev dt -> Metrics.observe metrics ("dispatch." ^ ev) dt);
   let adaptive =
     if optimize then Some (Adaptive.create ~policy:(Workload.adaptive_policy kind) rt)
     else None
@@ -72,6 +85,7 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
     dead_limit;
     retry = Hashtbl.create 64;
     dead = Queue.create ();
+    metrics;
   }
 
 let set_faults t spec =
@@ -93,6 +107,8 @@ let dispatch_one t (p : Packet.t) =
   let rt = t.rt in
   let st = rt.Runtime.stats in
   let before = st.Runtime.handler_failures in
+  let t0 = Runtime.now rt in
+  let opt0 = st.Runtime.optimized_dispatches in
   (try
      (match t.faults with
       | Some inj ->
@@ -106,12 +122,32 @@ let dispatch_one t (p : Packet.t) =
         if Plan.crash inj then raise Plan.Injected_failure
       | None -> ());
      Workload.dispatch t.kind rt p.Packet.payload
-   with _ ->
+   with
+   | Out_of_memory | Stack_overflow | Assert_failure _ as e ->
+     (* fatal process conditions are not handler failures: a retry
+        cannot repair them, so they propagate out of the drain loop *)
+     raise e
+   | _ ->
      (* injected crash, or an exception from native workload code
         outside the runtime's own isolation (e.g. decoding a corrupted
         payload): count it like any handler failure *)
      st.Runtime.handler_failures <- st.Runtime.handler_failures + 1);
-  st.Runtime.handler_failures = before
+  (* service time: the op's whole virtual cost on the shard clock,
+     injected spikes included.  An op that took at least one optimized
+     dispatch is attributed to the optimized path.  Only successful
+     attempts are observed — a crashed attempt is not a served op, and
+     its (often zero) cost would drag the percentiles down; failures
+     are accounted in the failure counters instead. *)
+  let ok = st.Runtime.handler_failures = before in
+  if ok then begin
+    let cost = Runtime.now rt - t0 in
+    let path =
+      if st.Runtime.optimized_dispatches > opt0 then m_service_opt
+      else m_service_gen
+    in
+    Metrics.observe t.metrics path cost
+  end;
+  ok
 
 let quarantine t pkt =
   t.stats.quarantined <- t.stats.quarantined + 1;
@@ -138,15 +174,20 @@ let note_failure t (p : Packet.t) =
 let fallbacks t =
   t.rt.Runtime.stats.Runtime.fallbacks + t.rt.Runtime.stats.Runtime.segment_fallbacks
 
-let drain_batch t ~batch =
-  match Ingress.drain t.ingress ~max:batch with
+let drain_batch t ~now ~batch =
+  match Ingress.drain_timed t.ingress ~max:batch with
   | [] -> 0
   | pkts ->
     t.stats.batches <- t.stats.batches + 1;
     let failures0 = t.rt.Runtime.stats.Runtime.handler_failures in
     let fallbacks0 = fallbacks t in
     List.iter
-      (fun (p : Packet.t) ->
+      (fun ((due, p) : int * Packet.t) ->
+        (* queue wait on the front clock, fresh arrivals only: a retry's
+           due is the shard clock, a different timebase (and its wait is
+           back-pressure policy, not arrival-to-drain latency) *)
+        if not (Hashtbl.mem t.retry (retry_key p)) then
+          Metrics.observe t.metrics m_queue_wait (max 0 (now - due));
         if dispatch_one t p then begin
           Hashtbl.remove t.retry (retry_key p);
           t.stats.dispatched <- t.stats.dispatched + 1
@@ -211,27 +252,37 @@ type snapshot = {
   snap_fallbacks : int;
   snap_handler_failures : int;
   snap_requeued : int;
+  snap_requeue_overflow : int;
   snap_quarantined : int;
   snap_dead_dropped : int;
   snap_breaker_trips : int;
   snap_busy : int;
   snap_clock : int;
+  snap_queue_wait : Hist.dist;
+  snap_service_opt : Hist.dist;
+  snap_service_gen : Hist.dist;
 }
 
 let pp_snapshot ppf s =
   Fmt.pf ppf
     "shard %d: sessions %d, offered %d, accepted %d, shed %d, batches %d, \
      dispatched %d, optimized %d, generic %d, fallbacks %d, failures %d, \
-     requeued %d, quarantined %d, dead-dropped %d, breaker-trips %d, busy %d, \
-     clock %d"
+     requeued %d, requeue-overflow %d, quarantined %d, dead-dropped %d, \
+     breaker-trips %d, busy %d, clock %d, qwait %a, svc-opt %a, svc-gen %a"
     s.snap_id s.snap_sessions s.snap_offered s.snap_accepted s.snap_shed
     s.snap_batches s.snap_dispatched s.snap_optimized s.snap_generic
-    s.snap_fallbacks s.snap_handler_failures s.snap_requeued s.snap_quarantined
-    s.snap_dead_dropped s.snap_breaker_trips s.snap_busy s.snap_clock
+    s.snap_fallbacks s.snap_handler_failures s.snap_requeued
+    s.snap_requeue_overflow s.snap_quarantined s.snap_dead_dropped
+    s.snap_breaker_trips s.snap_busy s.snap_clock Hist.pp_dist s.snap_queue_wait
+    Hist.pp_dist s.snap_service_opt Hist.pp_dist s.snap_service_gen
 
 let optimized_dispatches t = t.rt.Runtime.stats.Runtime.optimized_dispatches
 let generic_dispatches t = t.rt.Runtime.stats.Runtime.generic_dispatches
 let handler_failures t = t.rt.Runtime.stats.Runtime.handler_failures
+let metrics t = t.metrics
+let queue_wait t = Metrics.histogram t.metrics m_queue_wait
+let service_opt t = Metrics.histogram t.metrics m_service_opt
+let service_gen t = Metrics.histogram t.metrics m_service_gen
 
 let snapshot t =
   let ist = Ingress.stats t.ingress in
@@ -248,11 +299,15 @@ let snapshot t =
     snap_fallbacks = fallbacks t;
     snap_handler_failures = handler_failures t;
     snap_requeued = t.stats.requeued;
+    snap_requeue_overflow = ist.Ingress.requeue_overflow;
     snap_quarantined = t.stats.quarantined;
     snap_dead_dropped = t.stats.dead_dropped;
     snap_breaker_trips = breaker_trips t;
     snap_busy = busy t;
     snap_clock = Runtime.now t.rt;
+    snap_queue_wait = Hist.dist (queue_wait t);
+    snap_service_opt = Hist.dist (service_opt t);
+    snap_service_gen = Hist.dist (service_gen t);
   }
 
 let reset_measurements t =
@@ -264,5 +319,11 @@ let reset_measurements t =
   t.stats.requeued <- 0;
   t.stats.quarantined <- 0;
   t.stats.dead_dropped <- 0;
+  (* in-flight failure state is measurement too: a warm-up failure must
+     not count toward a measured quarantine, and a post-reset snapshot
+     must not show dead letters it no longer accounts for *)
+  Hashtbl.reset t.retry;
+  Queue.clear t.dead;
+  Metrics.reset t.metrics;
   (match t.breaker with Some b -> Breaker.reset_measurements b | None -> ());
   t.sessions <- 0

@@ -53,6 +53,10 @@ type t = {
   retry : (string * int, int) Hashtbl.t;
       (** (src, seq) -> consecutive failures so far *)
   dead : Packet.t Queue.t;
+  metrics : Podopt_obs.Metrics.t;
+      (** per-shard deterministic metrics: [queue_wait],
+          [service.optimized] / [service.generic] per-op cost, and one
+          [dispatch.<Event>] histogram per event kind *)
 }
 
 (** [optimize] enables continuous tracing plus the adaptive controller
@@ -73,11 +77,15 @@ val offer : t -> now:int -> Packet.t -> Ingress.outcome
 
 (** Drain up to [batch] ingress packets and dispatch each behind the
     isolation boundary; failed ops are retried or quarantined as
-    described above.  Feeds the batch's (events, faults) sample to the
-    breaker when super-handlers are installed, and ticks the adaptive
-    controller once per non-empty batch unless the breaker is open.
-    Returns how many ops were drained (including failed attempts). *)
-val drain_batch : t -> batch:int -> int
+    described above.  [now] is the front (broker) clock at the start of
+    the drain epoch: each fresh arrival records [now - arrival] into the
+    shard's queue-wait histogram (retries are excluded — their due is
+    the shard clock, a different timebase).  Feeds the batch's (events,
+    faults) sample to the breaker when super-handlers are installed, and
+    ticks the adaptive controller once per non-empty batch unless the
+    breaker is open.  Returns how many ops were drained (including
+    failed attempts). *)
+val drain_batch : t -> now:int -> batch:int -> int
 
 (** Run the adaptive analysis now if nothing is installed yet (used
     after a warm-up phase); true when super-handlers were installed. *)
@@ -91,8 +99,23 @@ val generic_dispatches : t -> int
 val fallbacks : t -> int
 
 (** Handler failures isolated at this shard's dispatch boundary
-    (injected crashes included). *)
+    (injected crashes included).  Fatal process conditions
+    ([Out_of_memory], [Stack_overflow], [Assert_failure]) are never
+    isolated here — they propagate out of {!drain_batch}. *)
 val handler_failures : t -> int
+
+(** The shard's metrics registry (see the [metrics] field). *)
+val metrics : t -> Podopt_obs.Metrics.t
+
+(** Queue-wait histogram: front-clock units from arrival to drain,
+    fresh arrivals only. *)
+val queue_wait : t -> Podopt_obs.Hist.t
+
+(** Per-op service-time histograms on the shard clock, split by
+    whether the op took at least one optimized dispatch. *)
+val service_opt : t -> Podopt_obs.Hist.t
+
+val service_gen : t -> Podopt_obs.Hist.t
 
 (** The dead-letter queue, oldest first (a copy; the queue is not
     touched). *)
@@ -126,18 +149,26 @@ type snapshot = {
   snap_fallbacks : int;
   snap_handler_failures : int;
   snap_requeued : int;
+  snap_requeue_overflow : int;
   snap_quarantined : int;
   snap_dead_dropped : int;
   snap_breaker_trips : int;
   snap_busy : int;
   snap_clock : int;
+  snap_queue_wait : Podopt_obs.Hist.dist;
+  snap_service_opt : Podopt_obs.Hist.dist;
+  snap_service_gen : Podopt_obs.Hist.dist;
 }
 
 val snapshot : t -> snapshot
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
-(** Reset runtime measurements, ingress stats, shard counters, breaker
-    trip counts, and the session count (the steady-state measurement
-    boundary).  The breaker's open/closed position and the retry table
-    survive — in-flight state is not measurement. *)
+(** Reset runtime measurements, ingress stats, shard counters, metrics
+    histograms, breaker trip counts, the retry table, the dead-letter
+    queue, and the session count (the steady-state measurement
+    boundary).  Clearing the retry table and dead queue keeps failure
+    accounting consistent across the boundary: a warm-up failure can
+    no longer push a measured op straight into quarantine, and a
+    post-reset snapshot never shows dead letters with [quarantined =
+    0].  Only the breaker's open/closed position survives. *)
 val reset_measurements : t -> unit

@@ -85,6 +85,7 @@ type t = {
   mutable emit_log : (string * Value.t list) list;  (* reversed *)
   mutable emit_log_enabled : bool;  (* benches disable retention *)
   mutable emit_hook : (string -> Value.t list -> unit) option;
+  mutable dispatch_hook : (string -> int -> unit) option;
   opt_entries : (int, opt_entry) Hashtbl.t;
   spec_table : (int, Event.t) Hashtbl.t;  (* A -> predicted next B *)
   mutable prefetched : (int * Handler.t list) option;
@@ -119,6 +120,7 @@ let create ?(costs = Costs.default) ?(program = []) () =
     emit_log = [];
     emit_log_enabled = true;
     emit_hook = None;
+    dispatch_hook = None;
     opt_entries = Hashtbl.create 16;
     spec_table = Hashtbl.create 8;
     prefetched = None;
@@ -179,6 +181,7 @@ let emit t tag args =
 let emits t = List.rev t.emit_log
 let clear_emits t = t.emit_log <- []
 let on_emit t f = t.emit_hook <- Some f
+let on_dispatch t f = t.dispatch_hook <- Some f
 
 (* --- Binding API ------------------------------------------------------ *)
 
@@ -194,6 +197,13 @@ let handlers t name = Registry.handlers t.registry (event t name)
 let binding_version t name = Registry.version t.registry (event t name)
 
 (* --- Hosts ------------------------------------------------------------ *)
+
+(* Conditions that must never be converted into an isolated "handler
+   failure": the process state behind them (heap exhaustion, blown
+   stack, violated invariant) is not something a retry can repair. *)
+let fatal_exn = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ -> true
+  | _ -> false
 
 (* Declared early so the interp/compiled hosts can raise events. *)
 (* An event *occurs* when its handlers run: synchronous raises are traced
@@ -256,7 +266,7 @@ and note_failure t = t.stats.handler_failures <- t.stats.handler_failures + 1
 and run_compiled t compiled args =
   try ignore (compiled (compiled_host t) args) with
   | Prim.Halt_event -> ()
-  | _ when t.isolate_failures -> note_failure t
+  | e when t.isolate_failures && not (fatal_exn e) -> note_failure t
 
 and run_handler t (ev : Event.t) (h : Handler.t) args =
   Trace.record_handler_begin t.trace ~event:ev.Event.name ~handler:h.Handler.name
@@ -267,7 +277,7 @@ and run_handler t (ev : Event.t) (h : Handler.t) args =
      | Handler.Hir proc -> ignore (Interp.run ~host:(interp_host t) t.program proc args)
    with
    | Prim.Halt_event as e -> raise e  (* stops this event's remaining handlers *)
-   | _ when t.isolate_failures -> note_failure t);
+   | e when t.isolate_failures && not (fatal_exn e) -> note_failure t);
   Trace.record_handler_end t.trace ~event:ev.Event.name ~handler:h.Handler.name
     ~time:(now t) ~depth:t.depth
 
@@ -425,6 +435,7 @@ and dispatch t (ev : Event.t) args =
     (dt + Option.value ~default:0 (Hashtbl.find_opt t.event_time ev.Event.id));
   Hashtbl.replace t.event_count ev.Event.id
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.event_count ev.Event.id));
+  (match t.dispatch_hook with Some f -> f ev.Event.name dt | None -> ());
   if outermost then t.handler_time <- t.handler_time + dt
 
 (* --- Public raise / scheduler ---------------------------------------- *)
@@ -457,6 +468,7 @@ let flush_deferred t =
        the processing time is attributed here *)
     Hashtbl.replace t.event_time aev.Event.id
       (dt + Option.value ~default:0 (Hashtbl.find_opt t.event_time aev.Event.id));
+    (match t.dispatch_hook with Some f -> f aev.Event.name dt | None -> ());
     if outermost then t.handler_time <- t.handler_time + dt;
     true
 

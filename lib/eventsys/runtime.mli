@@ -82,6 +82,9 @@ type t = {
   mutable emit_log : (string * Value.t list) list;
   mutable emit_log_enabled : bool;  (** benches disable retention *)
   mutable emit_hook : (string -> Value.t list -> unit) option;
+  mutable dispatch_hook : (string -> int -> unit) option;
+      (** called after every completed dispatch with the event name and
+          its processing cost in virtual units (see {!on_dispatch}) *)
   opt_entries : (int, opt_entry) Hashtbl.t;
   spec_table : (int, Event.t) Hashtbl.t;
   mutable prefetched : (int * Handler.t list) option;
@@ -99,8 +102,11 @@ type t = {
           interpreted, native, or compiled — is caught at the dispatch
           boundary and counted in [stats.handler_failures] instead of
           unwinding the caller; {!Podopt_hir.Prim.Halt_event} keeps its
-          control-flow meaning.  Shards run with isolation on so one
-          hostile handler cannot abort a drain loop. *)
+          control-flow meaning, and fatal conditions ([Out_of_memory],
+          [Stack_overflow], [Assert_failure]) are never isolated — they
+          propagate even with isolation on, since no retry can repair
+          the process state behind them.  Shards run with isolation on
+          so one hostile handler cannot abort a drain loop. *)
 }
 
 val create : ?costs:Costs.model -> ?program:Ast.program -> unit -> t
@@ -139,6 +145,14 @@ val emits : t -> (string * Value.t list) list
 
 val clear_emits : t -> unit
 val on_emit : t -> (string -> Value.t list -> unit) -> unit
+
+(** [on_dispatch t f] installs [f] as the dispatch hook: after each
+    dispatch completes (including nested dispatches and deferred-event
+    flushes), [f event_name cost] is called with the virtual units the
+    dispatch consumed.  Same shape as {!on_emit}: one hook, replaced by
+    the next call.  The hook itself must not raise and must not consume
+    virtual time if determinism matters to the caller. *)
+val on_dispatch : t -> (string -> int -> unit) -> unit
 
 (** {1 Bindings} *)
 

@@ -1,0 +1,112 @@
+(* Fixed power-of-two buckets: bucket 0 = {0}, bucket i = [2^(i-1),
+   2^i - 1].  63 buckets cover every non-negative OCaml int, so two
+   histograms always share boundaries and merge is plain array
+   addition — the property the broker's domain-count determinism
+   rests on. *)
+
+let buckets = 63
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable max : int;
+}
+
+let create () = { counts = Array.make buckets 0; count = 0; sum = 0; max = 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v <> 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    min !b (buckets - 1)
+  end
+
+let upper_bound i = if i <= 0 then 0 else (1 lsl i) - 1
+
+let observe t v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max
+let mean t = if t.count = 0 then 0 else t.sum / t.count
+let bucket_count t i = t.counts.(i)
+
+let nonzero t =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) <> 0 then acc := (i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let percentile t p =
+  if p < 0 || p > 100 then invalid_arg "Hist.percentile: p out of 0..100";
+  if t.count = 0 then 0
+  else begin
+    (* rank of the requested observation, 1-based, ceiling *)
+    let rank = Stdlib.max 1 (((p * t.count) + 99) / 100) in
+    let b = ref 0 and seen = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         seen := !seen + t.counts.(i);
+         if !seen >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Stdlib.min (upper_bound !b) t.max
+  end
+
+type dist = { p50 : int; p90 : int; p99 : int; max : int }
+
+let dist t =
+  {
+    p50 = percentile t 50;
+    p90 = percentile t 90;
+    p99 = percentile t 99;
+    max = t.max;
+  }
+
+let pp_dist ppf d = Fmt.pf ppf "%d/%d/%d/%d" d.p50 d.p90 d.p99 d.max
+
+let merge_into ~dst src =
+  for i = 0 to buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.max > dst.max then dst.max <- src.max
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let copy t =
+  { counts = Array.copy t.counts; count = t.count; sum = t.sum; max = t.max }
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.max <- 0
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum && a.max = b.max && a.counts = b.counts
+
+let pp ppf t =
+  if t.count = 0 then Fmt.string ppf "empty"
+  else
+    Fmt.pf ppf "count=%d sum=%d p50/p90/p99/max %a" t.count t.sum pp_dist (dist t)

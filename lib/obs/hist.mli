@@ -1,0 +1,69 @@
+(** Log-bucketed histogram over non-negative integers (virtual-time
+    units), built for the broker's determinism discipline: bucket
+    boundaries are fixed powers of two and counts are exact integers,
+    so two histograms fed the same observations in any order are
+    structurally equal, and {!merge} is associative and commutative —
+    per-shard histograms combine into broker totals independently of
+    drain interleaving or domain count.
+
+    Bucket 0 holds exactly the value 0; bucket [i >= 1] covers the
+    range [2^(i-1) .. 2^i - 1].  Negative observations are clamped
+    to 0. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one observation. *)
+val observe : t -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+
+(** Largest observation so far (0 when empty). *)
+val max_value : t -> int
+
+(** Mean rounded down; 0 when empty. *)
+val mean : t -> int
+
+(** Number of fixed buckets. *)
+val buckets : int
+
+(** Bucket index an observation lands in (clamped like {!observe}). *)
+val bucket_of : int -> int
+
+(** Inclusive upper bound of a bucket: 0 for bucket 0, [2^i - 1]
+    otherwise. *)
+val upper_bound : int -> int
+
+(** Raw count of one bucket (for tests and serialization). *)
+val bucket_count : t -> int -> int
+
+(** [(bucket, count)] pairs for the non-empty buckets, ascending. *)
+val nonzero : t -> (int * int) list
+
+(** [percentile t p] for [p] in [0..100]: the upper bound of the bucket
+    holding the observation of rank [ceil(p * count / 100)] (at least
+    rank 1), clamped to {!max_value} so the top percentile never
+    overshoots what was actually observed.  0 when empty. *)
+val percentile : t -> int -> int
+
+(** The percentile summary the broker reports. *)
+type dist = { p50 : int; p90 : int; p99 : int; max : int }
+
+val dist : t -> dist
+val pp_dist : Format.formatter -> dist -> unit
+
+(** Bucket-wise sum (plus count/sum addition and max of maxes) into a
+    fresh histogram; both arguments are left untouched. *)
+val merge : t -> t -> t
+
+(** Add [src] into [dst] in place. *)
+val merge_into : dst:t -> t -> unit
+
+val copy : t -> t
+val reset : t -> unit
+val equal : t -> t -> bool
+
+(** ["count=N sum=S p50/p90/p99/max A/B/C/D"]; ["empty"] when empty. *)
+val pp : Format.formatter -> t -> unit

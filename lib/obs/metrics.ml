@@ -1,0 +1,93 @@
+type cell = C of int ref | G of int ref | H of Hist.t
+
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let kind_clash name =
+  invalid_arg (Printf.sprintf "Metrics: %s already exists with another kind" name)
+
+let add t name n =
+  match Hashtbl.find_opt t name with
+  | Some (C r) -> r := !r + n
+  | Some _ -> kind_clash name
+  | None -> Hashtbl.replace t name (C (ref n))
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t name with
+  | Some (G r) -> r := v
+  | Some _ -> kind_clash name
+  | None -> Hashtbl.replace t name (G (ref v))
+
+let histogram t name =
+  match Hashtbl.find_opt t name with
+  | Some (H h) -> h
+  | Some _ -> kind_clash name
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.replace t name (H h);
+    h
+
+let observe t name v = Hist.observe (histogram t name) v
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some (C r) -> !r
+  | Some _ -> kind_clash name
+  | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t name with
+  | Some (G r) -> !r
+  | Some _ -> kind_clash name
+  | None -> 0
+
+type value = Counter of int | Gauge of int | Histogram of Hist.t
+
+let to_list t =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let v =
+        match cell with
+        | C r -> Counter !r
+        | G r -> Gauge !r
+        | H h -> Histogram h
+      in
+      (name, v) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun name cell ->
+      match cell with
+      | C r -> add dst name !r
+      | G r -> set_gauge dst name (max (gauge dst name) !r)
+      | H h -> Hist.merge_into ~dst:(histogram dst name) h)
+    src
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let merge_all ts =
+  let t = create () in
+  List.iter (fun src -> merge_into ~dst:t src) ts;
+  t
+
+let reset t =
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with C r -> r := 0 | G r -> r := 0 | H h -> Hist.reset h)
+    t
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Fmt.pf ppf "%s: %d@." name n
+      | Gauge n -> Fmt.pf ppf "%s: %d (gauge)@." name n
+      | Histogram h -> Fmt.pf ppf "%s: %a@." name Hist.pp h)
+    (to_list t)

@@ -1,0 +1,58 @@
+(** Named-metric registry: counters, gauges, and {!Hist} histograms,
+    all integer-valued and virtual-time-deterministic.
+
+    Metrics are created on first use; using one name with two
+    different kinds raises [Invalid_argument].  Iteration
+    ({!to_list}, {!pp}) is sorted by name, so rendering never depends
+    on hash-table insertion order.
+
+    {!merge} combines registries the way the broker combines shards:
+    counters add, gauges take the maximum (high-water semantics), and
+    histograms merge bucket-wise — associative and commutative, so
+    per-shard registries fold into one total in any order with a
+    byte-identical result. *)
+
+type t
+
+val create : unit -> t
+
+(** Add to a counter (creating it at 0). *)
+val add : t -> string -> int -> unit
+
+(** Set a gauge. *)
+val set_gauge : t -> string -> int -> unit
+
+(** Record an observation into a histogram. *)
+val observe : t -> string -> int -> unit
+
+val counter : t -> string -> int
+(** 0 when absent. *)
+
+val gauge : t -> string -> int
+(** 0 when absent. *)
+
+(** The named histogram, created empty if absent.  The returned
+    handle is live: further {!observe} calls are visible through it. *)
+val histogram : t -> string -> Hist.t
+
+type value = Counter of int | Gauge of int | Histogram of Hist.t
+
+(** All metrics sorted by name. *)
+val to_list : t -> (string * value) list
+
+(** Merge [src] into [dst] in place (see the module preamble for the
+    per-kind rule). *)
+val merge_into : dst:t -> t -> unit
+
+(** Fresh registry holding the merge of both arguments. *)
+val merge : t -> t -> t
+
+(** Fold a list of registries into a fresh one. *)
+val merge_all : t list -> t
+
+(** Zero every counter and gauge and empty every histogram; names
+    survive. *)
+val reset : t -> unit
+
+(** One ["name: value"] line per metric, sorted by name. *)
+val pp : Format.formatter -> t -> unit

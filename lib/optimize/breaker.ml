@@ -29,6 +29,7 @@ let create ?(policy = default_policy) () =
   if policy.window <= 0 then invalid_arg "Breaker.create: window <= 0";
   if policy.trip_permille < 0 || policy.trip_permille > 1000 then
     invalid_arg "Breaker.create: trip_permille out of 0..1000";
+  if policy.min_events < 0 then invalid_arg "Breaker.create: min_events < 0";
   if policy.cooldown < 1 then invalid_arg "Breaker.create: cooldown < 1";
   {
     policy;

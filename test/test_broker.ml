@@ -248,6 +248,26 @@ let test_sessions_stick_to_shards () =
         (shard.B.Shard.sessions * profile.B.Loadgen.ops))
     (B.Broker.shards broker)
 
+(* an idle shard has optimized nothing: 0 optimized + 0 generic must
+   read as 0%% (and "-" in the table), never as 100%% optimized *)
+let test_idle_shard_is_not_optimized () =
+  let cfg = { B.Broker.default_config with shards = 2; seed = 7L } in
+  let broker = B.Broker.create cfg in
+  (* one session on two shards: exactly one shard stays idle *)
+  let profile = { small_profile with B.Loadgen.sessions = 1 } in
+  let s = B.Loadgen.steady ~warmup_ops:0 broker profile in
+  let zero = { s with B.Loadgen.optimized = 0; generic = 0 } in
+  Alcotest.(check (float 0.0)) "opt_pct of nothing is 0" 0.0
+    (B.Loadgen.opt_pct zero);
+  let idle =
+    Array.to_list (B.Broker.shards broker)
+    |> List.filter (fun sh -> sh.B.Shard.stats.B.Shard.dispatched = 0)
+  in
+  Alcotest.(check int) "one shard idle" 1 (List.length idle);
+  let table = Fmt.str "%a" B.Report.pp_table broker in
+  Alcotest.(check bool) "idle row prints - not a percentage" true
+    (Astring_contains.contains table "     -")
+
 let suite =
   [
     Alcotest.test_case "shard_of stays in range" `Quick test_shard_range;
@@ -268,5 +288,7 @@ let suite =
     Alcotest.test_case "video workload runs" `Quick test_video_run;
     Alcotest.test_case "sessions stick to their shard" `Quick
       test_sessions_stick_to_shards;
+    Alcotest.test_case "idle shard is not 100% optimized" `Quick
+      test_idle_shard_is_not_optimized;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_shard_stable; prop_remove_if_order ]

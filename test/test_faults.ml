@@ -121,7 +121,7 @@ let drain_all sh =
   let total = ref 0 in
   let continue = ref true in
   while !continue do
-    let n = B.Shard.drain_batch sh ~batch:16 in
+    let n = B.Shard.drain_batch sh ~now:0 ~batch:16 in
     total := !total + n;
     if n = 0 then continue := false
   done;
@@ -179,6 +179,123 @@ let test_success_resets_consecutive_count () =
   Alcotest.(check int) "none quarantined" 0
     sh.B.Shard.stats.B.Shard.quarantined
 
+(* Fatal conditions are never isolated: a handler raising
+   Stack_overflow must unwind the drain loop (and the whole process),
+   not be counted as one more retryable handler failure. *)
+let test_fatal_exn_not_isolated () =
+  let module H = Podopt_eventsys.Handler in
+  let rt = Runtime.create () in
+  rt.Runtime.isolate_failures <- true;
+  Runtime.bind rt ~event:"Boom" (H.native "boom" (fun _ _ -> raise Stack_overflow));
+  Alcotest.check_raises "Stack_overflow propagates through isolation"
+    Stack_overflow (fun () -> Runtime.raise_sync rt "Boom" []);
+  (* ordinary exceptions stay isolated and counted *)
+  Runtime.bind rt ~event:"Oops" (H.native "oops" (fun _ _ -> failwith "x"));
+  Runtime.raise_sync rt "Oops" [];
+  Alcotest.(check int) "ordinary failure isolated" 1
+    rt.Runtime.stats.Runtime.handler_failures;
+  (* and the same boundary holds at the shard: dispatch_one must not
+     convert a fatal condition into a quarantine-bound failure *)
+  let sh = mk_shard ~optimize:false () in
+  Runtime.bind sh.B.Shard.rt ~event:"SecPush"
+    (H.native "boom" (fun _ _ -> raise Stack_overflow));
+  offer_ops sh ~first:0 ~count:1;
+  Alcotest.check_raises "shard drain re-raises fatal" Stack_overflow (fun () ->
+      ignore (B.Shard.drain_batch sh ~now:0 ~batch:16));
+  Alcotest.(check int) "no failure counted" 0 sh.B.Shard.stats.B.Shard.failures
+
+(* reset_measurements is the warm-up/steady boundary: it must also
+   clear the consecutive-failure table and the dead queue, or warm-up
+   failures leak into steady-phase quarantine decisions. *)
+let test_reset_clears_retry_state () =
+  let faults = spec_of "seed=11,crash=1000" in
+  let sh = mk_shard ~faults ~max_failures:3 ~dead_limit:8 ~optimize:false () in
+  offer_ops sh ~first:0 ~count:1;
+  (* two consecutive failures, one short of quarantine *)
+  ignore (B.Shard.drain_batch sh ~now:0 ~batch:16);
+  ignore (B.Shard.drain_batch sh ~now:0 ~batch:16);
+  Alcotest.(check int) "two failures so far" 2 sh.B.Shard.stats.B.Shard.failures;
+  B.Shard.reset_measurements sh;
+  (* the count restarted from zero: one more failure must NOT quarantine *)
+  ignore (B.Shard.drain_batch sh ~now:0 ~batch:16);
+  Alcotest.(check int) "post-reset failure is consecutive #1" 1
+    sh.B.Shard.stats.B.Shard.failures;
+  Alcotest.(check int) "not quarantined" 0 sh.B.Shard.stats.B.Shard.quarantined;
+  (* two more make three consecutive since the reset: now it goes *)
+  ignore (B.Shard.drain_batch sh ~now:0 ~batch:16);
+  ignore (B.Shard.drain_batch sh ~now:0 ~batch:16);
+  Alcotest.(check int) "quarantined on the third post-reset failure" 1
+    sh.B.Shard.stats.B.Shard.quarantined;
+  Alcotest.(check int) "dead queue holds it" 1
+    (List.length (B.Shard.dead_letters sh));
+  (* and the dead queue itself is part of the measured state *)
+  B.Shard.reset_measurements sh;
+  Alcotest.(check int) "reset clears the dead queue" 0
+    (List.length (B.Shard.dead_letters sh));
+  let snap = B.Shard.snapshot sh in
+  Alcotest.(check int) "snapshot quarantine counter also reset" 0
+    snap.B.Shard.snap_quarantined;
+  Alcotest.(check Alcotest.(triple int int int))
+    "snapshot latency dists reset"
+    (0, 0, 0)
+    ( snap.B.Shard.snap_queue_wait.Podopt_obs.Hist.max,
+      snap.B.Shard.snap_service_opt.Podopt_obs.Hist.max,
+      snap.B.Shard.snap_service_gen.Podopt_obs.Hist.max )
+
+(* steady resets after warm-up: with always-crash faults the steady
+   phase must account from zero, so sent = dispatched + quarantined
+   closes over steady-phase numbers only *)
+let test_steady_reset_with_faults () =
+  let faults = spec_of "seed=7,crash=200" in
+  let cfg =
+    {
+      B.Broker.default_config with
+      shards = 2;
+      optimize = false;
+      queue_limit = 256;
+      seed = 11L;
+      faults;
+    }
+  in
+  let broker = B.Broker.create cfg in
+  let profile =
+    {
+      B.Loadgen.default_profile with
+      B.Loadgen.sessions = 6;
+      ops = 8;
+      interval = 120;
+      spread = 31;
+    }
+  in
+  let s = B.Loadgen.steady ~warmup_ops:6 broker profile in
+  Alcotest.(check int) "steady accounting closes" s.B.Loadgen.sent
+    (s.B.Loadgen.dispatched + s.B.Loadgen.quarantined)
+
+(* requeue is admission-free by design; the overflow counter is how a
+   retry storm that grows a "bounded" queue past its limit shows up *)
+let test_requeue_overflow_counted () =
+  let ing = B.Ingress.create ~limit:2 ~policy:B.Policy.Drop_newest in
+  let pkt seq =
+    Packet.make ~src:"s000" ~dst:"broker" ~seq
+      (B.Workload.op_payload B.Workload.Seccomm ~session:0 ~seq)
+  in
+  (match B.Ingress.offer ing ~now:0 (pkt 0) with
+  | B.Ingress.Accepted -> ()
+  | B.Ingress.Shed _ -> Alcotest.fail "first offer shed");
+  B.Ingress.requeue ing ~due:10 (pkt 1);
+  let st = B.Ingress.stats ing in
+  Alcotest.(check int) "requeued counted" 1 st.B.Ingress.requeued;
+  Alcotest.(check int) "no overflow below the limit" 0
+    st.B.Ingress.requeue_overflow;
+  (* queue is now at the limit (2): the next requeue is still accepted
+     but grows the queue past its bound and is counted as overflow *)
+  B.Ingress.requeue ing ~due:11 (pkt 2);
+  let st = B.Ingress.stats ing in
+  Alcotest.(check int) "requeue never shed" 2 st.B.Ingress.requeued;
+  Alcotest.(check int) "overflow counted" 1 st.B.Ingress.requeue_overflow;
+  Alcotest.(check int) "queue grew past its limit" 3 (B.Ingress.length ing);
+  Alcotest.(check int) "offered untouched by requeues" 1 st.B.Ingress.offered
+
 (* --- breaker: unit ------------------------------------------------------ *)
 
 let test_breaker_trip_cycle () =
@@ -229,7 +346,10 @@ let test_breaker_invalid_policy () =
     (bad { Breaker.default_policy with Breaker.window = 0 });
   Alcotest.check_raises "cooldown < 1"
     (Invalid_argument "Breaker.create: cooldown < 1")
-    (bad { Breaker.default_policy with Breaker.cooldown = 0 })
+    (bad { Breaker.default_policy with Breaker.cooldown = 0 });
+  Alcotest.check_raises "min_events < 0"
+    (Invalid_argument "Breaker.create: min_events < 0")
+    (bad { Breaker.default_policy with Breaker.min_events = -1 })
 
 (* --- breaker: at shard level (trip -> revert -> re-optimize) ------------ *)
 
@@ -249,7 +369,7 @@ let test_breaker_shard_cycle () =
      rate, the breaker opens, and the shard provably reverts *)
   B.Shard.set_faults sh (Some (spec_of "seed=11,crash=1000"));
   offer_ops sh ~first:100 ~count:6;
-  ignore (B.Shard.drain_batch sh ~batch:16);
+  ignore (B.Shard.drain_batch sh ~now:0 ~batch:16);
   Alcotest.(check bool) "breaker open after faulty batch" true
     (B.Shard.breaker_open sh);
   Alcotest.(check int) "one trip" 1 (B.Shard.breaker_trips sh);
@@ -259,7 +379,7 @@ let test_breaker_shard_cycle () =
   B.Shard.set_faults sh None;
   let batches = ref 0 in
   offer_ops sh ~first:200 ~count:40;
-  while B.Shard.drain_batch sh ~batch:16 > 0 do incr batches done;
+  while B.Shard.drain_batch sh ~now:0 ~batch:16 > 0 do incr batches done;
   Alcotest.(check bool) "breaker closed after cool-down" false
     (B.Shard.breaker_open sh);
   (* keep serving: the adaptive controller re-installs from the live
@@ -427,6 +547,14 @@ let suite =
       test_redrain_dead;
     Alcotest.test_case "success resets the consecutive count" `Quick
       test_success_resets_consecutive_count;
+    Alcotest.test_case "fatal exceptions are never isolated" `Quick
+      test_fatal_exn_not_isolated;
+    Alcotest.test_case "reset clears retry and dead state" `Quick
+      test_reset_clears_retry_state;
+    Alcotest.test_case "steady reset closes faulty accounting" `Quick
+      test_steady_reset_with_faults;
+    Alcotest.test_case "requeue overflow is counted" `Quick
+      test_requeue_overflow_counted;
     Alcotest.test_case "breaker trips, cools, recovers" `Quick
       test_breaker_trip_cycle;
     Alcotest.test_case "breaker needs min_events of evidence" `Quick

@@ -32,4 +32,5 @@ let () =
       ("exec", Test_exec.suite);
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]
