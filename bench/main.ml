@@ -575,6 +575,11 @@ let timed_steady ?(warmup_ops = 12) broker profile =
   let t1 = Monotonic_clock.now () in
   (s, Int64.sub t1 t0)
 
+(* Any broker run that hit the load generator's tick budget produced an
+   unfinished summary — its numbers (and any determinism comparison made
+   with them) are meaningless, so the whole bench run fails. *)
+let broker_truncated = ref false
+
 (* Build a broker, run the steady protocol, record the JSON entry, shut
    the pool down.  Returns (summary, wall ns). *)
 let run_broker ~bsection ~kind ~shards ~domains ~optimize ~profile ~warmup_ops
@@ -597,6 +602,15 @@ let run_broker ~bsection ~kind ~shards ~domains ~optimize ~profile ~warmup_ops
     ~finally:(fun () -> Bk.Broker.shutdown b)
     (fun () ->
       let s, wall_ns = timed_steady ~warmup_ops b profile in
+      if s.Bk.Loadgen.truncated then begin
+        broker_truncated := true;
+        Fmt.epr
+          "%s (%s, %d shards, %d domains): run truncated at the tick budget — \
+           the summary describes an unfinished run (NO — BUG)@."
+          bsection
+          (if optimize then "optimized" else "generic")
+          shards domains
+      end;
       Bjson.record
         (Bjson.of_summary ~bsection
            ~bkind:(Bk.Workload.kind_to_string kind)
@@ -1027,4 +1041,8 @@ let () =
           Fmt.epr "unknown benchmark %s@." other;
           exit 2)
       names);
-  if json then Bjson.write "BENCH_broker.json"
+  if json then Bjson.write "BENCH_broker.json";
+  if !broker_truncated then begin
+    Fmt.epr "bench: at least one broker run was truncated — results invalid@.";
+    exit 1
+  end

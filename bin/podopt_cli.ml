@@ -4,6 +4,9 @@
      podopt graph    <app>      emit the event graph as Graphviz DOT
      podopt optimize <app>      profile, optimize, and report the speedup
      podopt serve    <workload> run the sharded event broker and print stats
+     podopt record   <workload> run the broker and record a replay log
+     podopt replay   <file>     re-run a recorded log, check byte-identity
+     podopt diff     <file>     differential oracle over a recorded log
      podopt hir      <file>     parse, optimize and run a HIR program
 
    <app> is one of: video, seccomm, xclient. *)
@@ -200,6 +203,120 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
   end;
   0
 
+(* --- record / replay / diff ----------------------------------------------- *)
+
+let record_run kind sessions shards batch queue_limit ops interval latency
+    jitter policy seed generic warmup domains faults metrics out =
+  match
+    List.find_opt
+      (fun (v, _) -> v <= 0)
+      [
+        (sessions, "--sessions");
+        (shards, "--shards");
+        (batch, "--batch");
+        (queue_limit, "--queue-limit");
+        (ops, "--ops");
+        (domains, "--domains");
+      ]
+  with
+  | Some (_, flag) ->
+    Fmt.epr "podopt: %s must be positive@." flag;
+    2
+  | None ->
+    let cfg =
+      {
+        B.Broker.default_config with
+        B.Broker.shards;
+        batch;
+        queue_limit;
+        policy;
+        kind;
+        optimize = not generic;
+        seed = Int64.of_int seed;
+        domains;
+        faults;
+      }
+    in
+    let profile =
+      {
+        B.Loadgen.default_profile with
+        B.Loadgen.sessions;
+        ops;
+        interval;
+        latency;
+        jitter;
+      }
+    in
+    let log = Record.run ~warmup_ops:warmup ~metrics cfg profile in
+    Replay_log.save out log;
+    Fmt.pr "recorded %s run -> %s (%d sessions, %d arrivals, %d fault streams)@."
+      (B.Workload.kind_to_string kind)
+      out
+      (List.length log.Replay_log.sessions)
+      (List.length log.Replay_log.arrivals)
+      (List.length log.Replay_log.fault_draws);
+    0
+
+let replay_run file domains json =
+  match domains with
+  | Some d when d <= 0 ->
+    Fmt.epr "podopt: --domains must be positive@.";
+    2
+  | _ ->
+    (match Replay_log.load file with
+     | exception Replay_log.Format_error msg ->
+       Fmt.epr "bad replay log: %s@." msg;
+       1
+     | exception Sys_error msg ->
+       Fmt.epr "podopt: %s@." msg;
+       1
+     | log ->
+       let outcome = Replay.run ?domains log in
+       if json then print_string outcome.Replay.json;
+       let ok = ref true in
+       (match Replay.first_diff log.Replay_log.json outcome.Replay.json with
+        | None ->
+          if not json then
+            Fmt.pr "replay OK: document byte-identical to the recording (%d lines)@."
+              (max 0 (List.length (String.split_on_char '\n' log.Replay_log.json) - 1))
+        | Some (n, recorded, replayed) ->
+          ok := false;
+          Fmt.epr "replay DIVERGED at line %d:@.  recorded: %s@.  replayed: %s@." n
+            recorded replayed);
+       if outcome.Replay.fault_mismatches > 0 then begin
+         ok := false;
+         Fmt.epr "%d fault draws differed from the recording@."
+           outcome.Replay.fault_mismatches
+       end;
+       if !ok then 0 else 1)
+
+let diff_run file tamper out =
+  match Replay_log.load file with
+  | exception Replay_log.Format_error msg ->
+    Fmt.epr "bad replay log: %s@." msg;
+    1
+  | exception Sys_error msg ->
+    Fmt.epr "podopt: %s@." msg;
+    1
+  | log ->
+    let reports =
+      List.map
+        (fun axis -> Replay_diff.run ~tamper axis log)
+        [ Replay_diff.Optimizer; Replay_diff.Codegen ]
+    in
+    List.iteri
+      (fun i r ->
+        if i > 0 then Fmt.pr "@.";
+        Fmt.pr "%a" Replay_diff.pp_report r)
+      reports;
+    let diverged = List.filter_map (fun r -> r.Replay_diff.shrink) reports in
+    (match (out, diverged) with
+     | Some path, s :: _ ->
+       Replay_log.save path s.Replay_diff.minimal;
+       Fmt.pr "wrote minimal reproducer -> %s@." path
+     | _ -> ());
+    if diverged = [] then 0 else 1
+
 (* --- trace / analyze ------------------------------------------------------ *)
 
 let trace_cmd_run app output handler_level =
@@ -346,48 +463,61 @@ let hir_cmd_t =
   in
   Cmd.v (Cmd.info "hir" ~doc) Term.(const hir_cmd $ file $ proc $ args $ show)
 
+(* Broker flags shared by [serve] and [record]. *)
+
+let kind_conv =
+  Arg.conv
+    ( (fun s ->
+        match B.Workload.kind_of_string s with
+        | Ok k -> Ok k
+        | Error msg -> Error (`Msg msg)),
+      fun ppf k -> Fmt.string ppf (B.Workload.kind_to_string k) )
+
+let kind_arg =
+  Arg.(required & pos 0 (some kind_conv) None & info [] ~docv:"WORKLOAD"
+         ~doc:"Workload to serve: video or seccomm.")
+
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match B.Policy.shed_of_string s with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)),
+      fun ppf p -> Fmt.string ppf (B.Policy.shed_to_string p) )
+
+let policy_arg =
+  Arg.(value & opt policy_conv B.Policy.Drop_newest & info [ "policy" ] ~docv:"P"
+         ~doc:"Shed policy when an ingress queue is full: newest or oldest.")
+
+let faults_conv =
+  Arg.conv
+    ( (fun s ->
+        match Podopt.Faults.of_string s with
+        | Ok spec -> Ok spec
+        | Error msg -> Error (`Msg msg)),
+      fun ppf spec -> Fmt.string ppf (Podopt.Faults.to_string spec) )
+
+let faults_arg =
+  Arg.(value & opt faults_conv Podopt.Faults.none & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault plan: comma-separated key=value pairs \
+               with keys seed (stream seed), crash, spike (optionally \
+               rate:cost), corrupt, drop (permille rates, 0..1000); \
+               'none' disables. Example: seed=7,crash=200,drop=5.")
+
+let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
+
+let generic_flag =
+  Arg.(value & flag & info [ "generic" ]
+         ~doc:"Disable per-shard adaptive optimization.")
+
+let metrics_flag =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the latency metrics section: per-shard and total \
+               queue-wait and service-time percentiles, plus per-event \
+               dispatch-time distributions.")
+
 let serve_cmd =
   let doc = "Serve a workload through the sharded event broker." in
-  let kind_conv =
-    Arg.conv
-      ( (fun s ->
-          match B.Workload.kind_of_string s with
-          | Ok k -> Ok k
-          | Error msg -> Error (`Msg msg)),
-        fun ppf k -> Fmt.string ppf (B.Workload.kind_to_string k) )
-  in
-  let kind_arg =
-    Arg.(required & pos 0 (some kind_conv) None & info [] ~docv:"WORKLOAD"
-           ~doc:"Workload to serve: video or seccomm.")
-  in
-  let policy_conv =
-    Arg.conv
-      ( (fun s ->
-          match B.Policy.shed_of_string s with
-          | Ok p -> Ok p
-          | Error msg -> Error (`Msg msg)),
-        fun ppf p -> Fmt.string ppf (B.Policy.shed_to_string p) )
-  in
-  let policy_arg =
-    Arg.(value & opt policy_conv B.Policy.Drop_newest & info [ "policy" ] ~docv:"P"
-           ~doc:"Shed policy when an ingress queue is full: newest or oldest.")
-  in
-  let faults_conv =
-    Arg.conv
-      ( (fun s ->
-          match Podopt.Faults.of_string s with
-          | Ok spec -> Ok spec
-          | Error msg -> Error (`Msg msg)),
-        fun ppf spec -> Fmt.string ppf (Podopt.Faults.to_string spec) )
-  in
-  let faults_arg =
-    Arg.(value & opt faults_conv Podopt.Faults.none & info [ "faults" ] ~docv:"SPEC"
-           ~doc:"Deterministic fault plan: comma-separated key=value pairs \
-                 with keys seed (stream seed), crash, spike (optionally \
-                 rate:cost), corrupt, drop (permille rates, 0..1000); \
-                 'none' disables. Example: seed=7,crash=200,drop=5.")
-  in
-  let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc) in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ kind_arg
@@ -401,21 +531,88 @@ let serve_cmd =
       $ intopt "jitter" 0 "Link jitter bound in virtual units."
       $ policy_arg
       $ intopt "seed" 42 "Deterministic seed for the session links."
-      $ Arg.(value & flag & info [ "generic" ]
-               ~doc:"Disable per-shard adaptive optimization.")
+      $ generic_flag
       $ intopt "warmup" 12 "Warm-up ops per session before measurement."
       $ intopt "domains" 1
           "Worker domains draining the shards in parallel (1 = sequential; \
            results are identical at any domain count)."
       $ faults_arg
-      $ Arg.(value & flag & info [ "metrics" ]
-               ~doc:"Print the latency metrics section: per-shard and total \
-                     queue-wait and service-time percentiles, plus per-event \
-                     dispatch-time distributions.")
+      $ metrics_flag
       $ Arg.(value & flag & info [ "json" ]
-               ~doc:"Print the run as a JSON document (schema podopt/serve/v3) \
+               ~doc:"Print the run as a JSON document (schema podopt/serve/v4) \
                      instead of the tables; deterministic and independent of \
                      --domains."))
+
+let record_cmd =
+  let doc = "Run a broker workload and record it to a replay log." in
+  let out =
+    Arg.(value & opt string "run.plog" & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Replay log to write (default run.plog).")
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const record_run $ kind_arg
+      $ intopt "sessions" 8 "Concurrent client sessions."
+      $ intopt "shards" 2 "Broker shards (one runtime each)."
+      $ intopt "batch" 16 "Max events dispatched per shard per tick."
+      $ intopt "queue-limit" 64 "Per-shard ingress queue bound."
+      $ intopt "ops" 8 "Events per session."
+      $ intopt "interval" 200 "Virtual units between a session's events."
+      $ intopt "latency" 50 "Link latency in virtual units."
+      $ intopt "jitter" 0 "Link jitter bound in virtual units."
+      $ policy_arg
+      $ intopt "seed" 42 "Deterministic seed for the session links."
+      $ generic_flag
+      $ intopt "warmup" 12 "Warm-up ops per session before measurement."
+      $ intopt "domains" 1
+          "Worker domains recorded in the log (the replayed document is \
+           identical at any domain count)."
+      $ faults_arg
+      $ Arg.(value & flag & info [ "metrics" ]
+               ~doc:"Record the document with the latency metrics section.")
+      $ out)
+
+let replay_cmd =
+  let doc =
+    "Replay a recorded run and check it reproduces the recorded document \
+     byte-for-byte."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Replay log written by $(b,podopt record).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Override the recorded worker-domain count; the regenerated \
+                 document is identical at any value.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the regenerated JSON document.")
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay_run $ file $ domains $ json)
+
+let diff_cmd =
+  let doc =
+    "Differentially test a recorded run: optimizer on vs off, and compiled \
+     vs interpreted super-handlers. On divergence, shrink the log to a \
+     minimal reproducer."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Replay log written by $(b,podopt record).")
+  in
+  let tamper =
+    Arg.(value & flag & info [ "break-handler" ]
+           ~doc:"Install a deliberately payload-corrupting handler on the \
+                 first variant (a divergence fixture for exercising the \
+                 oracle and the shrinker).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write the minimal reproducer log to $(docv) on divergence.")
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const diff_run $ file $ tamper $ out)
 
 let trace_cmd =
   let doc = "Profile an application and save the trace to a file." in
@@ -442,5 +639,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ report_cmd; graph_cmd; optimize_cmd; serve_cmd; trace_cmd; analyze_cmd;
-            hir_cmd_t ]))
+          [ report_cmd; graph_cmd; optimize_cmd; serve_cmd; record_cmd; replay_cmd;
+            diff_cmd; trace_cmd; analyze_cmd; hir_cmd_t ]))

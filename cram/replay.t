@@ -1,0 +1,61 @@
+Record a broker run to a replay log: everything the run consumed —
+config, workload profile, per-session op payloads, the packet arrival
+schedule, fault draws — plus the run's JSON document.
+
+  $ ../bin/podopt_cli.exe record seccomm --sessions 6 --shards 2 --seed 7 \
+  >   --out run.plog
+  recorded seccomm run -> run.plog (12 sessions, 120 arrivals, 0 fault streams)
+
+Replaying reconstructs the run from the log alone and regenerates the
+document byte-for-byte — at the recorded domain count or any other.
+
+  $ ../bin/podopt_cli.exe replay run.plog
+  replay OK: document byte-identical to the recording (10 lines)
+
+  $ ../bin/podopt_cli.exe replay run.plog --domains 4
+  replay OK: document byte-identical to the recording (10 lines)
+
+The differential oracle executes the log under two variants per axis
+and diffs per-session observable outcomes (dispatch order, success,
+payload digests, client accounting).  A clean run never diverges:
+
+  $ ../bin/podopt_cli.exe diff run.plog
+  axis: optimizer-on vs optimizer-off
+    no divergence: 48 deliveries observably identical
+  
+  axis: compiled vs interpreted handlers
+    no divergence: 48 deliveries observably identical
+
+
+With the deliberately broken handler installed (payload corruption on
+odd sequence numbers, first variant only) the oracle reports the first
+divergence and greedily shrinks the log — drop sessions, then lower the
+op cap — down to a minimal reproducer:
+
+  $ ../bin/podopt_cli.exe diff run.plog --break-handler --out min.plog
+  axis: optimizer-on vs optimizer-off
+    DIVERGENCE at delivery 6:
+      left:  shard 0 s000#1 ok crc32=7ba494ba
+      right: shard 0 s000#1 ok crc32=217053a6
+    shrink: sessions 6 -> 1, ops 8 -> 2
+    minimal reproducer: sessions [s005], 2 ops each
+      delivery 2: shard 1 s005#1 ok crc32=080fd2d4 != shard 1 s005#1 ok crc32=52db15c8
+  
+  axis: compiled vs interpreted handlers
+    DIVERGENCE at delivery 6:
+      left:  shard 0 s000#1 ok crc32=7ba494ba
+      right: shard 0 s000#1 ok crc32=217053a6
+    shrink: sessions 6 -> 1, ops 8 -> 2
+    minimal reproducer: sessions [s005], 2 ops each
+      delivery 2: shard 1 s005#1 ok crc32=080fd2d4 != shard 1 s005#1 ok crc32=52db15c8
+  wrote minimal reproducer -> min.plog
+  [1]
+
+
+The minimal reproducer is itself a valid log: one session, two measured
+ops, and the bug still fires on it.
+
+  $ grep -c '^S m' min.plog
+  1
+  $ sed -n 's/^P \([0-9]*\) \([0-9]*\).*/sessions=\1 ops=\2/p' min.plog
+  sessions=1 ops=2

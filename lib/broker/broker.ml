@@ -10,6 +10,7 @@ type config = {
   policy : Policy.shed;
   kind : Workload.kind;
   optimize : bool;
+  compile : bool;
   seed : int64;
   tick : int;
   domains : int;
@@ -24,6 +25,7 @@ let default_config =
     policy = Policy.Drop_newest;
     kind = Workload.Seccomm;
     optimize = true;
+    compile = true;
     seed = 42L;
     tick = 50;
     domains = 1;
@@ -79,7 +81,7 @@ let create (cfg : config) =
   front.Runtime.emit_log_enabled <- false;
   let shards =
     Array.init cfg.shards (fun id ->
-        Shard.create ~faults:cfg.faults ~id ~kind:cfg.kind
+        Shard.create ~faults:cfg.faults ~compile:cfg.compile ~id ~kind:cfg.kind
           ~optimize:cfg.optimize ~queue_limit:cfg.queue_limit
           ~policy:cfg.policy ())
   in
@@ -178,6 +180,27 @@ let idle t =
 let routed t = t.routed
 let link_dropped t = t.link_dropped
 let decode_failures t = t.decode_failures
+
+(* Attach (or clear) one fault-draw logger on every live injector: the
+   front's (salt 0) and each shard's (salt id+1).  Per-salt streams are
+   each touched by a single domain (front on the coordinator, shards on
+   their pinned workers), so a logger that keeps per-salt state needs no
+   locking. *)
+let set_fault_logger t logger =
+  (match t.front_faults with
+   | Some inj -> Plan.set_logger inj logger
+   | None -> ());
+  Array.iter
+    (fun s ->
+      match Shard.fault_injector s with
+      | Some inj -> Plan.set_logger inj logger
+      | None -> ())
+    t.shards
+
+let set_delivery_hook t hook =
+  Array.iter (fun s -> Shard.set_on_delivery s hook) t.shards
+
+let set_tamper t f = Array.iter (fun s -> Shard.set_tamper s f) t.shards
 let force_reoptimize t = Array.iter (fun s -> ignore (Shard.force_reoptimize s)) t.shards
 
 let reset_measurements t =

@@ -32,6 +32,10 @@ type config = {
   policy : Policy.shed;
   kind : Workload.kind;
   optimize : bool;       (** per-shard adaptive optimization on/off *)
+  compile : bool;
+      (** compiled (default) vs interpreted super-handlers — observably
+          identical, different virtual cost; the differential oracle's
+          second axis *)
   seed : int64;          (** base seed for session links *)
   tick : int;            (** virtual units per simulation step *)
   domains : int;         (** drain lanes; 1 = sequential (no pool) *)
@@ -43,7 +47,7 @@ type config = {
 
 val default_config : config
 (** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
-    optimized, seed 42, tick 50, 1 domain, no faults. *)
+    optimized, compiled, seed 42, tick 50, 1 domain, no faults. *)
 
 type t
 
@@ -102,6 +106,26 @@ val link_dropped : t -> int
 (** Wire buffers that failed to decode (e.g. corrupted by the fault
     plan); each is counted, never silently swallowed. *)
 val decode_failures : t -> int
+
+(** Install (or with [None] remove) one fault-draw logger on every live
+    injector — the front's (salt 0) and each shard's (salt id+1).  Each
+    salt's stream is drawn by exactly one domain, so per-salt logger
+    state needs no locking.  See {!Podopt_faults.Plan.set_logger}. *)
+val set_fault_logger :
+  t -> (salt:int -> kind:string -> fired:bool -> unit) option -> unit
+
+(** Install (or remove) the per-dispatch observer on every shard (see
+    {!Shard.set_on_delivery}; with [domains > 1] it runs on worker
+    domains, so oracle runs drain sequentially). *)
+val set_delivery_hook :
+  t ->
+  (shard:int -> src:string -> seq:int -> ok:bool -> payload:bytes -> unit)
+    option ->
+  unit
+
+(** Install (or remove) the pre-dispatch payload rewriter on every
+    shard (see {!Shard.set_tamper}). *)
+val set_tamper : t -> (Podopt_net.Packet.t -> bytes) option -> unit
 
 (** Force adaptive analysis on shards with nothing installed yet (the
     end-of-warm-up hook). *)

@@ -42,6 +42,7 @@ type summary = {
   busy : int;
   makespan : int;
   elapsed : int;
+  truncated : bool;
 }
 
 let opt_pct s =
@@ -68,7 +69,7 @@ let make_sessions broker profile =
       Broker.register broker ~id ~nack:(fun seq now -> Session.nack s ~seq ~now);
       s)
 
-let summarize broker sessions ~elapsed =
+let summarize ?(truncated = false) broker sessions ~elapsed =
   let shards = Broker.shards broker in
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
   let maxi f = Array.fold_left (fun acc s -> max acc (f s)) 0 shards in
@@ -104,6 +105,7 @@ let summarize broker sessions ~elapsed =
     busy = sum Shard.busy;
     makespan = maxi Shard.busy;
     elapsed;
+    truncated;
   }
 
 let run ?(max_ticks = 1_000_000) broker sessions =
@@ -125,7 +127,11 @@ let run ?(max_ticks = 1_000_000) broker sessions =
     ignore (Broker.drain broker);
     Broker.advance_to broker (now + tick)
   done;
-  summarize broker sessions ~elapsed:(Broker.now broker - t0)
+  (* Hitting the tick budget means the run was cut off mid-flight: the
+     summary's counters describe an unfinished run.  Flag it rather than
+     reporting the truncated run as if it completed. *)
+  let truncated = not (finished ()) in
+  summarize ~truncated broker sessions ~elapsed:(Broker.now broker - t0)
 
 let steady ?(warmup_ops = 12) broker profile =
   if warmup_ops > 0 then begin

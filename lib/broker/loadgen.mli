@@ -51,6 +51,10 @@ type summary = {
   makespan : int;  (** the busiest shard's handler time — the parallel
                        completion-time proxy *)
   elapsed : int;   (** front-clock virtual time consumed by the run *)
+  truncated : bool;
+      (** the run hit [max_ticks] before every session finished and the
+          broker drained — every counter above describes an unfinished
+          run *)
 }
 
 (** Fraction of dispatches that took the optimized path, in percent

@@ -132,7 +132,7 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
       (dist "service_gen" (Metrics.histogram m "service.generic"))
   in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"podopt/serve/v3\",\n";
+  Buffer.add_string b "  \"schema\": \"podopt/serve/v4\",\n";
   Printf.bprintf b
     "  \"workload\": %S, \"shards\": %d, \"batch\": %d, \"queue_limit\": %d, \
      \"policy\": %S, \"optimize\": %b, \"seed\": %Ld, \"tick\": %d,\n"
@@ -146,13 +146,15 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
      \"batches\": %d, \"optimized\": %d, \"generic\": %d, \"fallbacks\": %d, \
      \"failures\": %d, \"requeued\": %d, \"quarantined\": %d, \
      \"breaker_trips\": %d, \"link_dropped\": %d, \"decode_failures\": %d, \
-     \"busy\": %d, \"makespan\": %d, \"elapsed\": %d, \"opt_pct\": %.1f,\n"
+     \"busy\": %d, \"makespan\": %d, \"elapsed\": %d, \"truncated\": %b, \
+     \"opt_pct\": %.1f,\n"
     s.Loadgen.sent s.Loadgen.retries s.Loadgen.nacks s.Loadgen.gave_up
     s.Loadgen.routed s.Loadgen.shed s.Loadgen.dispatched s.Loadgen.batches
     s.Loadgen.optimized s.Loadgen.generic s.Loadgen.fallbacks
     s.Loadgen.failures s.Loadgen.requeued s.Loadgen.quarantined
     s.Loadgen.breaker_trips s.Loadgen.link_dropped s.Loadgen.decode_failures
-    s.Loadgen.busy s.Loadgen.makespan s.Loadgen.elapsed (Loadgen.opt_pct s);
+    s.Loadgen.busy s.Loadgen.makespan s.Loadgen.elapsed s.Loadgen.truncated
+    (Loadgen.opt_pct s);
   let merged = merged_metrics broker in
   Printf.bprintf b "    \"latency\": {%s}},\n" (hists merged);
   Buffer.add_string b "  \"shards\": [\n";
@@ -213,4 +215,8 @@ let pp_summary ppf (s : Loadgen.summary) =
     s.Loadgen.dispatched s.Loadgen.shed (Loadgen.opt_pct s) s.Loadgen.busy
     s.Loadgen.makespan s.Loadgen.elapsed s.Loadgen.failures s.Loadgen.requeued
     s.Loadgen.quarantined s.Loadgen.breaker_trips s.Loadgen.link_dropped
-    s.Loadgen.decode_failures
+    s.Loadgen.decode_failures;
+  if s.Loadgen.truncated then
+    Fmt.pf ppf
+      "WARNING: run truncated at the tick budget before completing; the \
+       numbers above describe an unfinished run@."

@@ -41,6 +41,10 @@ let create ~id ~link ~ops ?(start = 0) ?(interval = 200) ~backoff () =
   }
 
 let id t = t.id
+let link t = t.link
+let ops t = t.ops
+let start t = t.start
+let interval t = t.interval
 let finished t = t.next_op >= Array.length t.ops && Equeue.is_empty t.retryq
 
 let send_op t ~rt ~deliver_event ~seq ~retry =

@@ -25,6 +25,16 @@ val create :
 
 val id : t -> string
 
+(** The session's outbound link (the recorder hangs its send logger
+    here, the replayer its arrival script). *)
+val link : t -> Link.t
+
+(** The op payloads, indexed by seq. *)
+val ops : t -> bytes array
+
+val start : t -> int
+val interval : t -> int
+
 (** All ops sent and no retry pending. *)
 val finished : t -> bool
 

@@ -34,10 +34,14 @@ type t = {
   retry : (string * int, int) Hashtbl.t;
   dead : Packet.t Queue.t;
   metrics : Metrics.t;
+  mutable tamper : (Packet.t -> bytes) option;
+  mutable on_delivery :
+    (shard:int -> src:string -> seq:int -> ok:bool -> payload:bytes -> unit)
+      option;
 }
 
-let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
-    ~optimize ~queue_limit ~policy () =
+let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
+    ?(compile = true) ~id ~kind ~optimize ~queue_limit ~policy () =
   if max_failures < 1 then invalid_arg "Shard.create: max_failures < 1";
   if dead_limit < 1 then invalid_arg "Shard.create: dead_limit < 1";
   let rt = Workload.runtime kind in
@@ -49,7 +53,9 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
      and determinism is untouched *)
   Runtime.on_dispatch rt (fun ev dt -> Metrics.observe metrics ("dispatch." ^ ev) dt);
   let adaptive =
-    if optimize then Some (Adaptive.create ~policy:(Workload.adaptive_policy kind) rt)
+    if optimize then
+      let policy = { (Workload.adaptive_policy kind) with Adaptive.compile } in
+      Some (Adaptive.create ~policy rt)
     else None
   in
   let breaker =
@@ -86,6 +92,8 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker ~id ~kind
     retry = Hashtbl.create 64;
     dead = Queue.create ();
     metrics;
+    tamper = None;
+    on_delivery = None;
   }
 
 let set_faults t spec =
@@ -109,6 +117,12 @@ let dispatch_one t (p : Packet.t) =
   let before = st.Runtime.handler_failures in
   let t0 = Runtime.now rt in
   let opt0 = st.Runtime.optimized_dispatches in
+  (* the differential oracle's broken-handler fixture rewrites payloads
+     here; the dispatched (possibly tampered) bytes are what the
+     delivery hook observes *)
+  let payload =
+    match t.tamper with Some f -> f p | None -> p.Packet.payload
+  in
   (try
      (match t.faults with
       | Some inj ->
@@ -121,7 +135,7 @@ let dispatch_one t (p : Packet.t) =
          | None -> ());
         if Plan.crash inj then raise Plan.Injected_failure
       | None -> ());
-     Workload.dispatch t.kind rt p.Packet.payload
+     Workload.dispatch t.kind rt payload
    with
    | Out_of_memory | Stack_overflow | Assert_failure _ as e ->
      (* fatal process conditions are not handler failures: a retry
@@ -147,6 +161,10 @@ let dispatch_one t (p : Packet.t) =
     in
     Metrics.observe t.metrics path cost
   end;
+  (* purely observational, no virtual time: the oracle's outcome stream *)
+  (match t.on_delivery with
+   | Some f -> f ~shard:t.id ~src:p.Packet.src ~seq:p.Packet.seq ~ok ~payload
+   | None -> ());
   ok
 
 let quarantine t pkt =
@@ -236,6 +254,9 @@ let redrain_dead t =
   done;
   n
 
+let fault_injector t = t.faults
+let set_tamper t f = t.tamper <- f
+let set_on_delivery t f = t.on_delivery <- f
 let breaker_open t = match t.breaker with Some b -> Breaker.is_open b | None -> false
 let breaker_trips t = match t.breaker with Some b -> Breaker.trips b | None -> 0
 

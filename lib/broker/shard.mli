@@ -57,17 +57,26 @@ type t = {
       (** per-shard deterministic metrics: [queue_wait],
           [service.optimized] / [service.generic] per-op cost, and one
           [dispatch.<Event>] histogram per event kind *)
+  mutable tamper : (Packet.t -> bytes) option;
+      (** rewrite an op's payload just before dispatch (see
+          {!set_tamper}) *)
+  mutable on_delivery :
+    (shard:int -> src:string -> seq:int -> ok:bool -> payload:bytes -> unit)
+      option;  (** per-dispatch observer (see {!set_on_delivery}) *)
 }
 
 (** [optimize] enables continuous tracing plus the adaptive controller
     (and a circuit breaker — pass [?breaker] to override its policy); a
     generic shard pays no tracing and never installs super-handlers.
-    [?faults] installs an injector derived with salt [id + 1] (the
-    broker front owns salt 0). *)
+    [compile] (default true) selects compiled vs interpreted
+    super-handlers ({!Podopt_optimize.Adaptive.policy}).  [?faults]
+    installs an injector derived with salt [id + 1] (the broker front
+    owns salt 0). *)
 val create :
   ?faults:Podopt_faults.Plan.spec -> ?max_failures:int -> ?dead_limit:int ->
-  ?breaker:Podopt_optimize.Breaker.policy -> id:int -> kind:Workload.kind ->
-  optimize:bool -> queue_limit:int -> policy:Policy.shed -> unit -> t
+  ?breaker:Podopt_optimize.Breaker.policy -> ?compile:bool -> id:int ->
+  kind:Workload.kind -> optimize:bool -> queue_limit:int ->
+  policy:Policy.shed -> unit -> t
 
 (** Replace (or with [None] / a disabled spec, remove) the shard's fault
     injector; streams restart from the spec's seed. *)
@@ -125,6 +134,28 @@ val dead_letters : t -> Packet.t list
     fresh consecutive-failure count; returns how many.  Typical use:
     clear the fault plan, then re-drain. *)
 val redrain_dead : t -> int
+
+(** The live fault injector, if the shard has one — the record layer
+    attaches its draw logger here. *)
+val fault_injector : t -> Podopt_faults.Plan.t option
+
+(** Install (or remove) a payload rewriter applied to every op just
+    before dispatch — the differential oracle's deliberately-broken-
+    handler fixture.  Purely a test/diagnosis hook; [None] (the
+    default) leaves dispatch untouched. *)
+val set_tamper : t -> (Packet.t -> bytes) option -> unit
+
+(** Install (or remove) a per-dispatch observer: called after every op
+    attempt with the shard id, the op's source session and seq, whether
+    the attempt succeeded, and the dispatched (possibly tampered)
+    payload.  Called in dispatch order; spends no virtual time.  With
+    [domains > 1] the hook runs on the shard's worker domain — the
+    differential oracle therefore drains sequentially. *)
+val set_on_delivery :
+  t ->
+  (shard:int -> src:string -> seq:int -> ok:bool -> payload:bytes -> unit)
+    option ->
+  unit
 
 val breaker_open : t -> bool
 val breaker_trips : t -> int

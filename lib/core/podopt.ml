@@ -99,6 +99,12 @@ module Ingress = Podopt_broker.Ingress
 module Session = Podopt_broker.Session
 module Loadgen = Podopt_broker.Loadgen
 
+(* Record/replay (run logs, the replayer, and the differential oracle) *)
+module Replay_log = Podopt_replay.Log
+module Record = Podopt_replay.Record
+module Replay = Podopt_replay.Replay
+module Replay_diff = Podopt_replay.Diff
+
 type applied = Driver.applied
 
 (* Profile [workload] (two runs: event-level then handler-level), analyze,

@@ -106,6 +106,20 @@ module Ingress = Podopt_broker.Ingress
 module Session = Podopt_broker.Session
 module Loadgen = Podopt_broker.Loadgen
 
+(** {1 Record/replay}
+
+    Deterministic run logs: {!Record} serializes everything a broker
+    run consumes into a {!Replay_log.t}, {!Replay} reconstructs and
+    re-runs it (byte-identical document at any domain count), and
+    {!Replay_diff} is the differential oracle over a recorded log
+    (optimizer on vs off, compiled vs interpreted handlers), with
+    greedy shrinking to a minimal reproducer (see [doc/REPLAY.md]). *)
+
+module Replay_log = Podopt_replay.Log
+module Record = Podopt_replay.Record
+module Replay = Podopt_replay.Replay
+module Replay_diff = Podopt_replay.Diff
+
 type applied = Driver.applied
 
 (** The paper's methodology in one call: profile [workload] (two runs —

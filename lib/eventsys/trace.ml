@@ -30,6 +30,20 @@ let clear t =
   t.entries <- [];
   t.count <- 0
 
+(* Drop the oldest entries, retaining the newest [keep].  Entries are
+   stored newest-first, so this keeps the list prefix. *)
+let truncate_oldest t ~keep =
+  if keep < 0 then invalid_arg "Trace.truncate_oldest: keep must be >= 0";
+  if t.count > keep then begin
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.entries <- take keep t.entries;
+    t.count <- keep
+  end
+
 let enable_events t = t.events_enabled <- true
 let disable_events t = t.events_enabled <- false
 

@@ -27,6 +27,11 @@ type t = {
 
 val create : unit -> t
 val clear : t -> unit
+
+(** Drop the oldest entries, keeping only the newest [keep]; no-op when
+    the trace is already within bounds.  Raises [Invalid_argument] on a
+    negative [keep]. *)
+val truncate_oldest : t -> keep:int -> unit
 val enable_events : t -> unit
 val disable_events : t -> unit
 

@@ -102,10 +102,12 @@ let to_string s =
 
 type t = {
   spec : spec;
+  salt : int;
   crash_rng : Prng.t;
   spike_rng : Prng.t;
   corrupt_rng : Prng.t;
   drop_rng : Prng.t;
+  mutable logger : (salt:int -> kind:string -> fired:bool -> unit) option;
 }
 
 (* splitmix64: one finalization round per derived stream *)
@@ -126,26 +128,41 @@ let stream seed ~salt ~kind =
 let create ?(salt = 0) spec =
   {
     spec;
+    salt;
     crash_rng = stream spec.seed ~salt ~kind:1;
     spike_rng = stream spec.seed ~salt ~kind:2;
     corrupt_rng = stream spec.seed ~salt ~kind:3;
     drop_rng = stream spec.seed ~salt ~kind:4;
+    logger = None;
   }
 
 let spec t = t.spec
-let crash t = Prng.bool t.crash_rng ~permille:t.spec.crash_permille
+let salt t = t.salt
+let set_logger t logger = t.logger <- logger
+
+(* Report one draw decision to the logger (the record/replay layer);
+   only actual stream advances are reported, so the logged sequence is
+   exactly the sequence a replay must reproduce. *)
+let log t ~kind fired =
+  (match t.logger with
+   | Some f -> f ~salt:t.salt ~kind ~fired
+   | None -> ());
+  fired
+
+let crash t = log t ~kind:"crash" (Prng.bool t.crash_rng ~permille:t.spec.crash_permille)
 
 let spike t =
-  if Prng.bool t.spike_rng ~permille:t.spec.spike_permille then
-    Some t.spec.spike_cost
+  if log t ~kind:"spike" (Prng.bool t.spike_rng ~permille:t.spec.spike_permille)
+  then Some t.spec.spike_cost
   else None
 
-let drop t = Prng.bool t.drop_rng ~permille:t.spec.drop_permille
+let drop t = log t ~kind:"drop" (Prng.bool t.drop_rng ~permille:t.spec.drop_permille)
 
 let corrupt t (b : bytes) =
   if
     Bytes.length b > 0
-    && Prng.bool t.corrupt_rng ~permille:t.spec.corrupt_permille
+    && log t ~kind:"corrupt"
+         (Prng.bool t.corrupt_rng ~permille:t.spec.corrupt_permille)
   then begin
     let b' = Bytes.copy b in
     let i = Prng.int t.corrupt_rng (Bytes.length b') in

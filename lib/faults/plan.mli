@@ -51,6 +51,17 @@ val create : ?salt:int -> spec -> t
 
 val spec : t -> spec
 
+(** The salt this injector's streams were derived with. *)
+val salt : t -> int
+
+(** Install (or remove, with [None]) a draw-decision logger: called
+    once per actual stream advance with the injector's salt, the fault
+    kind ([crash]/[spike]/[corrupt]/[drop]), and whether the fault
+    fired.  The record/replay layer uses this to capture — and on
+    replay, verify — the exact fault-draw sequence of a run.  The
+    logger must not itself draw from the injector. *)
+val set_logger : t -> (salt:int -> kind:string -> fired:bool -> unit) option -> unit
+
 (** One crash decision (advances only the crash stream). *)
 val crash : t -> bool
 

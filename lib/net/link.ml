@@ -18,6 +18,9 @@ type t = {
   loss_permille : int;
   rng : Prng.t;
   stats : stats;
+  attempts : (int, int) Hashtbl.t;  (* packet seq -> sends so far *)
+  mutable script : (Packet.t -> attempt:int -> int option) option;
+  mutable logger : (Packet.t -> attempt:int -> int option -> unit) option;
 }
 
 let create ?(latency = 50) ?(jitter = 0) ?(loss_permille = 0) ?(seed = 42L) () =
@@ -27,20 +30,38 @@ let create ?(latency = 50) ?(jitter = 0) ?(loss_permille = 0) ?(seed = 42L) () =
     loss_permille;
     rng = Prng.create ~seed;
     stats = { sent = 0; delivered = 0; dropped = 0; bytes = 0 };
+    attempts = Hashtbl.create 16;
+    script = None;
+    logger = None;
   }
 
+let set_script t script = t.script <- script
+let set_logger t logger = t.logger <- logger
+
 (* Send [packet] towards [rt]; on delivery the event [deliver_event] is
-   raised with the encoded packet as its single argument. *)
+   raised with the encoded packet as its single argument.  The outcome
+   — [None] lost, [Some delay] delivered — comes from the loss/jitter
+   PRNG unless a script overrides it; either way the logger sees it. *)
 let send (t : t) (rt : Runtime.t) ~(deliver_event : string) (packet : Packet.t) : unit =
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes <- t.stats.bytes + Packet.size packet;
-  if Prng.bool t.rng ~permille:t.loss_permille then
-    t.stats.dropped <- t.stats.dropped + 1
-  else begin
+  let seq = packet.Packet.seq in
+  let attempt = Option.value ~default:0 (Hashtbl.find_opt t.attempts seq) in
+  Hashtbl.replace t.attempts seq (attempt + 1);
+  let outcome =
+    match t.script with
+    | Some script -> script packet ~attempt
+    | None ->
+      if Prng.bool t.rng ~permille:t.loss_permille then None
+      else
+        Some (t.latency + (if t.jitter > 0 then Prng.int t.rng t.jitter else 0))
+  in
+  (match t.logger with Some log -> log packet ~attempt outcome | None -> ());
+  match outcome with
+  | None -> t.stats.dropped <- t.stats.dropped + 1
+  | Some delay ->
     t.stats.delivered <- t.stats.delivered + 1;
-    let delay = t.latency + (if t.jitter > 0 then Prng.int t.rng t.jitter else 0) in
     Runtime.raise_timed rt deliver_event ~delay
       [ Podopt_hir.Value.Bytes (Packet.encode packet) ]
-  end
 
 let stats t = t.stats

@@ -18,6 +18,21 @@ type t
 val create :
   ?latency:int -> ?jitter:int -> ?loss_permille:int -> ?seed:int64 -> unit -> t
 
+(** Replace the link's loss/jitter draws with a scripted outcome
+    source: called per send with the packet and its per-seq attempt
+    index (0 for the first send of that seq); [None] loses the packet,
+    [Some delay] delivers after [delay] units.  While a script is
+    installed the link's PRNG is never advanced.  [None] restores the
+    probabilistic behaviour.  The replay layer uses this to re-impose a
+    recorded arrival schedule. *)
+val set_script : t -> (Packet.t -> attempt:int -> int option) option -> unit
+
+(** Observe every send's outcome ([None] lost, [Some delay] delivered)
+    together with the packet and its per-seq attempt index; scripted
+    and probabilistic outcomes both pass through.  The run recorder
+    captures the arrival schedule here. *)
+val set_logger : t -> (Packet.t -> attempt:int -> int option -> unit) option -> unit
+
 (** Send towards [rt]: on (probabilistic) delivery, [deliver_event] is
     raised after latency(+jitter) with the encoded packet as its single
     argument. *)

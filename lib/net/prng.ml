@@ -13,9 +13,23 @@ let next (t : t) : int64 =
   t.state <- x;
   Int64.mul x 0x2545F4914F6CDD1DL
 
-(* uniform int in [0, bound) *)
+(* Uniform int in [0, bound) by rejection sampling over a 63-bit draw:
+   a plain [rem] maps the 2^63 mod bound leftover values onto the low
+   residues, biasing them.  We reject draws above the largest multiple
+   of [bound] and redraw; accepted draws map exactly as before, so the
+   sequence only changes on the (astronomically rare, for small bounds)
+   rejected draws. *)
 let int (t : t) (bound : int) : int =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+  let b = Int64.of_int bound in
+  (* leftover = 2^63 mod b, computed without overflowing int64 *)
+  let leftover = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+  let cutoff = Int64.sub Int64.max_int leftover in
+  let rec draw () =
+    let d = Int64.logand (next t) Int64.max_int in
+    if Int64.compare d cutoff <= 0 then Int64.to_int (Int64.rem d b)
+    else draw ()
+  in
+  draw ()
 
 let bool (t : t) ~(permille : int) : bool = int t 1000 < permille

@@ -15,7 +15,8 @@ type policy = {
   min_trace : int;        (* but only once the trace has this many entries *)
   threshold : int;        (* analysis threshold W *)
   strategy : Plan.chain_strategy;
-  max_trace : int;        (* clear the trace beyond this length *)
+  max_trace : int;        (* bound the trace to this length *)
+  compile : bool;         (* compile super-handlers (vs interpret the HIR) *)
 }
 
 let default_policy =
@@ -25,6 +26,7 @@ let default_policy =
     threshold = Driver.default_threshold;
     strategy = Plan.Monolithic;
     max_trace = 100_000;
+    compile = true;
   }
 
 type t = {
@@ -62,7 +64,7 @@ let reoptimize (t : t) : Driver.applied option =
   let plan = Driver.analyze ~threshold:t.policy.threshold ~strategy:t.policy.strategy t.rt in
   if plan.Plan.actions = [] then None
   else begin
-    let applied = Driver.apply t.rt plan in
+    let applied = Driver.apply ~compile:t.policy.compile t.rt plan in
     t.fallbacks_at_last_opt <-
       t.rt.Runtime.stats.Runtime.fallbacks
       + t.rt.Runtime.stats.Runtime.segment_fallbacks;
@@ -72,10 +74,13 @@ let reoptimize (t : t) : Driver.applied option =
   end
 
 (* Poll: call periodically (e.g. from the application's idle loop).
-   Keeps the trace bounded and re-optimizes when the policy triggers. *)
+   Keeps the trace bounded and re-optimizes when the policy triggers.
+   Bounding retains the newest half of the window rather than clearing:
+   dropping the whole trace would discard all profile history and stall
+   re-optimization until [min_trace] entries rebuild from scratch. *)
 let tick (t : t) : Driver.applied option =
   if Trace.length t.rt.Runtime.trace > t.policy.max_trace then
-    Trace.clear t.rt.Runtime.trace;
+    Trace.truncate_oldest t.rt.Runtime.trace ~keep:(t.policy.max_trace / 2);
   if should_reoptimize t then reoptimize t else None
 
 let reoptimizations (t : t) = t.reoptimizations

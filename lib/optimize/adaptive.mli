@@ -12,7 +12,13 @@ type policy = {
   min_trace : int;       (** ... once the trace is this long *)
   threshold : int;
   strategy : Plan.chain_strategy;
-  max_trace : int;       (** clear the trace beyond this length *)
+  max_trace : int;
+      (** bound the trace to this length; past it the oldest half is
+          dropped, retaining recent history for the next analysis *)
+  compile : bool;
+      (** compile installed super-handlers to closures (default); false
+          interprets the transformed HIR instead — same observable
+          behaviour, different virtual cost *)
 }
 
 val default_policy : policy

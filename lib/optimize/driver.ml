@@ -86,7 +86,16 @@ let build_super (rt : Runtime.t) (prog : Ast.program) ~passes
 let is_generated_name name =
   String.length name >= 8 && String.sub name 0 8 = "__super_"
 
-let apply (rt : Runtime.t) (plan : Plan.t) : applied =
+(* [compile:false] installs interpreted closures over the transformed
+   HIR instead of compiled ones: observably identical (same merged,
+   subsumed, optimized bodies; same guards), different virtual cost.
+   The replay differential oracle runs both variants against each other
+   to check exactly that. *)
+let apply ?(compile = true) (rt : Runtime.t) (plan : Plan.t) : applied =
+  let compile_proc prog' name : Compile.compiled_proc =
+    if compile then Compile.proc prog' name
+    else fun host args -> Interp.run ~host prog' name args
+  in
   (* drop super-handlers from earlier applications: they are about to be
      regenerated against the current bindings, and a stale same-named
      procedure would win the name lookup during compilation *)
@@ -126,7 +135,7 @@ let apply (rt : Runtime.t) (plan : Plan.t) : applied =
         let proc, arity = build_super rt prog ~passes:plan.Plan.passes ~subsume ~event in
         add_proc proc;
         let prog' = prog @ [ proc ] in
-        let compiled = Compile.proc prog' proc.Ast.name in
+        let compiled = compile_proc prog' proc.Ast.name in
         Runtime.install_super rt ~event ~covered ~arity compiled;
         installed := event :: !installed
       end
@@ -214,7 +223,7 @@ let apply (rt : Runtime.t) (plan : Plan.t) : applied =
                 | Some (event, (proc, arity)) ->
                   add_proc proc;
                   let prog' = prog @ [ proc ] in
-                  let compiled = Compile.proc prog' proc.Ast.name in
+                  let compiled = compile_proc prog' proc.Ast.name in
                   let next = List.nth_opt events (i + 1) in
                   Some (Runtime.make_segment rt ~event ?next ~arity compiled)
                 | None -> None)

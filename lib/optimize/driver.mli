@@ -37,8 +37,12 @@ val build_super :
 
 (** Install a plan.  Chains install a super-handler for the head and for
     every suffix (later chain events may be raised from outside the
-    chain).  Generated procedures are appended to the runtime program. *)
-val apply : Runtime.t -> Plan.t -> applied
+    chain).  Generated procedures are appended to the runtime program.
+    [compile] (default [true]) compiles super-handlers to closures;
+    [~compile:false] installs interpreted closures over the same
+    transformed HIR — observably identical, different virtual cost (the
+    replay differential oracle compares the two variants). *)
+val apply : ?compile:bool -> Runtime.t -> Plan.t -> applied
 
 (** The paper's methodology in one call: run [workload] with event
     instrumentation, analyze, re-run with handler instrumentation on the

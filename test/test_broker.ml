@@ -174,6 +174,25 @@ let steady_summary ?(shards = 2) ?(optimize = true) ?(warmup_ops = 12) () =
   let cfg = { B.Broker.default_config with shards; optimize; seed = 7L } in
   B.Loadgen.steady ~warmup_ops (B.Broker.create cfg) small_profile
 
+let test_truncated_flag () =
+  (* regression: [Loadgen.run] silently stopped at [max_ticks], reporting
+     an unfinished run as if it had completed; the summary must carry a
+     [truncated] flag *)
+  let cfg = { B.Broker.default_config with shards = 2; optimize = false; seed = 7L } in
+  let broker = B.Broker.create cfg in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> B.Broker.shutdown broker)
+      (fun () ->
+        let sessions = B.Loadgen.make_sessions broker small_profile in
+        B.Loadgen.run ~max_ticks:1 broker sessions)
+  in
+  Alcotest.(check bool) "tick-budget run is flagged" true s.B.Loadgen.truncated;
+  Alcotest.(check bool) "and did not finish" true (s.B.Loadgen.sent < 16);
+  let full = steady_summary () in
+  Alcotest.(check bool) "completed run is not flagged" false
+    full.B.Loadgen.truncated
+
 let test_run_completes () =
   let s = steady_summary () in
   Alcotest.(check int) "all ops sent" 16 s.B.Loadgen.sent;
@@ -280,6 +299,7 @@ let suite =
     Alcotest.test_case "backoff delays" `Quick test_backoff_delay;
     Alcotest.test_case "session retries then gives up" `Quick
       test_session_give_up;
+    Alcotest.test_case "truncated run is flagged" `Quick test_truncated_flag;
     Alcotest.test_case "steady run completes" `Quick test_run_completes;
     Alcotest.test_case "steady run is optimized" `Quick test_run_optimized_path;
     Alcotest.test_case "runs are deterministic" `Quick test_run_deterministic;

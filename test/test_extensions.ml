@@ -179,6 +179,26 @@ let test_adaptive_reoptimizes_after_rebind () =
   burst ();
   Alcotest.(check int) "fast path restored" 0 rt.Runtime.stats.Runtime.fallbacks
 
+let test_adaptive_retains_trace_history () =
+  (* regression: past [max_trace] the controller cleared the whole trace,
+     discarding all profile history and stalling re-optimization until
+     [min_trace] entries rebuilt from scratch; it must retain the newest
+     half of the window instead. *)
+  let rt = adaptive_setup () in
+  let policy =
+    { Adaptive.default_policy with
+      Adaptive.fallback_limit = max_int; min_trace = max_int; max_trace = 100 }
+  in
+  let ctl = Adaptive.create ~policy rt in
+  for i = 1 to 120 do
+    Runtime.raise_sync rt "W" [ Value.Int i ]
+  done;
+  Alcotest.(check bool) "trace overflows the bound" true
+    (Trace.length rt.Runtime.trace > 100);
+  ignore (Adaptive.tick ctl);
+  Alcotest.(check int) "retains the newest half, not nothing" 50
+    (Trace.length rt.Runtime.trace)
+
 let test_adaptive_preserves_behaviour () =
   let rt1 = adaptive_setup () in
   let rt2 = adaptive_setup () in
@@ -220,4 +240,6 @@ let suite =
     Alcotest.test_case "defer cheaper" `Quick test_defer_cheaper_than_generic;
     Alcotest.test_case "adaptive reoptimizes" `Quick test_adaptive_reoptimizes_after_rebind;
     Alcotest.test_case "adaptive preserves" `Quick test_adaptive_preserves_behaviour;
+    Alcotest.test_case "adaptive retains trace history" `Quick
+      test_adaptive_retains_trace_history;
   ]

@@ -33,4 +33,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
+      ("replay", Test_replay.suite);
     ]

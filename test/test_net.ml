@@ -29,6 +29,25 @@ let test_prng_deterministic () =
   done;
   Alcotest.(check bool) "different seed differs" true !differs
 
+let test_prng_unbiased () =
+  (* regression: [Prng.int] reduced the raw 63-bit draw with a plain
+     modulo.  For bound 3*2^60 that makes residues below 2^61 land 3/4
+     of the time instead of the uniform 2/3; rejection sampling restores
+     uniformity. *)
+  let bound = 3 * (1 lsl 60) in
+  let cut = 1 lsl 61 in
+  let t = Prng.create ~seed:42L in
+  let n = 20_000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Prng.int t bound < cut then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform fraction below the cut (%.3f, want ~0.667)" frac)
+    true
+    (frac > 0.64 && frac < 0.69)
+
 let mk_receiver () =
   let rt = Runtime.create ~program:(Parse.program "handler rx(w) { emit(\"rx\", w); }") () in
   Runtime.bind rt ~event:"Deliver" (Handler.hir' "rx");
@@ -86,6 +105,7 @@ let suite =
     Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
     Alcotest.test_case "packet garbage" `Quick test_packet_decode_garbage;
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng unbiased" `Quick test_prng_unbiased;
     Alcotest.test_case "latency" `Quick test_link_delivers_with_latency;
     Alcotest.test_case "loss rate" `Quick test_link_loss_rate;
     Alcotest.test_case "jitter" `Quick test_link_jitter_varies_delay;
