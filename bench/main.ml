@@ -481,6 +481,9 @@ module Bjson = struct
     btrips : int;
     bdropped : int;
     bdecode : int;
+    bwarm : bool; (* warm-started from a profile store *)
+    bfirst_opt : int;
+    bfirst_gen : int;
     belapsed : int;
     blatency : Bk.Loadgen.latency;
   }
@@ -495,7 +498,7 @@ module Bjson = struct
       d.Podopt_obs.Hist.p50 prefix d.Podopt_obs.Hist.p90 prefix
       d.Podopt_obs.Hist.p99 prefix d.Podopt_obs.Hist.max
 
-  let of_summary ~bsection ~bkind ~bmode ~bshards ~bdomains
+  let of_summary ?(bwarm = false) ~bsection ~bkind ~bmode ~bshards ~bdomains
       ~(profile : Bk.Loadgen.profile) ~wall_ns (s : Bk.Loadgen.summary) =
     {
       bsection;
@@ -519,6 +522,9 @@ module Bjson = struct
       btrips = s.Bk.Loadgen.breaker_trips;
       bdropped = s.Bk.Loadgen.link_dropped;
       bdecode = s.Bk.Loadgen.decode_failures;
+      bwarm;
+      bfirst_opt = s.Bk.Loadgen.first_epoch_optimized;
+      bfirst_gen = s.Bk.Loadgen.first_epoch_generic;
       belapsed = s.Bk.Loadgen.elapsed;
       blatency = s.Bk.Loadgen.latency;
     }
@@ -526,7 +532,7 @@ module Bjson = struct
   let write path =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v3\",\n";
+    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v4\",\n";
     Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
     Buffer.add_string b "  \"entries\": [\n";
     let n = List.length !entries in
@@ -539,11 +545,13 @@ module Bjson = struct
            \"optimized\": %d, \"generic\": %d, \"fallbacks\": %d, \
            \"failures\": %d, \"requeued\": %d, \"quarantined\": %d, \
            \"breaker_trips\": %d, \"link_dropped\": %d, \"decode_failures\": %d, \
-           \"elapsed\": %d, %s, %s, %s}%s\n"
+           \"warm\": %b, \"first_epoch_optimized\": %d, \
+           \"first_epoch_generic\": %d, \"elapsed\": %d, %s, %s, %s}%s\n"
           e.bsection e.bkind e.bmode e.bshards e.bdomains e.bsessions e.bops
           e.bwall_ns e.bbusy e.bmakespan e.bdispatched e.bshed e.boptimized
           e.bgeneric e.bfallbacks e.bfailures e.brequeued e.bquarantined
-          e.btrips e.bdropped e.bdecode e.belapsed
+          e.btrips e.bdropped e.bdecode e.bwarm e.bfirst_opt e.bfirst_gen
+          e.belapsed
           (dist_json "qwait" e.blatency.Bk.Loadgen.queue_wait)
           (dist_json "svc_opt" e.blatency.Bk.Loadgen.service_opt)
           (dist_json "svc_gen" e.blatency.Bk.Loadgen.service_gen)
@@ -613,6 +621,7 @@ let run_broker ~bsection ~kind ~shards ~domains ~optimize ~profile ~warmup_ops
       end;
       Bjson.record
         (Bjson.of_summary ~bsection
+           ~bwarm:(cfg.Bk.Broker.optimize && cfg.Bk.Broker.profile_in <> None)
            ~bkind:(Bk.Workload.kind_to_string kind)
            ~bmode:(if optimize then "optimized" else "generic")
            ~bshards:shards ~bdomains:domains ~profile ~wall_ns s);
@@ -864,6 +873,70 @@ let broker_latency ?(quick = false) () =
     (ratio od.Podopt_obs.Hist.p50 gd.Podopt_obs.Hist.p50)
     (ratio od.Podopt_obs.Hist.p99 gd.Podopt_obs.Hist.p99)
 
+(* --- Broker: warm start from a profile store ----------------------------- *)
+
+(* Cold vs warm ramp: a seed run's per-shard profiles are captured into
+   a store, then the same load is served twice with no warm-up phase —
+   once cold (the adaptive controllers must rediscover the hot chains
+   from live traffic) and once warm-started from the store (the merged
+   profile compiles super-handlers before the first packet).  The
+   first-epoch counters make the ramp visible: cold's first batches are
+   all generic. *)
+let broker_warm ?(quick = false) () =
+  section
+    "Broker warm start: cold vs profile-store-fed, no warm-up phase (SecComm \
+     steady state)";
+  let profile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = (if quick then 8 else 16);
+      ops = (if quick then 8 else 20);
+      interval = 120;
+      spread = 31;
+    }
+  in
+  let shards = 2 in
+  let store =
+    let cfg =
+      {
+        Bk.Broker.default_config with
+        Bk.Broker.shards;
+        kind = Bk.Workload.Seccomm;
+        optimize = true;
+        batch = 16;
+        queue_limit = 256;
+        seed = 11L;
+      }
+    in
+    let b = Bk.Broker.create cfg in
+    Fun.protect
+      ~finally:(fun () -> Bk.Broker.shutdown b)
+      (fun () ->
+        ignore (Bk.Loadgen.steady ~warmup_ops:12 b profile);
+        Bk.Broker.profile_store b)
+  in
+  let run tweak =
+    fst
+      (run_broker ~bsection:"broker-warm" ~kind:Bk.Workload.Seccomm ~shards
+         ~domains:1 ~optimize:true ~profile ~warmup_ops:0 ~tweak ())
+  in
+  let cold = run (fun c -> c) in
+  let warm = run (fun c -> { c with Bk.Broker.profile_in = Some store }) in
+  Fmt.pr "%6s | %13s %13s | %9s | %12s %12s@." "mode" "1st-epoch opt"
+    "1st-epoch gen" "opt-path%" "cost" "makespan";
+  let row name (s : Bk.Loadgen.summary) =
+    Fmt.pr "%6s | %13d %13d | %9.1f | %12d %12d@." name
+      s.Bk.Loadgen.first_epoch_optimized s.Bk.Loadgen.first_epoch_generic
+      (Bk.Loadgen.opt_pct s) s.Bk.Loadgen.busy s.Bk.Loadgen.makespan
+  in
+  row "cold" cold;
+  row "warm" warm;
+  Fmt.pr
+    "@.(the seed run's store is merged and fed back via profile_in; the warm@. \
+     broker dispatches optimized in its very first batch while the cold one@. \
+     must re-profile from scratch, so the warm run's optimized-path share@. \
+     and total cost beat cold for the same traffic)@."
+
 (* --- Broker: deterministic fault injection ------------------------------- *)
 
 let broker_faults ?(quick = false) () =
@@ -1002,6 +1075,7 @@ let all_tables () =
   configs ();
   broker ();
   broker_latency ();
+  broker_warm ();
   broker_faults ()
 
 let () =
@@ -1033,6 +1107,7 @@ let () =
         | "configs" -> configs ()
         | "broker" -> broker ~quick ()
         | "broker-latency" -> broker_latency ~quick ()
+        | "broker-warm" -> broker_warm ~quick ()
         | "broker-par" -> broker_par ~quick ()
         | "broker-faults" -> broker_faults ~quick ()
         | "bechamel" -> bechamel ()

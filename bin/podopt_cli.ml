@@ -7,6 +7,7 @@
      podopt record   <workload> run the broker and record a replay log
      podopt replay   <file>     re-run a recorded log, check byte-identity
      podopt diff     <file>     differential oracle over a recorded log
+     podopt profile  merge|show operate on persistent profile stores
      podopt hir      <file>     parse, optimize and run a HIR program
 
    <app> is one of: video, seccomm, xclient. *)
@@ -138,8 +139,21 @@ let optimize app threshold strategy spec =
 
 (* --- serve ----------------------------------------------------------------- *)
 
+(* Load a profile store for [--profile-in], mapping failures to a
+   message (the caller exits 1: a corrupt or missing profile is an
+   input error, not a crash). *)
+let load_profile = function
+  | None -> Ok None
+  | Some path ->
+    (match Podopt.Profile_store.load path with
+     | store -> Ok (Some store)
+     | exception Podopt.Profile_store.Format_error msg ->
+       Error (Printf.sprintf "bad profile %s: %s" path msg)
+     | exception Sys_error msg -> Error msg)
+
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup domains faults metrics json =
+    policy seed generic warmup domains faults metrics json profile_in
+    profile_out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -156,6 +170,11 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
     Fmt.epr "podopt: %s must be positive@." flag;
     2
   | None ->
+  match load_profile profile_in with
+  | Error msg ->
+    Fmt.epr "podopt: %s@." msg;
+    1
+  | Ok profile_in ->
   let cfg =
     {
       B.Broker.default_config with
@@ -168,10 +187,11 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       seed = Int64.of_int seed;
       domains;
       faults;
+      profile_in;
     }
   in
   let broker = B.Broker.create cfg in
-  let summary =
+  let summary, saved =
     Fun.protect
       ~finally:(fun () -> B.Broker.shutdown broker)
       (fun () ->
@@ -185,7 +205,16 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
             jitter;
           }
         in
-        B.Loadgen.steady ~warmup_ops:warmup broker profile)
+        let summary = B.Loadgen.steady ~warmup_ops:warmup broker profile in
+        let saved =
+          match profile_out with
+          | None -> None
+          | Some path ->
+            let store = B.Broker.profile_store broker in
+            Podopt.Profile_store.save path store;
+            Some (path, List.length (Podopt.Profile_store.entries store))
+        in
+        (summary, saved))
   in
   if json then print_string (B.Report.json ~metrics broker summary)
   else begin
@@ -198,15 +227,23 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       (if generic then "generic" else "optimized")
       seed domains
       (Podopt.Faults.to_string faults);
+    if B.Broker.warm_start broker then
+      Fmt.pr "warm start: %d super-handlers installed before the first packet \
+              (%d stale events dropped)@.@."
+        (B.Broker.warm_installed broker)
+        (B.Broker.warm_stale broker);
     Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
-    if metrics then Fmt.pr "@.%a" B.Report.pp_metrics broker
+    if metrics then Fmt.pr "@.%a" B.Report.pp_metrics broker;
+    match saved with
+    | None -> ()
+    | Some (path, n) -> Fmt.pr "@.wrote profile -> %s (%d entries)@." path n
   end;
   0
 
 (* --- record / replay / diff ----------------------------------------------- *)
 
 let record_run kind sessions shards batch queue_limit ops interval latency
-    jitter policy seed generic warmup domains faults metrics out =
+    jitter policy seed generic warmup domains faults metrics profile_in out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -223,6 +260,11 @@ let record_run kind sessions shards batch queue_limit ops interval latency
     Fmt.epr "podopt: %s must be positive@." flag;
     2
   | None ->
+  match load_profile profile_in with
+  | Error msg ->
+    Fmt.epr "podopt: %s@." msg;
+    1
+  | Ok profile_in ->
     let cfg =
       {
         B.Broker.default_config with
@@ -235,6 +277,7 @@ let record_run kind sessions shards batch queue_limit ops interval latency
         seed = Int64.of_int seed;
         domains;
         faults;
+        profile_in;
       }
     in
     let profile =
@@ -316,6 +359,38 @@ let diff_run file tamper out =
        Fmt.pr "wrote minimal reproducer -> %s@." path
      | _ -> ());
     if diverged = [] then 0 else 1
+
+(* --- profile merge / show ------------------------------------------------- *)
+
+let profile_merge out files =
+  let rec load_all acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest ->
+      (match load_profile (Some path) with
+       | Ok (Some store) -> load_all (store :: acc) rest
+       | Ok None -> assert false
+       | Error msg -> Error msg)
+  in
+  match load_all [] files with
+  | Error msg ->
+    Fmt.epr "podopt: %s@." msg;
+    1
+  | Ok stores ->
+    let merged = Podopt.Profile_store.merge_all stores in
+    Podopt.Profile_store.save out merged;
+    Fmt.pr "merged %d profiles -> %s (%d entries)@." (List.length files) out
+      (List.length (Podopt.Profile_store.entries merged));
+    0
+
+let profile_show file =
+  match load_profile (Some file) with
+  | Error msg ->
+    Fmt.epr "podopt: %s@." msg;
+    1
+  | Ok None -> assert false
+  | Ok (Some store) ->
+    Fmt.pr "%a" Podopt.Profile_store.pp store;
+    0
 
 (* --- trace / analyze ------------------------------------------------------ *)
 
@@ -516,6 +591,13 @@ let metrics_flag =
                queue-wait and service-time percentiles, plus per-event \
                dispatch-time distributions.")
 
+let profile_in_arg =
+  Arg.(value & opt (some string) None & info [ "profile-in" ] ~docv:"FILE"
+         ~doc:"Warm-start from the profile store $(docv): merged event \
+               graphs compile super-handlers before the first packet. A \
+               stale profile (bindings changed since it was recorded) \
+               degrades safely to generic dispatch.")
+
 let serve_cmd =
   let doc = "Serve a workload through the sharded event broker." in
   Cmd.v (Cmd.info "serve" ~doc)
@@ -539,9 +621,14 @@ let serve_cmd =
       $ faults_arg
       $ metrics_flag
       $ Arg.(value & flag & info [ "json" ]
-               ~doc:"Print the run as a JSON document (schema podopt/serve/v4) \
+               ~doc:"Print the run as a JSON document (schema podopt/serve/v5) \
                      instead of the tables; deterministic and independent of \
-                     --domains."))
+                     --domains.")
+      $ profile_in_arg
+      $ Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+               ~doc:"After the run, write every shard's accumulated profile \
+                     to the store $(docv) (merge stores across runs with \
+                     $(b,podopt profile merge))."))
 
 let record_cmd =
   let doc = "Run a broker workload and record it to a replay log." in
@@ -570,6 +657,7 @@ let record_cmd =
       $ faults_arg
       $ Arg.(value & flag & info [ "metrics" ]
                ~doc:"Record the document with the latency metrics section.")
+      $ profile_in_arg
       $ out)
 
 let replay_cmd =
@@ -614,6 +702,35 @@ let diff_cmd =
   in
   Cmd.v (Cmd.info "diff" ~doc) Term.(const diff_run $ file $ tamper $ out)
 
+let profile_cmd =
+  let doc = "Operate on persistent profile stores." in
+  let merge =
+    let doc =
+      "Merge profile stores into one. The merge is a content-addressed set \
+       union: associative, commutative, idempotent, and byte-identical \
+       under any argument order."
+    in
+    let out =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT"
+             ~doc:"Merged store to write.")
+    in
+    let files =
+      Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE"
+             ~doc:"Profile stores to merge (written by \
+                   $(b,podopt serve --profile-out)).")
+    in
+    Cmd.v (Cmd.info "merge" ~doc) Term.(const profile_merge $ out $ files)
+  in
+  let show =
+    let doc = "Print a profile store's entries in human-readable form." in
+    let file =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+             ~doc:"Profile store to print.")
+    in
+    Cmd.v (Cmd.info "show" ~doc) Term.(const profile_show $ file)
+  in
+  Cmd.group (Cmd.info "profile" ~doc) [ merge; show ]
+
 let trace_cmd =
   let doc = "Profile an application and save the trace to a file." in
   let output =
@@ -640,4 +757,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ report_cmd; graph_cmd; optimize_cmd; serve_cmd; record_cmd; replay_cmd;
-            diff_cmd; trace_cmd; analyze_cmd; hir_cmd_t ]))
+            diff_cmd; profile_cmd; trace_cmd; analyze_cmd; hir_cmd_t ]))

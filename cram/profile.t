@@ -1,0 +1,49 @@
+The persistent profile store: `serve --profile-out` writes every
+shard's accumulated adaptive state; stores merge as a set union that is
+byte-identical under any argument order; `serve --profile-in`
+warm-starts the broker from the merged profile before the first packet.
+
+  $ ../bin/podopt_cli.exe serve seccomm --profile-out p1.pprof > /dev/null
+  $ ../bin/podopt_cli.exe serve seccomm --seed 7 --profile-out p2.pprof > /dev/null
+
+Merging is order-independent (the two runs here observed identical
+per-shard profiles, so the union also deduplicates to 2 entries):
+
+  $ ../bin/podopt_cli.exe profile merge ab.pprof p1.pprof p2.pprof
+  merged 2 profiles -> ab.pprof (2 entries)
+  $ ../bin/podopt_cli.exe profile merge ba.pprof p2.pprof p1.pprof
+  merged 2 profiles -> ba.pprof (2 entries)
+  $ cmp ab.pprof ba.pprof
+
+  $ ../bin/podopt_cli.exe profile show ab.pprof
+  profile store: 2 entries
+  entry 530e6662: kind seccomm, shard 1, dispatched 32, trace 220, 4 events, 6 edges
+    handlers SecDeliver: deliver_up
+    handlers SecNetOut: net_out
+    handlers SecPop: coord_pop, xor_pop, des_pop, out_pop
+    handlers SecPush: coord_push, des_push, xor_push, out_push
+  entry 55335efb: kind seccomm, shard 0, dispatched 32, trace 220, 4 events, 6 edges
+    handlers SecDeliver: deliver_up
+    handlers SecNetOut: net_out
+    handlers SecPop: coord_pop, xor_pop, des_pop, out_pop
+    handlers SecPush: coord_push, des_push, xor_push, out_push
+
+A warm-started serve (no warm-up phase) compiles super-handlers before
+the first packet, so its very first batch dispatches optimized where a
+cold broker's is all generic:
+
+  $ ../bin/podopt_cli.exe serve seccomm --profile-in ab.pprof --warmup 0 | grep 'warm start'
+  warm start: 4 super-handlers installed before the first packet (0 stale events dropped)
+
+  $ ../bin/podopt_cli.exe serve seccomm --profile-in ab.pprof --warmup 0 --json | grep -o '"first_epoch_optimized": [0-9]*'
+  "first_epoch_optimized": 4
+
+  $ ../bin/podopt_cli.exe serve seccomm --warmup 0 --json | grep -o '"first_epoch_optimized": [0-9]*'
+  "first_epoch_optimized": 0
+
+A corrupt profile is an input error, not a crash:
+
+  $ echo garbage > bad.pprof
+  $ ../bin/podopt_cli.exe serve seccomm --profile-in bad.pprof
+  podopt: bad profile bad.pprof: bad record tag "garbage" in line "garbage"
+  [1]

@@ -10,10 +10,10 @@ Replaying reconstructs the run from the log alone and regenerates the
 document byte-for-byte — at the recorded domain count or any other.
 
   $ ../bin/podopt_cli.exe replay run.plog
-  replay OK: document byte-identical to the recording (10 lines)
+  replay OK: document byte-identical to the recording (11 lines)
 
   $ ../bin/podopt_cli.exe replay run.plog --domains 4
-  replay OK: document byte-identical to the recording (10 lines)
+  replay OK: document byte-identical to the recording (11 lines)
 
 The differential oracle executes the log under two variants per axis
 and diffs per-session observable outcomes (dispatch order, success,

@@ -2,6 +2,7 @@ open Podopt_eventsys
 module Packet = Podopt_net.Packet
 module Plan = Podopt_faults.Plan
 module V = Podopt_hir.Value
+module Store = Podopt_store.Store
 
 type config = {
   shards : int;
@@ -15,6 +16,7 @@ type config = {
   tick : int;
   domains : int;
   faults : Plan.spec;
+  profile_in : Store.t option;
 }
 
 let default_config =
@@ -30,6 +32,7 @@ let default_config =
     tick = 50;
     domains = 1;
     faults = Plan.none;
+    profile_in = None;
   }
 
 let deliver_event = "BrokerIngress"
@@ -79,10 +82,22 @@ let create (cfg : config) =
      artificial bursts *)
   let front = Runtime.create ~costs:Costs.free () in
   front.Runtime.emit_log_enabled <- false;
+  (* One aggregation of the stored profile feeds every shard's warm
+     start; each shard checks the shared signatures against its own
+     runtime.  Aggregation and installation happen here on the
+     coordinator — before the pool spawns — so a warm-started run stays
+     byte-identical at any domain count. *)
+  let warm =
+    match cfg.profile_in with
+    | Some store when cfg.optimize ->
+      let agg = Store.aggregate ~kind:(Workload.kind_to_string cfg.kind) store in
+      Some (agg.Store.agg_graph, agg.Store.agg_signatures)
+    | _ -> None
+  in
   let shards =
     Array.init cfg.shards (fun id ->
-        Shard.create ~faults:cfg.faults ~compile:cfg.compile ~id ~kind:cfg.kind
-          ~optimize:cfg.optimize ~queue_limit:cfg.queue_limit
+        Shard.create ~faults:cfg.faults ~compile:cfg.compile ?warm ~id
+          ~kind:cfg.kind ~optimize:cfg.optimize ~queue_limit:cfg.queue_limit
           ~policy:cfg.policy ())
   in
   (* the pool spawns after the shards exist: shard construction installs
@@ -180,6 +195,18 @@ let idle t =
 let routed t = t.routed
 let link_dropped t = t.link_dropped
 let decode_failures t = t.decode_failures
+
+(* Whether this broker was built with a stored profile feeding its
+   (optimizing) shards' warm start. *)
+let warm_start t = t.cfg.optimize && t.cfg.profile_in <> None
+let warm_installed t = Array.fold_left (fun acc s -> acc + Shard.warm_installed s) 0 t.shards
+let warm_stale t = Array.fold_left (fun acc s -> acc + Shard.warm_stale s) 0 t.shards
+
+(* Every optimizing shard's cumulative profile as a store — the
+   [--profile-out] surface. *)
+let profile_store t : Store.t =
+  Store.of_entries
+    (Array.to_list t.shards |> List.filter_map Shard.profile_entry)
 
 (* Attach (or clear) one fault-draw logger on every live injector: the
    front's (salt 0) and each shard's (salt id+1).  Per-salt streams are

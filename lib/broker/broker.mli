@@ -43,11 +43,18 @@ type config = {
       (** deterministic fault plan; the front injector (salt 0) applies
           drops and wire corruption before decode, each shard's injector
           (salt id+1) applies crashes and latency spikes at dispatch *)
+  profile_in : Podopt_store.Store.t option;
+      (** stored profile warm-starting every optimizing shard: the
+          matching entries are aggregated once on the coordinator and
+          super-handlers install before the first packet arrives; stale
+          entries degrade to generic dispatch (see
+          {!Shard.create}) *)
 }
 
 val default_config : config
 (** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
-    optimized, compiled, seed 42, tick 50, 1 domain, no faults. *)
+    optimized, compiled, seed 42, tick 50, 1 domain, no faults, no
+    stored profile. *)
 
 type t
 
@@ -106,6 +113,22 @@ val link_dropped : t -> int
 (** Wire buffers that failed to decode (e.g. corrupted by the fault
     plan); each is counted, never silently swallowed. *)
 val decode_failures : t -> int
+
+(** Whether the broker was built from a stored profile
+    ([profile_in] set on an optimizing config). *)
+val warm_start : t -> bool
+
+(** Super-handlers installed from the stored profile before any packet
+    arrived, summed over shards. *)
+val warm_installed : t -> int
+
+(** Stored-profile events rejected as stale, summed over shards. *)
+val warm_stale : t -> int
+
+(** Every optimizing shard's cumulative profile as a store — what
+    [--profile-out] writes.  Deterministic and independent of the
+    domain count. *)
+val profile_store : t -> Podopt_store.Store.t
 
 (** Install (or with [None] remove) one fault-draw logger on every live
     injector — the front's (salt 0) and each shard's (salt id+1).  Each

@@ -38,6 +38,8 @@ type summary = {
   breaker_trips : int;
   link_dropped : int;
   decode_failures : int;
+  first_epoch_optimized : int;
+  first_epoch_generic : int;
   latency : latency;
   busy : int;
   makespan : int;
@@ -92,6 +94,8 @@ let summarize ?(truncated = false) broker sessions ~elapsed =
     breaker_trips = sum Shard.breaker_trips;
     link_dropped = Broker.link_dropped broker;
     decode_failures = Broker.decode_failures broker;
+    first_epoch_optimized = sum Shard.first_epoch_optimized;
+    first_epoch_generic = sum Shard.first_epoch_generic;
     latency =
       (let merged =
          Metrics.merge_all

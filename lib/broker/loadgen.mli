@@ -46,6 +46,13 @@ type summary = {
   breaker_trips : int;  (** optimizer circuit-breaker trips *)
   link_dropped : int;   (** packets the fault plan dropped at the front *)
   decode_failures : int;(** wire buffers that failed to decode *)
+  first_epoch_optimized : int;
+      (** optimized dispatches in each shard's first non-empty batch,
+          summed — the warm-start ramp observable (a cold optimizing
+          broker serves its first batch generic; a warm-started one
+          serves it optimized) *)
+  first_epoch_generic : int;
+      (** generic dispatches in those same first batches *)
   latency : latency;    (** merged-across-shards latency percentiles *)
   busy : int;      (** total handler-time units across shards *)
   makespan : int;  (** the busiest shard's handler time — the parallel

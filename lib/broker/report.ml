@@ -132,7 +132,7 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
       (dist "service_gen" (Metrics.histogram m "service.generic"))
   in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"podopt/serve/v4\",\n";
+  Buffer.add_string b "  \"schema\": \"podopt/serve/v5\",\n";
   Printf.bprintf b
     "  \"workload\": %S, \"shards\": %d, \"batch\": %d, \"queue_limit\": %d, \
      \"policy\": %S, \"optimize\": %b, \"seed\": %Ld, \"tick\": %d,\n"
@@ -141,11 +141,17 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
     (Policy.shed_to_string cfg.Broker.policy)
     cfg.Broker.optimize cfg.Broker.seed cfg.Broker.tick;
   Printf.bprintf b
+    "  \"warm_start\": %b, \"warm_installed\": %d, \"warm_stale\": %d,\n"
+    (Broker.warm_start broker)
+    (Broker.warm_installed broker)
+    (Broker.warm_stale broker);
+  Printf.bprintf b
     "  \"summary\": {\"sent\": %d, \"retries\": %d, \"nacks\": %d, \
      \"gave_up\": %d, \"routed\": %d, \"shed\": %d, \"dispatched\": %d, \
      \"batches\": %d, \"optimized\": %d, \"generic\": %d, \"fallbacks\": %d, \
      \"failures\": %d, \"requeued\": %d, \"quarantined\": %d, \
      \"breaker_trips\": %d, \"link_dropped\": %d, \"decode_failures\": %d, \
+     \"first_epoch_optimized\": %d, \"first_epoch_generic\": %d, \
      \"busy\": %d, \"makespan\": %d, \"elapsed\": %d, \"truncated\": %b, \
      \"opt_pct\": %.1f,\n"
     s.Loadgen.sent s.Loadgen.retries s.Loadgen.nacks s.Loadgen.gave_up
@@ -153,6 +159,7 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
     s.Loadgen.optimized s.Loadgen.generic s.Loadgen.fallbacks
     s.Loadgen.failures s.Loadgen.requeued s.Loadgen.quarantined
     s.Loadgen.breaker_trips s.Loadgen.link_dropped s.Loadgen.decode_failures
+    s.Loadgen.first_epoch_optimized s.Loadgen.first_epoch_generic
     s.Loadgen.busy s.Loadgen.makespan s.Loadgen.elapsed s.Loadgen.truncated
     (Loadgen.opt_pct s);
   let merged = merged_metrics broker in

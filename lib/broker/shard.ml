@@ -4,6 +4,10 @@ module Plan = Podopt_faults.Plan
 module Packet = Podopt_net.Packet
 module Hist = Podopt_obs.Hist
 module Metrics = Podopt_obs.Metrics
+module Event_graph = Podopt_profile.Event_graph
+module Reduce = Podopt_profile.Reduce
+module Chains = Podopt_profile.Chains
+module Store = Podopt_store.Store
 
 (* Histogram names in the shard's metrics registry. *)
 let m_queue_wait = "queue_wait"
@@ -17,6 +21,13 @@ type stats = {
   mutable requeued : int;
   mutable quarantined : int;
   mutable dead_dropped : int;
+  (* dispatch-path split of the first non-empty drained batch since the
+     last reset — the warm-start ramp observable: a cold optimizing
+     shard serves its first batch generic, a warm-started one serves it
+     optimized *)
+  mutable first_epoch_optimized : int;
+  mutable first_epoch_generic : int;
+  mutable first_epoch_seen : bool;
 }
 
 type t = {
@@ -26,6 +37,8 @@ type t = {
   ingress : Ingress.t;
   adaptive : Adaptive.t option;
   breaker : Breaker.t option;
+  warm_installed : int;  (* super-handlers installed before any packet *)
+  warm_stale : int;      (* stored-profile events rejected as stale *)
   stats : stats;
   mutable sessions : int;
   mutable faults : Plan.t option;
@@ -41,7 +54,7 @@ type t = {
 }
 
 let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
-    ?(compile = true) ~id ~kind ~optimize ~queue_limit ~policy () =
+    ?(compile = true) ?warm ~id ~kind ~optimize ~queue_limit ~policy () =
   if max_failures < 1 then invalid_arg "Shard.create: max_failures < 1";
   if dead_limit < 1 then invalid_arg "Shard.create: dead_limit < 1";
   let rt = Workload.runtime kind in
@@ -58,6 +71,17 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
       Some (Adaptive.create ~policy rt)
     else None
   in
+  (* Warm start: install super-handlers from the stored profile before
+     any packet arrives.  Runs on the coordinator (shard construction
+     precedes the pool spawn), so the result — like everything else
+     derived from it — is identical at any domain count. *)
+  let warm_installed, warm_stale =
+    match (adaptive, warm) with
+    | Some a, Some (graph, signatures) ->
+      let w = Adaptive.warm_start a ~graph ~signatures in
+      (w.Adaptive.installed, w.Adaptive.stale_events)
+    | _ -> (0, 0)
+  in
   let breaker =
     match (optimize, breaker) with
     | true, Some policy -> Some (Breaker.create ~policy ())
@@ -71,6 +95,8 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
     ingress = Ingress.create ~limit:queue_limit ~policy;
     adaptive;
     breaker;
+    warm_installed;
+    warm_stale;
     stats =
       {
         batches = 0;
@@ -79,6 +105,9 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
         requeued = 0;
         quarantined = 0;
         dead_dropped = 0;
+        first_epoch_optimized = 0;
+        first_epoch_generic = 0;
+        first_epoch_seen = false;
       };
     sessions = 0;
     faults =
@@ -199,6 +228,8 @@ let drain_batch t ~now ~batch =
     t.stats.batches <- t.stats.batches + 1;
     let failures0 = t.rt.Runtime.stats.Runtime.handler_failures in
     let fallbacks0 = fallbacks t in
+    let opt0 = t.rt.Runtime.stats.Runtime.optimized_dispatches in
+    let gen0 = t.rt.Runtime.stats.Runtime.generic_dispatches in
     List.iter
       (fun ((due, p) : int * Packet.t) ->
         (* queue wait on the front clock, fresh arrivals only: a retry's
@@ -212,6 +243,15 @@ let drain_batch t ~now ~batch =
         end
         else note_failure t p)
       pkts;
+    (* the warm-start ramp observable: how the very first batch after a
+       (re)start or measurement reset split between the dispatch paths *)
+    if not t.stats.first_epoch_seen then begin
+      t.stats.first_epoch_seen <- true;
+      t.stats.first_epoch_optimized <-
+        t.rt.Runtime.stats.Runtime.optimized_dispatches - opt0;
+      t.stats.first_epoch_generic <-
+        t.rt.Runtime.stats.Runtime.generic_dispatches - gen0
+    end;
     let events = List.length pkts in
     let faults =
       t.rt.Runtime.stats.Runtime.handler_failures - failures0
@@ -299,6 +339,42 @@ let pp_snapshot ppf s =
 
 let optimized_dispatches t = t.rt.Runtime.stats.Runtime.optimized_dispatches
 let generic_dispatches t = t.rt.Runtime.stats.Runtime.generic_dispatches
+let warm_installed t = t.warm_installed
+let warm_stale t = t.warm_stale
+let first_epoch_optimized t = t.stats.first_epoch_optimized
+let first_epoch_generic t = t.stats.first_epoch_generic
+
+(* Serialize the shard's cumulative profile (the adaptive controller's
+   graph, chains at the controller's own threshold, and the live binding
+   signatures) as one store entry.  [None] for generic shards and for
+   optimizing shards that observed nothing. *)
+let profile_entry t =
+  match t.adaptive with
+  | None -> None
+  | Some a ->
+    let graph = Adaptive.profile_snapshot a in
+    if Event_graph.node_count graph = 0 then None
+    else begin
+      let policy = Adaptive.policy a in
+      let reduced = Reduce.reduce graph ~threshold:policy.Adaptive.threshold in
+      let chains = Chains.find reduced in
+      let handlers =
+        Event_graph.nodes graph
+        |> List.map (fun (n : Event_graph.node) -> n.Event_graph.name)
+        |> List.sort compare
+        |> List.map (fun ev ->
+               ( ev,
+                 List.map
+                   (fun (h : Handler.t) -> h.Handler.name)
+                   (Runtime.handlers t.rt ev) ))
+      in
+      Some
+        (Store.make_entry
+           ~kind:(Workload.kind_to_string t.kind)
+           ~shard:t.id ~dispatched:t.stats.dispatched
+           ~trace_entries:(Adaptive.profile_trace_entries a)
+           ~graph ~chains ~handlers)
+    end
 let handler_failures t = t.rt.Runtime.stats.Runtime.handler_failures
 let metrics t = t.metrics
 let queue_wait t = Metrics.histogram t.metrics m_queue_wait
@@ -340,6 +416,9 @@ let reset_measurements t =
   t.stats.requeued <- 0;
   t.stats.quarantined <- 0;
   t.stats.dead_dropped <- 0;
+  t.stats.first_epoch_optimized <- 0;
+  t.stats.first_epoch_generic <- 0;
+  t.stats.first_epoch_seen <- false;
   (* in-flight failure state is measurement too: a warm-up failure must
      not count toward a measured quarantine, and a post-reset snapshot
      must not show dead letters it no longer accounts for *)

@@ -36,6 +36,12 @@ type stats = {
   mutable requeued : int;     (** failed ops put back for retry *)
   mutable quarantined : int;  (** ops moved to the dead-letter queue *)
   mutable dead_dropped : int; (** dead ops evicted by the queue bound *)
+  mutable first_epoch_optimized : int;
+      (** optimized dispatches in the first non-empty batch since the
+          last reset — the warm-start ramp observable *)
+  mutable first_epoch_generic : int;
+      (** generic dispatches in that same first batch *)
+  mutable first_epoch_seen : bool;
 }
 
 type t = {
@@ -45,6 +51,11 @@ type t = {
   ingress : Ingress.t;
   adaptive : Podopt_optimize.Adaptive.t option;  (** [None] = generic shard *)
   breaker : Podopt_optimize.Breaker.t option;    (** optimizing shards only *)
+  warm_installed : int;
+      (** super-handlers installed from a stored profile before any
+          packet arrived (see {!create}'s [warm]) *)
+  warm_stale : int;
+      (** stored-profile events the warm start rejected as stale *)
   stats : stats;
   mutable sessions : int;  (** distinct sessions routed here *)
   mutable faults : Podopt_faults.Plan.t option;
@@ -71,10 +82,17 @@ type t = {
     [compile] (default true) selects compiled vs interpreted
     super-handlers ({!Podopt_optimize.Adaptive.policy}).  [?faults]
     installs an injector derived with salt [id + 1] (the broker front
-    owns salt 0). *)
+    owns salt 0).  [?warm] — a merged profile graph plus the stored
+    binding signatures (see {!Podopt_store.Store.aggregate}) — makes an
+    optimizing shard install super-handlers before any packet arrives:
+    events whose stored signature differs from the live bindings are
+    dropped as stale, and everything installed still sits behind the
+    binding-version guards.  The warm start runs on the caller (the
+    coordinator), so its outcome is identical at any domain count. *)
 val create :
   ?faults:Podopt_faults.Plan.spec -> ?max_failures:int -> ?dead_limit:int ->
-  ?breaker:Podopt_optimize.Breaker.policy -> ?compile:bool -> id:int ->
+  ?breaker:Podopt_optimize.Breaker.policy -> ?compile:bool ->
+  ?warm:Podopt_profile.Event_graph.t * (string * string list) list -> id:int ->
   kind:Workload.kind -> optimize:bool -> queue_limit:int ->
   policy:Policy.shed -> unit -> t
 
@@ -106,6 +124,23 @@ val busy : t -> int
 val optimized_dispatches : t -> int
 val generic_dispatches : t -> int
 val fallbacks : t -> int
+
+(** Warm-start outcome of {!create}'s [warm] (0 without one). *)
+val warm_installed : t -> int
+
+val warm_stale : t -> int
+
+(** Dispatch-path split of the first non-empty batch since the last
+    reset (see [stats]). *)
+val first_epoch_optimized : t -> int
+
+val first_epoch_generic : t -> int
+
+(** The shard's cumulative profile as one store entry: the adaptive
+    controller's accumulated event graph, hot chains at its threshold,
+    and the live binding signatures.  [None] for generic shards or when
+    nothing was observed. *)
+val profile_entry : t -> Podopt_store.Store.entry option
 
 (** Handler failures isolated at this shard's dispatch boundary
     (injected crashes included).  Fatal process conditions

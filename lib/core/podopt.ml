@@ -24,7 +24,10 @@
    - {!Broker}, {!Shard_map}, {!Ingress}, {!Session}, {!Loadgen},
      {!Broker_report}: the sharded, backpressured event-serving layer.
    - {!Faults}, {!Breaker}: deterministic fault injection and the
-     optimizer circuit breaker (the robustness layer). *)
+     optimizer circuit breaker (the robustness layer).
+   - {!Profile_store}: the persistent profile store — per-shard adaptive
+     state serialized across runs, merged order-independently, and fed
+     back to warm-start the broker. *)
 
 (* HIR *)
 module Value = Podopt_hir.Value
@@ -82,6 +85,9 @@ module Driver = Podopt_optimize.Driver
 
 (* Fault injection (deterministic, seed-driven) *)
 module Faults = Podopt_faults.Plan
+
+(* The persistent profile store (cross-run merging + warm start) *)
+module Profile_store = Podopt_store.Store
 
 (* Multicore execution (the domain pool the parallel broker drains on) *)
 module Exec_chan = Podopt_exec.Chan

@@ -79,6 +79,15 @@ module Driver = Podopt_optimize.Driver
 
 module Faults = Podopt_faults.Plan
 
+(** {1 Persistent profile store}
+
+    One run's per-shard adaptive state (event-graph counters, hot
+    chains, binding signatures) serialized to a versioned file
+    ([lib/store]); stores merge order-independently across runs and
+    warm-start the broker via [Broker.config.profile_in]. *)
+
+module Profile_store = Podopt_store.Store
+
 (** {1 Multicore execution}
 
     The domain-pool layer ([lib/exec]) the parallel broker drains on:

@@ -6,9 +6,16 @@
    fallback counter, and re-runs analyze/apply from the accumulated trace
    whenever the installed super-handlers stop matching the live bindings.
    Correctness is unaffected (the guards already ensure that); this
-   merely restores the fast path automatically after reconfiguration. *)
+   merely restores the fast path automatically after reconfiguration.
+
+   The controller also accumulates every analyzed trace window into a
+   persistent profile graph ([profile_snapshot]): the event-graph
+   counters survive the trace clears that follow each re-optimization,
+   so a whole run's observations can be serialized into a profile store
+   and warm-start the next run ([warm_start]). *)
 
 open Podopt_eventsys
+open Podopt_profile
 
 type policy = {
   fallback_limit : int;   (* re-optimize after this many fallbacks *)
@@ -29,19 +36,57 @@ let default_policy =
     compile = true;
   }
 
+(* Inconsistent knobs used to be accepted silently: a negative
+   fallback_limit re-optimized every batch, min_trace > max_trace could
+   never trigger (the bound truncates below the minimum), and a
+   non-positive threshold made every edge "hot".  Reject them all at
+   construction. *)
+let validate_policy (p : policy) =
+  let fail fmt = Format.kasprintf invalid_arg fmt in
+  if p.fallback_limit <= 0 then
+    fail "Adaptive.create: fallback_limit %d must be positive" p.fallback_limit;
+  if p.min_trace <= 0 then
+    fail "Adaptive.create: min_trace %d must be positive" p.min_trace;
+  if p.max_trace <= 0 then
+    fail "Adaptive.create: max_trace %d must be positive" p.max_trace;
+  if p.threshold <= 0 then
+    fail "Adaptive.create: threshold %d must be positive" p.threshold;
+  if p.min_trace > p.max_trace then
+    fail "Adaptive.create: min_trace %d exceeds max_trace %d (re-optimization could never trigger)"
+      p.min_trace p.max_trace
+
 type t = {
   rt : Runtime.t;
   policy : policy;
+  profile : Event_graph.t;
+      (* cumulative graph of every trace window already analyzed and
+         cleared; [profile_snapshot] adds the live trace on top *)
+  mutable trace_seen : int;  (* trace entries folded into [profile] *)
   mutable fallbacks_at_last_opt : int;
   mutable reoptimizations : int;
+  mutable warm_installed : int;  (* super-handlers installed by warm_start *)
+  mutable warm_stale : int;      (* profile events warm_start rejected *)
 }
 
 (* Create the controller and enable continuous event tracing.  The
    runtime keeps paying the (cheap) trace-recording cost; that is the
-   price of on-line profiling. *)
+   price of on-line profiling.  Raises [Invalid_argument] on an
+   inconsistent policy. *)
 let create ?(policy = default_policy) (rt : Runtime.t) : t =
+  validate_policy policy;
   Trace.enable_events rt.Runtime.trace;
-  { rt; policy; fallbacks_at_last_opt = 0; reoptimizations = 0 }
+  {
+    rt;
+    policy;
+    profile = Event_graph.create ();
+    trace_seen = 0;
+    fallbacks_at_last_opt = 0;
+    reoptimizations = 0;
+    warm_installed = 0;
+    warm_stale = 0;
+  }
+
+let policy (t : t) = t.policy
 
 let fallbacks_since_last (t : t) =
   let current =
@@ -58,6 +103,18 @@ let should_reoptimize (t : t) : bool =
       Runtime.optimized_events t.rt = []
      || fallbacks_since_last t >= t.policy.fallback_limit)
 
+(* Fold the live trace window into the cumulative profile.  Called just
+   before the window is cleared, so no entry is counted twice.  (Entries
+   dropped by [tick]'s truncation are lost to the profile — a bounded,
+   documented loss: the profile is a sampling aid, not an audit log.) *)
+let absorb_trace (t : t) =
+  let len = Trace.length t.rt.Runtime.trace in
+  if len > 0 then begin
+    Event_graph.merge_into ~into:t.profile
+      (Event_graph.of_trace t.rt.Runtime.trace);
+    t.trace_seen <- t.trace_seen + len
+  end
+
 (* Re-analyze from the accumulated trace and reinstall.  Returns the
    applied report when a re-optimization happened. *)
 let reoptimize (t : t) : Driver.applied option =
@@ -69,6 +126,7 @@ let reoptimize (t : t) : Driver.applied option =
       t.rt.Runtime.stats.Runtime.fallbacks
       + t.rt.Runtime.stats.Runtime.segment_fallbacks;
     t.reoptimizations <- t.reoptimizations + 1;
+    absorb_trace t;
     Trace.clear t.rt.Runtime.trace;
     Some applied
   end
@@ -84,3 +142,79 @@ let tick (t : t) : Driver.applied option =
   if should_reoptimize t then reoptimize t else None
 
 let reoptimizations (t : t) = t.reoptimizations
+
+(* --- the persistent-profile surface ------------------------------------ *)
+
+(* Everything observed so far: the cumulative profile plus the live
+   (not-yet-cleared) trace window, as a fresh graph. *)
+let profile_snapshot (t : t) : Event_graph.t =
+  let g = Event_graph.create () in
+  Event_graph.merge_into ~into:g t.profile;
+  Event_graph.merge_into ~into:g (Event_graph.of_trace t.rt.Runtime.trace);
+  g
+
+let profile_trace_entries (t : t) =
+  t.trace_seen + Trace.length t.rt.Runtime.trace
+
+(* Ordered handler names bound to [event] right now — the binding
+   signature a stored profile is checked against. *)
+let live_signature (rt : Runtime.t) event =
+  List.map (fun (h : Handler.t) -> h.Handler.name) (Runtime.handlers rt event)
+
+type warm = {
+  installed : int;     (* events that got super-handlers before any packet *)
+  stale_events : int;  (* profile events rejected by the signature check *)
+}
+
+(* Warm start: derive a plan from a stored (merged, cross-run) profile
+   graph and install it before any traffic arrives.  Safety is layered:
+   (1) any plan action covering an event whose stored binding signature
+   differs from the live bindings — or was recorded inconsistently
+   ([signatures] omits it) — is dropped here as stale; (2) whatever is
+   installed still sits behind the runtime's binding-version guards, so
+   even a wrong profile degrades to generic dispatch (and trips the
+   breaker) rather than misbehaving. *)
+let warm_start (t : t) ~(graph : Event_graph.t)
+    ~(signatures : (string * string list) list) : warm =
+  let plan =
+    Driver.plan_of_graph ~threshold:t.policy.threshold ~strategy:t.policy.strategy
+      t.rt graph
+  in
+  let stale = ref [] in
+  let fresh event =
+    match List.assoc_opt event signatures with
+    | Some stored when stored = live_signature t.rt event -> true
+    | Some _ | None ->
+      if not (List.mem event !stale) then stale := event :: !stale;
+      false
+  in
+  let actions =
+    List.filter
+      (fun action ->
+        let covered =
+          match action with
+          | Plan.Merge_event e -> [ e ]
+          | Plan.Merge_chain { events; _ } -> events
+        in
+        (* [List.for_all] would short-circuit past later stale events;
+           evaluate every event so the stale count is complete *)
+        List.fold_left (fun acc e -> fresh e && acc) true covered)
+      plan.Plan.actions
+  in
+  let stale_events = List.length !stale in
+  t.warm_stale <- t.warm_stale + stale_events;
+  if actions = [] then { installed = 0; stale_events }
+  else begin
+    let applied =
+      Driver.apply ~compile:t.policy.compile t.rt { plan with Plan.actions }
+    in
+    t.fallbacks_at_last_opt <-
+      t.rt.Runtime.stats.Runtime.fallbacks
+      + t.rt.Runtime.stats.Runtime.segment_fallbacks;
+    let installed = List.length applied.Driver.installed in
+    t.warm_installed <- t.warm_installed + installed;
+    { installed; stale_events }
+  end
+
+let warm_installed (t : t) = t.warm_installed
+let warm_stale (t : t) = t.warm_stale

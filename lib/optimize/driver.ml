@@ -24,9 +24,11 @@ let default_threshold = 100
 
 (* --- Analysis --------------------------------------------------------- *)
 
-let analyze ?(threshold = default_threshold) ?(strategy = Plan.Monolithic)
-    ?(speculate = false) (rt : Runtime.t) : Plan.t =
-  let g = Event_graph.of_trace rt.Runtime.trace in
+(* The analysis proper, over any event graph — the live trace's (via
+   [analyze]) or a merged cross-run profile (the warm-start path).  The
+   runtime is consulted only for current handler bindings. *)
+let plan_of_graph ?(threshold = default_threshold) ?(strategy = Plan.Monolithic)
+    ?(speculate = false) (rt : Runtime.t) (g : Event_graph.t) : Plan.t =
   let reduced = Reduce.reduce g ~threshold in
   let chains = Chains.find reduced in
   let chain_events = List.concat chains in
@@ -55,6 +57,10 @@ let analyze ?(threshold = default_threshold) ?(strategy = Plan.Monolithic)
     subsume = true;
     speculate = speculate_pairs;
   }
+
+let analyze ?threshold ?strategy ?speculate (rt : Runtime.t) : Plan.t =
+  plan_of_graph ?threshold ?strategy ?speculate rt
+    (Event_graph.of_trace rt.Runtime.trace)
 
 (* --- Application ------------------------------------------------------ *)
 

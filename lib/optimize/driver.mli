@@ -21,6 +21,13 @@ val analyze :
   ?threshold:int -> ?strategy:Plan.chain_strategy -> ?speculate:bool -> Runtime.t ->
   Plan.t
 
+(** The same analysis over an arbitrary event graph — e.g. a merged
+    cross-run profile from {!Podopt_store} feeding a warm start.  The
+    runtime is consulted only for current handler bindings. *)
+val plan_of_graph :
+  ?threshold:int -> ?strategy:Plan.chain_strategy -> ?speculate:bool -> Runtime.t ->
+  Podopt_profile.Event_graph.t -> Plan.t
+
 type applied = {
   plan : Plan.t;
   installed : string list;           (** events that got super-handlers *)

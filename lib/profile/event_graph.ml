@@ -97,6 +97,42 @@ let build (sequence : (string * Ast.mode) list) : t =
 let of_trace (trace : Podopt_eventsys.Trace.t) : t =
   build_seq (Podopt_eventsys.Trace.event_sequence_with_depth trace)
 
+(* Accumulate [src] into [into]: node occurrence counters and edge
+   traversal counters add up.  Merging is associative and commutative in
+   the resulting counters, which is what makes cross-run profile stores
+   order-independent. *)
+let merge_into ~into (src : t) =
+  Hashtbl.iter
+    (fun _ (n : node) ->
+      let m = node into n.name in
+      m.occurrences <- m.occurrences + n.occurrences;
+      m.raised_sync <- m.raised_sync + n.raised_sync;
+      m.raised_async <- m.raised_async + n.raised_async;
+      m.raised_timed <- m.raised_timed + n.raised_timed)
+    src.nodes;
+  Hashtbl.iter
+    (fun key (e : edge) ->
+      let m =
+        match Hashtbl.find_opt into.edges key with
+        | Some m -> m
+        | None ->
+          let m = { src = e.src; dst = e.dst; weight = 0; sync = 0; async = 0; timed = 0 } in
+          Hashtbl.add into.edges key m;
+          ignore (node into e.src);
+          ignore (node into e.dst);
+          m
+      in
+      m.weight <- m.weight + e.weight;
+      m.sync <- m.sync + e.sync;
+      m.async <- m.async + e.async;
+      m.timed <- m.timed + e.timed)
+    src.edges
+
+let merge_all graphs =
+  let t = create () in
+  List.iter (fun g -> merge_into ~into:t g) graphs;
+  t
+
 let edges t = Hashtbl.fold (fun _ e acc -> e :: acc) t.edges []
 let nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
 let find_edge t ~src ~dst = Hashtbl.find_opt t.edges (src, dst)

@@ -51,6 +51,14 @@ val build : (string * Ast.mode) list -> t
 
 val of_trace : Podopt_eventsys.Trace.t -> t
 
+(** Accumulate [src]'s node and edge counters into [into].  Counter
+    addition is associative and commutative, so merging graphs from
+    several runs or shards is order-independent. *)
+val merge_into : into:t -> t -> unit
+
+(** Fresh graph holding the sum of all [graphs]. *)
+val merge_all : t list -> t
+
 val edges : t -> edge list
 val nodes : t -> node list
 val find_edge : t -> src:string -> dst:string -> edge option

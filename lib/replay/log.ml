@@ -4,11 +4,13 @@
    record per line, whitespace-separated fields, [#] comments, a
    [Format_error] on anything malformed).
 
-   Format (version 1):
+   Format (version 2; version-1 logs still load):
 
      V <version>
      C <shards> <batch> <queue_limit> <policy> <kind> <optimize>
        <compile> <seed> <tick> <domains> <faults-spec>
+     D <verbatim line>                             embedded profile store
+     Y <crc32-hex>                                 digest of the D lines
      P <sessions> <ops> <interval> <spread> <latency> <jitter>
        <warmup_ops> <metrics>
      S <phase> <id> <start> <interval> <nops>      one per session
@@ -20,7 +22,13 @@
    [phase] is [w] (warm-up) or [m] (measured).  An arrival [outcome]
    is the link delivery delay, or [-1] for a lost packet.  [F] bits
    are the per-(salt, kind) draw stream in draw order, [1] = fired
-   ([-] = no draws).  Payload hex uses [-] for empty payloads. *)
+   ([-] = no draws).  Payload hex uses [-] for empty payloads.
+
+   A warm-started run's config carries its profile store; the [D] lines
+   embed that store verbatim (the run's profile identity), and [Y] pins
+   its CRC-32 — a swapped or edited profile fails the digest check at
+   load, the same way replayed fault draws are verified against [F]
+   lines. *)
 
 module Plan = Podopt_faults.Plan
 module Broker = Podopt_broker.Broker
@@ -28,10 +36,13 @@ module Loadgen = Podopt_broker.Loadgen
 module Policy = Podopt_broker.Policy
 module Workload = Podopt_broker.Workload
 
+module Store = Podopt_store.Store
+module Crc32 = Podopt_crypto.Crc32
+
 exception Format_error of string
 
 let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
-let version = 1
+let version = 2
 
 type sess = {
   s_phase : string;  (* "w" | "m" *)
@@ -130,6 +141,18 @@ let to_string (t : t) : string =
     cfg.Broker.optimize cfg.Broker.compile cfg.Broker.seed cfg.Broker.tick
     cfg.Broker.domains
     (Plan.to_string cfg.Broker.faults);
+  (match cfg.Broker.profile_in with
+   | None -> ()
+   | Some store ->
+     (* the profile is this run's identity: embed it verbatim and pin
+        its digest, so a swapped profile is caught at load time *)
+     let body = Store.to_string store in
+     let slines = String.split_on_char '\n' body in
+     let slines =
+       match List.rev slines with "" :: rev -> List.rev rev | _ -> slines
+     in
+     List.iter (fun l -> if l = "" then line "D" else line "D %s" l) slines;
+     line "Y %08x" (Crc32.of_string body));
   line "P %d %d %d %d %d %d %d %b" p.Loadgen.sessions p.Loadgen.ops
     p.Loadgen.interval p.Loadgen.spread p.Loadgen.latency p.Loadgen.jitter
     t.warmup_ops t.metrics;
@@ -193,6 +216,7 @@ let config_of_fields fields =
       tick = int_field "tick" tick;
       domains = int_field "domains" domains;
       faults;
+      profile_in = None;  (* filled in from the D lines, if any *)
     }
   | _ -> format_error "bad C line (%d fields)" (List.length fields)
 
@@ -207,13 +231,17 @@ let of_string (s : string) : t =
   let arrivals = ref [] in
   let faults = ref [] in
   let jlines = ref [] in
+  let dlines = ref [] in
+  let ydigest = ref None in
   let dispatch line =
     let fields = String.split_on_char ' ' line |> List.filter (( <> ) "") in
     match fields with
     | [] -> ()
     | [ "V"; v ] ->
       let v = int_field "version" v in
-      if v <> version then format_error "unsupported log version %d (expected %d)" v version;
+      (* version 1 is version 2 minus the D/Y records: still loadable *)
+      if v <> 1 && v <> version then
+        format_error "unsupported log version %d (expected 1 or %d)" v version;
       saw_version := true
     | "C" :: rest -> config := Some (config_of_fields rest)
     | [ "P"; sessions'; ops'; interval; spread; latency; jitter; warmup; metrics' ] ->
@@ -257,14 +285,18 @@ let of_string (s : string) : t =
         :: !arrivals
     | [ "F"; salt; kind; bits ] ->
       faults := ((int_field "salt" salt, kind), bools_of_bits bits) :: !faults
+    | [ "Y"; digest ] -> ydigest := Some digest
     | tag :: _ -> format_error "bad record tag %S in line %S" tag line
   in
   List.iter
     (fun raw ->
-      (* J lines carry the document verbatim (spaces included) *)
+      (* J and D lines carry their documents verbatim (spaces included) *)
       if raw = "J" then jlines := "" :: !jlines
       else if String.length raw >= 2 && raw.[0] = 'J' && raw.[1] = ' ' then
         jlines := String.sub raw 2 (String.length raw - 2) :: !jlines
+      else if raw = "D" then dlines := "" :: !dlines
+      else if String.length raw >= 2 && raw.[0] = 'D' && raw.[1] = ' ' then
+        dlines := String.sub raw 2 (String.length raw - 2) :: !dlines
       else
         let line = String.trim raw in
         if line = "" || line.[0] = '#' then () else dispatch line)
@@ -294,6 +326,28 @@ let of_string (s : string) : t =
         { s_phase = phase; s_id = id; s_start = start; s_interval = interval; s_ops = arr })
       !sessions
   in
+  let profile_in =
+    match List.rev !dlines with
+    | [] ->
+      if !ydigest <> None then
+        format_error "Y digest line without an embedded profile";
+      None
+    | lines ->
+      let body = String.concat "\n" lines ^ "\n" in
+      (match !ydigest with
+       | None -> format_error "embedded profile is missing its Y digest line"
+       | Some d ->
+         let actual = Printf.sprintf "%08x" (Crc32.of_string body) in
+         if not (String.equal d actual) then
+           format_error
+             "embedded profile digest mismatch (log says %s, content is %s): \
+              the profile was altered after recording" d actual);
+      (match Store.of_string body with
+       | store -> Some store
+       | exception Store.Format_error e ->
+         format_error "bad embedded profile: %s" e)
+  in
+  let config = { config with Broker.profile_in } in
   let json =
     match List.rev !jlines with
     | [] -> ""

@@ -186,8 +186,10 @@ let test_adaptive_retains_trace_history () =
      half of the window instead. *)
   let rt = adaptive_setup () in
   let policy =
+    (* min_trace is set just above max_trace so re-optimization never
+       triggers during the overflow (create rejects min_trace > max_trace) *)
     { Adaptive.default_policy with
-      Adaptive.fallback_limit = max_int; min_trace = max_int; max_trace = 100 }
+      Adaptive.fallback_limit = max_int; min_trace = 100; max_trace = 100 }
   in
   let ctl = Adaptive.create ~policy rt in
   for i = 1 to 120 do

@@ -34,4 +34,5 @@ let () =
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("replay", Test_replay.suite);
+      ("store", Test_store.suite);
     ]

@@ -200,6 +200,66 @@ let prop_replay_identity =
       && o1.Replay.fault_mismatches = 0
       && o4.Replay.fault_mismatches = 0)
 
+(* --- warm-started runs carry their profile ------------------------------ *)
+
+(* A profile store captured from a short steady run, for warm-start
+   recordings. *)
+let seed_store () =
+  let cfg = { B.Broker.default_config with shards = 2; seed = 7L } in
+  let broker = B.Broker.create cfg in
+  Fun.protect
+    ~finally:(fun () -> B.Broker.shutdown broker)
+    (fun () ->
+      ignore (B.Loadgen.steady ~warmup_ops:12 broker profile);
+      B.Broker.profile_store broker)
+
+let record_warm () =
+  let cfg =
+    { B.Broker.default_config with shards = 2; seed = 7L;
+      profile_in = Some (seed_store ()) }
+  in
+  Record.run ~warmup_ops:0 cfg profile
+
+let test_replay_warm_run () =
+  let log = record_warm () in
+  (* the log embeds the profile: it survives the text codec and the
+     replayed run warm-starts identically at any domain count *)
+  let log = RL.of_string (RL.to_string log) in
+  Alcotest.(check bool) "log carries the profile" true
+    (log.RL.config.B.Broker.profile_in <> None);
+  let o1 = Replay.run ~domains:1 log in
+  let o4 = Replay.run ~domains:4 log in
+  Alcotest.(check string) "byte-identical at domains 1" log.RL.json o1.Replay.json;
+  Alcotest.(check string) "byte-identical at domains 4" log.RL.json o4.Replay.json
+
+let test_replay_profile_tamper () =
+  let text = RL.to_string (record_warm ()) in
+  (* swap the embedded profile's workload kind: the Y digest no longer
+     matches, exactly like a tampered fault stream *)
+  let lines = String.split_on_char '\n' text in
+  let tampered =
+    List.map
+      (fun l ->
+        if String.length l > 2 && String.sub l 0 2 = "D " then
+          String.concat "x" (String.split_on_char 'm' l)
+        else l)
+      lines
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "tamper changed the log" false
+    (String.equal text tampered);
+  (match RL.of_string tampered with
+   | _ -> Alcotest.fail "tampered profile loaded"
+   | exception RL.Format_error msg ->
+     Alcotest.(check bool)
+       (Printf.sprintf "error names the digest (%s)" msg)
+       true
+       (List.exists
+          (fun w -> w = "digest")
+          (String.split_on_char ' ' msg)));
+  (* untampered text still loads *)
+  ignore (RL.of_string text)
+
 (* --- differential oracle ------------------------------------------------ *)
 
 let test_diff_clean () =
@@ -245,6 +305,10 @@ let suite =
       test_replay_reproduces;
     Alcotest.test_case "replay verifies fault draws" `Quick
       test_replay_verifies_fault_draws;
+    Alcotest.test_case "warm-started run replays with its profile" `Quick
+      test_replay_warm_run;
+    Alcotest.test_case "tampered embedded profile is rejected" `Quick
+      test_replay_profile_tamper;
     Alcotest.test_case "diff: clean log has no divergence" `Quick
       test_diff_clean;
     Alcotest.test_case "diff: planted bug found and shrunk" `Quick
