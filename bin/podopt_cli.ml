@@ -152,7 +152,7 @@ let load_profile = function
      | exception Sys_error msg -> Error msg)
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup domains faults metrics json profile_in
+    policy seed generic warmup domains faults batching metrics json profile_in
     profile_out =
   match
     List.find_opt
@@ -188,6 +188,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       domains;
       faults;
       profile_in;
+      batching;
     }
   in
   let broker = B.Broker.create cfg in
@@ -219,10 +220,12 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
   if json then print_string (B.Report.json ~metrics broker summary)
   else begin
     Fmt.pr
-      "serving %s: %d sessions -> %d shards (batch %d, queue limit %d, policy %s, \
-       %s, seed %d, domains %d, faults %s)@.@."
+      "serving %s: %d sessions -> %d shards (batch %d, batch-k %s, queue limit \
+       %d, policy %s, %s, seed %d, domains %d, faults %s)@.@."
       (B.Workload.kind_to_string kind)
-      sessions shards batch queue_limit
+      sessions shards batch
+      (B.Shard.batching_to_string batching)
+      queue_limit
       (B.Policy.shed_to_string policy)
       (if generic then "generic" else "optimized")
       seed domains
@@ -243,7 +246,8 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
 (* --- record / replay / diff ----------------------------------------------- *)
 
 let record_run kind sessions shards batch queue_limit ops interval latency
-    jitter policy seed generic warmup domains faults metrics profile_in out =
+    jitter policy seed generic warmup domains faults batching metrics profile_in
+    out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -278,6 +282,7 @@ let record_run kind sessions shards batch queue_limit ops interval latency
         domains;
         faults;
         profile_in;
+        batching;
       }
     in
     let profile =
@@ -333,7 +338,7 @@ let replay_run file domains json =
        end;
        if !ok then 0 else 1)
 
-let diff_run file tamper out =
+let diff_run file variant tamper out =
   match Replay_log.load file with
   | exception Replay_log.Format_error msg ->
     Fmt.epr "bad replay log: %s@." msg;
@@ -342,11 +347,17 @@ let diff_run file tamper out =
     Fmt.epr "podopt: %s@." msg;
     1
   | log ->
-    let reports =
-      List.map
-        (fun axis -> Replay_diff.run ~tamper axis log)
-        [ Replay_diff.Optimizer; Replay_diff.Codegen ]
+    let axes =
+      match variant with
+      | "default" -> [ Replay_diff.Optimizer; Replay_diff.Codegen ]
+      | "optimizer" -> [ Replay_diff.Optimizer ]
+      | "codegen" -> [ Replay_diff.Codegen ]
+      | "batched" -> [ Replay_diff.Batching ]
+      | "all" ->
+        [ Replay_diff.Optimizer; Replay_diff.Codegen; Replay_diff.Batching ]
+      | _ -> assert false (* the conv below rejects anything else *)
     in
+    let reports = List.map (fun axis -> Replay_diff.run ~tamper axis log) axes in
     List.iteri
       (fun i r ->
         if i > 0 then Fmt.pr "@.";
@@ -579,6 +590,23 @@ let faults_arg =
                rate:cost), corrupt, drop (permille rates, 0..1000); \
                'none' disables. Example: seed=7,crash=200,drop=5.")
 
+let batching_conv =
+  Arg.conv
+    ( (fun s ->
+        match B.Shard.batching_of_string s with
+        | Ok b -> Ok b
+        | Error msg -> Error (`Msg msg)),
+      fun ppf b -> Fmt.string ppf (B.Shard.batching_to_string b) )
+
+let batch_k_arg =
+  Arg.(value & opt batching_conv B.Shard.Off & info [ "batch-k" ] ~docv:"K"
+         ~doc:"Drain-loop amortization window: $(b,off) (default), a fixed \
+               width $(b,K), or $(b,auto) to pick the width per shard from \
+               the observed queue-depth distribution. Windows amortize the \
+               guard check and shared-state lock across consecutive \
+               same-path ops; observable output is byte-identical at any \
+               setting.")
+
 let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
 
 let generic_flag =
@@ -619,9 +647,10 @@ let serve_cmd =
           "Worker domains draining the shards in parallel (1 = sequential; \
            results are identical at any domain count)."
       $ faults_arg
+      $ batch_k_arg
       $ metrics_flag
       $ Arg.(value & flag & info [ "json" ]
-               ~doc:"Print the run as a JSON document (schema podopt/serve/v5) \
+               ~doc:"Print the run as a JSON document (schema podopt/serve/v6) \
                      instead of the tables; deterministic and independent of \
                      --domains.")
       $ profile_in_arg
@@ -655,6 +684,7 @@ let record_cmd =
           "Worker domains recorded in the log (the replayed document is \
            identical at any domain count)."
       $ faults_arg
+      $ batch_k_arg
       $ Arg.(value & flag & info [ "metrics" ]
                ~doc:"Record the document with the latency metrics section.")
       $ profile_in_arg
@@ -682,13 +712,23 @@ let replay_cmd =
 
 let diff_cmd =
   let doc =
-    "Differentially test a recorded run: optimizer on vs off, and compiled \
-     vs interpreted super-handlers. On divergence, shrink the log to a \
-     minimal reproducer."
+    "Differentially test a recorded run: optimizer on vs off, compiled vs \
+     interpreted super-handlers, or batched vs unbatched drain. On \
+     divergence, shrink the log to a minimal reproducer."
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"Replay log written by $(b,podopt record).")
+  in
+  let variant =
+    Arg.(value & opt (enum [ ("default", "default"); ("optimizer", "optimizer");
+                             ("codegen", "codegen"); ("batched", "batched");
+                             ("all", "all") ])
+           "default"
+         & info [ "variant" ] ~docv:"V"
+             ~doc:"Axis to diff: $(b,optimizer), $(b,codegen), $(b,batched) \
+                   (windowed vs plain drain), $(b,all), or $(b,default) \
+                   (optimizer + codegen).")
   in
   let tamper =
     Arg.(value & flag & info [ "break-handler" ]
@@ -700,7 +740,8 @@ let diff_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
            ~doc:"Write the minimal reproducer log to $(docv) on divergence.")
   in
-  Cmd.v (Cmd.info "diff" ~doc) Term.(const diff_run $ file $ tamper $ out)
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const diff_run $ file $ variant $ tamper $ out)
 
 let profile_cmd =
   let doc = "Operate on persistent profile stores." in

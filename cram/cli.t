@@ -25,7 +25,7 @@ super-handlers (all numbers are deterministic cost-model units).
   installed: SecPop, SecDeliver, SecPush, SecNetOut
   code size: original 72 nodes, +80 generated (111.1% growth)
   handler time: 1644400 -> 1499040 units (8.8% saved)
-  dispatches: 80 optimized, 0 generic, 0 fallbacks (+0 segment); speculation 0/0 hit/miss; deferral 0 pairs, 0 flushes; 0 bytes marshaled; 0 handler failures
+  dispatches: 80 optimized, 0 batched, 0 generic, 0 fallbacks (+0 segment); speculation 0/0 hit/miss; deferral 0 pairs, 0 flushes; 0 bytes marshaled; 0 handler failures
 
 A trace saved by `podopt trace` can be re-analyzed off-line.
 

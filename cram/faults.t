@@ -6,12 +6,12 @@ show up per shard and in the summary's faults line.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --faults seed=9,crash=200,spike=100:4000,drop=20
-  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     574140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      5     0     0     0 |     574140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      5     0     0     0 |    1148280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     574140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |     574140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    1148280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -23,12 +23,12 @@ the domains field of the header changes.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --faults seed=9,crash=200,spike=100:4000,drop=20 --domains 2
-  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     574140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      5     0     0     0 |     574140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      5     0     0     0 |    1148280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     574140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |     574140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    1148280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up

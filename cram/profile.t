@@ -17,16 +17,18 @@ per-shard profiles, so the union also deduplicates to 2 entries):
 
   $ ../bin/podopt_cli.exe profile show ab.pprof
   profile store: 2 entries
-  entry 530e6662: kind seccomm, shard 1, dispatched 32, trace 220, 4 events, 6 edges
+  entry 6727885f: kind seccomm, shard 0, dispatched 32, trace 220, 4 events, 6 edges
     handlers SecDeliver: deliver_up
     handlers SecNetOut: net_out
     handlers SecPop: coord_pop, xor_pop, des_pop, out_pop
     handlers SecPush: coord_push, des_push, xor_push, out_push
-  entry 55335efb: kind seccomm, shard 0, dispatched 32, trace 220, 4 events, 6 edges
+    depths: 1x80
+  entry 89841d9b: kind seccomm, shard 1, dispatched 32, trace 220, 4 events, 6 edges
     handlers SecDeliver: deliver_up
     handlers SecNetOut: net_out
     handlers SecPop: coord_pop, xor_pop, des_pop, out_pop
     handlers SecPush: coord_push, des_push, xor_push, out_push
+    depths: 1x80
 
 A warm-started serve (no warm-up phase) compiles super-handlers before
 the first packet, so its very first batch dispatches optimized where a

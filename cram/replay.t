@@ -27,6 +27,32 @@ payload digests, client accounting).  A clean run never diverges:
     no divergence: 48 deliveries observably identical
 
 
+
+The batched axis replays the drain with amortization windows (the
+recorded --batch-k, or auto when the run was recorded unwindowed)
+against the plain drain.  Windows only re-shape virtual charges, so a
+divergence here would mean a window changed execution order:
+
+  $ ../bin/podopt_cli.exe diff run.plog --variant batched
+  axis: batched vs unbatched drain
+    no divergence: 48 deliveries observably identical
+
+
+A log recorded under a fixed window width replays and diffs the same
+way — the C line carries the batch-k setting:
+
+  $ ../bin/podopt_cli.exe record seccomm --sessions 6 --shards 2 --seed 7 \
+  >   --batch-k 4 --out batched.plog
+  recorded seccomm run -> batched.plog (12 sessions, 120 arrivals, 0 fault streams)
+  $ grep -o 'C .*' batched.plog | awk '{print $NF}'
+  4
+  $ ../bin/podopt_cli.exe replay batched.plog
+  replay OK: document byte-identical to the recording (11 lines)
+  $ ../bin/podopt_cli.exe diff batched.plog --variant batched
+  axis: batched vs unbatched drain
+    no divergence: 48 deliveries observably identical
+
+
 With the deliberately broken handler installed (payload corruption on
 odd sequence numbers, first variant only) the oracle reports the first
 divergence and greedily shrinks the log — drop sessions, then lower the

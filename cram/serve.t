@@ -4,12 +4,12 @@ per-shard adaptive optimization.  After the warm-up installs
 super-handlers, the steady phase rides the optimized path end to end.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7
-  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0     0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -23,12 +23,12 @@ op lands.  No crash, and the shed counts show up in the table.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 \
   >   --queue-limit 2 --batch 1 --interval 60 --policy oldest --seed 7 \
   >   --generic --warmup 0
-  serving seccomm: 6 sessions -> 2 shards (batch 1, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
-      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
-  total |        6       53     23 |      30         30 |         0      120       0    0.0 |      0     0     0     0 |    1233300
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
+      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
+  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
@@ -46,12 +46,12 @@ optimized-path samples, so that column prints "-".
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 \
   >   --queue-limit 2 --batch 1 --interval 60 --policy oldest --seed 7 \
   >   --generic --warmup 0 --metrics
-  serving seccomm: 6 sessions -> 2 shards (batch 1, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       28     13 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
-      1 |        3       25     10 |      15         15 |         0       60       0    0.0 |      0     0     0     0 |     616650
-  total |        6       53     23 |      30         30 |         0      120       0    0.0 |      0     0     0     0 |    1233300
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
+      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
+  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
@@ -59,10 +59,10 @@ optimized-path samples, so that column prints "-".
   faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
   
   latency percentiles (p50/p90/p99/max, virtual units):
-  shard |                queue-wait |               service-opt |               service-gen
-      0 |                0/50/50/50 |                         - |   41110/41110/41110/41110
-      1 |                0/50/50/50 |                         - |   41110/41110/41110/41110
-  total |                0/50/50/50 |                         - |   41110/41110/41110/41110
+  shard |                queue-wait |               service-opt |               service-bat |               service-gen |               batch-depth
+      0 |                0/50/50/50 |                         - |                         - |   41110/41110/41110/41110 |                   1/1/1/1
+      1 |                0/50/50/50 |                         - |                         - |   41110/41110/41110/41110 |                   1/1/1/1
+  total |                0/50/50/50 |                         - |                         - |   41110/41110/41110/41110 |                   1/1/1/1
   
   dispatch time by event (all shards):
              event |   count |           p50/p90/p99/max
@@ -77,14 +77,45 @@ number identical to the sequential run above — only the header and the
 wall clock change.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2
-  serving seccomm: 6 sessions -> 2 shards (batch 16, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
-      1 |        3       15      0 |      15         15 |        30        0       0  100.0 |      0     0     0     0 |     562140
-  total |        6       30      0 |      30         30 |        60        0       0  100.0 |      0     0     0     0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
   totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1124280 units (makespan 562140, elapsed 1100)
   faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+
+Amortization windows: --batch-k brackets each drained run of same-path
+ops in a batch window.  The window verifies the binding-version guard
+once and skips the shared-state lock for the rest of the run, so the
+dispatches move to the batched column and total handler time drops
+below the plain optimized run — while every delivery, client count and
+shed decision stays identical to the unbatched runs above.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --batch-k 4
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k 4, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
+  
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
+      0 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |     561450
+      1 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |     561450
+  total |        6       30      0 |      30         30 |         0      60        0       0  100.0 |      0     0     0     0 |    1122900
+  front: 0 link-dropped, 0 decode-failed
+  
+  clients: 30 sent, 0 retries, 0 nacks, 0 gave up
+  totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1122900 units (makespan 561450, elapsed 1100)
+  faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+
+The JSON document records the window setting and the batched counters
+(schema v6):
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --batch-k auto --json | grep -E '"schema"|"batch_k"|"batched"'
+    "schema": "podopt/serve/v6",
+    "workload": "seccomm", "shards": 2, "batch": 16, "batch_k": "auto", "queue_limit": 64, "policy": "newest", "optimize": true, "seed": 7, "tick": 50,
+    "summary": {"sent": 30, "retries": 0, "nacks": 0, "gave_up": 0, "routed": 30, "shed": 0, "dispatched": 30, "batches": 30, "optimized": 0, "batched": 60, "generic": 0, "fallbacks": 0, "failures": 0, "requeued": 0, "quarantined": 0, "breaker_trips": 0, "link_dropped": 0, "decode_failures": 0, "first_epoch_optimized": 0, "first_epoch_generic": 0, "busy": 1122900, "makespan": 561450, "elapsed": 1100, "truncated": false, "opt_pct": 100.0,
+      {"id": 0, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}},
+      {"id": 1, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}}

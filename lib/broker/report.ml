@@ -2,29 +2,39 @@
    fixed-width columns, deterministic numbers only. *)
 
 module Hist = Podopt_obs.Hist
+module Exact = Podopt_obs.Exact
 module Metrics = Podopt_obs.Metrics
 
-let pct opt generic =
-  let total = opt + generic in
+(* Fast-path share: optimized + batched dispatches over all dispatches
+   (batched ops run the same super-handlers, only cheaper). *)
+let pct opt batched generic =
+  let fast = opt + batched in
+  let total = fast + generic in
   (* 0, not 100: an idle shard has optimized nothing *)
-  if total = 0 then 0.0 else 100.0 *. float_of_int opt /. float_of_int total
+  if total = 0 then 0.0 else 100.0 *. float_of_int fast /. float_of_int total
 
 (* "-" for a zero-dispatch row, so idle never reads as a percentage. *)
-let pct_cell opt generic =
-  if opt + generic = 0 then "-" else Fmt.str "%.1f" (pct opt generic)
+let pct_cell opt batched generic =
+  if opt + batched + generic = 0 then "-"
+  else Fmt.str "%.1f" (pct opt batched generic)
 
 let pp_table ppf broker =
   let shards = Broker.shards broker in
   Fmt.pf ppf
-    "%5s | %8s %8s %6s | %7s %10s | %9s %8s %7s %6s | %6s %5s %5s %5s | %10s@."
+    "%5s | %8s %8s %6s | %7s %10s | %9s %7s %8s %7s %6s | %6s %5s %5s %5s | \
+     %10s@."
     "shard" "sessions" "ingress" "shed" "batches" "dispatched" "optimized"
-    "generic" "fallbk" "opt%" "failed" "quar" "ovfl" "trips" "busy";
-  let row label ~sessions ~ingress ~shed ~batches ~dispatched ~optimized ~generic
-      ~fallbacks ~failures ~quarantined ~overflow ~trips ~busy =
+    "batched" "generic" "fallbk" "opt%" "failed" "quar" "ovfl" "trips" "busy";
+  let row label ~sessions ~ingress ~shed ~batches ~dispatched ~optimized
+      ~batched ~generic ~fallbacks ~failures ~quarantined ~overflow ~trips ~busy
+      =
     Fmt.pf ppf
-      "%5s | %8d %8d %6d | %7d %10d | %9d %8d %7d %6s | %6d %5d %5d %5d | %10d@."
-      label sessions ingress shed batches dispatched optimized generic fallbacks
-      (pct_cell optimized generic) failures quarantined overflow trips busy
+      "%5s | %8d %8d %6d | %7d %10d | %9d %7d %8d %7d %6s | %6d %5d %5d %5d | \
+       %10d@."
+      label sessions ingress shed batches dispatched optimized batched generic
+      fallbacks
+      (pct_cell optimized batched generic)
+      failures quarantined overflow trips busy
   in
   Array.iter
     (fun (s : Shard.t) ->
@@ -34,6 +44,7 @@ let pp_table ppf broker =
         ~batches:s.Shard.stats.Shard.batches
         ~dispatched:s.Shard.stats.Shard.dispatched
         ~optimized:(Shard.optimized_dispatches s)
+        ~batched:(Shard.batched_dispatches s)
         ~generic:(Shard.generic_dispatches s) ~fallbacks:(Shard.fallbacks s)
         ~failures:(Shard.handler_failures s)
         ~quarantined:s.Shard.stats.Shard.quarantined
@@ -48,6 +59,7 @@ let pp_table ppf broker =
     ~batches:(sum (fun s -> s.Shard.stats.Shard.batches))
     ~dispatched:(sum (fun s -> s.Shard.stats.Shard.dispatched))
     ~optimized:(sum Shard.optimized_dispatches)
+    ~batched:(sum Shard.batched_dispatches)
     ~generic:(sum Shard.generic_dispatches)
     ~fallbacks:(sum Shard.fallbacks)
     ~failures:(sum Shard.handler_failures)
@@ -76,27 +88,37 @@ let merged_metrics broker =
 let dist_cell h =
   if Hist.count h = 0 then "-" else Fmt.str "%a" Hist.pp_dist (Hist.dist h)
 
+(* The Exact (full-resolution) cells render the same p50/p90/p99/max
+   shape as the log-bucketed ones. *)
+let dist_cell_e h =
+  if Exact.count h = 0 then "-" else Fmt.str "%a" Hist.pp_dist (Exact.dist h)
+
 (* Per-shard + total latency percentiles, then the per-event dispatch
    distributions from the merged registries.  Queue wait is front-clock
-   units (arrival to drain), service time shard-clock units per op. *)
+   units (arrival to drain), service time shard-clock units per op split
+   by dispatch path, batch-depth in drained ops per non-empty drain. *)
 let pp_metrics ppf broker =
   Fmt.pf ppf "latency percentiles (p50/p90/p99/max, virtual units):@.";
-  Fmt.pf ppf "%5s | %25s | %25s | %25s@." "shard" "queue-wait" "service-opt"
-    "service-gen";
-  let row label ~qwait ~svc_opt ~svc_gen =
-    Fmt.pf ppf "%5s | %25s | %25s | %25s@." label (dist_cell qwait)
-      (dist_cell svc_opt) (dist_cell svc_gen)
+  Fmt.pf ppf "%5s | %25s | %25s | %25s | %25s | %25s@." "shard" "queue-wait"
+    "service-opt" "service-bat" "service-gen" "batch-depth";
+  let row label ~qwait ~svc_opt ~svc_bat ~svc_gen ~depth =
+    Fmt.pf ppf "%5s | %25s | %25s | %25s | %25s | %25s@." label
+      (dist_cell qwait) (dist_cell_e svc_opt) (dist_cell_e svc_bat)
+      (dist_cell_e svc_gen) (dist_cell_e depth)
   in
   Array.iter
     (fun (s : Shard.t) ->
       row (string_of_int s.Shard.id) ~qwait:(Shard.queue_wait s)
-        ~svc_opt:(Shard.service_opt s) ~svc_gen:(Shard.service_gen s))
+        ~svc_opt:(Shard.service_opt s) ~svc_bat:(Shard.service_bat s)
+        ~svc_gen:(Shard.service_gen s) ~depth:(Shard.batch_depth s))
     (Broker.shards broker);
   let merged = merged_metrics broker in
   row "total"
     ~qwait:(Metrics.histogram merged "queue_wait")
-    ~svc_opt:(Metrics.histogram merged "service.optimized")
-    ~svc_gen:(Metrics.histogram merged "service.generic");
+    ~svc_opt:(Metrics.exact merged "service.optimized")
+    ~svc_bat:(Metrics.exact merged "service.batched")
+    ~svc_gen:(Metrics.exact merged "service.generic")
+    ~depth:(Metrics.exact merged "batch.depth");
   Fmt.pf ppf "@.dispatch time by event (all shards):@.";
   Fmt.pf ppf "%16s | %7s | %25s@." "event" "count" "p50/p90/p99/max";
   List.iter
@@ -118,26 +140,32 @@ let pp_metrics ppf broker =
 let json ?(metrics = false) broker (s : Loadgen.summary) =
   let cfg = Broker.config broker in
   let b = Buffer.create 4096 in
-  let dist name h =
-    let d = Hist.dist h in
+  let dist_of name count (d : Hist.dist) =
     Printf.sprintf
       "\"%s\": {\"count\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
        \"max\": %d}"
-      name (Hist.count h) d.Hist.p50 d.Hist.p90 d.Hist.p99 d.Hist.max
+      name count d.Hist.p50 d.Hist.p90 d.Hist.p99 d.Hist.max
   in
+  let dist name h = dist_of name (Hist.count h) (Hist.dist h) in
+  let dist_e name h = dist_of name (Exact.count h) (Exact.dist h) in
   let hists m =
-    Printf.sprintf "%s, %s, %s"
+    Printf.sprintf "%s, %s, %s, %s, %s"
       (dist "queue_wait" (Metrics.histogram m "queue_wait"))
-      (dist "service_opt" (Metrics.histogram m "service.optimized"))
-      (dist "service_gen" (Metrics.histogram m "service.generic"))
+      (dist_e "service_opt" (Metrics.exact m "service.optimized"))
+      (dist_e "service_bat" (Metrics.exact m "service.batched"))
+      (dist_e "service_gen" (Metrics.exact m "service.generic"))
+      (dist_e "batch_depth" (Metrics.exact m "batch.depth"))
   in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"podopt/serve/v5\",\n";
+  Buffer.add_string b "  \"schema\": \"podopt/serve/v6\",\n";
   Printf.bprintf b
-    "  \"workload\": %S, \"shards\": %d, \"batch\": %d, \"queue_limit\": %d, \
-     \"policy\": %S, \"optimize\": %b, \"seed\": %Ld, \"tick\": %d,\n"
+    "  \"workload\": %S, \"shards\": %d, \"batch\": %d, \"batch_k\": %S, \
+     \"queue_limit\": %d, \"policy\": %S, \"optimize\": %b, \"seed\": %Ld, \
+     \"tick\": %d,\n"
     (Workload.kind_to_string cfg.Broker.kind)
-    cfg.Broker.shards cfg.Broker.batch cfg.Broker.queue_limit
+    cfg.Broker.shards cfg.Broker.batch
+    (Shard.batching_to_string cfg.Broker.batching)
+    cfg.Broker.queue_limit
     (Policy.shed_to_string cfg.Broker.policy)
     cfg.Broker.optimize cfg.Broker.seed cfg.Broker.tick;
   Printf.bprintf b
@@ -148,20 +176,20 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
   Printf.bprintf b
     "  \"summary\": {\"sent\": %d, \"retries\": %d, \"nacks\": %d, \
      \"gave_up\": %d, \"routed\": %d, \"shed\": %d, \"dispatched\": %d, \
-     \"batches\": %d, \"optimized\": %d, \"generic\": %d, \"fallbacks\": %d, \
-     \"failures\": %d, \"requeued\": %d, \"quarantined\": %d, \
-     \"breaker_trips\": %d, \"link_dropped\": %d, \"decode_failures\": %d, \
-     \"first_epoch_optimized\": %d, \"first_epoch_generic\": %d, \
-     \"busy\": %d, \"makespan\": %d, \"elapsed\": %d, \"truncated\": %b, \
-     \"opt_pct\": %.1f,\n"
+     \"batches\": %d, \"optimized\": %d, \"batched\": %d, \"generic\": %d, \
+     \"fallbacks\": %d, \"failures\": %d, \"requeued\": %d, \
+     \"quarantined\": %d, \"breaker_trips\": %d, \"link_dropped\": %d, \
+     \"decode_failures\": %d, \"first_epoch_optimized\": %d, \
+     \"first_epoch_generic\": %d, \"busy\": %d, \"makespan\": %d, \
+     \"elapsed\": %d, \"truncated\": %b, \"opt_pct\": %.1f,\n"
     s.Loadgen.sent s.Loadgen.retries s.Loadgen.nacks s.Loadgen.gave_up
     s.Loadgen.routed s.Loadgen.shed s.Loadgen.dispatched s.Loadgen.batches
-    s.Loadgen.optimized s.Loadgen.generic s.Loadgen.fallbacks
-    s.Loadgen.failures s.Loadgen.requeued s.Loadgen.quarantined
-    s.Loadgen.breaker_trips s.Loadgen.link_dropped s.Loadgen.decode_failures
-    s.Loadgen.first_epoch_optimized s.Loadgen.first_epoch_generic
-    s.Loadgen.busy s.Loadgen.makespan s.Loadgen.elapsed s.Loadgen.truncated
-    (Loadgen.opt_pct s);
+    s.Loadgen.optimized s.Loadgen.batched s.Loadgen.generic
+    s.Loadgen.fallbacks s.Loadgen.failures s.Loadgen.requeued
+    s.Loadgen.quarantined s.Loadgen.breaker_trips s.Loadgen.link_dropped
+    s.Loadgen.decode_failures s.Loadgen.first_epoch_optimized
+    s.Loadgen.first_epoch_generic s.Loadgen.busy s.Loadgen.makespan
+    s.Loadgen.elapsed s.Loadgen.truncated (Loadgen.opt_pct s);
   let merged = merged_metrics broker in
   Printf.bprintf b "    \"latency\": {%s}},\n" (hists merged);
   Buffer.add_string b "  \"shards\": [\n";
@@ -171,12 +199,14 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
       let ist = Ingress.stats sh.Shard.ingress in
       Printf.bprintf b
         "    {\"id\": %d, \"sessions\": %d, \"offered\": %d, \"shed\": %d, \
-         \"dispatched\": %d, \"optimized\": %d, \"generic\": %d, \
-         \"failures\": %d, \"requeued\": %d, \"requeue_overflow\": %d, \
-         \"quarantined\": %d, \"breaker_trips\": %d, \"busy\": %d, %s}%s\n"
+         \"dispatched\": %d, \"optimized\": %d, \"batched\": %d, \
+         \"generic\": %d, \"failures\": %d, \"requeued\": %d, \
+         \"requeue_overflow\": %d, \"quarantined\": %d, \
+         \"breaker_trips\": %d, \"busy\": %d, %s}%s\n"
         sh.Shard.id sh.Shard.sessions ist.Ingress.offered ist.Ingress.shed
         sh.Shard.stats.Shard.dispatched
         (Shard.optimized_dispatches sh)
+        (Shard.batched_dispatches sh)
         (Shard.generic_dispatches sh)
         (Shard.handler_failures sh)
         sh.Shard.stats.Shard.requeued ist.Ingress.requeue_overflow

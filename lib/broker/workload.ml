@@ -25,6 +25,14 @@ let op_payload kind ~session ~seq =
   | Video -> Player.frame_payload ((session * 7) + seq + 1)
   | Seccomm -> Messenger.message ~size:256 ((session * 131) + seq)
 
+(* The hot-path key of one op — the drain loop segments its drained
+   batch into maximal same-path runs and windows each run.  Both
+   workloads serve a single op vocabulary today, so the path is
+   constant per kind; a multi-op workload would key on the payload's
+   op code. *)
+let path kind (_payload : bytes) =
+  match kind with Video -> "video.frame" | Seccomm -> "seccomm.op"
+
 let dispatch kind rt payload =
   match kind with
   | Video ->

@@ -23,6 +23,11 @@ val runtime : kind -> Runtime.t
 (** Deterministic payload for op [seq] of session number [session]. *)
 val op_payload : kind -> session:int -> seq:int -> bytes
 
+(** The hot-path key of an op: ops with equal paths may share one batch
+    window.  Constant per kind today (each workload serves one op
+    vocabulary); a multi-op workload would key on the payload. *)
+val path : kind -> bytes -> string
+
 (** Replay one op against a shard runtime: a CTP frame send (with a
     full drain of acks and timers) or a SecComm push/pop round trip. *)
 val dispatch : kind -> Runtime.t -> bytes -> unit

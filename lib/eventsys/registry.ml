@@ -12,9 +12,13 @@ type entry = {
   mutable next_order : int;
 }
 
-type t = { entries : (int, entry) Hashtbl.t }
+(* [generation] counts every binding mutation table-wide.  A batch
+   window verifies its guards once and then only has to confirm the
+   generation is unchanged to know every per-event version it checked
+   is still valid (Sec. 3.3's guard, amortized). *)
+type t = { entries : (int, entry) Hashtbl.t; mutable generation : int }
 
-let create () = { entries = Hashtbl.create 32 }
+let create () = { entries = Hashtbl.create 32; generation = 0 }
 
 let entry t (ev : Event.t) : entry =
   match Hashtbl.find_opt t.entries ev.Event.id with
@@ -36,7 +40,8 @@ let bind t ev ?order (h : Handler.t) : unit =
     | rest -> (order, h) :: rest
   in
   e.handlers <- insert e.handlers;
-  e.version <- e.version + 1
+  e.version <- e.version + 1;
+  t.generation <- t.generation + 1
 
 (* Remove all bindings of the handler named [name] from [ev]. *)
 let unbind t ev ~name : bool =
@@ -51,6 +56,7 @@ let unbind t ev ~name : bool =
       e.handlers;
   if !removed > 0 then begin
     e.version <- e.version + 1;
+    t.generation <- t.generation + 1;
     true
   end
   else false
@@ -59,11 +65,13 @@ let unbind_all t ev =
   let e = entry t ev in
   if e.handlers <> [] then begin
     e.handlers <- [];
-    e.version <- e.version + 1
+    e.version <- e.version + 1;
+    t.generation <- t.generation + 1
   end
 
 let handlers t ev : Handler.t list = List.map snd (entry t ev).handlers
 let version t ev : int = (entry t ev).version
+let generation t = t.generation
 let is_bound t ev = (entry t ev).handlers <> []
 
 let events_with_bindings t (tbl : Event.table) : Event.t list =

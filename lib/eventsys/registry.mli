@@ -33,5 +33,12 @@ val unbind_all : t -> Event.t -> unit
 val handlers : t -> Event.t -> Handler.t list
 
 val version : t -> Event.t -> int
+
+(** Table-wide mutation counter: bumped by every [bind] / [unbind] /
+    [unbind_all] that changes bindings.  An unchanged generation means
+    every per-event version is unchanged — what batch windows check
+    after verifying their guards once. *)
+val generation : t -> int
+
 val is_bound : t -> Event.t -> bool
 val events_with_bindings : t -> Event.table -> Event.t list

@@ -1,0 +1,92 @@
+(* Exact integer histogram: a value -> count map with no bucketing.
+   Complements Hist where full resolution matters — per-op service
+   times under the deterministic cost model land on a handful of exact
+   values, and Hist's power-of-two buckets collapse them into one
+   degenerate p50 = p90 = p99 = max summary.  Merge is still plain
+   count addition, so the order-independence the broker's domain-count
+   determinism rests on carries over unchanged. *)
+
+type t = {
+  counts : (int, int) Hashtbl.t;
+  mutable count : int;
+  mutable sum : int;
+  mutable max : int;
+}
+
+let create () = { counts = Hashtbl.create 16; count = 0; sum = 0; max = 0 }
+
+let observe t v =
+  let v = if v < 0 then 0 else v in
+  Hashtbl.replace t.counts v
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts v));
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max
+let mean t = if t.count = 0 then 0 else t.sum / t.count
+
+(* (value, count) ascending — the deterministic iteration order every
+   read path below uses. *)
+let sorted t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let percentile t p =
+  if p < 0 || p > 100 then invalid_arg "Exact.percentile: p out of 0..100";
+  if t.count = 0 then 0
+  else begin
+    let rank = Stdlib.max 1 (((p * t.count) + 99) / 100) in
+    let rec go seen = function
+      | [] -> t.max
+      | (v, c) :: rest -> if seen + c >= rank then v else go (seen + c) rest
+    in
+    go 0 (sorted t)
+  end
+
+(* Same summary record as Hist, so both kinds render identically. *)
+let dist t =
+  {
+    Hist.p50 = percentile t 50;
+    p90 = percentile t 90;
+    p99 = percentile t 99;
+    max = t.max;
+  }
+
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun v c ->
+      Hashtbl.replace dst.counts v
+        (c + Option.value ~default:0 (Hashtbl.find_opt dst.counts v)))
+    src.counts;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.max > dst.max then dst.max <- src.max
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let copy t =
+  { counts = Hashtbl.copy t.counts; count = t.count; sum = t.sum; max = t.max }
+
+let reset t =
+  Hashtbl.reset t.counts;
+  t.count <- 0;
+  t.sum <- 0;
+  t.max <- 0
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum && a.max = b.max && sorted a = sorted b
+
+(* Same shape as Hist.pp, so swapping a metric's kind does not change
+   how reports render. *)
+let pp ppf t =
+  if t.count = 0 then Fmt.string ppf "empty"
+  else
+    Fmt.pf ppf "count=%d sum=%d p50/p90/p99/max %a" t.count t.sum Hist.pp_dist
+      (dist t)

@@ -1,0 +1,42 @@
+(** Exact integer histogram: a value -> count map with no bucketing.
+
+    Use where {!Hist}'s power-of-two buckets destroy the signal — the
+    deterministic cost model lands per-op service times on a handful of
+    exact values, which one log bucket collapses into a degenerate
+    [p50 = p90 = p99 = max] summary.  Counts are exact integers and
+    {!merge} is plain count addition, so the order-independence and
+    domain-count determinism discipline of {!Hist} carries over.
+    Negative observations are clamped to 0. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int -> unit
+val count : t -> int
+val sum : t -> int
+
+(** Largest observation so far (0 when empty). *)
+val max_value : t -> int
+
+(** Mean rounded down; 0 when empty. *)
+val mean : t -> int
+
+(** [(value, count)] pairs, values ascending. *)
+val sorted : t -> (int * int) list
+
+(** [percentile t p]: the exact observation of rank
+    [ceil(p * count / 100)] (at least rank 1); 0 when empty. *)
+val percentile : t -> int -> int
+
+(** Summary in {!Hist.dist} form, so both kinds render identically. *)
+val dist : t -> Hist.dist
+
+val merge : t -> t -> t
+val merge_into : dst:t -> t -> unit
+val copy : t -> t
+val reset : t -> unit
+val equal : t -> t -> bool
+
+(** ["count=N sum=S p50/p90/p99/max A/B/C/D"]; ["empty"] when empty —
+    the same shape as {!Hist.pp}. *)
+val pp : Format.formatter -> t -> unit

@@ -1,4 +1,4 @@
-type cell = C of int ref | G of int ref | H of Hist.t
+type cell = C of int ref | G of int ref | H of Hist.t | E of Exact.t
 
 type t = (string, cell) Hashtbl.t
 
@@ -30,6 +30,17 @@ let histogram t name =
 
 let observe t name v = Hist.observe (histogram t name) v
 
+let exact t name =
+  match Hashtbl.find_opt t name with
+  | Some (E e) -> e
+  | Some _ -> kind_clash name
+  | None ->
+    let e = Exact.create () in
+    Hashtbl.replace t name (E e);
+    e
+
+let observe_exact t name v = Exact.observe (exact t name) v
+
 let counter t name =
   match Hashtbl.find_opt t name with
   | Some (C r) -> !r
@@ -42,7 +53,11 @@ let gauge t name =
   | Some _ -> kind_clash name
   | None -> 0
 
-type value = Counter of int | Gauge of int | Histogram of Hist.t
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of Hist.t
+  | Exact_hist of Exact.t
 
 let to_list t =
   Hashtbl.fold
@@ -52,6 +67,7 @@ let to_list t =
         | C r -> Counter !r
         | G r -> Gauge !r
         | H h -> Histogram h
+        | E e -> Exact_hist e
       in
       (name, v) :: acc)
     t []
@@ -63,7 +79,8 @@ let merge_into ~dst src =
       match cell with
       | C r -> add dst name !r
       | G r -> set_gauge dst name (max (gauge dst name) !r)
-      | H h -> Hist.merge_into ~dst:(histogram dst name) h)
+      | H h -> Hist.merge_into ~dst:(histogram dst name) h
+      | E e -> Exact.merge_into ~dst:(exact dst name) e)
     src
 
 let merge a b =
@@ -80,7 +97,11 @@ let merge_all ts =
 let reset t =
   Hashtbl.iter
     (fun _ cell ->
-      match cell with C r -> r := 0 | G r -> r := 0 | H h -> Hist.reset h)
+      match cell with
+      | C r -> r := 0
+      | G r -> r := 0
+      | H h -> Hist.reset h
+      | E e -> Exact.reset e)
     t
 
 let pp ppf t =
@@ -89,5 +110,6 @@ let pp ppf t =
       match v with
       | Counter n -> Fmt.pf ppf "%s: %d@." name n
       | Gauge n -> Fmt.pf ppf "%s: %d (gauge)@." name n
-      | Histogram h -> Fmt.pf ppf "%s: %a@." name Hist.pp h)
+      | Histogram h -> Fmt.pf ppf "%s: %a@." name Hist.pp h
+      | Exact_hist e -> Fmt.pf ppf "%s: %a@." name Exact.pp e)
     (to_list t)

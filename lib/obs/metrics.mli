@@ -25,6 +25,10 @@ val set_gauge : t -> string -> int -> unit
 (** Record an observation into a histogram. *)
 val observe : t -> string -> int -> unit
 
+(** Record an observation into an {!Exact} (full-resolution)
+    histogram. *)
+val observe_exact : t -> string -> int -> unit
+
 val counter : t -> string -> int
 (** 0 when absent. *)
 
@@ -35,7 +39,15 @@ val gauge : t -> string -> int
     handle is live: further {!observe} calls are visible through it. *)
 val histogram : t -> string -> Hist.t
 
-type value = Counter of int | Gauge of int | Histogram of Hist.t
+(** The named exact histogram, created empty if absent; live like
+    {!histogram}. *)
+val exact : t -> string -> Exact.t
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of Hist.t
+  | Exact_hist of Exact.t
 
 (** All metrics sorted by name. *)
 val to_list : t -> (string * value) list

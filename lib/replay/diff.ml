@@ -18,11 +18,12 @@ module Session = Podopt_broker.Session
 module Packet = Podopt_net.Packet
 module Crc32 = Podopt_crypto.Crc32
 
-type axis = Optimizer | Codegen
+type axis = Optimizer | Codegen | Batching
 
 let axis_label = function
   | Optimizer -> "optimizer-on vs optimizer-off"
   | Codegen -> "compiled vs interpreted handlers"
+  | Batching -> "batched vs unbatched drain"
 
 (* Both sides drain sequentially: the delivery hook runs inside the
    drain and must append to one list in a deterministic global order. *)
@@ -35,6 +36,17 @@ let variant_configs axis (cfg : Broker.config) =
   | Codegen ->
     ( { base with Broker.optimize = true; compile = true },
       { base with Broker.optimize = true; compile = false } )
+  | Batching ->
+    (* windowed against plain: the recorded width when the run had one,
+       else Auto (exercising the depth model) *)
+    let batching =
+      match cfg.Broker.batching with
+      | Podopt_broker.Shard.Off -> Podopt_broker.Shard.Auto
+      | b -> b
+    in
+    ( { base with Broker.optimize = true; batching },
+      { base with Broker.optimize = true; batching = Podopt_broker.Shard.Off }
+    )
 
 type observed = {
   deliveries : string list;  (* rendered, global dispatch order, measured phase *)

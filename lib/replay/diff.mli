@@ -1,8 +1,10 @@
 (** The differential oracle: execute one recorded log under two broker
     variants and diff their per-session observable outcomes.
 
-    Two axes: {!Optimizer} (adaptive optimization on vs off) and
-    {!Codegen} (compiled vs interpreted super-handlers).  The compared
+    Three axes: {!Optimizer} (adaptive optimization on vs off),
+    {!Codegen} (compiled vs interpreted super-handlers), and
+    {!Batching} (windowed vs plain drain — the recorded batch width,
+    or [Auto] when the run was recorded unwindowed).  The compared
     observables — dispatch order, per-attempt success, a CRC-32 digest
     of every dispatched payload, and each client's
     sent/retry/nack/gave-up accounting — are independent of the cost
@@ -14,7 +16,7 @@
     per-session measured op cap, keeping each cut iff the divergence
     survives. *)
 
-type axis = Optimizer | Codegen
+type axis = Optimizer | Codegen | Batching
 
 val axis_label : axis -> string
 

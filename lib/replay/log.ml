@@ -4,11 +4,11 @@
    record per line, whitespace-separated fields, [#] comments, a
    [Format_error] on anything malformed).
 
-   Format (version 2; version-1 logs still load):
+   Format (version 3; version-1 and -2 logs still load):
 
      V <version>
      C <shards> <batch> <queue_limit> <policy> <kind> <optimize>
-       <compile> <seed> <tick> <domains> <faults-spec>
+       <compile> <seed> <tick> <domains> <faults-spec> <batch-k>
      D <verbatim line>                             embedded profile store
      Y <crc32-hex>                                 digest of the D lines
      P <sessions> <ops> <interval> <spread> <latency> <jitter>
@@ -28,12 +28,17 @@
    embed that store verbatim (the run's profile identity), and [Y] pins
    its CRC-32 — a swapped or edited profile fails the digest check at
    load, the same way replayed fault draws are verified against [F]
-   lines. *)
+   lines.
+
+   [batch-k] (new in version 3) is the drain loop's windowing mode —
+   [off], [auto], or a width; a C line without it (versions 1/2) loads
+   as [off], the exact behaviour those runs had. *)
 
 module Plan = Podopt_faults.Plan
 module Broker = Podopt_broker.Broker
 module Loadgen = Podopt_broker.Loadgen
 module Policy = Podopt_broker.Policy
+module Shard = Podopt_broker.Shard
 module Workload = Podopt_broker.Workload
 
 module Store = Podopt_store.Store
@@ -42,7 +47,7 @@ module Crc32 = Podopt_crypto.Crc32
 exception Format_error of string
 
 let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
-let version = 2
+let version = 3
 
 type sess = {
   s_phase : string;  (* "w" | "m" *)
@@ -134,13 +139,14 @@ let to_string (t : t) : string =
   let cfg = t.config and p = t.profile in
   line "# podopt replay log";
   line "V %d" version;
-  line "C %d %d %d %s %s %b %b %Ld %d %d %s" cfg.Broker.shards cfg.Broker.batch
-    cfg.Broker.queue_limit
+  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s" cfg.Broker.shards
+    cfg.Broker.batch cfg.Broker.queue_limit
     (Policy.shed_to_string cfg.Broker.policy)
     (Workload.kind_to_string cfg.Broker.kind)
     cfg.Broker.optimize cfg.Broker.compile cfg.Broker.seed cfg.Broker.tick
     cfg.Broker.domains
-    (Plan.to_string cfg.Broker.faults);
+    (Plan.to_string cfg.Broker.faults)
+    (Shard.batching_to_string cfg.Broker.batching);
   (match cfg.Broker.profile_in with
    | None -> ()
    | Some store ->
@@ -181,6 +187,17 @@ let to_string (t : t) : string =
 (* --- decode ------------------------------------------------------------ *)
 
 let config_of_fields fields =
+  (* 11 fields: versions 1/2 (no batch-k — those runs never windowed,
+     so they load as [off]); 12 fields: version 3 *)
+  let fields, batching =
+    match fields with
+    | [ _; _; _; _; _; _; _; _; _; _; _; batching ] ->
+      (List.filteri (fun i _ -> i < 11) fields,
+       match Shard.batching_of_string batching with
+       | Ok b -> b
+       | Error e -> format_error "bad batch-k: %s" e)
+    | _ -> (fields, Shard.Off)
+  in
   match fields with
   | [ shards; batch; queue_limit; policy; kind; optimize; compile; seed; tick;
       domains; faults ] ->
@@ -217,6 +234,7 @@ let config_of_fields fields =
       domains = int_field "domains" domains;
       faults;
       profile_in = None;  (* filled in from the D lines, if any *)
+      batching;
     }
   | _ -> format_error "bad C line (%d fields)" (List.length fields)
 
@@ -239,9 +257,10 @@ let of_string (s : string) : t =
     | [] -> ()
     | [ "V"; v ] ->
       let v = int_field "version" v in
-      (* version 1 is version 2 minus the D/Y records: still loadable *)
-      if v <> 1 && v <> version then
-        format_error "unsupported log version %d (expected 1 or %d)" v version;
+      (* older versions are strict subsets (v1: no D/Y records, v2: no
+         batch-k field): still loadable *)
+      if v < 1 || v > version then
+        format_error "unsupported log version %d (expected 1..%d)" v version;
       saw_version := true
     | "C" :: rest -> config := Some (config_of_fields rest)
     | [ "P"; sessions'; ops'; interval; spread; latency; jitter; warmup; metrics' ] ->

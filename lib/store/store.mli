@@ -27,6 +27,10 @@ type entry = {
       (** event -> ordered handler names at capture time; the warm-start
           pass compares these against the live bindings to detect
           staleness *)
+  depths : (int * int) list;
+      (** drained-batch depth -> observation count (version 2; empty
+          for version-1 entries).  Serialized only when non-empty, so a
+          version-1 entry's content id is unchanged by the upgrade. *)
 }
 
 type t = entry list
@@ -34,11 +38,12 @@ type t = entry list
 val entries : t -> entry list
 
 (** Build an entry, deriving its content id.  Raises {!Format_error} on
-    names containing whitespace (no such names exist in this system). *)
+    names containing whitespace (no such names exist in this system) or
+    non-positive depth observations. *)
 val make_entry :
-  kind:string -> shard:int -> dispatched:int -> trace_entries:int ->
-  graph:Event_graph.t -> chains:string list list ->
-  handlers:(string * string list) list -> entry
+  ?depths:(int * int) list -> kind:string -> shard:int -> dispatched:int ->
+  trace_entries:int -> graph:Event_graph.t -> chains:string list list ->
+  handlers:(string * string list) list -> unit -> entry
 
 (** Id-keyed set union of the given entries (sorted, duplicates
     collapsed) — the normal form every store operation returns. *)
@@ -66,6 +71,9 @@ type aggregate = {
           entries *)
   agg_conflicts : string list;
       (** events with disagreeing signatures — treated as stale *)
+  agg_depths : (int * int) list;
+      (** depth observations summed across matching entries — what
+          seeds a warm-started shard's batch-width model *)
   agg_entries : int;  (** entries folded in *)
 }
 

@@ -1,0 +1,355 @@
+(* Cross-event batch windows.  The drain's amortization windows must be
+   invisible in every observable — delivery order, per-op success,
+   payload content and client accounting are byte-identical at any
+   window width and any domain count — while the window mechanics
+   themselves (one guard verification per window, mid-window
+   stale-guard fallback, uninstall closing the window, breaker trips
+   under batching) behave as specified. *)
+
+open Podopt
+module B = Podopt_broker
+module Session = Podopt_broker.Session
+module Plan_f = Podopt_faults.Plan
+
+(* --- drain segmentation helpers ---------------------------------------- *)
+
+let test_segment_runs () =
+  Alcotest.(check (list (list string)))
+    "maximal adjacent runs"
+    [ [ "a"; "a" ]; [ "b" ]; [ "a"; "a"; "a" ] ]
+    (B.Shard.segment_runs Fun.id [ "a"; "a"; "b"; "a"; "a"; "a" ]);
+  Alcotest.(check (list (list string)))
+    "empty" []
+    (B.Shard.segment_runs Fun.id []);
+  Alcotest.(check (list (list int)))
+    "one key, one run"
+    [ [ 1; 2; 3 ] ]
+    (B.Shard.segment_runs (fun _ -> "k") [ 1; 2; 3 ]);
+  Alcotest.(check (list (list int)))
+    "alternating keys degenerate to singletons"
+    [ [ 1 ]; [ 2 ]; [ 1 ] ]
+    (B.Shard.segment_runs string_of_int [ 1; 2; 1 ])
+
+let test_chunk () =
+  Alcotest.(check (list (list int)))
+    "width 2 slices, short tail"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (B.Shard.chunk 2 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list (list int)))
+    "width beyond the list keeps one slice"
+    [ [ 1; 2 ] ]
+    (B.Shard.chunk 16 [ 1; 2 ]);
+  Alcotest.(check (list (list int))) "empty" [] (B.Shard.chunk 4 []);
+  Alcotest.check_raises "width 0 rejected"
+    (Invalid_argument "Shard.chunk: width < 1") (fun () ->
+      ignore (B.Shard.chunk 0 [ 1 ]))
+
+let test_batching_strings () =
+  let round b =
+    match B.Shard.batching_of_string (B.Shard.batching_to_string b) with
+    | Ok b' -> b' = b
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "off round-trips" true (round B.Shard.Off);
+  Alcotest.(check bool) "auto round-trips" true (round B.Shard.Auto);
+  Alcotest.(check bool) "fixed round-trips" true (round (B.Shard.Fixed 8));
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Result.is_error (B.Shard.batching_of_string "sometimes"));
+  Alcotest.(check bool)
+    "zero rejected" true
+    (Result.is_error (B.Shard.batching_of_string "0"))
+
+(* --- runtime window mechanics ------------------------------------------- *)
+
+let program_src =
+  {|
+handler stage1(x) { emit("s1", x); raise sync Stage2(x + 1); }
+handler stage2(x) { global n = global n + 1; emit("s2", x); }
+handler extra(x) { emit("late", x); }
+|}
+
+(* Profile a hot Stage1 -> Stage2 chain and install its super-handler
+   as a batch entry. *)
+let setup_batched () =
+  let rt = Runtime.create ~program:(Parse.program program_src) () in
+  Runtime.set_global rt "n" (Value.Int 0);
+  Runtime.bind rt ~event:"Stage1" (Handler.hir' "stage1");
+  Runtime.bind rt ~event:"Stage2" (Handler.hir' "stage2");
+  Trace.enable_events rt.Runtime.trace;
+  for i = 1 to 40 do
+    Runtime.raise_sync rt "Stage1" [ Value.Int i ]
+  done;
+  let plan = Driver.analyze ~threshold:10 ~batch:true rt in
+  let applied = Driver.apply rt plan in
+  Alcotest.(check bool)
+    "batch super-handler installed" true
+    (applied.Driver.installed <> []);
+  Runtime.clear_emits rt;
+  rt
+
+let test_windowed_dispatch_counts_batched () =
+  let rt = setup_batched () in
+  Runtime.open_batch rt;
+  Runtime.raise_sync rt "Stage1" [ Value.Int 1 ];
+  Runtime.raise_sync rt "Stage1" [ Value.Int 2 ];
+  Runtime.close_batch rt;
+  Alcotest.(check int)
+    "both rode the window" 2
+    rt.Runtime.stats.Runtime.batched_dispatches;
+  Alcotest.(check bool) "window closed" false (Runtime.in_batch rt);
+  (* outside a window the same entry dispatches as plain optimized *)
+  Runtime.raise_sync rt "Stage1" [ Value.Int 3 ];
+  Alcotest.(check int)
+    "no window, no batched count" 2
+    rt.Runtime.stats.Runtime.batched_dispatches;
+  Alcotest.(check int)
+    "plain optimized instead" 1
+    rt.Runtime.stats.Runtime.optimized_dispatches
+
+let test_windows_amortize_cost () =
+  (* same installs, same ops; the windowed run must be strictly
+     cheaper on the virtual clock and byte-identical in emits *)
+  let run windowed =
+    let rt = setup_batched () in
+    let t0 = Vclock.now rt.Runtime.clock in
+    if windowed then Runtime.open_batch rt;
+    for i = 1 to 8 do
+      Runtime.raise_sync rt "Stage1" [ Value.Int i ]
+    done;
+    if windowed then Runtime.close_batch rt;
+    let cost = Vclock.now rt.Runtime.clock - t0 in
+    (cost, Runtime.emits rt, Runtime.get_global rt "n")
+  in
+  let plain_cost, plain_emits, plain_n = run false in
+  let win_cost, win_emits, win_n = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "windowed %d < plain %d" win_cost plain_cost)
+    true (win_cost < plain_cost);
+  Alcotest.(check bool) "emits identical" true (plain_emits = win_emits);
+  Alcotest.(check bool) "global state identical" true (plain_n = win_n)
+
+let test_stale_guard_mid_window_falls_back () =
+  let rt = setup_batched () in
+  Runtime.open_batch rt;
+  Runtime.raise_sync rt "Stage1" [ Value.Int 1 ];
+  Alcotest.(check int)
+    "first op rode the window" 1
+    rt.Runtime.stats.Runtime.batched_dispatches;
+  (* a rebind bumps Stage1's binding version: the verified window's
+     guard is stale for the next dispatch *)
+  Runtime.bind rt ~event:"Stage1" (Handler.hir' "extra");
+  let fb0 = rt.Runtime.stats.Runtime.fallbacks in
+  Runtime.clear_emits rt;
+  Runtime.raise_sync rt "Stage1" [ Value.Int 2 ];
+  Alcotest.(check int)
+    "stale guard fell back" (fb0 + 1)
+    rt.Runtime.stats.Runtime.fallbacks;
+  Alcotest.(check bool) "fallback closed the window" false (Runtime.in_batch rt);
+  (* the generic path ran the full current binding list, new handler
+     included *)
+  let tags = List.map fst (Runtime.emits rt) in
+  Alcotest.(check (list string))
+    "generic ran every bound handler"
+    [ "s1"; "s2"; "late" ]
+    tags
+
+let test_uninstall_closes_window () =
+  let rt = setup_batched () in
+  Runtime.open_batch rt;
+  Runtime.raise_sync rt "Stage1" [ Value.Int 1 ];
+  Alcotest.(check bool) "window open" true (Runtime.in_batch rt);
+  Runtime.uninstall_all rt;
+  Alcotest.(check bool) "uninstall closed it" false (Runtime.in_batch rt);
+  Alcotest.(check (list int)) "nothing optimized" [] (Runtime.optimized_events rt);
+  let g0 = rt.Runtime.stats.Runtime.generic_dispatches in
+  Runtime.raise_sync rt "Stage1" [ Value.Int 2 ];
+  Alcotest.(check bool)
+    "subsequent dispatches are generic" true
+    (rt.Runtime.stats.Runtime.generic_dispatches > g0)
+
+(* --- broker-level observables ------------------------------------------- *)
+
+(* Replay one seeded workload and collect the cost-model-independent
+   observables: per-shard delivery sequences (src, seq, success,
+   payload) in drain order, plus every client's accounting.  Each shard
+   is drained by exactly one domain, so the per-shard lists need no
+   locking at any domain count. *)
+let observe ~batching ~domains ~seed ~sessions ~ops =
+  let shards = 2 in
+  let cfg =
+    {
+      B.Broker.default_config with
+      B.Broker.shards;
+      kind = B.Workload.Seccomm;
+      optimize = true;
+      batch = 16;
+      queue_limit = 256;
+      seed = Int64.of_int (1 + seed);
+      domains;
+      batching;
+    }
+  in
+  let broker = B.Broker.create cfg in
+  Fun.protect
+    ~finally:(fun () -> B.Broker.shutdown broker)
+    (fun () ->
+      let profile =
+        {
+          B.Loadgen.default_profile with
+          B.Loadgen.sessions;
+          ops;
+          interval = 60;
+          spread = 17;
+        }
+      in
+      ignore
+        (B.Loadgen.run broker
+           (B.Loadgen.make_sessions broker { profile with B.Loadgen.ops = 4 }));
+      B.Broker.force_reoptimize broker;
+      B.Broker.reset_measurements broker;
+      let per_shard = Array.make shards [] in
+      B.Broker.set_delivery_hook broker
+        (Some
+           (fun ~shard ~src ~seq ~ok ~payload ->
+             per_shard.(shard) <-
+               Printf.sprintf "%s#%d %b %s" src seq ok
+                 (Bytes.to_string payload)
+               :: per_shard.(shard)));
+      let measured = B.Loadgen.make_sessions broker profile in
+      ignore (B.Loadgen.run broker measured);
+      let deliveries = Array.to_list (Array.map List.rev per_shard) in
+      let clients =
+        List.map
+          (fun s ->
+            let st = Session.stats s in
+            Printf.sprintf "%s %d %d %d %d" (Session.id s) st.Session.sent
+              st.Session.retries st.Session.nacks st.Session.gave_up)
+          measured
+      in
+      (deliveries, clients))
+
+let gen_batching =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun k -> B.Shard.Fixed k) (1 -- 16); return B.Shard.Auto ])
+
+let prop_windows_invisible =
+  QCheck2.Test.make
+    ~name:"batched drain observably identical to unbatched (any k, domains 1 vs 4)"
+    ~count:10
+    QCheck2.Gen.(triple gen_batching (2 -- 5) (0 -- 1000))
+    (fun (batching, sessions, seed) ->
+      let base = observe ~batching:B.Shard.Off ~domains:1 ~seed ~sessions ~ops:5 in
+      let b1 = observe ~batching ~domains:1 ~seed ~sessions ~ops:5 in
+      let b4 = observe ~batching ~domains:4 ~seed ~sessions ~ops:5 in
+      base = b1 && base = b4)
+
+let test_batched_run_is_cheaper () =
+  (* fixed twin runs: the windowed drain must dispatch through windows
+     and cost strictly less virtual busy time for the same traffic *)
+  let run batching =
+    let cfg =
+      {
+        B.Broker.default_config with
+        B.Broker.shards = 2;
+        kind = B.Workload.Seccomm;
+        optimize = true;
+        batch = 16;
+        queue_limit = 256;
+        seed = 11L;
+        batching;
+      }
+    in
+    let broker = B.Broker.create cfg in
+    Fun.protect
+      ~finally:(fun () -> B.Broker.shutdown broker)
+      (fun () ->
+        let profile =
+          {
+            B.Loadgen.default_profile with
+            B.Loadgen.sessions = 8;
+            ops = 10;
+            interval = 40;
+            spread = 7;
+          }
+        in
+        B.Loadgen.steady ~warmup_ops:8 broker profile)
+  in
+  let plain = run B.Shard.Off in
+  let batched = run (B.Shard.Fixed 8) in
+  Alcotest.(check bool)
+    "windows dispatched" true
+    (batched.B.Loadgen.batched > 0);
+  Alcotest.(check int)
+    "no batched dispatches when off" 0 plain.B.Loadgen.batched;
+  Alcotest.(check bool)
+    (Printf.sprintf "batched busy %d < plain busy %d" batched.B.Loadgen.busy
+       plain.B.Loadgen.busy)
+    true
+    (batched.B.Loadgen.busy < plain.B.Loadgen.busy);
+  Alcotest.(check int)
+    "same deliveries" plain.B.Loadgen.dispatched batched.B.Loadgen.dispatched
+
+let test_breaker_trip_under_batching () =
+  (* crash faults trip the optimizer breaker while windows are live:
+     the trip uninstalls the batch entries (closing any window) and the
+     run must stay deterministic across domain counts *)
+  let run domains =
+    let cfg =
+      {
+        B.Broker.default_config with
+        B.Broker.shards = 2;
+        kind = B.Workload.Seccomm;
+        optimize = true;
+        batch = 16;
+        queue_limit = 256;
+        seed = 11L;
+        domains;
+        batching = B.Shard.Auto;
+        faults = { Plan_f.none with Plan_f.seed = 7L; crash_permille = 300 };
+      }
+    in
+    let broker = B.Broker.create cfg in
+    Fun.protect
+      ~finally:(fun () -> B.Broker.shutdown broker)
+      (fun () ->
+        let profile =
+          {
+            B.Loadgen.default_profile with
+            B.Loadgen.sessions = 8;
+            ops = 10;
+            interval = 60;
+            spread = 11;
+          }
+        in
+        B.Loadgen.steady ~warmup_ops:8 broker profile)
+  in
+  let s1 = run 1 in
+  let s2 = run 2 in
+  Alcotest.(check bool)
+    "the breaker tripped" true
+    (s1.B.Loadgen.breaker_trips > 0);
+  Alcotest.(check bool)
+    "identical summary across domain counts" true (s1 = s2)
+
+let suite =
+  [
+    Alcotest.test_case "segment_runs splits maximal same-path runs" `Quick
+      test_segment_runs;
+    Alcotest.test_case "chunk slices runs to the window width" `Quick test_chunk;
+    Alcotest.test_case "batch-k strings round-trip" `Quick test_batching_strings;
+    Alcotest.test_case "windowed dispatches count as batched" `Quick
+      test_windowed_dispatch_counts_batched;
+    Alcotest.test_case "windows amortize cost, emits identical" `Quick
+      test_windows_amortize_cost;
+    Alcotest.test_case "stale guard mid-window falls back and closes" `Quick
+      test_stale_guard_mid_window_falls_back;
+    Alcotest.test_case "uninstall closes the open window" `Quick
+      test_uninstall_closes_window;
+    QCheck_alcotest.to_alcotest prop_windows_invisible;
+    Alcotest.test_case "batched broker run is strictly cheaper" `Quick
+      test_batched_run_is_cheaper;
+    Alcotest.test_case "breaker trip under batching stays deterministic" `Quick
+      test_breaker_trip_under_batching;
+  ]

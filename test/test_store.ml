@@ -51,7 +51,12 @@ let gen_entry =
   let handlers =
     List.sort_uniq (fun (a, _) (b, _) -> compare a b) handlers
   in
-  return (Store.make_entry ~kind ~shard ~dispatched ~trace_entries ~graph ~chains ~handlers)
+  let* depths = list_size (0 -- 3) (pair (1 -- 8) (1 -- 5)) in
+  (* one count per depth, as a real depth model produces *)
+  let depths = List.sort_uniq (fun (a, _) (b, _) -> compare a b) depths in
+  return
+    (Store.make_entry ~depths ~kind ~shard ~dispatched ~trace_entries ~graph
+       ~chains ~handlers ())
 
 let gen_store =
   let open QCheck2.Gen in
@@ -107,7 +112,7 @@ let sample_store () =
   Event_graph.add_edge g ~src:"EvA" ~dst:"EvB" Ast.Sync;
   Store.of_entries
     [ Store.make_entry ~kind:"seccomm" ~shard:0 ~dispatched:10 ~trace_entries:20
-        ~graph:g ~chains:[ [ "EvA"; "EvB" ] ] ~handlers:[ ("EvA", [ "h1" ]) ] ]
+        ~graph:g ~chains:[ [ "EvA"; "EvB" ] ] ~handlers:[ ("EvA", [ "h1" ]) ] () ]
 
 (* Replace the first occurrence of [sub] in [s]. *)
 let replace_first s ~sub ~by =
@@ -227,7 +232,8 @@ let test_stale_profile_degrades () =
            Store.make_entry ~kind:e.Store.kind ~shard:e.Store.shard
              ~dispatched:e.Store.dispatched ~trace_entries:e.Store.trace_entries
              ~graph:e.Store.graph ~chains:e.Store.chains
-             ~handlers:(List.map (fun (ev, _) -> (ev, [ "gone" ])) e.Store.handlers))
+             ~handlers:(List.map (fun (ev, _) -> (ev, [ "gone" ])) e.Store.handlers)
+             ())
          (Store.entries (seed_store ())))
   in
   let cfg = { base_cfg with B.Broker.profile_in = Some stale } in
