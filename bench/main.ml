@@ -486,6 +486,13 @@ module Bjson = struct
     bwarm : bool; (* warm-started from a profile store *)
     bfirst_opt : int;
     bfirst_gen : int;
+    bckpt_every : int;
+    bkills : int;
+    brecoveries : int;
+    bredelivered : int;
+    bcheckpoints : int;
+    bramp_opt : int;
+    bramp_gen : int;
     belapsed : int;
     blatency : Bk.Loadgen.latency;
   }
@@ -500,9 +507,9 @@ module Bjson = struct
       d.Podopt_obs.Hist.p50 prefix d.Podopt_obs.Hist.p90 prefix
       d.Podopt_obs.Hist.p99 prefix d.Podopt_obs.Hist.max
 
-  let of_summary ?(bwarm = false) ?(bbatch_k = "off") ~bsection ~bkind ~bmode
-      ~bshards ~bdomains ~(profile : Bk.Loadgen.profile) ~wall_ns
-      (s : Bk.Loadgen.summary) =
+  let of_summary ?(bwarm = false) ?(bbatch_k = "off") ?(bckpt_every = 8)
+      ~bsection ~bkind ~bmode ~bshards ~bdomains
+      ~(profile : Bk.Loadgen.profile) ~wall_ns (s : Bk.Loadgen.summary) =
     {
       bsection;
       bkind;
@@ -530,6 +537,13 @@ module Bjson = struct
       bwarm;
       bfirst_opt = s.Bk.Loadgen.first_epoch_optimized;
       bfirst_gen = s.Bk.Loadgen.first_epoch_generic;
+      bckpt_every;
+      bkills = s.Bk.Loadgen.kills;
+      brecoveries = s.Bk.Loadgen.recoveries;
+      bredelivered = s.Bk.Loadgen.redelivered;
+      bcheckpoints = s.Bk.Loadgen.checkpoints;
+      bramp_opt = s.Bk.Loadgen.ramp_optimized;
+      bramp_gen = s.Bk.Loadgen.ramp_generic;
       belapsed = s.Bk.Loadgen.elapsed;
       blatency = s.Bk.Loadgen.latency;
     }
@@ -537,7 +551,7 @@ module Bjson = struct
   let write path =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v5\",\n";
+    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v6\",\n";
     Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
     Buffer.add_string b "  \"entries\": [\n";
     let n = List.length !entries in
@@ -552,13 +566,17 @@ module Bjson = struct
            \"failures\": %d, \"requeued\": %d, \"quarantined\": %d, \
            \"breaker_trips\": %d, \"link_dropped\": %d, \"decode_failures\": %d, \
            \"warm\": %b, \"first_epoch_optimized\": %d, \
-           \"first_epoch_generic\": %d, \"elapsed\": %d, %s, %s, %s}%s\n"
+           \"first_epoch_generic\": %d, \"checkpoint_every\": %d, \
+           \"kills\": %d, \"recoveries\": %d, \"redelivered\": %d, \
+           \"checkpoints\": %d, \"ramp_optimized\": %d, \
+           \"ramp_generic\": %d, \"elapsed\": %d, %s, %s, %s}%s\n"
           e.bsection e.bkind e.bmode e.bshards e.bdomains e.bsessions e.bops
           e.bwall_ns e.bbusy e.bmakespan e.bdispatched e.bshed e.boptimized
           e.bbatched e.bbatch_k e.bgeneric e.bfallbacks e.bfailures
           e.brequeued e.bquarantined
           e.btrips e.bdropped e.bdecode e.bwarm e.bfirst_opt e.bfirst_gen
-          e.belapsed
+          e.bckpt_every e.bkills e.brecoveries e.bredelivered e.bcheckpoints
+          e.bramp_opt e.bramp_gen e.belapsed
           (dist_json "qwait" e.blatency.Bk.Loadgen.queue_wait)
           (dist_json "svc_opt" e.blatency.Bk.Loadgen.service_opt)
           (dist_json "svc_gen" e.blatency.Bk.Loadgen.service_gen)
@@ -630,6 +648,7 @@ let run_broker ~bsection ~kind ~shards ~domains ~optimize ~profile ~warmup_ops
         (Bjson.of_summary ~bsection
            ~bwarm:(cfg.Bk.Broker.optimize && cfg.Bk.Broker.profile_in <> None)
            ~bbatch_k:(Bk.Shard.batching_to_string cfg.Bk.Broker.batching)
+           ~bckpt_every:cfg.Bk.Broker.checkpoint_every
            ~bkind:(Bk.Workload.kind_to_string kind)
            ~bmode:
              (if cfg.Bk.Broker.batching <> Bk.Shard.Off then "batched"
@@ -1095,6 +1114,149 @@ let broker_faults ?(quick = false) () =
      the optimized path's fault rate trips the circuit breaker the shard@. \
      falls back to generic dispatch and re-optimizes after the cool-down)@."
 
+(* --- Broker: deterministic crash recovery -------------------------------- *)
+
+(* The recovery invariant under load: a run with shard kills enabled
+   must produce end-of-run observables — global dispatch order,
+   per-attempt success, payload digests, and every client's accounting —
+   byte-identical to the same run with kills disabled, at any kill rate
+   and checkpoint interval; and the killed run itself must be
+   bit-identical across domain counts.  Any violation (or a recovery
+   whose first post-recovery batch dispatches nothing optimized — a cold
+   restart where a warm one was promised) fails the whole bench. *)
+let broker_recovery_failed = ref false
+
+let broker_recovery ?(quick = false) () =
+  section
+    "Broker recovery: seeded shard kills, epoch checkpoints, journal \
+     redelivery (SecComm steady state)";
+  let profile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = (if quick then 8 else 16);
+      ops = (if quick then 8 else 20);
+      interval = 120;
+      spread = 31;
+    }
+  in
+  let shards = 2 in
+  (* One observed run: warm up, reset, then capture the measured phase's
+     deliveries (domains = 1 only — the hook needs a deterministic global
+     append order) and per-client accounting alongside the summary. *)
+  let observed ~domains ~kill ~checkpoint_every =
+    let cfg =
+      {
+        Bk.Broker.default_config with
+        Bk.Broker.shards;
+        kind = Bk.Workload.Seccomm;
+        optimize = true;
+        batch = 16;
+        queue_limit = 256;
+        seed = 11L;
+        domains;
+        checkpoint_every;
+        faults =
+          {
+            Podopt_faults.Plan.none with
+            Podopt_faults.Plan.seed = 7L;
+            kill_permille = kill;
+          };
+      }
+    in
+    let b = Bk.Broker.create cfg in
+    Fun.protect
+      ~finally:(fun () -> Bk.Broker.shutdown b)
+      (fun () ->
+        let warm =
+          Bk.Loadgen.make_sessions b { profile with Bk.Loadgen.ops = 12 }
+        in
+        ignore (Bk.Loadgen.run b warm);
+        Bk.Broker.force_reoptimize b;
+        Bk.Broker.reset_measurements b;
+        let deliveries = ref [] in
+        if domains = 1 then
+          Bk.Broker.set_delivery_hook b
+            (Some
+               (fun ~shard ~src ~seq ~ok ~payload ->
+                 deliveries :=
+                   Printf.sprintf "%d %s#%d %b %08x" shard src seq ok
+                     (Podopt_crypto.Crc32.compute payload land 0xffffffff)
+                   :: !deliveries));
+        let sessions = Bk.Loadgen.make_sessions b profile in
+        let t0 = Monotonic_clock.now () in
+        let s = Bk.Loadgen.run b sessions in
+        let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+        if s.Bk.Loadgen.truncated then broker_truncated := true;
+        let clients =
+          List.map
+            (fun sess ->
+              let st = Bk.Session.stats sess in
+              Printf.sprintf "%s %d %d %d %d" (Bk.Session.id sess)
+                st.Bk.Session.sent st.Bk.Session.retries st.Bk.Session.nacks
+                st.Bk.Session.gave_up)
+            sessions
+        in
+        if domains = 1 then
+          Bjson.record
+            (Bjson.of_summary ~bsection:"broker-recovery" ~bkind:"seccomm"
+               ~bmode:(if kill > 0 then "killed" else "optimized")
+               ~bckpt_every:checkpoint_every ~bshards:shards ~bdomains:domains
+               ~profile ~wall_ns s);
+        (s, List.rev !deliveries, clients))
+  in
+  let _, d0, c0 = observed ~domains:1 ~kill:0 ~checkpoint_every:8 in
+  Fmt.pr "%6s %9s | %5s %5s %8s %6s | %10s | %9s | %s@." "kill%" "ckpt-every"
+    "kills" "recov" "redeliv" "ckpts" "ramp o/g" "identical" "deterministic";
+  List.iter
+    (fun (kill, checkpoint_every) ->
+      let s1, d1, c1 = observed ~domains:1 ~kill ~checkpoint_every in
+      let identical = d1 = d0 && c1 = c0 in
+      let s2, _, _ = observed ~domains:2 ~kill ~checkpoint_every in
+      let deterministic = s1 = s2 in
+      let warm_ramp =
+        s1.Bk.Loadgen.recoveries = 0 || s1.Bk.Loadgen.ramp_optimized > 0
+      in
+      Fmt.pr "%6.1f %9d | %5d %5d %8d %6d | %5d/%4d | %9s | %s@."
+        (float_of_int kill /. 10.0)
+        checkpoint_every s1.Bk.Loadgen.kills s1.Bk.Loadgen.recoveries
+        s1.Bk.Loadgen.redelivered s1.Bk.Loadgen.checkpoints
+        s1.Bk.Loadgen.ramp_optimized s1.Bk.Loadgen.ramp_generic
+        (if identical then "yes" else "NO — BUG")
+        (if deterministic then "yes" else "NO — BUG");
+      if not identical then begin
+        broker_recovery_failed := true;
+        Fmt.epr
+          "broker-recovery: kill=%d ckpt=%d observables diverged from the \
+           kill-free run@."
+          kill checkpoint_every
+      end;
+      if not deterministic then begin
+        broker_recovery_failed := true;
+        Fmt.epr "broker-recovery: kill=%d ckpt=%d diverged across domain \
+                 counts@." kill checkpoint_every
+      end;
+      if s1.Bk.Loadgen.kills = 0 then begin
+        broker_recovery_failed := true;
+        Fmt.epr "broker-recovery: kill=%d ckpt=%d drew no kills — the sweep \
+                 is not exercising recovery@." kill checkpoint_every
+      end;
+      if not warm_ramp then begin
+        broker_recovery_failed := true;
+        Fmt.epr
+          "broker-recovery: kill=%d ckpt=%d recovered cold — no optimized \
+           dispatch in the first post-recovery batch@."
+          kill checkpoint_every
+      end)
+    (if quick then [ (400, 4) ]
+     else [ (150, 1); (150, 8); (400, 2); (400, 8) ]);
+  Fmt.pr
+    "@.(each kill wipes a shard's runtime, optimizer, ingress and retry state;@. \
+     the supervisor restores the latest checkpoint — counters, globals,@. \
+     queue, retries, dead letters, fault streams, and the profile that@. \
+     warm-starts the super-handlers — then redelivers the journal in@. \
+     admission order.  The ramp column shows the first post-recovery batch@. \
+     dispatching optimized: restarts are warm, not cold)@."
+
 (* --- Bechamel wall-clock suite ------------------------------------------ *)
 
 let bechamel () =
@@ -1168,7 +1330,8 @@ let all_tables () =
   broker_latency ();
   broker_batch ();
   broker_warm ();
-  broker_faults ()
+  broker_faults ();
+  broker_recovery ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (( <> ) "--") in
@@ -1203,6 +1366,7 @@ let () =
         | "broker-warm" -> broker_warm ~quick ()
         | "broker-par" -> broker_par ~quick ()
         | "broker-faults" -> broker_faults ~quick ()
+        | "broker-recovery" -> broker_recovery ~quick ()
         | "bechamel" -> bechamel ()
         | "tables" -> all_tables ()
         | other ->
@@ -1218,5 +1382,11 @@ let () =
     Fmt.epr
       "bench: the batched drain diverged or lost to the unbatched optimized \
        path — results invalid@.";
+    exit 1
+  end;
+  if !broker_recovery_failed then begin
+    Fmt.epr
+      "bench: crash recovery diverged from the kill-free run or restarted \
+       cold — results invalid@.";
     exit 1
   end

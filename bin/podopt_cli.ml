@@ -152,8 +152,8 @@ let load_profile = function
      | exception Sys_error msg -> Error msg)
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup domains faults batching metrics json profile_in
-    profile_out =
+    policy seed generic warmup domains faults batching checkpoint_every metrics
+    json show_dead redrain_dead profile_in profile_out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -164,6 +164,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
         (queue_limit, "--queue-limit");
         (ops, "--ops");
         (domains, "--domains");
+        (checkpoint_every, "--checkpoint-every");
       ]
   with
   | Some (_, flag) ->
@@ -189,10 +190,11 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       faults;
       profile_in;
       batching;
+      checkpoint_every;
     }
   in
   let broker = B.Broker.create cfg in
-  let summary, saved =
+  let summary, saved, redrained =
     Fun.protect
       ~finally:(fun () -> B.Broker.shutdown broker)
       (fun () ->
@@ -215,7 +217,26 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
             Podopt.Profile_store.save path store;
             Some (path, List.length (Podopt.Profile_store.entries store))
         in
-        (summary, saved))
+        (* Put the dead letters back through the mill: refill every
+           ingress queue with a fresh retry budget, then drain the
+           broker to idle so the dump below shows what survived. *)
+        let redrained =
+          if not redrain_dead then None
+          else begin
+            let n =
+              Array.fold_left
+                (fun acc s -> acc + B.Shard.redrain_dead s)
+                0 (B.Broker.shards broker)
+            in
+            while not (B.Broker.idle broker) do
+              B.Broker.pump broker ~until:(B.Broker.now broker);
+              ignore (B.Broker.drain broker);
+              B.Broker.advance_to broker (B.Broker.now broker + cfg.B.Broker.tick)
+            done;
+            Some n
+          end
+        in
+        (summary, saved, redrained))
   in
   if json then print_string (B.Report.json ~metrics broker summary)
   else begin
@@ -237,6 +258,29 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
         (B.Broker.warm_stale broker);
     Fmt.pr "%a@.%a" B.Report.pp_table broker B.Report.pp_summary summary;
     if metrics then Fmt.pr "@.%a" B.Report.pp_metrics broker;
+    (match redrained with
+     | None -> ()
+     | Some n -> Fmt.pr "@.redrained %d dead-letter ops@." n);
+    if show_dead then begin
+      let shards_arr = B.Broker.shards broker in
+      let total =
+        Array.fold_left
+          (fun acc s -> acc + List.length (B.Shard.dead_letters s))
+          0 shards_arr
+      in
+      Fmt.pr "@.dead letters (%d):@." total;
+      if total = 0 then Fmt.pr "  (none)@."
+      else
+        Array.iteri
+          (fun i s ->
+            List.iter
+              (fun (pkt : Podopt_net.Packet.t) ->
+                Fmt.pr "  shard %d: %s#%d %s@." i pkt.Podopt_net.Packet.src
+                  pkt.Podopt_net.Packet.seq
+                  (B.Workload.path kind pkt.Podopt_net.Packet.payload))
+              (B.Shard.dead_letters s))
+          shards_arr
+    end;
     match saved with
     | None -> ()
     | Some (path, n) -> Fmt.pr "@.wrote profile -> %s (%d entries)@." path n
@@ -246,8 +290,8 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
 (* --- record / replay / diff ----------------------------------------------- *)
 
 let record_run kind sessions shards batch queue_limit ops interval latency
-    jitter policy seed generic warmup domains faults batching metrics profile_in
-    out =
+    jitter policy seed generic warmup domains faults batching checkpoint_every
+    metrics profile_in out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -258,6 +302,7 @@ let record_run kind sessions shards batch queue_limit ops interval latency
         (queue_limit, "--queue-limit");
         (ops, "--ops");
         (domains, "--domains");
+        (checkpoint_every, "--checkpoint-every");
       ]
   with
   | Some (_, flag) ->
@@ -283,6 +328,7 @@ let record_run kind sessions shards batch queue_limit ops interval latency
         faults;
         profile_in;
         batching;
+        checkpoint_every;
       }
     in
     let profile =
@@ -353,8 +399,10 @@ let diff_run file variant tamper out =
       | "optimizer" -> [ Replay_diff.Optimizer ]
       | "codegen" -> [ Replay_diff.Codegen ]
       | "batched" -> [ Replay_diff.Batching ]
+      | "killed" -> [ Replay_diff.Killed ]
       | "all" ->
-        [ Replay_diff.Optimizer; Replay_diff.Codegen; Replay_diff.Batching ]
+        [ Replay_diff.Optimizer; Replay_diff.Codegen; Replay_diff.Batching;
+          Replay_diff.Killed ]
       | _ -> assert false (* the conv below rejects anything else *)
     in
     let reports = List.map (fun axis -> Replay_diff.run ~tamper axis log) axes in
@@ -587,8 +635,12 @@ let faults_arg =
   Arg.(value & opt faults_conv Podopt.Faults.none & info [ "faults" ] ~docv:"SPEC"
          ~doc:"Deterministic fault plan: comma-separated key=value pairs \
                with keys seed (stream seed), crash, spike (optionally \
-               rate:cost), corrupt, drop (permille rates, 0..1000); \
-               'none' disables. Example: seed=7,crash=200,drop=5.")
+               rate:cost), corrupt, drop, kill (permille rates, 0..1000); \
+               'none' disables. kill=P wipes a shard's live state with \
+               probability P per epoch; the supervisor restores it from \
+               its latest checkpoint and redelivers the journal, so \
+               observable output stays byte-identical. Example: \
+               seed=7,crash=200,kill=150.")
 
 let batching_conv =
   Arg.conv
@@ -608,6 +660,13 @@ let batch_k_arg =
                setting.")
 
 let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
+
+let checkpoint_every_arg =
+  intopt "checkpoint-every" B.Broker.default_config.B.Broker.checkpoint_every
+    "Checkpoint interval in drain epochs when kills are enabled: every \
+     shard snapshots its full live state every N epochs (and whenever its \
+     redo journal fills). Smaller values shorten redelivery; observable \
+     output is byte-identical at any setting."
 
 let generic_flag =
   Arg.(value & flag & info [ "generic" ]
@@ -648,11 +707,19 @@ let serve_cmd =
            results are identical at any domain count)."
       $ faults_arg
       $ batch_k_arg
+      $ checkpoint_every_arg
       $ metrics_flag
       $ Arg.(value & flag & info [ "json" ]
-               ~doc:"Print the run as a JSON document (schema podopt/serve/v6) \
+               ~doc:"Print the run as a JSON document (schema podopt/serve/v7) \
                      instead of the tables; deterministic and independent of \
                      --domains.")
+      $ Arg.(value & flag & info [ "show-dead" ]
+               ~doc:"After the run, dump every shard's dead-letter queue \
+                     (source session, sequence number, op path).")
+      $ Arg.(value & flag & info [ "redrain-dead" ]
+               ~doc:"After the run, move every dead-letter op back into its \
+                     shard's ingress queue with a fresh retry budget and \
+                     drain the broker to idle again.")
       $ profile_in_arg
       $ Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
                ~doc:"After the run, write every shard's accumulated profile \
@@ -685,6 +752,7 @@ let record_cmd =
            identical at any domain count)."
       $ faults_arg
       $ batch_k_arg
+      $ checkpoint_every_arg
       $ Arg.(value & flag & info [ "metrics" ]
                ~doc:"Record the document with the latency metrics section.")
       $ profile_in_arg
@@ -713,8 +781,9 @@ let replay_cmd =
 let diff_cmd =
   let doc =
     "Differentially test a recorded run: optimizer on vs off, compiled vs \
-     interpreted super-handlers, or batched vs unbatched drain. On \
-     divergence, shrink the log to a minimal reproducer."
+     interpreted super-handlers, batched vs unbatched drain, or \
+     killed-and-recovered vs kill-free. On divergence, shrink the log to a \
+     minimal reproducer."
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -723,12 +792,13 @@ let diff_cmd =
   let variant =
     Arg.(value & opt (enum [ ("default", "default"); ("optimizer", "optimizer");
                              ("codegen", "codegen"); ("batched", "batched");
-                             ("all", "all") ])
+                             ("killed", "killed"); ("all", "all") ])
            "default"
          & info [ "variant" ] ~docv:"V"
              ~doc:"Axis to diff: $(b,optimizer), $(b,codegen), $(b,batched) \
-                   (windowed vs plain drain), $(b,all), or $(b,default) \
-                   (optimizer + codegen).")
+                   (windowed vs plain drain), $(b,killed) (shard kills with \
+                   checkpoint recovery vs kill-free), $(b,all), or \
+                   $(b,default) (optimizer + codegen).")
   in
   let tamper =
     Arg.(value & flag & info [ "break-handler" ]

@@ -8,10 +8,10 @@ show up per shard and in the summary's faults line.
   >   --faults seed=9,crash=200,spike=100:4000,drop=20
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     574140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |     574140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    1148280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     574140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |     574140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    1148280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -25,10 +25,10 @@ the domains field of the header changes.
   >   --faults seed=9,crash=200,spike=100:4000,drop=20 --domains 2
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     574140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |     574140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    1148280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     574140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |     574140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    1148280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -40,3 +40,56 @@ A malformed spec is rejected with a usage error before anything runs.
   $ ../bin/podopt_cli.exe serve seccomm --faults crash=2000 2>&1 | head -2
   podopt: option '--faults': crash=2000 out of range (permille, 0..1000)
   Usage: podopt serve [OPTION]… WORKLOAD
+
+Shard kills are a fault kind too: kill=P wipes a shard's entire live
+state at epoch boundaries with probability P per epoch.  The broker's
+supervisor restores the latest checkpoint (taken every
+--checkpoint-every epochs) and redelivers the shard's journal, so the
+delivered work is exactly the kill-free faulty run above: same
+ingress/dispatched/shed counts, same clients line, same faults line.
+What does move is the performance telemetry — recovered shards restart
+their super-handler ramp, so the optimized/generic split and busy time
+shift — and the kill/rcov/redeliv columns plus the recovery summary
+line, which show the supervision at work.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --faults seed=9,crash=200,spike=100:4000,drop=20,kill=300 --checkpoint-every 2
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20,kill=300)
+  
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        2       15      0 |      15         15 |        30       0       30       0   50.0 |      0     0     0     0 |    5    5       1 |     596070
+      1 |        1       15      0 |      15         15 |        30       0       30       0   50.0 |      5     0     0     0 |    5    5       6 |     596070
+  total |        3       30      0 |      30         30 |        60       0       60       0   50.0 |      5     0     0     0 |   10   10       7 |    1192140
+  front: 0 link-dropped, 0 decode-failed
+  
+  clients: 30 sent, 0 retries, 0 nacks, 0 gave up
+  totals: 30 dispatched, 0 shed, opt-path 50.0%, handler time 1192140 units (makespan 596070, elapsed 1100)
+  faults: 5 failures, 5 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+  recovery: 10 kills, 10 recoveries, 7 redelivered, 24 checkpoints, ramp 16 optimized / 16 generic
+
+With every dispatch crashing, each op exhausts its retry budget and is
+quarantined to its shard's dead-letter queue.  --redrain-dead puts the
+dead ops back through the mill with a fresh retry budget (here they
+just fail again and re-quarantine), and --show-dead dumps what
+survived: source session, sequence number, op path.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 2 --shards 1 --ops 2 --seed 7 \
+  >   --faults seed=9,crash=1000 --show-dead --redrain-dead
+  serving seccomm: 2 sessions -> 1 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=1000,spike=0:4000,corrupt=0,drop=0)
+  
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        2        4      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |          0
+  total |        2        4      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |          0
+  front: 0 link-dropped, 0 decode-failed
+  
+  clients: 4 sent, 0 retries, 0 nacks, 0 gave up
+  totals: 0 dispatched, 0 shed, opt-path 0.0%, handler time 0 units (makespan 0, elapsed 450)
+  faults: 12 failures, 8 requeued, 4 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+  
+  redrained 4 dead-letter ops
+  
+  dead letters (4):
+    shard 0: s000#0 seccomm.op
+    shard 0: s001#0 seccomm.op
+    shard 0: s000#1 seccomm.op
+    shard 0: s001#1 seccomm.op

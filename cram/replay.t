@@ -10,10 +10,10 @@ Replaying reconstructs the run from the log alone and regenerates the
 document byte-for-byte — at the recorded domain count or any other.
 
   $ ../bin/podopt_cli.exe replay run.plog
-  replay OK: document byte-identical to the recording (11 lines)
+  replay OK: document byte-identical to the recording (13 lines)
 
   $ ../bin/podopt_cli.exe replay run.plog --domains 4
-  replay OK: document byte-identical to the recording (11 lines)
+  replay OK: document byte-identical to the recording (13 lines)
 
 The differential oracle executes the log under two variants per axis
 and diffs per-session observable outcomes (dispatch order, success,
@@ -45,9 +45,9 @@ way — the C line carries the batch-k setting:
   >   --batch-k 4 --out batched.plog
   recorded seccomm run -> batched.plog (12 sessions, 120 arrivals, 0 fault streams)
   $ grep -o 'C .*' batched.plog | awk '{print $NF}'
-  4
+  8
   $ ../bin/podopt_cli.exe replay batched.plog
-  replay OK: document byte-identical to the recording (11 lines)
+  replay OK: document byte-identical to the recording (13 lines)
   $ ../bin/podopt_cli.exe diff batched.plog --variant batched
   axis: batched vs unbatched drain
     no divergence: 48 deliveries observably identical

@@ -6,10 +6,10 @@ super-handlers, the steady phase rides the optimized path end to end.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -25,10 +25,10 @@ op lands.  No crash, and the shed counts show up in the table.
   >   --generic --warmup 0
   serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
-      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
-  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    1233300
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
+      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
+  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    0    0       0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
@@ -48,10 +48,10 @@ optimized-path samples, so that column prints "-".
   >   --generic --warmup 0 --metrics
   serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
-      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |     616650
-  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    1233300
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
+      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
+  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    0    0       0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
@@ -79,10 +79,10 @@ wall clock change.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |     562140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    1124280
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
+      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
+  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -99,10 +99,10 @@ shed decision stays identical to the unbatched runs above.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --batch-k 4
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k 4, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips |       busy
-      0 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |     561450
-      1 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |     561450
-  total |        6       30      0 |      30         30 |         0      60        0       0  100.0 |      0     0     0     0 |    1122900
+  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
+      0 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |     561450
+      1 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |     561450
+  total |        6       30      0 |      30         30 |         0      60        0       0  100.0 |      0     0     0     0 |    0    0       0 |    1122900
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -114,8 +114,8 @@ The JSON document records the window setting and the batched counters
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --batch-k auto --json | grep -E '"schema"|"batch_k"|"batched"'
-    "schema": "podopt/serve/v6",
+    "schema": "podopt/serve/v7",
     "workload": "seccomm", "shards": 2, "batch": 16, "batch_k": "auto", "queue_limit": 64, "policy": "newest", "optimize": true, "seed": 7, "tick": 50,
     "summary": {"sent": 30, "retries": 0, "nacks": 0, "gave_up": 0, "routed": 30, "shed": 0, "dispatched": 30, "batches": 30, "optimized": 0, "batched": 60, "generic": 0, "fallbacks": 0, "failures": 0, "requeued": 0, "quarantined": 0, "breaker_trips": 0, "link_dropped": 0, "decode_failures": 0, "first_epoch_optimized": 0, "first_epoch_generic": 0, "busy": 1122900, "makespan": 561450, "elapsed": 1100, "truncated": false, "opt_pct": 100.0,
-      {"id": 0, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}},
-      {"id": 1, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}}
+      {"id": 0, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "kills": 0, "recoveries": 0, "redelivered": 0, "checkpoints": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}},
+      {"id": 1, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "kills": 0, "recoveries": 0, "redelivered": 0, "checkpoints": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}}

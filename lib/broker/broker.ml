@@ -3,6 +3,7 @@ module Packet = Podopt_net.Packet
 module Plan = Podopt_faults.Plan
 module V = Podopt_hir.Value
 module Store = Podopt_store.Store
+module Recover = Podopt_recover.Recover
 
 type config = {
   shards : int;
@@ -18,6 +19,7 @@ type config = {
   faults : Plan.spec;
   profile_in : Store.t option;
   batching : Shard.batching;
+  checkpoint_every : int;
 }
 
 let default_config =
@@ -35,6 +37,7 @@ let default_config =
     faults = Plan.none;
     profile_in = None;
     batching = Shard.Off;
+    checkpoint_every = 8;
   }
 
 let deliver_event = "BrokerIngress"
@@ -51,6 +54,15 @@ type t = {
   front_faults : Plan.t option;      (* salt 0: wire faults before decode *)
   mutable link_dropped : int;
   mutable decode_failures : int;
+  (* the crash-recovery supervisor, armed when the fault plan can kill
+     shards (kill_permille > 0): per-shard serialized checkpoints plus
+     the redo journals of everything fed to each shard since its last
+     checkpoint.  All of it lives on the coordinator — kills, restores,
+     and redelivery happen between epochs, never on pool workers. *)
+  supervised : bool;
+  journals : Recover.journal array;
+  checkpoints : string array;
+  mutable epoch : int;  (* drain epochs since creation *)
 }
 
 let config t = t.cfg
@@ -67,6 +79,11 @@ let route t (pkt : Packet.t) =
     shard.Shard.sessions <- shard.Shard.sessions + 1
   end;
   t.routed <- t.routed + 1;
+  (* journal every offer, shed or accepted: the redo log must reproduce
+     the exact ingress-queue evolution (including evictions and stat
+     increments), not just the ops that got in *)
+  if t.supervised then
+    Recover.record t.journals.(idx) (Recover.Offer (now t, pkt));
   match Shard.offer shard ~now:(now t) pkt with
   | Ingress.Accepted -> ()
   | Ingress.Shed victim ->
@@ -74,10 +91,18 @@ let route t (pkt : Packet.t) =
      | Some nack -> nack victim.Packet.seq (now t)
      | None -> ())
 
+(* Redo-journal high-water mark: room for [checkpoint_every] epochs of
+   generous traffic per shard.  A flash crowd past it forces an early
+   checkpoint at the next epoch boundary (entries are never dropped —
+   that would lose admitted work). *)
+let journal_limit cfg = max 64 (cfg.checkpoint_every * ((4 * cfg.batch) + 1))
+
 let create (cfg : config) =
   if cfg.shards <= 0 then invalid_arg "Broker.create: shards <= 0";
   if cfg.batch <= 0 then invalid_arg "Broker.create: batch <= 0";
   if cfg.domains <= 0 then invalid_arg "Broker.create: domains <= 0";
+  if cfg.checkpoint_every <= 0 then
+    invalid_arg "Broker.create: checkpoint_every <= 0";
   (match cfg.batching with
    | Shard.Fixed k when k < 1 -> invalid_arg "Broker.create: batch width < 1"
    | _ -> ());
@@ -114,6 +139,7 @@ let create (cfg : config) =
     if cfg.domains > 1 then Some (Podopt_exec.Pool.create ~domains:cfg.domains)
     else None
   in
+  let supervised = cfg.faults.Plan.kill_permille > 0 in
   let t =
     {
       cfg;
@@ -129,8 +155,21 @@ let create (cfg : config) =
          else None);
       link_dropped = 0;
       decode_failures = 0;
+      supervised;
+      journals =
+        Array.init cfg.shards (fun _ ->
+            Recover.journal ~limit:(journal_limit cfg));
+      checkpoints = Array.make cfg.shards "";
+      epoch = 0;
     }
   in
+  (* the epoch-0 checkpoints: a kill before the first periodic capture
+     restores the warm-started, pre-traffic shard.  Taken here on the
+     coordinator, after warm start and before the pool could exist. *)
+  if supervised then
+    Array.iteri
+      (fun i shard -> t.checkpoints.(i) <- Shard.checkpoint shard ~epoch:0)
+      t.shards;
   Runtime.bind front ~event:deliver_event
     (Handler.native "broker_route" (fun _host args ->
          match args with
@@ -159,17 +198,78 @@ let create (cfg : config) =
 
 let pump t ~until = Runtime.run ~until t.front
 
+(* Crash recovery for one killed shard, on the coordinator: wipe, load
+   the last checkpoint, then redeliver the redo journal in admission
+   order — re-offering every journaled packet and re-running every
+   journaled epoch drain, so the shard re-derives its exact pre-kill
+   state (queue contents, retries, counters, stream positions, clock).
+   The delivery hook is silenced for the replay: everything the journal
+   re-dispatches already reached the clients the first time, and the
+   oracle must not see those ops twice.  Crash/spike fault draws DO
+   re-fire (from their checkpoint-rewound streams) — both the recording
+   and the replaying run perform the identical re-draws, so the draw
+   logs still match.  Nacks are not re-issued either: a journaled shed
+   replays as the same shed, but the client's backoff already
+   happened. *)
+let recover_shard t i =
+  let shard = t.shards.(i) in
+  Shard.kill shard;
+  let hook = shard.Shard.on_delivery in
+  Shard.set_on_delivery shard None;
+  Shard.restore shard t.checkpoints.(i);
+  let redelivered = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Recover.Offer (now, pkt) ->
+        incr redelivered;
+        ignore (Shard.offer shard ~now pkt)
+      | Recover.Drain (now, batch) ->
+        ignore (Shard.drain_batch shard ~now ~batch))
+    (Recover.entries t.journals.(i));
+  Shard.set_on_delivery shard hook;
+  Shard.recovery_complete shard ~redelivered:!redelivered
+
+(* The supervisor's epoch-boundary pass, in shard-id order on the
+   coordinator: draw each shard's kill, recover the casualties, then
+   take the periodic (or journal-forced early) checkpoints. *)
+let supervise t =
+  t.epoch <- t.epoch + 1;
+  Array.iteri
+    (fun i shard ->
+      (match Shard.fault_injector shard with
+       | Some inj when Plan.kill inj -> recover_shard t i
+       | Some _ | None -> ());
+      if t.epoch mod t.cfg.checkpoint_every = 0 || Recover.full t.journals.(i)
+      then begin
+        t.checkpoints.(i) <- Shard.checkpoint shard ~epoch:t.epoch;
+        Recover.clear t.journals.(i)
+      end)
+    t.shards
+
 (* One drain epoch.  Sequential: shards drain in shard-id order on the
    caller.  Parallel: shard [i] is pinned to pool worker [i mod domains],
    each worker walks its shards in increasing id, and the pool's barrier
    separates this drain step from the next routing step — so every shard
    sees the exact batch boundaries and dispatch order of the sequential
-   run, and no shard is ever touched by two domains at once. *)
+   run, and no shard is ever touched by two domains at once.
+
+   Under supervision the epoch boundary runs first, on the coordinator:
+   kill draws, recoveries, checkpoints, and the journal's epoch marks
+   all precede the (possibly parallel) drain, which is why per-shard
+   results stay byte-identical at any domain count even while shards
+   die and resurrect. *)
 let drain t =
   (* the epoch's front clock is captured once on the coordinator, so
      every shard — sequential or parallel — stamps queue waits against
      the same [now] *)
   let now = now t in
+  if t.supervised then begin
+    supervise t;
+    Array.iter
+      (fun j -> Recover.record j (Recover.Drain (now, t.cfg.batch)))
+      t.journals
+  end;
   match t.pool with
   | None ->
     Array.fold_left
@@ -201,6 +301,17 @@ let idle t =
 let routed t = t.routed
 let link_dropped t = t.link_dropped
 let decode_failures t = t.decode_failures
+
+(* Recovery accounting, summed over shards. *)
+let supervised t = t.supervised
+let sum_recov t f =
+  Array.fold_left (fun acc s -> acc + f (Shard.recovery s)) 0 t.shards
+let kills t = sum_recov t (fun r -> r.Shard.kills)
+let recoveries t = sum_recov t (fun r -> r.Shard.recoveries)
+let redelivered t = sum_recov t (fun r -> r.Shard.redelivered)
+let checkpoints_taken t = sum_recov t (fun r -> r.Shard.checkpoints)
+let ramp_optimized t = sum_recov t (fun r -> r.Shard.ramp_optimized)
+let ramp_generic t = sum_recov t (fun r -> r.Shard.ramp_generic)
 
 (* Whether this broker was built with a stored profile feeding its
    (optimizing) shards' warm start. *)
@@ -241,4 +352,14 @@ let reset_measurements t =
   t.link_dropped <- 0;
   t.decode_failures <- 0;
   Hashtbl.reset t.session_shard;
-  Array.iter Shard.reset_measurements t.shards
+  Array.iter Shard.reset_measurements t.shards;
+  (* the reset is a state discontinuity the redo journal cannot replay
+     across (retry tables and dead queues just vanished outside any
+     journaled op): re-anchor every shard on a fresh checkpoint, or a
+     post-reset kill would resurrect pre-reset state and diverge *)
+  if t.supervised then
+    Array.iteri
+      (fun i shard ->
+        t.checkpoints.(i) <- Shard.checkpoint shard ~epoch:t.epoch;
+        Recover.clear t.journals.(i))
+      t.shards

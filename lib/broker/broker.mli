@@ -56,12 +56,18 @@ type config = {
           entries.  Observables are byte-identical in every mode —
           only virtual costs change.  With a [profile_in], stored
           depth observations seed [Auto]'s width model. *)
+  checkpoint_every : int;
+      (** epochs between shard checkpoints ([--checkpoint-every],
+          default 8) when the fault plan can kill shards
+          ([kill_permille > 0]); without kills the recovery machinery
+          is entirely off.  A journal past its high-water mark forces
+          an early checkpoint. *)
 }
 
 val default_config : config
 (** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
     optimized, compiled, seed 42, tick 50, 1 domain, no faults, no
-    stored profile, batching off. *)
+    stored profile, batching off, checkpoint every 8 epochs. *)
 
 type t
 
@@ -92,7 +98,16 @@ val pump : t -> until:int -> unit
     Sequential ([domains = 1]): shards drain in shard-id order on the
     caller.  Parallel: one epoch on the domain pool — each shard drains
     on its pinned worker, the epoch joins at a barrier, and totals merge
-    in shard-id order. *)
+    in shard-id order.
+
+    Under supervision (a fault plan with [kill_permille > 0]) the epoch
+    boundary runs first, on the coordinator and in shard-id order: each
+    shard's kill stream is drawn once, casualties are wiped, restored
+    from their last checkpoint, and redelivered their redo journal in
+    admission order (with the delivery hook silenced — those ops
+    already reached the clients), then due checkpoints are taken.  End
+    of run observables are therefore byte-identical to the same run
+    with kills disabled, at any domain count. *)
 val drain : t -> int
 
 (** Whether drains run on a domain pool ([domains > 1]). *)
@@ -120,6 +135,32 @@ val link_dropped : t -> int
 (** Wire buffers that failed to decode (e.g. corrupted by the fault
     plan); each is counted, never silently swallowed. *)
 val decode_failures : t -> int
+
+(** {2 Crash-recovery accounting} (see doc/RECOVERY.md) *)
+
+(** Whether the crash-recovery supervisor is armed
+    ([faults.kill_permille > 0]). *)
+val supervised : t -> bool
+
+(** Injected shard kills, summed over shards. *)
+val kills : t -> int
+
+(** Completed checkpoint restores, summed over shards. *)
+val recoveries : t -> int
+
+(** Journal ops redelivered by recoveries, summed over shards. *)
+val redelivered : t -> int
+
+(** Checkpoints captured (epoch-0, periodic, journal-forced, and
+    reset-boundary ones), summed over shards. *)
+val checkpoints_taken : t -> int
+
+(** Post-recovery warm ramp, summed over shards: the dispatch-path
+    split of the first non-empty batch of new traffic after each
+    recovery.  A warm restart shows [ramp_optimized > 0]. *)
+val ramp_optimized : t -> int
+
+val ramp_generic : t -> int
 
 (** Whether the broker was built from a stored profile
     ([profile_in] set on an optimizing config). *)

@@ -95,7 +95,24 @@ let drain_timed t ~max =
 
 let drain t ~max = List.map snd (drain_timed t ~max)
 
+(* Checkpoint support: a non-destructive (due, packet) snapshot in pop
+   order, and the raw re-entry that rebuilds a queue from one.  The
+   reload bypasses every counter — the restored stats arrive separately
+   from the checkpoint, and double-counting the reloaded ops would skew
+   them. *)
+let to_list t = Equeue.to_list t.q
+
+let reload t items = List.iter (fun (due, pkt) -> Equeue.push t.q ~due pkt) items
+
 let stats t = t.stats
+
+let set_stats t ~offered ~accepted ~shed ~high_water ~requeued ~requeue_overflow =
+  t.stats.offered <- offered;
+  t.stats.accepted <- accepted;
+  t.stats.shed <- shed;
+  t.stats.high_water <- high_water;
+  t.stats.requeued <- requeued;
+  t.stats.requeue_overflow <- requeue_overflow
 
 let reset_stats t =
   t.stats.offered <- 0;

@@ -58,3 +58,18 @@ val drain_timed : t -> max:int -> (int * Packet.t) list
 val length : t -> int
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** {1 Checkpoint support} *)
+
+(** Non-destructive snapshot of the queue contents in pop order. *)
+val to_list : t -> (int * Packet.t) list
+
+(** Re-enter a {!to_list} snapshot into a (fresh) queue, preserving pop
+    order.  Bypasses all accounting — restored stats travel separately
+    in the checkpoint. *)
+val reload : t -> (int * Packet.t) list -> unit
+
+(** Overwrite the counters from restored checkpoint values. *)
+val set_stats :
+  t -> offered:int -> accepted:int -> shed:int -> high_water:int ->
+  requeued:int -> requeue_overflow:int -> unit

@@ -41,6 +41,12 @@ type summary = {
   breaker_trips : int;
   link_dropped : int;
   decode_failures : int;
+  kills : int;
+  recoveries : int;
+  redelivered : int;
+  checkpoints : int;
+  ramp_optimized : int;
+  ramp_generic : int;
   first_epoch_optimized : int;
   first_epoch_generic : int;
   latency : latency;
@@ -101,6 +107,12 @@ let summarize ?(truncated = false) broker sessions ~elapsed =
     breaker_trips = sum Shard.breaker_trips;
     link_dropped = Broker.link_dropped broker;
     decode_failures = Broker.decode_failures broker;
+    kills = Broker.kills broker;
+    recoveries = Broker.recoveries broker;
+    redelivered = Broker.redelivered broker;
+    checkpoints = Broker.checkpoints_taken broker;
+    ramp_optimized = Broker.ramp_optimized broker;
+    ramp_generic = Broker.ramp_generic broker;
     first_epoch_optimized = sum Shard.first_epoch_optimized;
     first_epoch_generic = sum Shard.first_epoch_generic;
     latency =

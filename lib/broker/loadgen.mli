@@ -49,6 +49,16 @@ type summary = {
   breaker_trips : int;  (** optimizer circuit-breaker trips *)
   link_dropped : int;   (** packets the fault plan dropped at the front *)
   decode_failures : int;(** wire buffers that failed to decode *)
+  kills : int;          (** injected shard kills *)
+  recoveries : int;     (** completed checkpoint restores *)
+  redelivered : int;    (** journal ops replayed by recoveries *)
+  checkpoints : int;    (** checkpoints captured across shards *)
+  ramp_optimized : int;
+      (** optimized dispatches in the first non-empty batch of new
+          traffic after each recovery, summed — the post-recovery warm
+          ramp (a warm restart serves it optimized) *)
+  ramp_generic : int;
+      (** generic dispatches in those same post-recovery batches *)
   first_epoch_optimized : int;
       (** optimized dispatches in each shard's first non-empty batch,
           summed — the warm-start ramp observable (a cold optimizing

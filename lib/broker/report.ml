@@ -22,19 +22,20 @@ let pp_table ppf broker =
   let shards = Broker.shards broker in
   Fmt.pf ppf
     "%5s | %8s %8s %6s | %7s %10s | %9s %7s %8s %7s %6s | %6s %5s %5s %5s | \
-     %10s@."
+     %4s %4s %7s | %10s@."
     "shard" "sessions" "ingress" "shed" "batches" "dispatched" "optimized"
-    "batched" "generic" "fallbk" "opt%" "failed" "quar" "ovfl" "trips" "busy";
+    "batched" "generic" "fallbk" "opt%" "failed" "quar" "ovfl" "trips" "kill"
+    "rcov" "redeliv" "busy";
   let row label ~sessions ~ingress ~shed ~batches ~dispatched ~optimized
-      ~batched ~generic ~fallbacks ~failures ~quarantined ~overflow ~trips ~busy
-      =
+      ~batched ~generic ~fallbacks ~failures ~quarantined ~overflow ~trips
+      ~kills ~recoveries ~redelivered ~busy =
     Fmt.pf ppf
       "%5s | %8d %8d %6d | %7d %10d | %9d %7d %8d %7d %6s | %6d %5d %5d %5d | \
-       %10d@."
+       %4d %4d %7d | %10d@."
       label sessions ingress shed batches dispatched optimized batched generic
       fallbacks
       (pct_cell optimized batched generic)
-      failures quarantined overflow trips busy
+      failures quarantined overflow trips kills recoveries redelivered busy
   in
   Array.iter
     (fun (s : Shard.t) ->
@@ -49,7 +50,10 @@ let pp_table ppf broker =
         ~failures:(Shard.handler_failures s)
         ~quarantined:s.Shard.stats.Shard.quarantined
         ~overflow:ist.Ingress.requeue_overflow
-        ~trips:(Shard.breaker_trips s) ~busy:(Shard.busy s))
+        ~trips:(Shard.breaker_trips s)
+        ~kills:(Shard.recovery s).Shard.kills
+        ~recoveries:(Shard.recovery s).Shard.recoveries
+        ~redelivered:(Shard.recovery s).Shard.redelivered ~busy:(Shard.busy s))
     shards;
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
   row "total"
@@ -66,7 +70,11 @@ let pp_table ppf broker =
     ~quarantined:(sum (fun s -> s.Shard.stats.Shard.quarantined))
     ~overflow:
       (sum (fun s -> (Ingress.stats s.Shard.ingress).Ingress.requeue_overflow))
-    ~trips:(sum Shard.breaker_trips) ~busy:(sum Shard.busy);
+    ~trips:(sum Shard.breaker_trips)
+    ~kills:(sum (fun s -> (Shard.recovery s).Shard.kills))
+    ~recoveries:(sum (fun s -> (Shard.recovery s).Shard.recoveries))
+    ~redelivered:(sum (fun s -> (Shard.recovery s).Shard.redelivered))
+    ~busy:(sum Shard.busy);
   Fmt.pf ppf "front: %d link-dropped, %d decode-failed@."
     (Broker.link_dropped broker)
     (Broker.decode_failures broker)
@@ -157,7 +165,7 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
       (dist_e "batch_depth" (Metrics.exact m "batch.depth"))
   in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"podopt/serve/v6\",\n";
+  Buffer.add_string b "  \"schema\": \"podopt/serve/v7\",\n";
   Printf.bprintf b
     "  \"workload\": %S, \"shards\": %d, \"batch\": %d, \"batch_k\": %S, \
      \"queue_limit\": %d, \"policy\": %S, \"optimize\": %b, \"seed\": %Ld, \
@@ -173,6 +181,14 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
     (Broker.warm_start broker)
     (Broker.warm_installed broker)
     (Broker.warm_stale broker);
+  Printf.bprintf b
+    "  \"supervised\": %b, \"checkpoint_every\": %d,\n"
+    (Broker.supervised broker) cfg.Broker.checkpoint_every;
+  Printf.bprintf b
+    "  \"recovery\": {\"kills\": %d, \"recoveries\": %d, \"redelivered\": %d, \
+     \"checkpoints\": %d, \"ramp_optimized\": %d, \"ramp_generic\": %d},\n"
+    s.Loadgen.kills s.Loadgen.recoveries s.Loadgen.redelivered
+    s.Loadgen.checkpoints s.Loadgen.ramp_optimized s.Loadgen.ramp_generic;
   Printf.bprintf b
     "  \"summary\": {\"sent\": %d, \"retries\": %d, \"nacks\": %d, \
      \"gave_up\": %d, \"routed\": %d, \"shed\": %d, \"dispatched\": %d, \
@@ -202,7 +218,8 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
          \"dispatched\": %d, \"optimized\": %d, \"batched\": %d, \
          \"generic\": %d, \"failures\": %d, \"requeued\": %d, \
          \"requeue_overflow\": %d, \"quarantined\": %d, \
-         \"breaker_trips\": %d, \"busy\": %d, %s}%s\n"
+         \"breaker_trips\": %d, \"kills\": %d, \"recoveries\": %d, \
+         \"redelivered\": %d, \"checkpoints\": %d, \"busy\": %d, %s}%s\n"
         sh.Shard.id sh.Shard.sessions ist.Ingress.offered ist.Ingress.shed
         sh.Shard.stats.Shard.dispatched
         (Shard.optimized_dispatches sh)
@@ -211,7 +228,10 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
         (Shard.handler_failures sh)
         sh.Shard.stats.Shard.requeued ist.Ingress.requeue_overflow
         sh.Shard.stats.Shard.quarantined (Shard.breaker_trips sh)
-        (Shard.busy sh) (hists sh.Shard.metrics)
+        (Shard.recovery sh).Shard.kills (Shard.recovery sh).Shard.recoveries
+        (Shard.recovery sh).Shard.redelivered
+        (Shard.recovery sh).Shard.checkpoints (Shard.busy sh)
+        (hists sh.Shard.metrics)
         (if i = Array.length shards - 1 then "" else ","))
     shards;
   Buffer.add_string b "  ]";
@@ -253,6 +273,12 @@ let pp_summary ppf (s : Loadgen.summary) =
     s.Loadgen.makespan s.Loadgen.elapsed s.Loadgen.failures s.Loadgen.requeued
     s.Loadgen.quarantined s.Loadgen.breaker_trips s.Loadgen.link_dropped
     s.Loadgen.decode_failures;
+  if s.Loadgen.kills > 0 || s.Loadgen.recoveries > 0 then
+    Fmt.pf ppf
+      "recovery: %d kills, %d recoveries, %d redelivered, %d checkpoints, ramp \
+       %d optimized / %d generic@."
+      s.Loadgen.kills s.Loadgen.recoveries s.Loadgen.redelivered
+      s.Loadgen.checkpoints s.Loadgen.ramp_optimized s.Loadgen.ramp_generic;
   if s.Loadgen.truncated then
     Fmt.pf ppf
       "WARNING: run truncated at the tick budget before completing; the \

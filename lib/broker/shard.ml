@@ -8,6 +8,7 @@ module Event_graph = Podopt_profile.Event_graph
 module Reduce = Podopt_profile.Reduce
 module Chains = Podopt_profile.Chains
 module Store = Podopt_store.Store
+module Recover = Podopt_recover.Recover
 
 module Exact = Podopt_obs.Exact
 
@@ -85,38 +86,59 @@ type stats = {
   mutable first_epoch_seen : bool;
 }
 
+(* Crash-recovery accounting.  These counters live OUTSIDE the state a
+   kill wipes and a checkpoint captures: they describe the recovery
+   machinery itself, so resurrecting them from a checkpoint would erase
+   the very kills they count. *)
+type recov = {
+  mutable kills : int;          (* injected crashes on this shard *)
+  mutable recoveries : int;     (* completed checkpoint restores *)
+  mutable redelivered : int;    (* journal ops replayed by recoveries *)
+  mutable checkpoints : int;    (* checkpoints captured *)
+  mutable ramp_pending : bool;  (* capture the next non-empty batch? *)
+  mutable ramp_optimized : int; (* dispatch-path split of the first *)
+  mutable ramp_generic : int;   (* post-recovery batch (accumulated) *)
+}
+
 type t = {
   id : int;
   kind : Workload.kind;
-  rt : Runtime.t;
-  ingress : Ingress.t;
-  adaptive : Adaptive.t option;
-  breaker : Breaker.t option;
+  (* the shard core a kill wipes and a restore rebuilds *)
+  mutable rt : Runtime.t;
+  mutable ingress : Ingress.t;
+  mutable adaptive : Adaptive.t option;
+  mutable breaker : Breaker.t option;
+  mutable metrics : Metrics.t;
   warm_installed : int;  (* super-handlers installed before any packet *)
   warm_stale : int;      (* stored-profile events rejected as stale *)
   batching : batching;
   stats : stats;
+  recov : recov;
   mutable sessions : int;
   mutable faults : Plan.t option;
   max_failures : int;
   dead_limit : int;
   retry : (string * int, int) Hashtbl.t;
   dead : Packet.t Queue.t;
-  metrics : Metrics.t;
+  (* construction knobs retained so a supervised restart rebuilds the
+     core with exactly what [create] used *)
+  queue_limit : int;
+  shed_policy : Policy.shed;
+  optimize : bool;
+  compile : bool;
+  breaker_policy : Breaker.policy option;
   mutable tamper : (Packet.t -> bytes) option;
   mutable on_delivery :
     (shard:int -> src:string -> seq:int -> ok:bool -> payload:bytes -> unit)
       option;
 }
 
-let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
-    ?(compile = true) ?warm ?(batching = Off) ?(depths = []) ~id ~kind ~optimize
-    ~queue_limit ~policy () =
-  if max_failures < 1 then invalid_arg "Shard.create: max_failures < 1";
-  if dead_limit < 1 then invalid_arg "Shard.create: dead_limit < 1";
-  (match batching with
-   | Fixed k when k < 1 -> invalid_arg "Shard.create: batch width < 1"
-   | _ -> ());
+(* Build the wipeable shard core: a fresh workload runtime with its
+   metrics hook, ingress queue, adaptive controller, and breaker —
+   shared by [create] and by [kill]'s supervised restart, so a
+   resurrected shard is wired exactly like a newborn one. *)
+let wire_core ~kind ~optimize ~compile ~batching ~depths ~queue_limit
+    ~shed_policy ~breaker_policy =
   let rt = Workload.runtime kind in
   (* one hostile handler must not abort the drain loop *)
   rt.Runtime.isolate_failures <- true;
@@ -144,6 +166,27 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
     end
     else None
   in
+  let breaker =
+    match (optimize, breaker_policy) with
+    | true, Some policy -> Some (Breaker.create ~policy ())
+    | true, None -> Some (Breaker.create ())
+    | false, _ -> None
+  in
+  (rt, Ingress.create ~limit:queue_limit ~policy:shed_policy, adaptive, breaker,
+   metrics)
+
+let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
+    ?(compile = true) ?warm ?(batching = Off) ?(depths = []) ~id ~kind ~optimize
+    ~queue_limit ~policy () =
+  if max_failures < 1 then invalid_arg "Shard.create: max_failures < 1";
+  if dead_limit < 1 then invalid_arg "Shard.create: dead_limit < 1";
+  (match batching with
+   | Fixed k when k < 1 -> invalid_arg "Shard.create: batch width < 1"
+   | _ -> ());
+  let rt, ingress, adaptive, breaker', metrics =
+    wire_core ~kind ~optimize ~compile ~batching ~depths ~queue_limit
+      ~shed_policy:policy ~breaker_policy:breaker
+  in
   (* Warm start: install super-handlers from the stored profile before
      any packet arrives.  Runs on the coordinator (shard construction
      precedes the pool spawn), so the result — like everything else
@@ -155,19 +198,14 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
       (w.Adaptive.installed, w.Adaptive.stale_events)
     | _ -> (0, 0)
   in
-  let breaker =
-    match (optimize, breaker) with
-    | true, Some policy -> Some (Breaker.create ~policy ())
-    | true, None -> Some (Breaker.create ())
-    | false, _ -> None
-  in
   {
     id;
     kind;
     rt;
-    ingress = Ingress.create ~limit:queue_limit ~policy;
+    ingress;
     adaptive;
-    breaker;
+    breaker = breaker';
+    metrics;
     warm_installed;
     warm_stale;
     batching;
@@ -183,6 +221,16 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
         first_epoch_generic = 0;
         first_epoch_seen = false;
       };
+    recov =
+      {
+        kills = 0;
+        recoveries = 0;
+        redelivered = 0;
+        checkpoints = 0;
+        ramp_pending = false;
+        ramp_optimized = 0;
+        ramp_generic = 0;
+      };
     sessions = 0;
     faults =
       (match faults with
@@ -194,7 +242,11 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
     dead_limit;
     retry = Hashtbl.create 64;
     dead = Queue.create ();
-    metrics;
+    queue_limit;
+    shed_policy = policy;
+    optimize;
+    compile;
+    breaker_policy = breaker;
     tamper = None;
     on_delivery = None;
   }
@@ -367,6 +419,19 @@ let drain_batch t ~now ~batch =
       t.stats.first_epoch_generic <-
         t.rt.Runtime.stats.Runtime.generic_dispatches - gen0
     end;
+    (* the post-recovery ramp observable: how the first non-empty batch
+       after a supervised restart split between the dispatch paths.  A
+       warm restart (super-handlers reinstalled from the checkpointed
+       profile) serves it optimized; a cold one would serve it generic. *)
+    if t.recov.ramp_pending then begin
+      t.recov.ramp_pending <- false;
+      t.recov.ramp_optimized <-
+        t.recov.ramp_optimized
+        + (t.rt.Runtime.stats.Runtime.optimized_dispatches - opt0);
+      t.recov.ramp_generic <-
+        t.recov.ramp_generic
+        + (t.rt.Runtime.stats.Runtime.generic_dispatches - gen0)
+    end;
     let events = List.length pkts in
     let faults =
       t.rt.Runtime.stats.Runtime.handler_failures - failures0
@@ -433,6 +498,12 @@ type snapshot = {
   snap_quarantined : int;
   snap_dead_dropped : int;
   snap_breaker_trips : int;
+  snap_kills : int;
+  snap_recoveries : int;
+  snap_redelivered : int;
+  snap_checkpoints : int;
+  snap_ramp_optimized : int;
+  snap_ramp_generic : int;
   snap_busy : int;
   snap_clock : int;
   snap_queue_wait : Hist.dist;
@@ -447,13 +518,15 @@ let pp_snapshot ppf s =
     "shard %d: sessions %d, offered %d, accepted %d, shed %d, batches %d, \
      dispatched %d, optimized %d, batched %d, generic %d, fallbacks %d, \
      failures %d, requeued %d, requeue-overflow %d, quarantined %d, \
-     dead-dropped %d, breaker-trips %d, busy %d, clock %d, qwait %a, svc-opt \
-     %a, svc-bat %a, svc-gen %a, depth %a"
+     dead-dropped %d, breaker-trips %d, kills %d, recoveries %d, redelivered \
+     %d, checkpoints %d, busy %d, clock %d, qwait %a, svc-opt %a, svc-bat %a, \
+     svc-gen %a, depth %a"
     s.snap_id s.snap_sessions s.snap_offered s.snap_accepted s.snap_shed
     s.snap_batches s.snap_dispatched s.snap_optimized s.snap_batched
     s.snap_generic s.snap_fallbacks s.snap_handler_failures s.snap_requeued
     s.snap_requeue_overflow s.snap_quarantined s.snap_dead_dropped
-    s.snap_breaker_trips s.snap_busy s.snap_clock Hist.pp_dist s.snap_queue_wait
+    s.snap_breaker_trips s.snap_kills s.snap_recoveries s.snap_redelivered
+    s.snap_checkpoints s.snap_busy s.snap_clock Hist.pp_dist s.snap_queue_wait
     Hist.pp_dist s.snap_service_opt Hist.pp_dist s.snap_service_bat Hist.pp_dist
     s.snap_service_gen Hist.pp_dist s.snap_batch_depth
 
@@ -498,6 +571,193 @@ let profile_entry t =
            ~trace_entries:(Adaptive.profile_trace_entries a)
            ~graph ~chains ~handlers ())
     end
+(* --- crash recovery ----------------------------------------------------- *)
+
+(* Every named counter a checkpoint carries.  These names are the
+   checkpoint wire vocabulary: [apply_counters] must understand exactly
+   this list, and the recover codec tests pin the round trip. *)
+let counters t : (string * int) list =
+  let st = t.rt.Runtime.stats in
+  let ist = Ingress.stats t.ingress in
+  [
+    ("rt.generic", st.Runtime.generic_dispatches);
+    ("rt.optimized", st.Runtime.optimized_dispatches);
+    ("rt.batched", st.Runtime.batched_dispatches);
+    ("rt.fallbacks", st.Runtime.fallbacks);
+    ("rt.segment_fallbacks", st.Runtime.segment_fallbacks);
+    ("rt.spec_hits", st.Runtime.spec_hits);
+    ("rt.spec_misses", st.Runtime.spec_misses);
+    ("rt.marshal_bytes", st.Runtime.marshal_bytes);
+    ("rt.deferred_pairs", st.Runtime.deferred_pairs);
+    ("rt.deferred_flushes", st.Runtime.deferred_flushes);
+    ("rt.handler_failures", st.Runtime.handler_failures);
+    ("rt.handler_time", t.rt.Runtime.handler_time);
+    ("shard.batches", t.stats.batches);
+    ("shard.dispatched", t.stats.dispatched);
+    ("shard.failures", t.stats.failures);
+    ("shard.requeued", t.stats.requeued);
+    ("shard.quarantined", t.stats.quarantined);
+    ("shard.dead_dropped", t.stats.dead_dropped);
+    ("shard.first_epoch_optimized", t.stats.first_epoch_optimized);
+    ("shard.first_epoch_generic", t.stats.first_epoch_generic);
+    ("shard.first_epoch_seen", if t.stats.first_epoch_seen then 1 else 0);
+    ("ingress.offered", ist.Ingress.offered);
+    ("ingress.accepted", ist.Ingress.accepted);
+    ("ingress.shed", ist.Ingress.shed);
+    ("ingress.high_water", ist.Ingress.high_water);
+    ("ingress.requeued", ist.Ingress.requeued);
+    ("ingress.requeue_overflow", ist.Ingress.requeue_overflow);
+  ]
+
+let apply_counters t (cs : (string * int) list) =
+  let v name = Option.value ~default:0 (List.assoc_opt name cs) in
+  let st = t.rt.Runtime.stats in
+  st.Runtime.generic_dispatches <- v "rt.generic";
+  st.Runtime.optimized_dispatches <- v "rt.optimized";
+  st.Runtime.batched_dispatches <- v "rt.batched";
+  st.Runtime.fallbacks <- v "rt.fallbacks";
+  st.Runtime.segment_fallbacks <- v "rt.segment_fallbacks";
+  st.Runtime.spec_hits <- v "rt.spec_hits";
+  st.Runtime.spec_misses <- v "rt.spec_misses";
+  st.Runtime.marshal_bytes <- v "rt.marshal_bytes";
+  st.Runtime.deferred_pairs <- v "rt.deferred_pairs";
+  st.Runtime.deferred_flushes <- v "rt.deferred_flushes";
+  st.Runtime.handler_failures <- v "rt.handler_failures";
+  t.rt.Runtime.handler_time <- v "rt.handler_time";
+  t.stats.batches <- v "shard.batches";
+  t.stats.dispatched <- v "shard.dispatched";
+  t.stats.failures <- v "shard.failures";
+  t.stats.requeued <- v "shard.requeued";
+  t.stats.quarantined <- v "shard.quarantined";
+  t.stats.dead_dropped <- v "shard.dead_dropped";
+  t.stats.first_epoch_optimized <- v "shard.first_epoch_optimized";
+  t.stats.first_epoch_generic <- v "shard.first_epoch_generic";
+  t.stats.first_epoch_seen <- v "shard.first_epoch_seen" <> 0;
+  Ingress.set_stats t.ingress ~offered:(v "ingress.offered")
+    ~accepted:(v "ingress.accepted") ~shed:(v "ingress.shed")
+    ~high_water:(v "ingress.high_water") ~requeued:(v "ingress.requeued")
+    ~requeue_overflow:(v "ingress.requeue_overflow")
+
+(* Serialize the shard's full live state as one checkpoint.  Metrics
+   histograms are deliberately NOT captured: a recovery rebuilds the
+   post-checkpoint window of them from the journal replay, and the
+   pre-checkpoint window is an observability loss, not a correctness
+   one (histograms are diagnostics, outside the determinism
+   invariant).  The pending runtime queue is empty at every epoch
+   boundary (dispatch runs each op to completion), so it has no line
+   in the format. *)
+let checkpoint t ~epoch =
+  let streams =
+    match t.faults with
+    | None -> []
+    | Some inj ->
+      (* the kill stream models the failure environment, not shard
+         state: the supervisor draws it at epoch boundaries and it must
+         keep advancing across restarts, so it stays live *)
+      List.filter (fun (kind, _) -> kind <> "kill") (Plan.stream_states inj)
+  in
+  let snap =
+    Recover.make ~shard:t.id ~epoch ~kind:(Workload.kind_to_string t.kind)
+      ~clock:(Runtime.now t.rt) ~sessions:t.sessions ~counters:(counters t)
+      ~globals:
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rt.Runtime.globals [])
+      ~queue:(Ingress.to_list t.ingress)
+      ~retries:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.retry [])
+      ~dead:(List.of_seq (Queue.to_seq t.dead))
+      ~streams ~profile:(profile_entry t) ()
+  in
+  t.recov.checkpoints <- t.recov.checkpoints + 1;
+  Recover.to_string snap
+
+(* Simulated crash: throw away every piece of live shard state and
+   rebuild the core exactly as [create] wired it.  The fault injector
+   survives (its crash/spike streams are rewound by [restore]; its kill
+   stream belongs to the environment), and so do the recovery counters
+   — they count the kills, so the kill must not erase them. *)
+let kill t =
+  let rt, ingress, adaptive, breaker, metrics =
+    wire_core ~kind:t.kind ~optimize:t.optimize ~compile:t.compile
+      ~batching:t.batching ~depths:[] ~queue_limit:t.queue_limit
+      ~shed_policy:t.shed_policy ~breaker_policy:t.breaker_policy
+  in
+  t.rt <- rt;
+  t.ingress <- ingress;
+  t.adaptive <- adaptive;
+  t.breaker <- breaker;
+  t.metrics <- metrics;
+  Hashtbl.reset t.retry;
+  Queue.clear t.dead;
+  t.stats.batches <- 0;
+  t.stats.dispatched <- 0;
+  t.stats.failures <- 0;
+  t.stats.requeued <- 0;
+  t.stats.quarantined <- 0;
+  t.stats.dead_dropped <- 0;
+  t.stats.first_epoch_optimized <- 0;
+  t.stats.first_epoch_generic <- 0;
+  t.stats.first_epoch_seen <- false;
+  t.sessions <- 0;
+  t.recov.kills <- t.recov.kills + 1
+
+(* Restore a serialized checkpoint into a freshly [kill]ed shard.  The
+   string form is deliberate: parsing here keeps the CRC verification
+   on the live recovery path, so a corrupted checkpoint refuses loudly
+   instead of resurrecting a wrong shard.  Ordering matters:
+
+   - counters are applied before the warm start (the adaptive
+     controller baselines its fallback counter against them) and again
+     after it (the warm start's installs may bump counters a kill-free
+     run never saw at this point);
+   - the virtual clock is pinned last, absorbing any install costs the
+     warm start charged, so the shard resumes at exactly the
+     checkpointed time. *)
+let restore t serialized =
+  let snap = Recover.of_string serialized in
+  if snap.Recover.shard <> t.id then
+    raise
+      (Recover.Format_error
+         (Printf.sprintf "checkpoint of shard %d offered to shard %d"
+            snap.Recover.shard t.id));
+  if snap.Recover.kind <> Workload.kind_to_string t.kind then
+    raise
+      (Recover.Format_error
+         (Printf.sprintf "checkpoint kind %S offered to a %s shard"
+            snap.Recover.kind
+            (Workload.kind_to_string t.kind)));
+  t.sessions <- snap.Recover.sessions;
+  List.iter
+    (fun (name, v) -> Runtime.set_global t.rt name v)
+    snap.Recover.globals;
+  Ingress.reload t.ingress snap.Recover.queue;
+  apply_counters t snap.Recover.counters;
+  List.iter
+    (fun (key, count) -> Hashtbl.replace t.retry key count)
+    snap.Recover.retries;
+  List.iter (fun pkt -> Queue.push pkt t.dead) snap.Recover.dead;
+  (match t.faults with
+   | Some inj -> Plan.set_stream_states inj snap.Recover.streams
+   | None -> ());
+  (match (t.adaptive, snap.Recover.profile) with
+   | Some a, Some e ->
+     Adaptive.absorb_graph a ~graph:e.Store.graph
+       ~trace_entries:e.Store.trace_entries;
+     Adaptive.seed_depths a e.Store.depths;
+     ignore (Adaptive.warm_start a ~graph:e.Store.graph
+               ~signatures:e.Store.handlers)
+   | _ -> ());
+  apply_counters t snap.Recover.counters;
+  Vclock.set t.rt.Runtime.clock snap.Recover.clock;
+  t.recov.recoveries <- t.recov.recoveries + 1
+
+(* The supervisor finished redelivering the journal: account the
+   replayed ops and arm the ramp capture, so the next non-empty batch
+   of NEW traffic records how warm the restart came back. *)
+let recovery_complete t ~redelivered =
+  t.recov.redelivered <- t.recov.redelivered + redelivered;
+  t.recov.ramp_pending <- true
+
+let recovery t = t.recov
+
 let handler_failures t = t.rt.Runtime.stats.Runtime.handler_failures
 let metrics t = t.metrics
 let queue_wait t = Metrics.histogram t.metrics m_queue_wait
@@ -526,6 +786,12 @@ let snapshot t =
     snap_quarantined = t.stats.quarantined;
     snap_dead_dropped = t.stats.dead_dropped;
     snap_breaker_trips = breaker_trips t;
+    snap_kills = t.recov.kills;
+    snap_recoveries = t.recov.recoveries;
+    snap_redelivered = t.recov.redelivered;
+    snap_checkpoints = t.recov.checkpoints;
+    snap_ramp_optimized = t.recov.ramp_optimized;
+    snap_ramp_generic = t.recov.ramp_generic;
     snap_busy = busy t;
     snap_clock = Runtime.now t.rt;
     snap_queue_wait = Hist.dist (queue_wait t);
@@ -554,4 +820,15 @@ let reset_measurements t =
   Queue.clear t.dead;
   Metrics.reset t.metrics;
   (match t.breaker with Some b -> Breaker.reset_measurements b | None -> ());
+  (* recovery accounting is measurement too: warm-up kills must not
+     count toward a measured report.  The supervisor pairs this with a
+     fresh checkpoint (the reset is a state discontinuity the journal
+     cannot replay across). *)
+  t.recov.kills <- 0;
+  t.recov.recoveries <- 0;
+  t.recov.redelivered <- 0;
+  t.recov.checkpoints <- 0;
+  t.recov.ramp_pending <- false;
+  t.recov.ramp_optimized <- 0;
+  t.recov.ramp_generic <- 0;
   t.sessions <- 0

@@ -67,13 +67,36 @@ type stats = {
   mutable first_epoch_seen : bool;
 }
 
+(** Crash-recovery accounting.  Lives outside the state a kill wipes
+    and a checkpoint captures: it describes the recovery machinery
+    itself, so resurrecting it from a checkpoint would erase the very
+    kills it counts. *)
+type recov = {
+  mutable kills : int;          (** injected crashes on this shard *)
+  mutable recoveries : int;     (** completed checkpoint restores *)
+  mutable redelivered : int;    (** journal ops replayed by recoveries *)
+  mutable checkpoints : int;    (** checkpoints captured *)
+  mutable ramp_pending : bool;  (** capture the next non-empty batch? *)
+  mutable ramp_optimized : int;
+      (** optimized dispatches in the first non-empty batch of new
+          traffic after each recovery (accumulated across recoveries) *)
+  mutable ramp_generic : int;
+      (** generic dispatches in those same first batches *)
+}
+
 type t = {
   id : int;
   kind : Workload.kind;
-  rt : Runtime.t;
-  ingress : Ingress.t;
-  adaptive : Podopt_optimize.Adaptive.t option;  (** [None] = generic shard *)
-  breaker : Podopt_optimize.Breaker.t option;    (** optimizing shards only *)
+  mutable rt : Runtime.t;       (** the core a {!kill} wipes... *)
+  mutable ingress : Ingress.t;
+  mutable adaptive : Podopt_optimize.Adaptive.t option;
+      (** [None] = generic shard *)
+  mutable breaker : Podopt_optimize.Breaker.t option;
+      (** optimizing shards only *)
+  mutable metrics : Podopt_obs.Metrics.t;
+      (** per-shard deterministic metrics: [queue_wait],
+          [service.optimized] / [service.generic] per-op cost, and one
+          [dispatch.<Event>] histogram per event kind *)
   warm_installed : int;
       (** super-handlers installed from a stored profile before any
           packet arrived (see {!create}'s [warm]) *)
@@ -81,6 +104,7 @@ type t = {
       (** stored-profile events the warm start rejected as stale *)
   batching : batching;  (** drain-loop windowing mode (default [Off]) *)
   stats : stats;
+  recov : recov;
   mutable sessions : int;  (** distinct sessions routed here *)
   mutable faults : Podopt_faults.Plan.t option;
   max_failures : int;  (** consecutive failures before quarantine *)
@@ -88,10 +112,11 @@ type t = {
   retry : (string * int, int) Hashtbl.t;
       (** (src, seq) -> consecutive failures so far *)
   dead : Packet.t Queue.t;
-  metrics : Podopt_obs.Metrics.t;
-      (** per-shard deterministic metrics: [queue_wait],
-          [service.optimized] / [service.generic] per-op cost, and one
-          [dispatch.<Event>] histogram per event kind *)
+  queue_limit : int;   (** ...and the knobs a restart rebuilds it with *)
+  shed_policy : Policy.shed;
+  optimize : bool;
+  compile : bool;
+  breaker_policy : Podopt_optimize.Breaker.policy option;
   mutable tamper : (Packet.t -> bytes) option;
       (** rewrite an op's payload just before dispatch (see
           {!set_tamper}) *)
@@ -237,6 +262,46 @@ val set_on_delivery :
 val breaker_open : t -> bool
 val breaker_trips : t -> int
 
+(** {2 Crash recovery}
+
+    The supervised kill/restore cycle (see doc/RECOVERY.md).  All four
+    entry points run on the coordinator at an epoch boundary, in this
+    order: {!checkpoint} periodically, then on a kill draw {!kill} →
+    {!restore} → journal replay (plain {!offer} / {!drain_batch} with
+    the delivery hook off) → {!recovery_complete}. *)
+
+(** Serialize the shard's full live state — named counters, runtime
+    globals, ingress queue and stats, retry table, dead letters,
+    crash/spike stream positions, and the cumulative adaptive profile
+    (as a store entry) — as one {!Podopt_recover.Recover} checkpoint,
+    and count it in [recov.checkpoints].  Metrics histograms are not
+    captured: a recovery rebuilds their post-checkpoint window from the
+    journal replay, and the earlier window is a diagnostics loss
+    outside the determinism invariant. *)
+val checkpoint : t -> epoch:int -> string
+
+(** Simulated crash: replace the runtime, ingress queue, adaptive
+    controller, breaker, and metrics with freshly wired ones and clear
+    the retry table, dead letters, counters, and session count.  The
+    fault injector and the [recov] counters survive. *)
+val kill : t -> unit
+
+(** Parse, verify (CRC + version + shard/kind identity), and load a
+    serialized checkpoint into a freshly {!kill}ed shard: restores
+    counters, globals, queue, retries, dead letters, crash/spike stream
+    positions, and the adaptive profile (super-handlers are warm-started
+    from it), then pins the virtual clock to the checkpointed time.
+    Raises {!Podopt_recover.Recover.Format_error} on a corrupt or
+    mismatched checkpoint. *)
+val restore : t -> string -> unit
+
+(** Account [redelivered] journal ops and arm the ramp capture: the
+    next non-empty batch of new traffic records its dispatch-path
+    split into [recov.ramp_optimized] / [recov.ramp_generic]. *)
+val recovery_complete : t -> redelivered:int -> unit
+
+val recovery : t -> recov
+
 (** An immutable copy of every per-shard observable: ingress accounting,
     batch/dispatch counters, dispatch-path split, fallbacks, failure and
     quarantine accounting, breaker trips, handler time, and the shard
@@ -262,6 +327,12 @@ type snapshot = {
   snap_quarantined : int;
   snap_dead_dropped : int;
   snap_breaker_trips : int;
+  snap_kills : int;
+  snap_recoveries : int;
+  snap_redelivered : int;
+  snap_checkpoints : int;
+  snap_ramp_optimized : int;
+  snap_ramp_generic : int;
   snap_busy : int;
   snap_clock : int;
   snap_queue_wait : Podopt_obs.Hist.dist;
@@ -281,5 +352,7 @@ val pp_snapshot : Format.formatter -> snapshot -> unit
     accounting consistent across the boundary: a warm-up failure can
     no longer push a measured op straight into quarantine, and a
     post-reset snapshot never shows dead letters with [quarantined =
-    0].  Only the breaker's open/closed position survives. *)
+    0].  Recovery accounting resets too (a warm-up kill is not a
+    measured kill); the supervisor pairs the reset with a fresh
+    checkpoint.  Only the breaker's open/closed position survives. *)
 val reset_measurements : t -> unit

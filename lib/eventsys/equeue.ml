@@ -75,6 +75,18 @@ let pop t =
     Some (top.due, top.payload)
   end
 
+(* Non-destructive snapshot in pop order: collect the live items and
+   sort by the heap's own (due, seq) key.  Re-pushing the result into a
+   fresh queue (in list order) reproduces the original pop order — the
+   fresh sequence numbers are assigned in the same relative order. *)
+let to_list t =
+  let items = ref [] in
+  for i = 0 to t.size - 1 do
+    items := get t i :: !items
+  done;
+  List.sort (fun a b -> compare (a.due, a.seq) (b.due, b.seq)) !items
+  |> List.map (fun item -> (item.due, item.payload))
+
 (* Remove all items matching [pred]; used by the Cactus [cancel] operation
    on delayed events.  Returns the number of removed items. *)
 let remove_if t pred =

@@ -14,6 +14,12 @@ val peek : 'a t -> (int * 'a) option
 
 val pop : 'a t -> (int * 'a) option
 
+(** Non-destructive snapshot of every queued item in pop order
+    ((due, seq)-sorted).  Pushing the result, in order, into a fresh
+    queue reproduces the original pop order — checkpoint/restore relies
+    on this. *)
+val to_list : 'a t -> (int * 'a) list
+
 (** Remove all items matching the predicate (Cactus's delayed-event
     cancel); returns how many were removed.  Relative order of the kept
     items is preserved. *)

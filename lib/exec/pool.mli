@@ -25,8 +25,11 @@ val size : t -> int
 
 (** [run t f] executes [f w] on worker [w] for every [w] in
     [0 .. size-1], blocking until all are done.  Raises the first
-    worker exception, if any.  Raises [Invalid_argument] after
-    {!shutdown}. *)
+    worker exception, if any.  A raising task still completes the
+    epoch barrier — every other worker finishes its task before the
+    exception reaches the caller — and leaves the pool fully usable
+    for subsequent epochs (the crash-recovery supervisor relies on
+    both).  Raises [Invalid_argument] after {!shutdown}. *)
 val run : t -> (int -> unit) -> unit
 
 (** Close every channel and join the worker domains.  Idempotent. *)

@@ -16,6 +16,7 @@ type spec = {
   spike_cost : int;
   corrupt_permille : int;
   drop_permille : int;
+  kill_permille : int;
 }
 
 let none =
@@ -26,11 +27,12 @@ let none =
     spike_cost = 4_000;
     corrupt_permille = 0;
     drop_permille = 0;
+    kill_permille = 0;
   }
 
 let enabled s =
   s.crash_permille > 0 || s.spike_permille > 0 || s.corrupt_permille > 0
-  || s.drop_permille > 0
+  || s.drop_permille > 0 || s.kill_permille > 0
 
 (* --- spec grammar ------------------------------------------------------ *)
 
@@ -44,59 +46,76 @@ let of_string s =
   let s = String.trim s in
   if s = "" || s = "none" then Ok none
   else
-    let rec go acc = function
+    (* [seen] rejects duplicate keys: a spec like [crash=10,crash=0]
+       has no one right reading, so it is an error rather than a silent
+       last-win. *)
+    let rec go acc seen = function
       | [] -> Ok acc
+      | "" :: _ ->
+        Error "empty fault field (stray or trailing comma in spec)"
       | field :: rest -> (
         match String.index_opt field '=' with
         | None -> Error (Printf.sprintf "bad fault field %S (expected key=value)" field)
         | Some i -> (
           let key = String.sub field 0 i in
           let v = String.sub field (i + 1) (String.length field - i - 1) in
-          let ( let* ) = Result.bind in
-          match key with
-          | "seed" -> (
-            match Int64.of_string_opt v with
-            | Some seed -> go { acc with seed } rest
-            | None -> Error (Printf.sprintf "seed=%S is not an integer" v))
-          | "crash" ->
-            let* crash_permille = permille key v in
-            go { acc with crash_permille } rest
-          | "spike" -> (
-            (* spike=RATE or spike=RATE:COST *)
-            let rate, cost =
-              match String.index_opt v ':' with
-              | None -> (v, None)
-              | Some j ->
-                ( String.sub v 0 j,
-                  Some (String.sub v (j + 1) (String.length v - j - 1)) )
-            in
-            let* spike_permille = permille key rate in
-            match cost with
-            | None -> go { acc with spike_permille } rest
-            | Some c -> (
-              match int_of_string_opt c with
-              | Some spike_cost when spike_cost > 0 ->
-                go { acc with spike_permille; spike_cost } rest
-              | _ -> Error (Printf.sprintf "spike cost %S must be a positive integer" c)))
-          | "corrupt" ->
-            let* corrupt_permille = permille key v in
-            go { acc with corrupt_permille } rest
-          | "drop" ->
-            let* drop_permille = permille key v in
-            go { acc with drop_permille } rest
-          | _ ->
-            Error
-              (Printf.sprintf
-                 "unknown fault key %S (expected seed|crash|spike|corrupt|drop)" key)))
+          if List.mem key seen then
+            Error (Printf.sprintf "duplicate fault key %S" key)
+          else
+            let seen = key :: seen in
+            let ( let* ) = Result.bind in
+            match key with
+            | "seed" -> (
+              match Int64.of_string_opt v with
+              | Some seed -> go { acc with seed } seen rest
+              | None -> Error (Printf.sprintf "seed=%S is not an integer" v))
+            | "crash" ->
+              let* crash_permille = permille key v in
+              go { acc with crash_permille } seen rest
+            | "spike" -> (
+              (* spike=RATE or spike=RATE:COST *)
+              let rate, cost =
+                match String.index_opt v ':' with
+                | None -> (v, None)
+                | Some j ->
+                  ( String.sub v 0 j,
+                    Some (String.sub v (j + 1) (String.length v - j - 1)) )
+              in
+              let* spike_permille = permille key rate in
+              match cost with
+              | None -> go { acc with spike_permille } seen rest
+              | Some c -> (
+                match int_of_string_opt c with
+                | Some spike_cost when spike_cost > 0 ->
+                  go { acc with spike_permille; spike_cost } seen rest
+                | _ -> Error (Printf.sprintf "spike cost %S must be a positive integer" c)))
+            | "corrupt" ->
+              let* corrupt_permille = permille key v in
+              go { acc with corrupt_permille } seen rest
+            | "drop" ->
+              let* drop_permille = permille key v in
+              go { acc with drop_permille } seen rest
+            | "kill" ->
+              let* kill_permille = permille key v in
+              go { acc with kill_permille } seen rest
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "unknown fault key %S (expected seed|crash|spike|corrupt|drop|kill)"
+                   key)))
     in
-    go none (String.split_on_char ',' s)
+    go none [] (String.split_on_char ',' s)
 
 let to_string s =
   if not (enabled s) then "none"
   else
-    Printf.sprintf "seed=%Ld,crash=%d,spike=%d:%d,corrupt=%d,drop=%d" s.seed
+    (* kill is appended only when set, so pre-kill specs render exactly
+       as they always did *)
+    Printf.sprintf "seed=%Ld,crash=%d,spike=%d:%d,corrupt=%d,drop=%d%s" s.seed
       s.crash_permille s.spike_permille s.spike_cost s.corrupt_permille
       s.drop_permille
+      (if s.kill_permille > 0 then Printf.sprintf ",kill=%d" s.kill_permille
+       else "")
 
 (* --- injector ---------------------------------------------------------- *)
 
@@ -107,6 +126,7 @@ type t = {
   spike_rng : Prng.t;
   corrupt_rng : Prng.t;
   drop_rng : Prng.t;
+  kill_rng : Prng.t;
   mutable logger : (salt:int -> kind:string -> fired:bool -> unit) option;
 }
 
@@ -133,6 +153,7 @@ let create ?(salt = 0) spec =
     spike_rng = stream spec.seed ~salt ~kind:2;
     corrupt_rng = stream spec.seed ~salt ~kind:3;
     drop_rng = stream spec.seed ~salt ~kind:4;
+    kill_rng = stream spec.seed ~salt ~kind:5;
     logger = None;
   }
 
@@ -172,3 +193,32 @@ let corrupt t (b : bytes) =
     Some b'
   end
   else None
+
+let kill t = log t ~kind:"kill" (Prng.bool t.kill_rng ~permille:t.spec.kill_permille)
+
+(* --- stream checkpointing ----------------------------------------------
+
+   An injector's streams are part of a shard's live state: a crash
+   recovery that restores a checkpoint must also rewind every stream to
+   its checkpoint-time position, so re-dispatching the journaled ops
+   re-draws the exact same fault decisions. *)
+
+let streams t =
+  [
+    ("crash", t.crash_rng);
+    ("spike", t.spike_rng);
+    ("corrupt", t.corrupt_rng);
+    ("drop", t.drop_rng);
+    ("kill", t.kill_rng);
+  ]
+
+let stream_states t =
+  List.map (fun (kind, rng) -> (kind, Prng.state rng)) (streams t)
+
+let set_stream_states t states =
+  List.iter
+    (fun (kind, rng) ->
+      match List.assoc_opt kind states with
+      | Some s -> Prng.set_state rng s
+      | None -> ())
+    (streams t)

@@ -24,6 +24,7 @@ type spec = {
   spike_cost : int;       (** virtual units one spike adds *)
   corrupt_permille : int; (** flip one wire byte before decode *)
   drop_permille : int;    (** drop the packet at link delivery *)
+  kill_permille : int;    (** wipe a shard's live state at an epoch boundary *)
 }
 
 (** All rates zero (seed 1): injects nothing. *)
@@ -33,9 +34,11 @@ val none : spec
 val enabled : spec -> bool
 
 (** Parse a [--faults] spec: comma-separated [key=value] pairs with
-    keys [seed] (int), [crash]/[spike]/[corrupt]/[drop] (permille,
-    0..1000), and [spike] optionally as [rate:cost].  [""] and ["none"]
-    mean {!none}.  Example: ["seed=7,crash=200,spike=50:4000,drop=5"]. *)
+    keys [seed] (int), [crash]/[spike]/[corrupt]/[drop]/[kill]
+    (permille, 0..1000), and [spike] optionally as [rate:cost].  [""]
+    and ["none"] mean {!none}.  Duplicate keys and empty fields are
+    rejected with a clear error.  Example:
+    ["seed=7,crash=200,spike=50:4000,drop=5,kill=100"]. *)
 val of_string : string -> (spec, string) result
 
 (** Canonical round-trippable form of a spec. *)
@@ -75,3 +78,18 @@ val drop : t -> bool
     with one byte deterministically flipped, [None] means intact.  The
     input is never mutated. *)
 val corrupt : t -> bytes -> bytes option
+
+(** One kill decision (advances only the kill stream).  The broker
+    supervisor draws this once per shard per epoch; [true] means the
+    shard's live state is wiped and must be recovered from its latest
+    checkpoint.  Callers should skip the draw entirely when
+    [spec.kill_permille = 0] so kill-free runs log no kill draws. *)
+val kill : t -> bool
+
+(** Current position of every fault stream, keyed by fault kind —
+    part of a shard checkpoint. *)
+val stream_states : t -> (string * int64) list
+
+(** Rewind the streams to positions captured by {!stream_states}.
+    Kinds missing from the list are left untouched. *)
+val set_stream_states : t -> (string * int64) list -> unit

@@ -13,3 +13,11 @@ val int : t -> int -> int
 
 (** True with probability permille/1000. *)
 val bool : t -> permille:int -> bool
+
+(** The current stream position, for checkpointing.  Feeding it back
+    through {!set_state} resumes the stream exactly where it was. *)
+val state : t -> int64
+
+(** Restore a stream position captured by {!state}.  The xorshift state
+    must never be 0, so 0 is remapped like {!create}'s seed. *)
+val set_state : t -> int64 -> unit

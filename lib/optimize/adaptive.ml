@@ -221,6 +221,16 @@ let profile_snapshot (t : t) : Event_graph.t =
 let profile_trace_entries (t : t) =
   t.trace_seen + Trace.length t.rt.Runtime.trace
 
+(* Crash-recovery restore: fold a checkpointed profile graph back into
+   the cumulative profile, crediting the trace entries it summarizes.
+   The checkpointed graph already contains every window the dead
+   controller absorbed plus its live trace, so a freshly created
+   controller that absorbs it resumes profiling where the dead one
+   stopped. *)
+let absorb_graph (t : t) ~(graph : Event_graph.t) ~trace_entries =
+  Event_graph.merge_into ~into:t.profile graph;
+  t.trace_seen <- t.trace_seen + Stdlib.max 0 trace_entries
+
 (* Ordered handler names bound to [event] right now — the binding
    signature a stored profile is checked against. *)
 let live_signature (rt : Runtime.t) event =

@@ -90,6 +90,12 @@ val profile_snapshot : t -> Podopt_profile.Event_graph.t
 (** Trace entries represented in {!profile_snapshot}. *)
 val profile_trace_entries : t -> int
 
+(** Fold a checkpointed profile graph back into the cumulative profile,
+    crediting [trace_entries] toward {!profile_trace_entries} — the
+    crash-recovery inverse of {!profile_snapshot}. *)
+val absorb_graph :
+  t -> graph:Podopt_profile.Event_graph.t -> trace_entries:int -> unit
+
 type warm = {
   installed : int;
       (** events that got super-handlers before any packet *)

@@ -1,0 +1,348 @@
+(* Shard crash-recovery state: checkpoints and redo journals.
+
+   A [snapshot] is the full live state of one broker shard at an epoch
+   boundary — virtual clock, named counters, runtime globals, the
+   pending/retry/dead queues, the fault-injector stream positions, and
+   the shard's cumulative adaptive profile (which rides the existing
+   Podopt_store entry format verbatim, CRC check included).
+
+   Same framing conventions as Podopt_profile.Trace_io, Podopt_store
+   and Podopt_replay.Log: one record per line, whitespace-separated
+   fields, [#] comments, [Format_error] on anything malformed.
+
+   Format (version 1):
+
+     V 1
+     S <id> <shard> <epoch> <kind> <clock> <sessions>   header
+     C <name> <value>                                   named counter
+     G <name> <hex>                                     global (marshaled Value)
+     Q <due> <hex>                                      queued ingress op (wire bytes)
+     R <src> <seq> <count>                              retry-table row
+     X <hex>                                            dead-lettered op (wire bytes)
+     P <kind> <state>                                   fault-stream position (int64)
+     F <line>                                           embedded profile store line
+
+   Like the profile store, a snapshot is content-addressed: [id] is the
+   CRC-32 of the canonical body (every line after the id field, in
+   canonical order), re-derived on load — a flipped counter, reordered
+   queue, or truncated file fails the id check and the restore is
+   refused rather than silently resurrecting a corrupt shard.
+
+   The redo [journal] is the coordinator-side log of everything a shard
+   was fed since its last checkpoint: each admitted op ([Offer]) and
+   each epoch drain ([Drain]), in admission order.  Replaying the
+   journal over a restored checkpoint re-derives the shard's pre-crash
+   state deterministically.  The journal is bounded by a high-water
+   mark: ops are never dropped (that would lose work), but once the
+   mark is passed the supervisor takes an early checkpoint at the next
+   epoch boundary, which empties the journal. *)
+
+module Packet = Podopt_net.Packet
+module Store = Podopt_store.Store
+module Crc32 = Podopt_crypto.Crc32
+module Value = Podopt_hir.Value
+
+exception Format_error of string
+
+let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
+let version = 1
+
+type snapshot = {
+  shard : int;
+  epoch : int;                  (* epoch the checkpoint was taken at *)
+  kind : string;                (* workload kind, e.g. "seccomm" *)
+  clock : int;                  (* shard virtual clock *)
+  sessions : int;               (* sessions routed to the shard so far *)
+  counters : (string * int) list;        (* sorted by name *)
+  globals : (string * Value.t) list;     (* sorted by name *)
+  queue : (int * Packet.t) list;         (* (due, op) in pop order *)
+  retries : ((string * int) * int) list; (* (src, seq) -> attempts, sorted *)
+  dead : Packet.t list;                  (* dead-letter queue, oldest first *)
+  streams : (string * int64) list;       (* fault-stream positions, sorted *)
+  profile : Store.entry option;          (* cumulative adaptive profile *)
+}
+
+(* --- canonical rendering ------------------------------------------------ *)
+
+let check_name what name =
+  if name = "" then format_error "empty %s name" what;
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' then
+        format_error "%s name %S contains whitespace" what name)
+    name
+
+let hex_of_bytes (b : bytes) : string =
+  if Bytes.length b = 0 then "-"
+  else
+    String.concat ""
+      (List.init (Bytes.length b) (fun i ->
+           Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+let bytes_of_hex what (s : string) : bytes =
+  if s = "-" then Bytes.create 0
+  else begin
+    if String.length s mod 2 <> 0 then format_error "odd-length %s hex %S" what s;
+    let n = String.length s / 2 in
+    let b = Bytes.create n in
+    (try
+       for i = 0 to n - 1 do
+         Bytes.set b i (Char.chr (int_of_string ("0x" ^ String.sub s (i * 2) 2)))
+       done
+     with _ -> format_error "bad %s hex %S" what s);
+    b
+  end
+
+(* Build a snapshot with its sortable fields in canonical order, so
+   equal states render equal bytes (and therefore equal ids) no matter
+   what order the captor enumerated them in. *)
+let make ~shard ~epoch ~kind ~clock ~sessions ~counters ~globals ~queue ~retries
+    ~dead ~streams ~profile () =
+  {
+    shard;
+    epoch;
+    kind;
+    clock;
+    sessions;
+    counters = List.sort compare counters;
+    globals = List.sort (fun (a, _) (b, _) -> compare a b) globals;
+    queue;
+    retries = List.sort compare retries;
+    dead;
+    streams = List.sort compare streams;
+    profile;
+  }
+
+(* The canonical body: the header minus the id field, then every record
+   line in canonical order. *)
+let body_lines (s : snapshot) : string list =
+  check_name "kind" s.kind;
+  let header =
+    Printf.sprintf "S %d %d %s %d %d" s.shard s.epoch s.kind s.clock s.sessions
+  in
+  let counters =
+    List.map
+      (fun (name, v) ->
+        check_name "counter" name;
+        Printf.sprintf "C %s %d" name v)
+      s.counters
+  in
+  let globals =
+    List.map
+      (fun (name, v) ->
+        check_name "global" name;
+        Printf.sprintf "G %s %s" name
+          (hex_of_bytes (Bytes.of_string (Value.marshal [ v ]))))
+      s.globals
+  in
+  let queue =
+    List.map
+      (fun (due, pkt) ->
+        Printf.sprintf "Q %d %s" due (hex_of_bytes (Packet.encode pkt)))
+      s.queue
+  in
+  let retries =
+    List.map
+      (fun ((src, seq), count) ->
+        check_name "session" src;
+        Printf.sprintf "R %s %d %d" src seq count)
+      s.retries
+  in
+  let dead =
+    List.map
+      (fun pkt -> Printf.sprintf "X %s" (hex_of_bytes (Packet.encode pkt)))
+      s.dead
+  in
+  let streams =
+    List.map
+      (fun (kind, state) ->
+        check_name "stream" kind;
+        Printf.sprintf "P %s %Ld" kind state)
+      s.streams
+  in
+  let profile =
+    match s.profile with
+    | None -> []
+    | Some e ->
+      String.split_on_char '\n' (Store.to_string [ e ])
+      |> List.filter (fun l -> l <> "")
+      |> List.map (fun l -> "F " ^ l)
+  in
+  (header :: counters) @ globals @ queue @ retries @ dead @ streams @ profile
+
+let digest_of_lines lines =
+  Printf.sprintf "%08x" (Crc32.of_string (String.concat "\n" lines))
+
+let id (s : snapshot) : string = digest_of_lines (body_lines s)
+
+(* --- encode ------------------------------------------------------------- *)
+
+let to_string (s : snapshot) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# podopt shard checkpoint\n";
+  Buffer.add_string buf (Printf.sprintf "V %d\n" version);
+  (match body_lines s with
+   | header :: rest ->
+     Buffer.add_string buf
+       (Printf.sprintf "S %s%s\n" (id s)
+          (String.sub header 1 (String.length header - 1)));
+     List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) rest
+   | [] -> assert false);
+  Buffer.contents buf
+
+(* --- decode ------------------------------------------------------------- *)
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> format_error "bad %s %S" what s
+
+let packet_field what s =
+  match Packet.decode (bytes_of_hex what s) with
+  | pkt -> pkt
+  | exception Packet.Decode_error -> format_error "undecodable %s" what
+
+let of_string (text : string) : snapshot =
+  let saw_version = ref false in
+  let header = ref None in
+  let counters = ref [] in
+  let globals = ref [] in
+  let queue = ref [] in
+  let retries = ref [] in
+  let dead = ref [] in
+  let streams = ref [] in
+  let profile_lines = ref [] in
+  let in_snapshot what =
+    if !header = None then format_error "%s line before S line" what
+  in
+  let dispatch line =
+    (* F lines carry an embedded store line verbatim (it contains
+       spaces); everything else is whitespace-separated fields *)
+    if String.length line >= 2 && String.sub line 0 2 = "F " then begin
+      in_snapshot "F";
+      profile_lines := String.sub line 2 (String.length line - 2) :: !profile_lines
+    end
+    else
+      let fields = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+      match fields with
+      | [] -> ()
+      | [ "V"; v ] ->
+        let v = int_field "version" v in
+        if v <> version then
+          format_error "unsupported checkpoint version %d (expected %d)" v version;
+        saw_version := true
+      | [ "S"; id; shard; epoch; kind; clock; sessions ] ->
+        if not !saw_version then format_error "S line before V line";
+        if !header <> None then format_error "duplicate S line";
+        header :=
+          Some
+            ( id,
+              int_field "shard" shard,
+              int_field "epoch" epoch,
+              kind,
+              int_field "clock" clock,
+              int_field "sessions" sessions )
+      | [ "C"; name; v ] ->
+        in_snapshot "C";
+        counters := (name, int_field "counter" v) :: !counters
+      | [ "G"; name; hex ] ->
+        in_snapshot "G";
+        let v =
+          match Value.unmarshal (Bytes.to_string (bytes_of_hex "global" hex)) with
+          | [ v ] -> v
+          | _ -> format_error "global %s does not hold exactly one value" name
+          | exception Value.Unmarshal_error m ->
+            format_error "undecodable global %s: %s" name m
+        in
+        globals := (name, v) :: !globals
+      | [ "Q"; due; hex ] ->
+        in_snapshot "Q";
+        queue := (int_field "due" due, packet_field "queued op" hex) :: !queue
+      | [ "R"; src; seq; count ] ->
+        in_snapshot "R";
+        retries := ((src, int_field "seq" seq), int_field "count" count) :: !retries
+      | [ "X"; hex ] ->
+        in_snapshot "X";
+        dead := packet_field "dead op" hex :: !dead
+      | [ "P"; kind; state ] -> (
+        in_snapshot "P";
+        match Int64.of_string_opt state with
+        | Some s -> streams := (kind, s) :: !streams
+        | None -> format_error "bad stream state %S" state)
+      | tag :: _ -> format_error "bad record tag %S in line %S" tag line
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then () else dispatch line)
+    (String.split_on_char '\n' text);
+  if not !saw_version then format_error "missing V line";
+  match !header with
+  | None -> format_error "missing S line"
+  | Some (stored_id, shard, epoch, kind, clock, sessions) ->
+    let profile =
+      match List.rev !profile_lines with
+      | [] -> None
+      | lines -> (
+        match
+          Store.entries (Store.of_string (String.concat "\n" lines))
+        with
+        | [ e ] -> Some e
+        | es ->
+          format_error "embedded profile holds %d entries (expected 1)"
+            (List.length es)
+        | exception Store.Format_error m ->
+          format_error "embedded profile: %s" m)
+    in
+    let s =
+      {
+        shard;
+        epoch;
+        kind;
+        clock;
+        sessions;
+        counters = List.rev !counters;
+        globals = List.rev !globals;
+        queue = List.rev !queue;
+        retries = List.rev !retries;
+        dead = List.rev !dead;
+        streams = List.rev !streams;
+        profile;
+      }
+    in
+    let derived = id s in
+    if derived <> stored_id then
+      format_error "checkpoint id %s does not match its content (computed %s)"
+        stored_id derived;
+    s
+
+(* --- the redo journal --------------------------------------------------- *)
+
+type op =
+  | Offer of int * Packet.t  (* op admitted to the shard at front time [now] *)
+  | Drain of int * int       (* epoch drain at time [now] with batch width *)
+
+type journal = {
+  limit : int;
+  mutable rev_entries : op list;
+  mutable count : int;
+}
+
+let journal ~limit =
+  if limit <= 0 then invalid_arg "Recover.journal: limit <= 0";
+  { limit; rev_entries = []; count = 0 }
+
+let record (j : journal) (entry : op) =
+  j.rev_entries <- entry :: j.rev_entries;
+  j.count <- j.count + 1
+
+let entries (j : journal) = List.rev j.rev_entries
+let journal_length (j : journal) = j.count
+
+(* Past the high-water mark: the supervisor should checkpoint (and
+   thereby clear the journal) at the next epoch boundary. *)
+let full (j : journal) = j.count >= j.limit
+
+let clear (j : journal) =
+  j.rev_entries <- [];
+  j.count <- 0

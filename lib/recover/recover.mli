@@ -1,0 +1,86 @@
+(** Shard crash-recovery state: checkpoints and redo journals.
+
+    A {!snapshot} captures the full live state of one broker shard at
+    an epoch boundary; the {!journal} is the coordinator-side redo log
+    of everything the shard was fed since its last checkpoint.
+    Restoring the snapshot and replaying the journal re-derives the
+    shard's pre-crash state deterministically — the supervisor's whole
+    recovery story (see doc/RECOVERY.md).
+
+    Serialized snapshots use the repo's line-oriented framing
+    (Trace_io / Store / Log conventions) and are content-addressed by
+    the CRC-32 of their canonical body, like profile-store entries: the
+    id is re-derived on load, so tampered or truncated checkpoints are
+    refused ({!Format_error}) instead of resurrecting a corrupt
+    shard. *)
+
+module Packet = Podopt_net.Packet
+module Store = Podopt_store.Store
+module Value = Podopt_hir.Value
+
+exception Format_error of string
+
+(** Checkpoint format version ([V] line); a mismatch is refused. *)
+val version : int
+
+type snapshot = {
+  shard : int;
+  epoch : int;                  (** epoch the checkpoint was taken at *)
+  kind : string;                (** workload kind, e.g. ["seccomm"] *)
+  clock : int;                  (** shard virtual clock *)
+  sessions : int;               (** sessions routed to the shard so far *)
+  counters : (string * int) list;        (** named counters, sorted *)
+  globals : (string * Value.t) list;     (** runtime globals, sorted *)
+  queue : (int * Packet.t) list;         (** (due, op) in pop order *)
+  retries : ((string * int) * int) list; (** (src, seq) -> attempts, sorted *)
+  dead : Packet.t list;                  (** dead letters, oldest first *)
+  streams : (string * int64) list;       (** fault-stream positions, sorted *)
+  profile : Store.entry option;          (** cumulative adaptive profile *)
+}
+
+(** Build a snapshot, sorting the order-insensitive fields into
+    canonical order so equal states render equal bytes. *)
+val make :
+  shard:int -> epoch:int -> kind:string -> clock:int -> sessions:int ->
+  counters:(string * int) list -> globals:(string * Value.t) list ->
+  queue:(int * Packet.t) list -> retries:((string * int) * int) list ->
+  dead:Packet.t list -> streams:(string * int64) list ->
+  profile:Store.entry option -> unit -> snapshot
+
+(** CRC-32 (hex) of the snapshot's canonical body — its content id. *)
+val id : snapshot -> string
+
+val to_string : snapshot -> string
+
+(** Parse and verify a serialized snapshot.  Raises {!Format_error} on
+    malformed input, an unsupported version, or an id that does not
+    match the content. *)
+val of_string : string -> snapshot
+
+(** {1 The redo journal} *)
+
+type op =
+  | Offer of int * Packet.t
+      (** an op admitted to the shard's ingress at front time [now] *)
+  | Drain of int * int
+      (** an epoch drain at time [now] with the drain's batch width *)
+
+type journal
+
+(** An empty journal with high-water mark [limit] (> 0).  The mark is a
+    checkpoint trigger, not a hard cap: entries are never dropped (that
+    would lose work) — once {!full}, the supervisor checkpoints at the
+    next epoch boundary, which {!clear}s the journal. *)
+val journal : limit:int -> journal
+
+val record : journal -> op -> unit
+
+(** Entries in admission order. *)
+val entries : journal -> op list
+
+val journal_length : journal -> int
+
+(** At or past the high-water mark? *)
+val full : journal -> bool
+
+val clear : journal -> unit

@@ -17,13 +17,15 @@ module Loadgen = Podopt_broker.Loadgen
 module Session = Podopt_broker.Session
 module Packet = Podopt_net.Packet
 module Crc32 = Podopt_crypto.Crc32
+module Plan = Podopt_faults.Plan
 
-type axis = Optimizer | Codegen | Batching
+type axis = Optimizer | Codegen | Batching | Killed
 
 let axis_label = function
   | Optimizer -> "optimizer-on vs optimizer-off"
   | Codegen -> "compiled vs interpreted handlers"
   | Batching -> "batched vs unbatched drain"
+  | Killed -> "killed-and-recovered vs kill-free"
 
 (* Both sides drain sequentially: the delivery hook runs inside the
    drain and must append to one list in a deterministic global order. *)
@@ -46,6 +48,19 @@ let variant_configs axis (cfg : Broker.config) =
     in
     ( { base with Broker.optimize = true; batching },
       { base with Broker.optimize = true; batching = Podopt_broker.Shard.Off }
+    )
+  | Killed ->
+    (* supervised against kill-free: the recorded kill rate when the
+       run had one, else a default heavy rate so replaying a kill-free
+       log still exercises the checkpoint/restore/redeliver path.  The
+       recovery invariant is that the two sides are observably
+       byte-identical. *)
+    let killed =
+      if cfg.Broker.faults.Plan.kill_permille > 0 then cfg.Broker.faults
+      else { cfg.Broker.faults with Plan.kill_permille = 150 }
+    in
+    ( { base with Broker.faults = killed },
+      { base with Broker.faults = { cfg.Broker.faults with Plan.kill_permille = 0 } }
     )
 
 type observed = {

@@ -4,11 +4,12 @@
    record per line, whitespace-separated fields, [#] comments, a
    [Format_error] on anything malformed).
 
-   Format (version 3; version-1 and -2 logs still load):
+   Format (version 4; version-1, -2, and -3 logs still load):
 
      V <version>
      C <shards> <batch> <queue_limit> <policy> <kind> <optimize>
        <compile> <seed> <tick> <domains> <faults-spec> <batch-k>
+       <checkpoint-every>
      D <verbatim line>                             embedded profile store
      Y <crc32-hex>                                 digest of the D lines
      P <sessions> <ops> <interval> <spread> <latency> <jitter>
@@ -32,7 +33,13 @@
 
    [batch-k] (new in version 3) is the drain loop's windowing mode —
    [off], [auto], or a width; a C line without it (versions 1/2) loads
-   as [off], the exact behaviour those runs had. *)
+   as [off], the exact behaviour those runs had.
+
+   [checkpoint-every] (new in version 4) is the crash-recovery
+   supervisor's checkpoint interval; a C line without it (versions
+   1..3) loads as the default.  Pre-4 fault specs cannot carry
+   [kill=], so the interval is inert for them — those runs replay
+   unsupervised, exactly as recorded. *)
 
 module Plan = Podopt_faults.Plan
 module Broker = Podopt_broker.Broker
@@ -47,7 +54,7 @@ module Crc32 = Podopt_crypto.Crc32
 exception Format_error of string
 
 let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
-let version = 3
+let version = 4
 
 type sess = {
   s_phase : string;  (* "w" | "m" *)
@@ -139,14 +146,15 @@ let to_string (t : t) : string =
   let cfg = t.config and p = t.profile in
   line "# podopt replay log";
   line "V %d" version;
-  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s" cfg.Broker.shards
+  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s %d" cfg.Broker.shards
     cfg.Broker.batch cfg.Broker.queue_limit
     (Policy.shed_to_string cfg.Broker.policy)
     (Workload.kind_to_string cfg.Broker.kind)
     cfg.Broker.optimize cfg.Broker.compile cfg.Broker.seed cfg.Broker.tick
     cfg.Broker.domains
     (Plan.to_string cfg.Broker.faults)
-    (Shard.batching_to_string cfg.Broker.batching);
+    (Shard.batching_to_string cfg.Broker.batching)
+    cfg.Broker.checkpoint_every;
   (match cfg.Broker.profile_in with
    | None -> ()
    | Some store ->
@@ -188,7 +196,16 @@ let to_string (t : t) : string =
 
 let config_of_fields fields =
   (* 11 fields: versions 1/2 (no batch-k — those runs never windowed,
-     so they load as [off]); 12 fields: version 3 *)
+     so they load as [off]); 12 fields: version 3 (no checkpoint-every
+     — pre-4 fault specs cannot kill, so the default interval is
+     inert); 13 fields: version 4 *)
+  let fields, checkpoint_every =
+    match fields with
+    | [ _; _; _; _; _; _; _; _; _; _; _; _; every ] ->
+      ( List.filteri (fun i _ -> i < 12) fields,
+        int_field "checkpoint-every" every )
+    | _ -> (fields, Broker.default_config.Broker.checkpoint_every)
+  in
   let fields, batching =
     match fields with
     | [ _; _; _; _; _; _; _; _; _; _; _; batching ] ->
@@ -235,6 +252,7 @@ let config_of_fields fields =
       faults;
       profile_in = None;  (* filled in from the D lines, if any *)
       batching;
+      checkpoint_every;
     }
   | _ -> format_error "bad C line (%d fields)" (List.length fields)
 

@@ -13,7 +13,7 @@ module Link = Podopt_net.Link
 module Packet = Podopt_net.Packet
 module Plan = Podopt_faults.Plan
 
-let fault_kinds = [ "crash"; "spike"; "corrupt"; "drop" ]
+let fault_kinds = [ "crash"; "spike"; "corrupt"; "drop"; "kill" ]
 
 let sess_of ~phase s =
   {

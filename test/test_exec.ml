@@ -123,6 +123,37 @@ let test_pool_propagates_exception () =
   Alcotest.(check bool) "pool survives a failing epoch" true (!ok >= 1);
   Pool.shutdown pool
 
+let test_pool_failure_latch () =
+  (* the recovery supervisor leans on this: a raising task must not
+     wedge the epoch barrier, and the pool must stay reusable across
+     repeated failing epochs.  Every worker bumps its slot before one of
+     them raises, so slot counts prove the epoch completed for everyone
+     even when run re-raised. *)
+  let domains = 3 in
+  let pool = Pool.create ~domains in
+  let runs = Array.make domains 0 in
+  for epoch = 1 to 5 do
+    (match
+       Pool.run pool (fun w ->
+           runs.(w) <- runs.(w) + 1;
+           if w = epoch mod domains then failwith "epoch bomb")
+     with
+     | () -> Alcotest.fail "expected the epoch to raise"
+     | exception Failure _ -> ());
+    Array.iteri
+      (fun w c ->
+        Alcotest.(check int)
+          (Printf.sprintf "worker %d completed epoch %d" w epoch)
+          epoch c)
+      runs
+  done;
+  (* a clean epoch afterwards still runs on every worker *)
+  Pool.run pool (fun w -> runs.(w) <- runs.(w) + 1);
+  Array.iteri
+    (fun w c -> Alcotest.(check int) (Printf.sprintf "worker %d final" w) 6 c)
+    runs;
+  Pool.shutdown pool
+
 let test_pool_shutdown () =
   let pool = Pool.create ~domains:2 in
   Pool.shutdown pool;
@@ -161,6 +192,8 @@ let suite =
       test_pool_runs_each_worker;
     Alcotest.test_case "pool: exception propagation" `Quick
       test_pool_propagates_exception;
+    Alcotest.test_case "pool: failing epochs complete and pool stays usable"
+      `Quick test_pool_failure_latch;
     Alcotest.test_case "pool: shutdown" `Quick test_pool_shutdown;
     Alcotest.test_case "pool: partitioned mutation" `Quick
       test_pool_partition_sum;

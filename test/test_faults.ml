@@ -35,6 +35,13 @@ let test_plan_roundtrip () =
     (spec_of (Plan.to_string s) = s);
   Alcotest.(check string) "none prints none" "none" (Plan.to_string Plan.none)
 
+let test_plan_kill () =
+  let s = spec_of "seed=3,kill=150" in
+  Alcotest.(check int) "kill rate parses" 150 s.Plan.kill_permille;
+  Alcotest.(check bool) "kill alone enables the plan" true (Plan.enabled s);
+  Alcotest.(check bool) "kill round-trips" true (spec_of (Plan.to_string s) = s);
+  Alcotest.(check int) "kill defaults to 0" 0 Plan.none.Plan.kill_permille
+
 let test_plan_errors () =
   let rejects s =
     match Plan.of_string s with
@@ -47,7 +54,15 @@ let test_plan_errors () =
   rejects "bogus=1";           (* unknown key *)
   rejects "crash";             (* missing '=' *)
   rejects "spike=10:0";        (* non-positive spike cost *)
-  rejects "seed=xyz"
+  rejects "seed=xyz";
+  rejects "kill=2000";         (* kill obeys the permille range too *)
+  rejects "crash=10,crash=20"; (* duplicate key: no silent last-win *)
+  rejects "kill=10,kill=10";   (* duplicate even when the values agree *)
+  rejects "crash=10,,drop=5";  (* empty field *)
+  rejects "crash=10,";         (* trailing comma *)
+  rejects ",crash=10";         (* leading comma *)
+  rejects "=5";                (* empty key *)
+  rejects "crash="             (* empty value *)
 
 (* --- fault plan: streams ------------------------------------------------ *)
 
@@ -535,6 +550,7 @@ let suite =
     Alcotest.test_case "fault plan parses" `Quick test_plan_parse;
     Alcotest.test_case "fault plan round-trips" `Quick test_plan_roundtrip;
     Alcotest.test_case "fault plan rejects bad specs" `Quick test_plan_errors;
+    Alcotest.test_case "fault plan parses kill rates" `Quick test_plan_kill;
     Alcotest.test_case "fault streams are deterministic" `Quick
       test_plan_deterministic;
     Alcotest.test_case "fault streams are independent" `Quick
