@@ -493,6 +493,11 @@ module Bjson = struct
     bcheckpoints : int;
     bramp_opt : int;
     bramp_gen : int;
+    bsteal : string; (* "on" | "off" *)
+    broute : string; (* "hash" | "zipf:S" *)
+    bmigrations : int;
+    bsteals : int;
+    bcritical : int; (* deterministic critical-path busy units *)
     belapsed : int;
     blatency : Bk.Loadgen.latency;
   }
@@ -508,7 +513,8 @@ module Bjson = struct
       d.Podopt_obs.Hist.p99 prefix d.Podopt_obs.Hist.max
 
   let of_summary ?(bwarm = false) ?(bbatch_k = "off") ?(bckpt_every = 8)
-      ~bsection ~bkind ~bmode ~bshards ~bdomains
+      ?(bsteal = "off") ?(broute = "hash") ?(bmigrations = 0) ?(bsteals = 0)
+      ?(bcritical = 0) ~bsection ~bkind ~bmode ~bshards ~bdomains
       ~(profile : Bk.Loadgen.profile) ~wall_ns (s : Bk.Loadgen.summary) =
     {
       bsection;
@@ -544,6 +550,11 @@ module Bjson = struct
       bcheckpoints = s.Bk.Loadgen.checkpoints;
       bramp_opt = s.Bk.Loadgen.ramp_optimized;
       bramp_gen = s.Bk.Loadgen.ramp_generic;
+      bsteal;
+      broute;
+      bmigrations;
+      bsteals;
+      bcritical;
       belapsed = s.Bk.Loadgen.elapsed;
       blatency = s.Bk.Loadgen.latency;
     }
@@ -551,7 +562,7 @@ module Bjson = struct
   let write path =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v6\",\n";
+    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v7\",\n";
     Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
     Buffer.add_string b "  \"entries\": [\n";
     let n = List.length !entries in
@@ -569,14 +580,17 @@ module Bjson = struct
            \"first_epoch_generic\": %d, \"checkpoint_every\": %d, \
            \"kills\": %d, \"recoveries\": %d, \"redelivered\": %d, \
            \"checkpoints\": %d, \"ramp_optimized\": %d, \
-           \"ramp_generic\": %d, \"elapsed\": %d, %s, %s, %s}%s\n"
+           \"ramp_generic\": %d, \"steal\": %S, \"route\": %S, \
+           \"migrations\": %d, \"steals\": %d, \"critical_busy\": %d, \
+           \"elapsed\": %d, %s, %s, %s}%s\n"
           e.bsection e.bkind e.bmode e.bshards e.bdomains e.bsessions e.bops
           e.bwall_ns e.bbusy e.bmakespan e.bdispatched e.bshed e.boptimized
           e.bbatched e.bbatch_k e.bgeneric e.bfallbacks e.bfailures
           e.brequeued e.bquarantined
           e.btrips e.bdropped e.bdecode e.bwarm e.bfirst_opt e.bfirst_gen
           e.bckpt_every e.bkills e.brecoveries e.bredelivered e.bcheckpoints
-          e.bramp_opt e.bramp_gen e.belapsed
+          e.bramp_opt e.bramp_gen e.bsteal e.broute e.bmigrations e.bsteals
+          e.bcritical e.belapsed
           (dist_json "qwait" e.blatency.Bk.Loadgen.queue_wait)
           (dist_json "svc_opt" e.blatency.Bk.Loadgen.service_opt)
           (dist_json "svc_gen" e.blatency.Bk.Loadgen.service_gen)
@@ -1257,6 +1271,151 @@ let broker_recovery ?(quick = false) () =
      admission order.  The ramp column shows the first post-recovery batch@. \
      dispatching optimized: restarts are warm, not cold)@."
 
+(* --- broker work-stealing: Zipf skew, deterministic migration ----------- *)
+
+let broker_steal_failed = ref false
+
+let broker_steal ?(quick = false) () =
+  section
+    "Broker work-stealing: Zipf-skewed routing, hot-shard migration \
+     (SecComm steady state)";
+  let profile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = (if quick then 16 else 32);
+      ops = (if quick then 8 else 12);
+      interval = 80;
+      spread = 31;
+    }
+  in
+  let shards = 8 in
+  (* One measured run.  Returns the serve document (the byte-compared
+     observable), the summary, and the scheduler's deterministic
+     telemetry: the migration count and the planned critical-path busy
+     (per epoch, each shard's busy is charged to its deterministic
+     owner; the running max over workers is the best makespan the
+     ownership plan allows — steal-race free, so comparable across
+     schedulers and reproducible on any host). *)
+  let run ~route ~domains ~steal =
+    let cfg =
+      {
+        Bk.Broker.default_config with
+        Bk.Broker.shards;
+        kind = Bk.Workload.Seccomm;
+        optimize = true;
+        batch = 16;
+        queue_limit = 256;
+        seed = 11L;
+        domains;
+        steal;
+        route;
+      }
+    in
+    let b = Bk.Broker.create cfg in
+    Fun.protect
+      ~finally:(fun () -> Bk.Broker.shutdown b)
+      (fun () ->
+        let warm =
+          Bk.Loadgen.make_sessions b { profile with Bk.Loadgen.ops = 12 }
+        in
+        ignore (Bk.Loadgen.run b warm);
+        Bk.Broker.force_reoptimize b;
+        Bk.Broker.reset_measurements b;
+        let sessions = Bk.Loadgen.make_sessions b profile in
+        let t0 = Monotonic_clock.now () in
+        let s = Bk.Loadgen.run b sessions in
+        let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+        if s.Bk.Loadgen.truncated then broker_truncated := true;
+        let json = Bk.Report.json ~metrics:false b s in
+        let migrations = Bk.Broker.migration_count b in
+        let critical = Bk.Broker.critical_busy b in
+        (* shards whose owner the planner has moved off the static
+           [i mod domains] pinning (warm-up migrations included: the
+           smoothed plan converges during warm-up and then holds) *)
+        let moved =
+          let owners = Bk.Broker.owners b in
+          let n = ref 0 in
+          Array.iteri (fun i o -> if o <> i mod domains then incr n) owners;
+          !n
+        in
+        Bjson.record
+          (Bjson.of_summary ~bsection:"broker-steal" ~bkind:"seccomm"
+             ~bmode:(if steal then "steal" else "static")
+             ~bsteal:(if steal then "on" else "off")
+             ~broute:(Bk.Shard_map.route_to_string route)
+             ~bmigrations:migrations ~bsteals:(Bk.Broker.steals b)
+             ~bcritical:critical ~bshards:shards ~bdomains:domains ~profile
+             ~wall_ns s);
+        (s, json, moved, critical))
+  in
+  let routes =
+    if quick then [ Bk.Shard_map.Zipf 1.4 ]
+    else [ Bk.Shard_map.Hash; Bk.Shard_map.Zipf 0.9; Bk.Shard_map.Zipf 1.4 ]
+  in
+  let domain_counts = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  Fmt.pr "%9s %7s | %11s %11s %6s | %5s | %9s@." "route" "domains"
+    "static c/op" "steal c/op" "(%)" "moved" "identical";
+  List.iter
+    (fun route ->
+      let rname = Bk.Shard_map.route_to_string route in
+      (* the reference document: sequential drain, static pinning *)
+      let s0, json0, _, _ = run ~route ~domains:1 ~steal:false in
+      List.iter
+        (fun domains ->
+          let s_off, json_off, _, crit_off = run ~route ~domains ~steal:false in
+          let s_on, json_on, moved, crit_on = run ~route ~domains ~steal:true in
+          let identical =
+            String.equal json_on json0 && String.equal json_off json0
+            && s_on = s0 && s_off = s0
+          in
+          let per_op c (s : Bk.Loadgen.summary) =
+            if s.Bk.Loadgen.dispatched = 0 then 0.0
+            else float_of_int c /. float_of_int s.Bk.Loadgen.dispatched
+          in
+          Fmt.pr "%9s %7d | %11.1f %11.1f %6.1f | %5d | %9s@." rname domains
+            (per_op crit_off s_off) (per_op crit_on s_on)
+            (pct (per_op crit_on s_on) (per_op crit_off s_off))
+            moved
+            (if identical then "yes" else "NO — BUG");
+          if not identical then begin
+            broker_steal_failed := true;
+            Fmt.epr
+              "broker-steal: route %s domains %d — observables diverged \
+               across steal on/off or domain counts@."
+              rname domains
+          end;
+          let skewed = match route with Bk.Shard_map.Zipf _ -> true | _ -> false in
+          if skewed && domains >= 2 then begin
+            if moved = 0 then begin
+              broker_steal_failed := true;
+              Fmt.epr
+                "broker-steal: route %s domains %d — the planner never moved \
+                 a shard off static pinning under Zipf skew; the scheduler \
+                 is not being exercised@."
+                rname domains
+            end;
+            if crit_on >= crit_off then begin
+              broker_steal_failed := true;
+              Fmt.epr
+                "broker-steal: route %s domains %d — stealing critical busy \
+                 %d not strictly below static %d on a skewed workload@."
+                rname domains crit_on crit_off
+            end
+          end)
+        domain_counts)
+    routes;
+  Fmt.pr
+    "@.(critical/op is the planned critical path per dispatched op: each@. \
+     epoch charges a shard's busy delta to its deterministic owner and@. \
+     takes the max over workers — the makespan the ownership plan allows,@. \
+     independent of steal races and host core count.  The moved column@. \
+     counts shards the planner has migrated off static [i mod domains]@. \
+     pinning — the smoothed plan converges during warm-up and holds.@. \
+     Under Zipf skew the migrating scheduler must beat static pinning@. \
+     strictly at >= 2 domains while the serve document stays@. \
+     byte-identical; under uniform hash routing there is nothing to@. \
+     rebalance and only identity is checked)@."
+
 (* --- Bechamel wall-clock suite ------------------------------------------ *)
 
 let bechamel () =
@@ -1331,7 +1490,8 @@ let all_tables () =
   broker_batch ();
   broker_warm ();
   broker_faults ();
-  broker_recovery ()
+  broker_recovery ();
+  broker_steal ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (( <> ) "--") in
@@ -1367,6 +1527,7 @@ let () =
         | "broker-par" -> broker_par ~quick ()
         | "broker-faults" -> broker_faults ~quick ()
         | "broker-recovery" -> broker_recovery ~quick ()
+        | "broker-steal" -> broker_steal ~quick ()
         | "bechamel" -> bechamel ()
         | "tables" -> all_tables ()
         | other ->
@@ -1388,5 +1549,11 @@ let () =
     Fmt.epr
       "bench: crash recovery diverged from the kill-free run or restarted \
        cold — results invalid@.";
+    exit 1
+  end;
+  if !broker_steal_failed then begin
+    Fmt.epr
+      "bench: the work-stealing scheduler diverged from static pinning or \
+       failed to beat it on a skewed workload — results invalid@.";
     exit 1
   end

@@ -152,8 +152,8 @@ let load_profile = function
      | exception Sys_error msg -> Error msg)
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
-    policy seed generic warmup domains faults batching checkpoint_every metrics
-    json show_dead redrain_dead profile_in profile_out =
+    policy seed generic warmup domains steal route faults batching
+    checkpoint_every metrics json show_dead redrain_dead profile_in profile_out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -187,6 +187,8 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       optimize = not generic;
       seed = Int64.of_int seed;
       domains;
+      steal;
+      route;
       faults;
       profile_in;
       batching;
@@ -290,8 +292,8 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
 (* --- record / replay / diff ----------------------------------------------- *)
 
 let record_run kind sessions shards batch queue_limit ops interval latency
-    jitter policy seed generic warmup domains faults batching checkpoint_every
-    metrics profile_in out =
+    jitter policy seed generic warmup domains steal route faults batching
+    checkpoint_every metrics profile_in out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -325,6 +327,8 @@ let record_run kind sessions shards batch queue_limit ops interval latency
         optimize = not generic;
         seed = Int64.of_int seed;
         domains;
+        steal;
+        route;
         faults;
         profile_in;
         batching;
@@ -661,6 +665,41 @@ let batch_k_arg =
 
 let intopt name v doc = Arg.(value & opt int v & info [ name ] ~docv:"N" ~doc)
 
+let steal_conv =
+  Arg.conv
+    ( (fun s ->
+        match s with
+        | "on" -> Ok true
+        | "off" -> Ok false
+        | s -> Error (`Msg (Printf.sprintf "expected on or off, got %S" s))),
+      fun ppf b -> Fmt.string ppf (if b then "on" else "off") )
+
+let steal_arg =
+  Arg.(value & opt steal_conv B.Broker.default_config.B.Broker.steal
+       & info [ "steal" ] ~docv:"on|off"
+           ~doc:"Work-stealing shard scheduler (default $(b,on)): with \
+                 --domains > 1, idle worker domains pull shard drains from a \
+                 shared run queue and the coordinator migrates hot shards \
+                 between workers at epoch boundaries. Pure scheduling — \
+                 observable output is byte-identical to $(b,off) (static \
+                 shard-to-worker pinning).")
+
+let route_conv =
+  Arg.conv
+    ( (fun s ->
+        match B.Shard_map.route_of_string s with
+        | Ok r -> Ok r
+        | Error msg -> Error (`Msg msg)),
+      fun ppf r -> Fmt.string ppf (B.Shard_map.route_to_string r) )
+
+let route_arg =
+  Arg.(value & opt route_conv B.Broker.default_config.B.Broker.route
+       & info [ "route" ] ~docv:"R"
+           ~doc:"Session-to-shard routing: $(b,hash) (default, uniform) or \
+                 $(b,zipf:S) (Zipf-skewed with exponent S > 0; shard 0 \
+                 hottest). Routing changes which shard serves each session, \
+                 so it IS part of the observable output — unlike --steal.")
+
 let checkpoint_every_arg =
   intopt "checkpoint-every" B.Broker.default_config.B.Broker.checkpoint_every
     "Checkpoint interval in drain epochs when kills are enabled: every \
@@ -705,6 +744,8 @@ let serve_cmd =
       $ intopt "domains" 1
           "Worker domains draining the shards in parallel (1 = sequential; \
            results are identical at any domain count)."
+      $ steal_arg
+      $ route_arg
       $ faults_arg
       $ batch_k_arg
       $ checkpoint_every_arg
@@ -750,6 +791,8 @@ let record_cmd =
       $ intopt "domains" 1
           "Worker domains recorded in the log (the replayed document is \
            identical at any domain count)."
+      $ steal_arg
+      $ route_arg
       $ faults_arg
       $ batch_k_arg
       $ checkpoint_every_arg

@@ -8,10 +8,10 @@ show up per shard and in the summary's faults line.
   >   --faults seed=9,crash=200,spike=100:4000,drop=20
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     574140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |     574140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    1148280
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     574140
+      1 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    0     0 |     574140
+  total |        6       30      0      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    0     0 |    1148280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -22,13 +22,13 @@ A faulty parallel run replays the sequential one byte-for-byte: only
 the domains field of the header changes.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
-  >   --faults seed=9,crash=200,spike=100:4000,drop=20 --domains 2
+  >   --faults seed=9,crash=200,spike=100:4000,drop=20 --domains 2 --steal off
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     574140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |     574140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    1148280
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     574140
+      1 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    0     0 |     574140
+  total |        6       30      0      0 |      30         30 |        60       0        0       0  100.0 |      5     0     0     0 |    0    0       0 |    0     0 |    1148280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -56,10 +56,10 @@ line, which show the supervision at work.
   >   --faults seed=9,crash=200,spike=100:4000,drop=20,kill=300 --checkpoint-every 2
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20,kill=300)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        2       15      0 |      15         15 |        30       0       30       0   50.0 |      0     0     0     0 |    5    5       1 |     596070
-      1 |        1       15      0 |      15         15 |        30       0       30       0   50.0 |      5     0     0     0 |    5    5       6 |     596070
-  total |        3       30      0 |      30         30 |        60       0       60       0   50.0 |      5     0     0     0 |   10   10       7 |    1192140
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        2       15      0      0 |      15         15 |        30       0       30       0   50.0 |      0     0     0     0 |    5    5       1 |    0     0 |     596070
+      1 |        1       15      0      0 |      15         15 |        30       0       30       0   50.0 |      5     0     0     0 |    5    5       6 |    0     0 |     596070
+  total |        3       30      0      0 |      30         30 |        60       0       60       0   50.0 |      5     0     0     0 |   10   10       7 |    0     0 |    1192140
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -77,9 +77,9 @@ survived: source session, sequence number, op path.
   >   --faults seed=9,crash=1000 --show-dead --redrain-dead
   serving seccomm: 2 sessions -> 1 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=1000,spike=0:4000,corrupt=0,drop=0)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        2        4      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |          0
-  total |        2        4      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |          0
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        2        4      0      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |    0     0 |          0
+  total |        2        4      0      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |    0     0 |          0
   front: 0 link-dropped, 0 decode-failed
   
   clients: 4 sent, 0 retries, 0 nacks, 0 gave up

@@ -45,7 +45,7 @@ way — the C line carries the batch-k setting:
   >   --batch-k 4 --out batched.plog
   recorded seccomm run -> batched.plog (12 sessions, 120 arrivals, 0 fault streams)
   $ grep -o 'C .*' batched.plog | awk '{print $NF}'
-  8
+  hash
   $ ../bin/podopt_cli.exe replay batched.plog
   replay OK: document byte-identical to the recording (13 lines)
   $ ../bin/podopt_cli.exe diff batched.plog --variant batched

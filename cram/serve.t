@@ -6,10 +6,10 @@ super-handlers, the steady phase rides the optimized path end to end.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    1124280
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     562140
+      1 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     562140
+  total |        6       30      0      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
@@ -25,14 +25,14 @@ op lands.  No crash, and the shed counts show up in the table.
   >   --generic --warmup 0
   serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
-      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
-  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    0    0       0 |    1233300
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       28      0     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |     616650
+      1 |        3       25      0     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |     616650
+  total |        6       53      0     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
-  totals: 30 dispatched, 23 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
+  totals: 30 dispatched, 0 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
   faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
 
 
@@ -48,14 +48,14 @@ optimized-path samples, so that column prints "-".
   >   --generic --warmup 0 --metrics
   serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       28     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
-      1 |        3       25     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |     616650
-  total |        6       53     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    0    0       0 |    1233300
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       28      0     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |     616650
+      1 |        3       25      0     10 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |     616650
+  total |        6       53      0     23 |      30         30 |         0       0      120       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |    1233300
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 23 retries, 23 nacks, 0 gave up
-  totals: 30 dispatched, 23 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
+  totals: 30 dispatched, 0 shed, opt-path 0.0%, handler time 1233300 units (makespan 616650, elapsed 1100)
   faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
   
   latency percentiles (p50/p90/p99/max, virtual units):
@@ -74,20 +74,50 @@ optimized-path samples, so that column prints "-".
 Parallel drain: --domains 2 runs the two shards on worker domains.
 Shard-to-worker pinning and the route/drain epoch barrier make every
 number identical to the sequential run above — only the header and the
-wall clock change.
+wall clock change.  (--steal off pins shards statically; the stole
+column is the one schedule-dependent telemetry counter, so the pinned
+table here disables it and the JSON identity below covers steal on.)
 
-  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2 --steal off
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
-      1 |        3       15      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |     562140
-  total |        6       30      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    1124280
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     562140
+      1 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     562140
+  total |        6       30      0      0 |      30         30 |        60       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |    1124280
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up
   totals: 30 dispatched, 0 shed, opt-path 100.0%, handler time 1124280 units (makespan 562140, elapsed 1100)
   faults: 0 failures, 0 requeued, 0 quarantined, 0 breaker trips, 0 link-dropped, 0 decode-failed
+
+Work stealing is pure scheduling, never semantics: the serve document
+with --steal on at 2 domains — idle workers claiming shards off a
+shared run queue, the coordinator migrating hot shards between epochs
+— is byte-identical to the sequential single-domain run.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --json > seq.json
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --domains 2 --steal on --json > steal.json
+  $ cmp seq.json steal.json && echo identical
+  identical
+
+Skewed routing concentrates heat: --route zipf:S maps session ids to
+shards by a Zipf(S) inverse-CDF draw instead of uniform hashing, which
+is what gives the migration planner something to rebalance.  The route
+is part of the workload (it changes which shard serves whom), so it IS
+observable — but given the same route, stealing still isn't.
+
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --route zipf:1.2 --json > zseq.json
+  $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
+  >   --route zipf:1.2 --domains 2 --steal on --json > zsteal.json
+  $ cmp zseq.json zsteal.json && echo identical
+  identical
+  $ cmp seq.json zseq.json || echo routing-is-observable
+  seq.json zseq.json differ: char 531, line 7
+  routing-is-observable
 
 Amortization windows: --batch-k brackets each drained run of same-path
 ops in a batch window.  The window verifies the binding-version guard
@@ -99,10 +129,10 @@ shed decision stays identical to the unbatched runs above.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --batch-k 4
   serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k 4, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
   
-  shard | sessions  ingress   shed | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv |       busy
-      0 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |     561450
-      1 |        3       15      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |     561450
-  total |        6       30      0 |      30         30 |         0      60        0       0  100.0 |      0     0     0     0 |    0    0       0 |    1122900
+  shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
+      0 |        3       15      0      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     561450
+      1 |        3       15      0      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     561450
+  total |        6       30      0      0 |      30         30 |         0      60        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |    1122900
   front: 0 link-dropped, 0 decode-failed
   
   clients: 30 sent, 0 retries, 0 nacks, 0 gave up

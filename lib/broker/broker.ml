@@ -20,6 +20,8 @@ type config = {
   profile_in : Store.t option;
   batching : Shard.batching;
   checkpoint_every : int;
+  steal : bool;              (* work-stealing drain + hot-shard migration *)
+  route : Shard_map.route;   (* session-to-shard routing discipline *)
 }
 
 let default_config =
@@ -38,6 +40,8 @@ let default_config =
     profile_in = None;
     batching = Shard.Off;
     checkpoint_every = 8;
+    steal = true;
+    route = Shard_map.Hash;
   }
 
 let deliver_event = "BrokerIngress"
@@ -63,6 +67,34 @@ type t = {
   journals : Recover.journal array;
   checkpoints : string array;
   mutable epoch : int;  (* drain epochs since creation *)
+  (* --- the stealing scheduler (see doc/SCHEDULER.md) ---------------
+     [owner] is the shard-to-preferred-worker map the coordinator
+     migrates at epoch boundaries; everything observable stays
+     byte-identical whatever it says, because shard results never
+     depend on which domain drains them.  [owner], [load_ema] and
+     the migration plan are pure functions of recorded state, so they
+     are identical from run to run; [executed_by]/[steals] record the
+     actual (racy) claim schedule and are telemetry only — they must
+     never feed snapshots, summaries, or serve JSON. *)
+  owner : int array;              (* shard -> preferred worker *)
+  load_ema : int array;
+      (* exponentially smoothed pre-drain ingress depth per shard,
+         fixed-point at scale 8 with decay 1/8 (steady state = 8x the
+         per-epoch depth).  Smoothing keeps the planner blind to
+         single-epoch ripple and responsive to sustained heat. *)
+  mutable have_depths : bool;
+  prev_busy : int array;          (* per-shard busy at epoch start *)
+  wbusy : int array;              (* scratch: per-worker busy this epoch *)
+  executed_by : int array;        (* per-shard claiming worker (scratch) *)
+  stolen : int array;             (* per-shard off-owner drains (telemetry) *)
+  migrated : int array;           (* per-shard migration count *)
+  mutable steals : int;           (* total off-owner drains (telemetry) *)
+  mutable migrations : (int * int * int * int) list;
+      (* (epoch, shard, from, to), newest first — deterministic *)
+  mutable sched_epoch : int;      (* scheduler epochs since reset *)
+  mutable critical : int;
+      (* accumulated per-epoch max planned worker busy: the scheduler's
+         critical path under the deterministic ownership plan *)
 }
 
 let config t = t.cfg
@@ -72,7 +104,9 @@ let now t = Runtime.now t.front
 let register t ~id ~nack = Hashtbl.replace t.nacks id nack
 
 let route t (pkt : Packet.t) =
-  let idx = Shard_map.shard_of ~shards:t.cfg.shards pkt.Packet.src in
+  let idx =
+    Shard_map.route_shard ~route:t.cfg.route ~shards:t.cfg.shards pkt.Packet.src
+  in
   let shard = t.shards.(idx) in
   if not (Hashtbl.mem t.session_shard pkt.Packet.src) then begin
     Hashtbl.replace t.session_shard pkt.Packet.src idx;
@@ -161,6 +195,18 @@ let create (cfg : config) =
             Recover.journal ~limit:(journal_limit cfg));
       checkpoints = Array.make cfg.shards "";
       epoch = 0;
+      owner = Array.init cfg.shards (fun i -> i mod cfg.domains);
+      load_ema = Array.make cfg.shards 0;
+      have_depths = false;
+      prev_busy = Array.make cfg.shards 0;
+      wbusy = Array.make cfg.domains 0;
+      executed_by = Array.make cfg.shards (-1);
+      stolen = Array.make cfg.shards 0;
+      migrated = Array.make cfg.shards 0;
+      steals = 0;
+      migrations = [];
+      sched_epoch = 0;
+      critical = 0;
     }
   in
   (* the epoch-0 checkpoints: a kill before the first periodic capture
@@ -247,18 +293,105 @@ let supervise t =
       end)
     t.shards
 
+(* One epoch's migration plan: a pure function of the previously
+   observed per-shard queue depths, the current ownership map, and the
+   domain count — nothing schedule-dependent enters, so the plan (and
+   the whole ownership history) is identical from run to run.  Greedy
+   rebalance: while the heaviest worker carries more than the lightest,
+   move the heaviest shard that strictly shrinks the gap (classical LPT
+   condition [depth < gap]; ties break to the lowest index).  Returns
+   the moves as [(shard, from, to)] in decision order. *)
+let migration_plan ~domains ~depths owner =
+  if domains <= 1 then []
+  else begin
+    let load = Array.make domains 0 in
+    Array.iteri (fun i o -> load.(o) <- load.(o) + depths.(i)) owner;
+    (* hysteresis: transient depth noise on a balanced workload produces
+       small gaps in every epoch; churning ownership over them costs
+       locality and buys nothing.  Only rebalance gaps that exceed both
+       an absolute floor (2 ops at the ema's scale of 8) and half the
+       mean per-worker load — a genuinely hot worker, not a ripple. *)
+    let threshold =
+      max 16 (Array.fold_left ( + ) 0 load / (2 * domains))
+    in
+    let owner = Array.copy owner in
+    let moves = ref [] in
+    let continue = ref true in
+    (* each accepted move strictly shrinks the max-min gap, so the loop
+       terminates; the budget is a belt on top of those braces *)
+    let budget = ref (4 * Array.length owner) in
+    while !continue && !budget > 0 do
+      decr budget;
+      let wmax = ref 0 and wmin = ref 0 in
+      for w = 1 to domains - 1 do
+        if load.(w) > load.(!wmax) then wmax := w;
+        if load.(w) < load.(!wmin) then wmin := w
+      done;
+      let gap = load.(!wmax) - load.(!wmin) in
+      if gap <= threshold then continue := false
+      else begin
+        let best = ref (-1) in
+        Array.iteri
+          (fun i o ->
+            if
+              o = !wmax && depths.(i) > 0 && depths.(i) < gap
+              && (!best = -1 || depths.(i) > depths.(!best))
+            then best := i)
+          owner;
+        match !best with
+        | -1 -> continue := false
+        | i ->
+          owner.(i) <- !wmin;
+          load.(!wmax) <- load.(!wmax) - depths.(i);
+          load.(!wmin) <- load.(!wmin) + depths.(i);
+          moves := (i, !wmax, !wmin) :: !moves
+      end
+    done;
+    List.rev !moves
+  end
+
+(* The scheduler's epoch boundary, on the coordinator: apply the
+   migration plan decided from the depths observed over PREVIOUS epochs
+   (the smoothed [load_ema]), then fold this epoch's pre-drain depths
+   into the ema for the next decision.  Runs only in steal mode with a
+   real pool — static pinning never migrates. *)
+let rebalance t ~depths =
+  if t.have_depths then
+    List.iter
+      (fun (i, from_w, to_w) ->
+        t.owner.(i) <- to_w;
+        t.migrated.(i) <- t.migrated.(i) + 1;
+        t.migrations <- (t.sched_epoch, i, from_w, to_w) :: t.migrations)
+      (migration_plan ~domains:t.cfg.domains ~depths:t.load_ema t.owner);
+  Array.iteri
+    (fun i d -> t.load_ema.(i) <- t.load_ema.(i) - (t.load_ema.(i) / 8) + d)
+    depths;
+  t.have_depths <- true
+
 (* One drain epoch.  Sequential: shards drain in shard-id order on the
-   caller.  Parallel: shard [i] is pinned to pool worker [i mod domains],
-   each worker walks its shards in increasing id, and the pool's barrier
-   separates this drain step from the next routing step — so every shard
-   sees the exact batch boundaries and dispatch order of the sequential
-   run, and no shard is ever touched by two domains at once.
+   caller.  Parallel with [steal = false]: shard [i] is pinned to pool
+   worker [i mod domains], each worker walks its shards in increasing
+   id.  Parallel with [steal = true]: the coordinator freezes the
+   epoch's shard list hottest-first into a {!Podopt_exec.Deque} and
+   idle workers claim shards with an atomic fetch-and-add — whole-shard
+   stealing, zero-copy, because the shard struct (state, ingress queue,
+   retry/dead tables, fault streams, adaptive profile) is the unit of
+   work and never moves in memory.  In every mode the pool's barrier
+   separates this drain step from the next routing step, each shard is
+   claimed exactly once per epoch, and [now] is captured once on the
+   coordinator — so every shard sees the exact batch boundaries and
+   dispatch order of the sequential run, and no shard is ever touched
+   by two domains at once.  Which worker drains a shard is pure
+   scheduling; per-shard results cannot depend on it.
 
    Under supervision the epoch boundary runs first, on the coordinator:
    kill draws, recoveries, checkpoints, and the journal's epoch marks
    all precede the (possibly parallel) drain, which is why per-shard
    results stay byte-identical at any domain count even while shards
-   die and resurrect. *)
+   die and resurrect.  Recovery composes with stealing for free:
+   checkpoints and journals are keyed by shard id, never by worker, so
+   a migrated shard's next kill restores and redelivers exactly as an
+   unmigrated one's would. *)
 let drain t =
   (* the epoch's front clock is captured once on the coordinator, so
      every shard — sequential or parallel — stamps queue waits against
@@ -270,21 +403,65 @@ let drain t =
       (fun j -> Recover.record j (Recover.Drain (now, t.cfg.batch)))
       t.journals
   end;
-  match t.pool with
-  | None ->
-    Array.fold_left
-      (fun acc s -> acc + Shard.drain_batch s ~now ~batch:t.cfg.batch)
-      0 t.shards
-  | Some pool ->
-    let domains = t.cfg.domains and batch = t.cfg.batch in
-    Podopt_exec.Pool.run pool (fun w ->
-        Array.iteri
-          (fun i shard ->
-            if i mod domains = w then
-              t.drained.(i) <- Shard.drain_batch shard ~now ~batch)
-          t.shards);
-    (* merge in shard-id order on the coordinator *)
-    Array.fold_left ( + ) 0 t.drained
+  let depths = Array.map (fun s -> Ingress.length s.Shard.ingress) t.shards in
+  let stealing = t.cfg.steal && t.cfg.domains > 1 in
+  if stealing then rebalance t ~depths;
+  t.sched_epoch <- t.sched_epoch + 1;
+  Array.iteri (fun i s -> t.prev_busy.(i) <- Shard.busy s) t.shards;
+  let total =
+    match t.pool with
+    | None ->
+      Array.fold_left
+        (fun acc s -> acc + Shard.drain_batch s ~now ~batch:t.cfg.batch)
+        0 t.shards
+    | Some pool when not t.cfg.steal ->
+      let domains = t.cfg.domains and batch = t.cfg.batch in
+      Podopt_exec.Pool.run pool (fun w ->
+          Array.iteri
+            (fun i shard ->
+              if i mod domains = w then
+                t.drained.(i) <- Shard.drain_batch shard ~now ~batch)
+            t.shards);
+      (* merge in shard-id order on the coordinator *)
+      Array.fold_left ( + ) 0 t.drained
+    | Some pool ->
+      let batch = t.cfg.batch in
+      (* hottest shards first (LPT by this epoch's depth, shard-id tie
+         break): claim order is wall-clock scheduling only *)
+      let order = Array.init t.cfg.shards Fun.id in
+      Array.sort
+        (fun a b ->
+          match compare depths.(b) depths.(a) with
+          | 0 -> compare a b
+          | c -> c)
+        order;
+      Array.fill t.executed_by 0 t.cfg.shards (-1);
+      Podopt_exec.Pool.run_steal pool order (fun ~worker ~slot:_ i ->
+          t.executed_by.(i) <- worker;
+          t.drained.(i) <- Shard.drain_batch t.shards.(i) ~now ~batch);
+      (* off-owner claims = steals: telemetry, outside every
+         byte-compared surface *)
+      Array.iteri
+        (fun i w ->
+          if w >= 0 && w <> t.owner.(i) && depths.(i) > 0 then begin
+            t.steals <- t.steals + 1;
+            t.stolen.(i) <- t.stolen.(i) + 1
+          end)
+        t.executed_by;
+      Array.fold_left ( + ) 0 t.drained
+  in
+  (* planned critical path: charge each shard's busy delta to its
+     (deterministic) owner and accumulate the heaviest worker.  The
+     steal-off plan is the static pinning, so the same accumulator
+     compares both schedulers on equal terms. *)
+  Array.fill t.wbusy 0 t.cfg.domains 0;
+  Array.iteri
+    (fun i s ->
+      let w = if stealing then t.owner.(i) else i mod t.cfg.domains in
+      t.wbusy.(w) <- t.wbusy.(w) + (Shard.busy s - t.prev_busy.(i)))
+    t.shards;
+  t.critical <- t.critical + Array.fold_left max 0 t.wbusy;
+  total
 
 let parallel t = match t.pool with Some _ -> true | None -> false
 let domains t = t.cfg.domains
@@ -301,6 +478,19 @@ let idle t =
 let routed t = t.routed
 let link_dropped t = t.link_dropped
 let decode_failures t = t.decode_failures
+
+(* Scheduler accounting.  [migrations]/[migrated]/[critical_busy] are
+   deterministic for a given config (pure functions of recorded state);
+   [steals]/[stolen] reflect the actual claim race and are telemetry
+   only — keep them out of anything byte-compared. *)
+let stealing t = t.cfg.steal && t.cfg.domains > 1
+let steals t = t.steals
+let stolen t = Array.copy t.stolen
+let migrated t = Array.copy t.migrated
+let migrations t = List.rev t.migrations
+let migration_count t = Array.fold_left ( + ) 0 t.migrated
+let critical_busy t = t.critical
+let owners t = Array.copy t.owner
 
 (* Recovery accounting, summed over shards. *)
 let supervised t = t.supervised
@@ -351,6 +541,15 @@ let reset_measurements t =
   t.routed <- 0;
   t.link_dropped <- 0;
   t.decode_failures <- 0;
+  (* scheduler telemetry resets with the measurement window; the
+     ownership map, observed depths, and epoch counter survive (they
+     are warm-phase-derived and deterministic, so a replayed run
+     re-reaches exactly this state at its own reset) *)
+  t.steals <- 0;
+  t.critical <- 0;
+  t.migrations <- [];
+  Array.fill t.stolen 0 (Array.length t.stolen) 0;
+  Array.fill t.migrated 0 (Array.length t.migrated) 0;
   Hashtbl.reset t.session_shard;
   Array.iter Shard.reset_measurements t.shards;
   (* the reset is a state discontinuity the redo journal cannot replay

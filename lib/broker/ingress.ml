@@ -9,6 +9,7 @@ type stats = {
   mutable offered : int;
   mutable accepted : int;
   mutable shed : int;
+  mutable displaced : int;
   mutable high_water : int;
   mutable requeued : int;
   mutable requeue_overflow : int;
@@ -32,6 +33,7 @@ let create ~limit ~policy =
         offered = 0;
         accepted = 0;
         shed = 0;
+        displaced = 0;
         high_water = 0;
         requeued = 0;
         requeue_overflow = 0;
@@ -48,23 +50,33 @@ let accept t ~now pkt =
   if Equeue.length t.q > t.stats.high_water then
     t.stats.high_water <- Equeue.length t.q
 
+(* Accounting partitions by the arrival's fate: every offer lands in
+   exactly one of [accepted] or [shed], so [offered = accepted + shed]
+   always holds.  A [Drop_oldest] eviction is a *previously accepted*
+   packet losing its seat to the arrival — counted in [displaced], not
+   [shed] (the old code bumped shed AND accepted for one offer, which
+   broke the partition the report's shed%% assumes). *)
 let offer t ~now pkt =
   t.stats.offered <- t.stats.offered + 1;
   if Equeue.length t.q < t.limit then begin
     accept t ~now pkt;
     Accepted
   end
-  else begin
-    t.stats.shed <- t.stats.shed + 1;
+  else
     match t.policy with
-    | Policy.Drop_newest -> Shed pkt
+    | Policy.Drop_newest ->
+      t.stats.shed <- t.stats.shed + 1;
+      Shed pkt
     | Policy.Drop_oldest ->
       (match Equeue.pop t.q with
        | Some (_, victim) ->
          accept t ~now pkt;
+         t.stats.displaced <- t.stats.displaced + 1;
          Shed victim
-       | None -> (* limit >= 1 makes this unreachable *) Shed pkt)
-  end
+       | None ->
+         (* limit >= 1 makes this unreachable *)
+         t.stats.shed <- t.stats.shed + 1;
+         Shed pkt)
 
 (* Re-entry for a packet the shard already accepted once (failure
    retry, dead-letter re-drain): no offered/accepted/shed accounting,
@@ -106,10 +118,12 @@ let reload t items = List.iter (fun (due, pkt) -> Equeue.push t.q ~due pkt) item
 
 let stats t = t.stats
 
-let set_stats t ~offered ~accepted ~shed ~high_water ~requeued ~requeue_overflow =
+let set_stats t ~offered ~accepted ~shed ~displaced ~high_water ~requeued
+    ~requeue_overflow =
   t.stats.offered <- offered;
   t.stats.accepted <- accepted;
   t.stats.shed <- shed;
+  t.stats.displaced <- displaced;
   t.stats.high_water <- high_water;
   t.stats.requeued <- requeued;
   t.stats.requeue_overflow <- requeue_overflow
@@ -118,6 +132,7 @@ let reset_stats t =
   t.stats.offered <- 0;
   t.stats.accepted <- 0;
   t.stats.shed <- 0;
+  t.stats.displaced <- 0;
   t.stats.requeued <- 0;
   t.stats.requeue_overflow <- 0;
   t.stats.high_water <- Equeue.length t.q

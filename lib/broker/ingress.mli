@@ -16,7 +16,13 @@ type stats = {
   mutable accepted : int;    (** packets that entered the queue (an
                                  accepted packet can still be evicted
                                  later under [Drop_oldest]) *)
-  mutable shed : int;        (** packets rejected or evicted *)
+  mutable shed : int;        (** arrivals rejected at the door — never
+                                 entered the queue.  Invariant:
+                                 [offered = accepted + shed]. *)
+  mutable displaced : int;   (** previously accepted packets evicted by
+                                 a later [Drop_oldest] arrival (counted
+                                 here, not in [shed], so the partition
+                                 above holds) *)
   mutable high_water : int;  (** maximum queue length observed *)
   mutable requeued : int;    (** re-entries through {!requeue} *)
   mutable requeue_overflow : int;
@@ -71,5 +77,5 @@ val reload : t -> (int * Packet.t) list -> unit
 
 (** Overwrite the counters from restored checkpoint values. *)
 val set_stats :
-  t -> offered:int -> accepted:int -> shed:int -> high_water:int ->
-  requeued:int -> requeue_overflow:int -> unit
+  t -> offered:int -> accepted:int -> shed:int -> displaced:int ->
+  high_water:int -> requeued:int -> requeue_overflow:int -> unit

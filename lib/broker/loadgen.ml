@@ -28,7 +28,9 @@ type summary = {
   nacks : int;
   gave_up : int;
   routed : int;
-  shed : int;
+  shed : int;        (* arrivals rejected at the door (Drop_newest) *)
+  displaced : int;   (* accepted arrivals that evicted the queue head
+                        (Drop_oldest); offered = accepted + shed *)
   dispatched : int;
   batches : int;
   optimized : int;
@@ -95,6 +97,7 @@ let summarize ?(truncated = false) broker sessions ~elapsed =
     gave_up = client (fun st -> st.Session.gave_up);
     routed = Broker.routed broker;
     shed = sum (fun s -> (Ingress.stats s.Shard.ingress).Ingress.shed);
+    displaced = sum (fun s -> (Ingress.stats s.Shard.ingress).Ingress.displaced);
     dispatched = sum (fun s -> s.Shard.stats.Shard.dispatched);
     batches = sum (fun s -> s.Shard.stats.Shard.batches);
     optimized = sum Shard.optimized_dispatches;

@@ -36,7 +36,11 @@ type summary = {
   nacks : int;
   gave_up : int;
   routed : int;
-  shed : int;
+  shed : int;  (** arrivals rejected at the door (Drop_newest) *)
+  displaced : int;
+      (** accepted arrivals that evicted the queue head (Drop_oldest);
+          every offer lands in exactly one of accepted/shed, and
+          displacements count the eviction side effects *)
   dispatched : int;
   batches : int;
   optimized : int;

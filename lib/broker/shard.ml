@@ -486,6 +486,7 @@ type snapshot = {
   snap_offered : int;
   snap_accepted : int;
   snap_shed : int;
+  snap_displaced : int;
   snap_batches : int;
   snap_dispatched : int;
   snap_optimized : int;
@@ -515,13 +516,15 @@ type snapshot = {
 
 let pp_snapshot ppf s =
   Fmt.pf ppf
-    "shard %d: sessions %d, offered %d, accepted %d, shed %d, batches %d, \
+    "shard %d: sessions %d, offered %d, accepted %d, shed %d, displaced %d, \
+     batches %d, \
      dispatched %d, optimized %d, batched %d, generic %d, fallbacks %d, \
      failures %d, requeued %d, requeue-overflow %d, quarantined %d, \
      dead-dropped %d, breaker-trips %d, kills %d, recoveries %d, redelivered \
      %d, checkpoints %d, busy %d, clock %d, qwait %a, svc-opt %a, svc-bat %a, \
      svc-gen %a, depth %a"
     s.snap_id s.snap_sessions s.snap_offered s.snap_accepted s.snap_shed
+    s.snap_displaced
     s.snap_batches s.snap_dispatched s.snap_optimized s.snap_batched
     s.snap_generic s.snap_fallbacks s.snap_handler_failures s.snap_requeued
     s.snap_requeue_overflow s.snap_quarantined s.snap_dead_dropped
@@ -604,6 +607,7 @@ let counters t : (string * int) list =
     ("ingress.offered", ist.Ingress.offered);
     ("ingress.accepted", ist.Ingress.accepted);
     ("ingress.shed", ist.Ingress.shed);
+    ("ingress.displaced", ist.Ingress.displaced);
     ("ingress.high_water", ist.Ingress.high_water);
     ("ingress.requeued", ist.Ingress.requeued);
     ("ingress.requeue_overflow", ist.Ingress.requeue_overflow);
@@ -635,6 +639,7 @@ let apply_counters t (cs : (string * int) list) =
   t.stats.first_epoch_seen <- v "shard.first_epoch_seen" <> 0;
   Ingress.set_stats t.ingress ~offered:(v "ingress.offered")
     ~accepted:(v "ingress.accepted") ~shed:(v "ingress.shed")
+    ~displaced:(v "ingress.displaced")
     ~high_water:(v "ingress.high_water") ~requeued:(v "ingress.requeued")
     ~requeue_overflow:(v "ingress.requeue_overflow")
 
@@ -774,6 +779,7 @@ let snapshot t =
     snap_offered = ist.Ingress.offered;
     snap_accepted = ist.Ingress.accepted;
     snap_shed = ist.Ingress.shed;
+    snap_displaced = ist.Ingress.displaced;
     snap_batches = t.stats.batches;
     snap_dispatched = t.stats.dispatched;
     snap_optimized = optimized_dispatches t;

@@ -315,6 +315,7 @@ type snapshot = {
   snap_offered : int;
   snap_accepted : int;
   snap_shed : int;
+  snap_displaced : int;
   snap_batches : int;
   snap_dispatched : int;
   snap_optimized : int;

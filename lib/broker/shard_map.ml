@@ -16,3 +16,69 @@ let hash (s : string) : int64 =
 let shard_of ~shards id =
   if shards <= 0 then invalid_arg "Shard_map.shard_of: shards <= 0";
   Int64.to_int (Int64.unsigned_rem (hash id) (Int64.of_int shards))
+
+(* Routing disciplines.  [Hash] is the uniform FNV-1a map above; [Zipf s]
+   deliberately skews the same hash through a Zipf(s) CDF over shard
+   ranks, so shard 0 is hot, shard 1 cooler, and so on — the
+   heavy-tailed per-shard load a popularity-ranked workload produces.
+   Both are stateless and deterministic: the same id always lands on
+   the same shard for a given (route, shards). *)
+
+type route = Hash | Zipf of float
+
+let route_shard ~route ~shards id =
+  match route with
+  | Hash -> shard_of ~shards id
+  | Zipf s ->
+    if shards <= 0 then invalid_arg "Shard_map.route_shard: shards <= 0";
+    (* FNV-1a on short similar keys concentrates its entropy in the low
+       bits, so finalize with the murmur3 fmix64 avalanche before taking
+       the top 53 bits as a uniform u in [0,1); then invert the Zipf CDF
+       by walking the (unnormalized) weights 1/(rank+1)^s *)
+    let mixed =
+      let h = hash id in
+      let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+      let h = Int64.mul h 0xff51afd7ed558ccdL in
+      let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+      let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+      Int64.logxor h (Int64.shift_right_logical h 33)
+    in
+    let u =
+      Int64.to_float (Int64.shift_right_logical mixed 11) /. 9007199254740992.0
+    in
+    let total = ref 0.0 in
+    for rank = 0 to shards - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (rank + 1)) s)
+    done;
+    let target = u *. !total in
+    let acc = ref 0.0 and chosen = ref (shards - 1) in
+    (try
+       for rank = 0 to shards - 1 do
+         acc := !acc +. (1.0 /. Float.pow (float_of_int (rank + 1)) s);
+         if target < !acc then begin
+           chosen := rank;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !chosen
+
+let route_to_string = function
+  | Hash -> "hash"
+  | Zipf s -> Printf.sprintf "zipf:%g" s
+
+let route_of_string str =
+  match str with
+  | "hash" -> Ok Hash
+  | _ ->
+    (match String.index_opt str ':' with
+     | Some i when String.sub str 0 i = "zipf" ->
+       let rest = String.sub str (i + 1) (String.length str - i - 1) in
+       (match float_of_string_opt rest with
+        | Some s when s > 0.0 && Float.is_finite s -> Ok (Zipf s)
+        | Some _ | None ->
+          Error (Printf.sprintf "bad zipf skew %S (expected zipf:S, S > 0)" rest)
+     )
+     | _ ->
+       Error
+         (Printf.sprintf "unknown route %S (expected hash or zipf:S)" str))

@@ -11,3 +11,19 @@ val hash : string -> int64
 val shard_of : shards:int -> string -> int
 (** Shard index in [0, shards); raises [Invalid_argument] when
     [shards <= 0]. *)
+
+(** Routing discipline: [Hash] spreads ids near-uniformly (FNV-1a mod
+    shards); [Zipf s] skews the same hash through a Zipf(s) CDF over
+    shard ranks — shard 0 hottest — modelling popularity-ranked load.
+    Both are stateless: one id always maps to one shard. *)
+type route = Hash | Zipf of float
+
+val route_shard : route:route -> shards:int -> string -> int
+(** Shard index under the given discipline; raises [Invalid_argument]
+    when [shards <= 0]. *)
+
+val route_to_string : route -> string
+(** ["hash"] or ["zipf:S"] — a single whitespace-free token, stable for
+    replay logs and CLI round-trips. *)
+
+val route_of_string : string -> (route, string) result

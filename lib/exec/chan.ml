@@ -56,10 +56,15 @@ let push t x =
       if t.closed then raise Closed;
       enqueue t x)
 
+(* Unlike [push], a closed queue is reported as [false] rather than
+   raised: try_push callers are probing ("is there room right now?"),
+   and a close racing the probe is just another way for the answer to
+   be no — matching [pop]/[try_pop], which also degrade quietly after
+   close.  Only the blocking [push] raises, because its caller has
+   committed to delivery. *)
 let try_push t x =
   with_lock t (fun () ->
-      if t.closed then raise Closed;
-      if t.count = t.capacity then false
+      if t.closed || t.count = t.capacity then false
       else begin
         enqueue t x;
         true

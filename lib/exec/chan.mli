@@ -8,7 +8,19 @@
 
     [push] blocks while the queue is full, so a runaway producer is
     backpressured instead of growing the queue without bound — the same
-    discipline the broker's ingress queues apply to clients. *)
+    discipline the broker's ingress queues apply to clients.
+
+    {1 Close semantics}
+
+    {!close} is idempotent and wakes every blocked party.  After close:
+    {ul
+    {- {!push} raises {!Closed} — the caller committed to delivery and
+       must hear that it cannot happen;}
+    {- {!try_push} returns [false] — a probe for room, and a closed
+       queue simply has none (a shutdown racing a probe must not raise
+       through the prober);}
+    {- {!pop} drains the remaining items, then returns [None];}
+    {- {!try_pop} behaves as on any empty queue once drained.}} *)
 
 type 'a t
 
@@ -22,8 +34,8 @@ val create : capacity:int -> 'a t
     queue is (or becomes) closed while waiting. *)
 val push : 'a t -> 'a -> unit
 
-(** Non-blocking enqueue; false when the queue is full.  Raises
-    {!Closed} on a closed queue. *)
+(** Non-blocking enqueue; [false] when the queue is full or closed
+    (never raises — see the close-semantics note above). *)
 val try_push : 'a t -> 'a -> bool
 
 (** Block until an item is available and dequeue it.  [None] once the

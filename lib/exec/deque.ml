@@ -1,0 +1,19 @@
+(* A single-epoch work deque: the coordinator freezes the epoch's work
+   items into an array (in its own deterministic order), and workers
+   claim slots with one fetch-and-add each.  Every slot is claimed by
+   exactly one worker — the atomic counter is the whole steal protocol —
+   so per-item effects are executed exactly once regardless of which
+   domain ends up running them, and an idle domain "steals" simply by
+   claiming the next slot before the owner gets to it. *)
+
+type 'a t = { items : 'a array; next : int Atomic.t }
+
+let of_array items = { items; next = Atomic.make 0 }
+
+(* Claim the next unclaimed slot.  [None] once the deque is drained. *)
+let steal t =
+  let i = Atomic.fetch_and_add t.next 1 in
+  if i < Array.length t.items then Some (i, t.items.(i)) else None
+
+let length t = Array.length t.items
+let remaining t = max 0 (Array.length t.items - Atomic.get t.next)

@@ -1,0 +1,26 @@
+(** Single-epoch stealable run-queue.
+
+    The coordinator freezes one epoch's work items into an array — in
+    an order it alone decides — and worker domains claim slots with an
+    atomic fetch-and-add.  Exactly-once claiming is the entire steal
+    protocol: which worker runs a slot is scheduling, {e that} it runs
+    exactly once is the invariant.  Determinism of the overall epoch is
+    then the caller's contract: each item must only touch state owned
+    by that item (the broker's per-shard state), so results cannot
+    depend on the claim schedule. *)
+
+type 'a t
+
+(** Freeze [items] (claimed left to right) into a deque.  The array
+    must not be mutated afterwards. *)
+val of_array : 'a array -> 'a t
+
+(** Claim the next unclaimed slot, returning its index and item;
+    [None] once every slot is claimed.  Safe from any domain. *)
+val steal : 'a t -> (int * 'a) option
+
+(** Total number of slots. *)
+val length : 'a t -> int
+
+(** Upper bound on unclaimed slots (racy under concurrent {!steal}). *)
+val remaining : 'a t -> int

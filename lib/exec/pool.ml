@@ -2,15 +2,36 @@
    in-flight task) and one barrier shared by workers + caller.  The
    caller never runs tasks itself: with the coordinator parked on the
    barrier, the OS can give every core to the workers, and the
-   coordinator's own state is quiescent during the parallel phase. *)
+   coordinator's own state is quiescent during the parallel phase.
+
+   Two epoch shapes share that skeleton: [run] broadcasts one closure
+   to every worker (the historical static-partition mode), and
+   [run_steal] broadcasts a closure that pulls items from a shared
+   {!Deque} until it is dry — idle workers keep claiming slots, so a
+   worker stuck on a heavy item no longer serializes the epoch. *)
 
 type t = {
   chans : (int -> unit) Chan.t array;
   barrier : Barrier.t;
   failure : exn option Atomic.t;
+  suppressed : int Atomic.t;  (* worker failures beyond the latched one *)
   mutable workers : unit Domain.t array;
   mutable alive : bool;
 }
+
+exception Epoch_failures of exn * int
+
+let () =
+  Printexc.register_printer (function
+    | Epoch_failures (exn, suppressed) ->
+      Some
+        (Printf.sprintf "Pool.Epoch_failures(%s, +%d suppressed)"
+           (Printexc.to_string exn) suppressed)
+    | _ -> None)
+
+let latch t exn =
+  if not (Atomic.compare_and_set t.failure None (Some exn)) then
+    Atomic.incr t.suppressed
 
 let worker t w =
   let chan = t.chans.(w) in
@@ -18,8 +39,7 @@ let worker t w =
     match Chan.pop chan with
     | None -> ()  (* closed and drained: shut down *)
     | Some f ->
-      (try f w
-       with exn -> ignore (Atomic.compare_and_set t.failure None (Some exn)));
+      (try f w with exn -> latch t exn);
       Barrier.await t.barrier;
       loop ()
   in
@@ -32,6 +52,7 @@ let create ~domains =
       chans = Array.init domains (fun _ -> Chan.create ~capacity:1);
       barrier = Barrier.create ~parties:(domains + 1);
       failure = Atomic.make None;
+      suppressed = Atomic.make 0;
       workers = [||];
       alive = true;
     }
@@ -44,9 +65,29 @@ let size t = Array.length t.chans
 let run t f =
   if not t.alive then invalid_arg "Pool.run: pool is shut down";
   Atomic.set t.failure None;
+  Atomic.set t.suppressed 0;
   Array.iter (fun chan -> Chan.push chan f) t.chans;
   Barrier.await t.barrier;
-  match Atomic.get t.failure with Some exn -> raise exn | None -> ()
+  match Atomic.get t.failure with
+  | None -> ()
+  | Some exn ->
+    (match Atomic.get t.suppressed with
+     | 0 -> raise exn
+     | n -> raise (Epoch_failures (exn, n)))
+
+let run_steal t items f =
+  let dq = Deque.of_array items in
+  run t (fun w ->
+      let rec loop () =
+        match Deque.steal dq with
+        | None -> ()
+        | Some (slot, x) ->
+          (* catch per item, not per worker: a poisoned item must not
+             abandon the unclaimed slots behind it *)
+          (try f ~worker:w ~slot x with exn -> latch t exn);
+          loop ()
+      in
+      loop ())
 
 let shutdown t =
   if t.alive then begin

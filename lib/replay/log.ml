@@ -4,12 +4,12 @@
    record per line, whitespace-separated fields, [#] comments, a
    [Format_error] on anything malformed).
 
-   Format (version 4; version-1, -2, and -3 logs still load):
+   Format (version 5; version-1 .. -4 logs still load):
 
      V <version>
      C <shards> <batch> <queue_limit> <policy> <kind> <optimize>
        <compile> <seed> <tick> <domains> <faults-spec> <batch-k>
-       <checkpoint-every>
+       <checkpoint-every> <steal> <route>
      D <verbatim line>                             embedded profile store
      Y <crc32-hex>                                 digest of the D lines
      P <sessions> <ops> <interval> <spread> <latency> <jitter>
@@ -18,6 +18,7 @@
      O <phase> <id> <seq> <payload-hex>            one per op payload
      A <phase> <id> <seq> <attempt> <outcome>      arrival schedule
      F <salt> <kind> <bits>                        fault-draw decisions
+     M <epoch> <shard> <from> <to>                 migration plan, in order
      J <verbatim line>                             the original JSON doc
 
    [phase] is [w] (warm-up) or [m] (measured).  An arrival [outcome]
@@ -39,7 +40,16 @@
    supervisor's checkpoint interval; a C line without it (versions
    1..3) loads as the default.  Pre-4 fault specs cannot carry
    [kill=], so the interval is inert for them — those runs replay
-   unsupervised, exactly as recorded. *)
+   unsupervised, exactly as recorded.
+
+   [steal] and [route] (new in version 5) are the drain scheduler mode
+   and the routing discipline; a C line without them (versions 1..4)
+   loads as stealing with hash routing — hash routing is exactly what
+   those runs did, and the scheduler mode cannot change observables.
+   [M] lines (also new in 5) record the measured phase's hot-shard
+   migration plan, in decision order: the plan is a pure function of
+   recorded state, so a replay at the recorded domain count must
+   re-derive it exactly — replay verifies this. *)
 
 module Plan = Podopt_faults.Plan
 module Broker = Podopt_broker.Broker
@@ -54,7 +64,7 @@ module Crc32 = Podopt_crypto.Crc32
 exception Format_error of string
 
 let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
-let version = 4
+let version = 5
 
 type sess = {
   s_phase : string;  (* "w" | "m" *)
@@ -81,6 +91,9 @@ type t = {
   arrivals : arrival list; (* send order *)
   fault_draws : ((int * string) * bool list) list;
       (* (salt, kind) -> fired bits in draw order; sorted by key *)
+  migrations : (int * int * int * int) list;
+      (* measured-phase migration plan, decision order:
+         (epoch, shard, from_worker, to_worker) *)
   json : string;           (* the run's serve-JSON document, newline-terminated *)
 }
 
@@ -146,7 +159,7 @@ let to_string (t : t) : string =
   let cfg = t.config and p = t.profile in
   line "# podopt replay log";
   line "V %d" version;
-  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s %d" cfg.Broker.shards
+  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s %d %b %s" cfg.Broker.shards
     cfg.Broker.batch cfg.Broker.queue_limit
     (Policy.shed_to_string cfg.Broker.policy)
     (Workload.kind_to_string cfg.Broker.kind)
@@ -154,7 +167,8 @@ let to_string (t : t) : string =
     cfg.Broker.domains
     (Plan.to_string cfg.Broker.faults)
     (Shard.batching_to_string cfg.Broker.batching)
-    cfg.Broker.checkpoint_every;
+    cfg.Broker.checkpoint_every cfg.Broker.steal
+    (Podopt_broker.Shard_map.route_to_string cfg.Broker.route);
   (match cfg.Broker.profile_in with
    | None -> ()
    | Some store ->
@@ -182,6 +196,10 @@ let to_string (t : t) : string =
   List.iter
     (fun ((salt, kind), bits) -> line "F %d %s %s" salt kind (bits_of_bools bits))
     (List.sort compare t.fault_draws);
+  List.iter
+    (fun (epoch, shard, from_w, to_w) ->
+      line "M %d %d %d %d" epoch shard from_w to_w)
+    t.migrations;
   if t.json <> "" then begin
     let jlines = String.split_on_char '\n' t.json in
     (* the document is newline-terminated: drop the final empty element *)
@@ -198,7 +216,22 @@ let config_of_fields fields =
   (* 11 fields: versions 1/2 (no batch-k — those runs never windowed,
      so they load as [off]); 12 fields: version 3 (no checkpoint-every
      — pre-4 fault specs cannot kill, so the default interval is
-     inert); 13 fields: version 4 *)
+     inert); 13 fields: version 4 (no steal/route — hash routing is
+     what those runs did, and the scheduler mode is unobservable);
+     15 fields: version 5 *)
+  let fields, steal, route =
+    match fields with
+    | [ _; _; _; _; _; _; _; _; _; _; _; _; _; steal; route ] ->
+      ( List.filteri (fun i _ -> i < 13) fields,
+        bool_field "steal" steal,
+        match Podopt_broker.Shard_map.route_of_string route with
+        | Ok r -> r
+        | Error e -> format_error "bad route: %s" e )
+    | _ ->
+      ( fields,
+        Broker.default_config.Broker.steal,
+        Podopt_broker.Shard_map.Hash )
+  in
   let fields, checkpoint_every =
     match fields with
     | [ _; _; _; _; _; _; _; _; _; _; _; _; every ] ->
@@ -253,6 +286,8 @@ let config_of_fields fields =
       profile_in = None;  (* filled in from the D lines, if any *)
       batching;
       checkpoint_every;
+      steal;
+      route;
     }
   | _ -> format_error "bad C line (%d fields)" (List.length fields)
 
@@ -266,6 +301,7 @@ let of_string (s : string) : t =
   let ops : (string * string, (int * bytes) list ref) Hashtbl.t = Hashtbl.create 64 in
   let arrivals = ref [] in
   let faults = ref [] in
+  let migrations = ref [] in
   let jlines = ref [] in
   let dlines = ref [] in
   let ydigest = ref None in
@@ -322,6 +358,11 @@ let of_string (s : string) : t =
         :: !arrivals
     | [ "F"; salt; kind; bits ] ->
       faults := ((int_field "salt" salt, kind), bools_of_bits bits) :: !faults
+    | [ "M"; epoch; shard; from_w; to_w ] ->
+      migrations :=
+        ( int_field "epoch" epoch, int_field "shard" shard,
+          int_field "from" from_w, int_field "to" to_w )
+        :: !migrations
     | [ "Y"; digest ] -> ydigest := Some digest
     | tag :: _ -> format_error "bad record tag %S in line %S" tag line
   in
@@ -398,6 +439,7 @@ let of_string (s : string) : t =
     sessions;
     arrivals = List.rev !arrivals;
     fault_draws = List.sort compare (List.rev !faults);
+    migrations = List.rev !migrations;
     json;
   }
 

@@ -88,5 +88,6 @@ let run ?(warmup_ops = 12) ?(metrics = false) (cfg : Broker.config)
         sessions = !recorded;
         arrivals = List.rev !arrivals;
         fault_draws;
+        migrations = Broker.migrations broker;
         json;
       })

@@ -23,6 +23,10 @@ module Packet = Podopt_net.Packet
 type outcome = {
   json : string;            (* the regenerated document *)
   fault_mismatches : int;   (* replayed fault draws that differed from the log *)
+  migration_mismatch : bool;
+      (* the re-derived migration plan differed from the recorded one
+         (only checkable when replaying at the recorded domain count —
+         the plan legitimately depends on [domains]) *)
   summary : Loadgen.summary;
 }
 
@@ -129,7 +133,15 @@ let run ?domains ?(verify_faults = true) (log : Log.t) : outcome =
       Broker.reset_measurements broker;
       let summary = Loadgen.run broker (make_sessions broker log table "m") in
       let json = Report.json ~metrics:log.Log.metrics broker summary in
-      { json; fault_mismatches = mismatches (); summary })
+      (* the migration plan is a pure function of recorded state, so a
+         replay at the recorded domain count must re-derive the logged
+         plan move for move; at any other domain count the plan
+         legitimately differs and is not compared *)
+      let migration_mismatch =
+        cfg.Broker.domains = log.Log.config.Broker.domains
+        && Broker.migrations broker <> log.Log.migrations
+      in
+      { json; fault_mismatches = mismatches (); migration_mismatch; summary })
 
 (* First line where two documents differ: (line number, recorded line,
    replayed line) — [None] on byte equality.  For the human-readable

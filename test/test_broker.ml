@@ -113,6 +113,37 @@ let test_ingress_drop_oldest () =
   Alcotest.(check (list int))
     "arrival took the evicted slot" [ 1; 2 ] (drain_seqs ing ~max:10)
 
+let test_ingress_drop_oldest_accounting () =
+  (* regression: Drop_oldest used to charge the eviction to [shed] as
+     if the arrival had been rejected, so [accepted] undercounted and
+     offered <> accepted + shed.  The arrival IS accepted — the queue
+     victim is tracked separately as [displaced]. *)
+  let ing = B.Ingress.create ~limit:2 ~policy:B.Policy.Drop_oldest in
+  for seq = 0 to 4 do
+    ignore (B.Ingress.offer ing ~now:seq (pkt ~src:"a" ~seq))
+  done;
+  let st = B.Ingress.stats ing in
+  Alcotest.(check int) "offered" 5 st.B.Ingress.offered;
+  Alcotest.(check int) "every arrival accepted" 5 st.B.Ingress.accepted;
+  Alcotest.(check int) "nothing shed at the door" 0 st.B.Ingress.shed;
+  Alcotest.(check int) "three head victims displaced" 3 st.B.Ingress.displaced;
+  Alcotest.(check int) "partition invariant"
+    st.B.Ingress.offered (st.B.Ingress.accepted + st.B.Ingress.shed);
+  Alcotest.(check (list int)) "newest two survive" [ 3; 4 ]
+    (drain_seqs ing ~max:10);
+  (* Drop_newest rejects at the door instead: shed moves, displaced
+     stays zero, and the partition still holds *)
+  let ing = B.Ingress.create ~limit:2 ~policy:B.Policy.Drop_newest in
+  for seq = 0 to 4 do
+    ignore (B.Ingress.offer ing ~now:seq (pkt ~src:"a" ~seq))
+  done;
+  let st = B.Ingress.stats ing in
+  Alcotest.(check int) "drop-newest: accepted" 2 st.B.Ingress.accepted;
+  Alcotest.(check int) "drop-newest: shed" 3 st.B.Ingress.shed;
+  Alcotest.(check int) "drop-newest: displaced" 0 st.B.Ingress.displaced;
+  Alcotest.(check int) "drop-newest: partition invariant"
+    st.B.Ingress.offered (st.B.Ingress.accepted + st.B.Ingress.shed)
+
 let test_ingress_batch_bound () =
   let ing = B.Ingress.create ~limit:10 ~policy:B.Policy.Drop_newest in
   for seq = 0 to 4 do
@@ -232,7 +263,11 @@ let test_overload_sheds () =
       latency = 50; jitter = 0 }
   in
   let s = B.Loadgen.steady ~warmup_ops:0 (B.Broker.create cfg) profile in
-  Alcotest.(check bool) "overload sheds" true (s.B.Loadgen.shed > 0);
+  (* Drop_oldest accepts every arrival and evicts queue heads: the
+     overload pressure shows up as displacements, never door-sheds *)
+  Alcotest.(check bool) "overload displaces" true (s.B.Loadgen.displaced > 0);
+  Alcotest.(check int) "drop-oldest never sheds at the door" 0
+    s.B.Loadgen.shed;
   Alcotest.(check bool) "clients retry" true (s.B.Loadgen.retries > 0);
   Alcotest.(check int) "every op dispatched or abandoned"
     s.B.Loadgen.sent
@@ -295,6 +330,8 @@ let suite =
       test_shard_spread;
     Alcotest.test_case "ingress drop-newest" `Quick test_ingress_drop_newest;
     Alcotest.test_case "ingress drop-oldest" `Quick test_ingress_drop_oldest;
+    Alcotest.test_case "ingress drop-oldest accounting" `Quick
+      test_ingress_drop_oldest_accounting;
     Alcotest.test_case "ingress batch drain" `Quick test_ingress_batch_bound;
     Alcotest.test_case "backoff delays" `Quick test_backoff_delay;
     Alcotest.test_case "session retries then gives up" `Quick

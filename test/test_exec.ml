@@ -41,8 +41,14 @@ let test_chan_close () =
   Alcotest.(check bool) "is_closed" true (Chan.is_closed c);
   Alcotest.check_raises "push after close" Chan.Closed (fun () ->
       Chan.push c 2);
+  (* try_push is the non-blocking probe: on a closed chan it reports
+     "no" rather than raising, so shutdown races stay exception-free *)
+  Alcotest.(check bool) "try_push after close" false (Chan.try_push c 2);
+  Alcotest.(check int) "rejected push left no trace" 1 (Chan.length c);
   Alcotest.(check (option int)) "drains" (Some 1) (Chan.pop c);
-  Alcotest.(check (option int)) "then None" None (Chan.pop c)
+  Alcotest.(check (option int)) "then None" None (Chan.pop c);
+  Alcotest.(check bool) "try_push on drained closed chan" false
+    (Chan.try_push c 3)
 
 let test_chan_cross_domain () =
   (* capacity 2, 100 items: the producer must block on the full queue
@@ -154,6 +160,80 @@ let test_pool_failure_latch () =
     runs;
   Pool.shutdown pool
 
+let test_pool_simultaneous_failures () =
+  (* two workers raise in the same epoch: exactly one exception latches
+     and re-raises, wrapped in [Epoch_failures] carrying the count of
+     the suppressed others — nothing is silently dropped.  A barrier
+     splits arming from raising so both failures genuinely race. *)
+  let domains = 3 in
+  let pool = Pool.create ~domains in
+  let armed = Barrier.create ~parties:domains in
+  (match
+     Pool.run pool (fun w ->
+         Barrier.await armed;
+         if w <> 0 then failwith "simultaneous bomb")
+   with
+  | () -> Alcotest.fail "expected the epoch to raise"
+  | exception Pool.Epoch_failures (Failure msg, suppressed) ->
+    Alcotest.(check string) "latched failure" "simultaneous bomb" msg;
+    Alcotest.(check int) "one failure latched, one suppressed" 1 suppressed
+  | exception e ->
+    Alcotest.failf "expected Epoch_failures, got %s" (Printexc.to_string e));
+  (* a single failure still surfaces unwrapped *)
+  (match Pool.run pool (fun w -> if w = 1 then failwith "solo bomb") with
+  | () -> Alcotest.fail "expected the epoch to raise"
+  | exception Failure msg ->
+    Alcotest.(check string) "bare failure" "solo bomb" msg
+  | exception e ->
+    Alcotest.failf "expected the bare Failure, got %s" (Printexc.to_string e));
+  (* and the pool is still fully usable *)
+  let ran = Array.make domains 0 in
+  Pool.run pool (fun w -> ran.(w) <- ran.(w) + 1);
+  Array.iteri
+    (fun w c -> Alcotest.(check int) (Printf.sprintf "worker %d ran" w) 1 c)
+    ran;
+  Pool.shutdown pool
+
+let test_pool_run_steal () =
+  (* the stealing epoch: every item of the frozen run queue is claimed
+     exactly once, whatever the racy claim interleaving; per-item
+     failures latch like per-worker ones *)
+  let domains = 3 and items = 100 in
+  let pool = Pool.create ~domains in
+  let claims = Array.make items 0 in
+  Pool.run_steal pool
+    (Array.init items (fun i -> i))
+    (fun ~worker:_ ~slot x ->
+      Alcotest.(check int) "slot matches item" x slot;
+      claims.(x) <- claims.(x) + 1);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "item %d claimed once" i) 1 c)
+    claims;
+  (* a failing item raises after the epoch completes; the rest of the
+     queue still drains exactly once *)
+  let claims = Array.make items 0 in
+  (match
+     Pool.run_steal pool
+       (Array.init items (fun i -> i))
+       (fun ~worker:_ ~slot:_ x ->
+         claims.(x) <- claims.(x) + 1;
+         if x = 37 then failwith "item bomb")
+   with
+  | () -> Alcotest.fail "expected the epoch to raise"
+  | exception Failure msg ->
+    Alcotest.(check string) "item failure" "item bomb" msg
+  | exception Pool.Epoch_failures _ ->
+    (* impossible here: only item 37 raises *)
+    Alcotest.fail "single failure must surface unwrapped");
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "item %d claimed once" i) 1 c)
+    claims;
+  (* an empty queue is a clean epoch *)
+  Pool.run_steal pool [||] (fun ~worker:_ ~slot:_ _ -> assert false);
+  Pool.shutdown pool
+
 let test_pool_shutdown () =
   let pool = Pool.create ~domains:2 in
   Pool.shutdown pool;
@@ -194,6 +274,10 @@ let suite =
       test_pool_propagates_exception;
     Alcotest.test_case "pool: failing epochs complete and pool stays usable"
       `Quick test_pool_failure_latch;
+    Alcotest.test_case "pool: simultaneous failures are counted, not dropped"
+      `Quick test_pool_simultaneous_failures;
+    Alcotest.test_case "pool: stealing run queue claims each item once"
+      `Quick test_pool_run_steal;
     Alcotest.test_case "pool: shutdown" `Quick test_pool_shutdown;
     Alcotest.test_case "pool: partitioned mutation" `Quick
       test_pool_partition_sum;

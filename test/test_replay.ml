@@ -52,6 +52,16 @@ let gen_log =
   let* shards = 1 -- 4 in
   let* optimize = bool in
   let* compile = bool in
+  let* steal = bool in
+  let* route =
+    oneof
+      [
+        return B.Shard_map.Hash;
+        (* quarter steps are exact binary floats, so the %g text form
+           round-trips through route_of_string without drift *)
+        map (fun q -> B.Shard_map.Zipf (float_of_int q /. 4.0)) (1 -- 8);
+      ]
+  in
   let* seed = map Int64.of_int (0 -- 10_000) in
   let* policy = oneofl [ B.Policy.Drop_newest; B.Policy.Drop_oldest ] in
   let* kind = oneofl [ B.Workload.Video; B.Workload.Seccomm ] in
@@ -73,6 +83,8 @@ let gen_log =
       seed;
       policy;
       kind;
+      steal;
+      route;
       faults;
     }
   in
@@ -108,6 +120,9 @@ let gen_log =
          []
     |> List.rev
   in
+  let* migrations =
+    list_size (0 -- 5) (quad (0 -- 30) (0 -- 7) (0 -- 3) (0 -- 3))
+  in
   let* jraw = list_size (0 -- 4) (string_size ~gen:printable (0 -- 20)) in
   let jlines =
     List.map (String.map (fun c -> if c = '\n' then ' ' else c)) jraw
@@ -122,6 +137,7 @@ let gen_log =
       sessions = warm @ meas;
       arrivals;
       fault_draws;
+      migrations;
       json;
     }
 
