@@ -495,6 +495,7 @@ module Bjson = struct
     bramp_gen : int;
     bsteal : string; (* "on" | "off" *)
     broute : string; (* "hash" | "zipf:S" *)
+    barrivals : string; (* "periodic" | "uniform" | "pareto:A" | "flash:T:M" *)
     bmigrations : int;
     bsteals : int;
     bcritical : int; (* deterministic critical-path busy units *)
@@ -513,9 +514,10 @@ module Bjson = struct
       d.Podopt_obs.Hist.p99 prefix d.Podopt_obs.Hist.max
 
   let of_summary ?(bwarm = false) ?(bbatch_k = "off") ?(bckpt_every = 8)
-      ?(bsteal = "off") ?(broute = "hash") ?(bmigrations = 0) ?(bsteals = 0)
-      ?(bcritical = 0) ~bsection ~bkind ~bmode ~bshards ~bdomains
-      ~(profile : Bk.Loadgen.profile) ~wall_ns (s : Bk.Loadgen.summary) =
+      ?(bsteal = "off") ?(broute = "hash") ?(barrivals = "periodic")
+      ?(bmigrations = 0) ?(bsteals = 0) ?(bcritical = 0) ~bsection ~bkind
+      ~bmode ~bshards ~bdomains ~(profile : Bk.Loadgen.profile) ~wall_ns
+      (s : Bk.Loadgen.summary) =
     {
       bsection;
       bkind;
@@ -552,6 +554,7 @@ module Bjson = struct
       bramp_gen = s.Bk.Loadgen.ramp_generic;
       bsteal;
       broute;
+      barrivals;
       bmigrations;
       bsteals;
       bcritical;
@@ -562,7 +565,7 @@ module Bjson = struct
   let write path =
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v7\",\n";
+    Buffer.add_string b "  \"schema\": \"podopt/bench-broker/v8\",\n";
     Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
     Buffer.add_string b "  \"entries\": [\n";
     let n = List.length !entries in
@@ -581,16 +584,16 @@ module Bjson = struct
            \"kills\": %d, \"recoveries\": %d, \"redelivered\": %d, \
            \"checkpoints\": %d, \"ramp_optimized\": %d, \
            \"ramp_generic\": %d, \"steal\": %S, \"route\": %S, \
-           \"migrations\": %d, \"steals\": %d, \"critical_busy\": %d, \
-           \"elapsed\": %d, %s, %s, %s}%s\n"
+           \"arrivals\": %S, \"migrations\": %d, \"steals\": %d, \
+           \"critical_busy\": %d, \"elapsed\": %d, %s, %s, %s}%s\n"
           e.bsection e.bkind e.bmode e.bshards e.bdomains e.bsessions e.bops
           e.bwall_ns e.bbusy e.bmakespan e.bdispatched e.bshed e.boptimized
           e.bbatched e.bbatch_k e.bgeneric e.bfallbacks e.bfailures
           e.brequeued e.bquarantined
           e.btrips e.bdropped e.bdecode e.bwarm e.bfirst_opt e.bfirst_gen
           e.bckpt_every e.bkills e.brecoveries e.bredelivered e.bcheckpoints
-          e.bramp_opt e.bramp_gen e.bsteal e.broute e.bmigrations e.bsteals
-          e.bcritical e.belapsed
+          e.bramp_opt e.bramp_gen e.bsteal e.broute e.barrivals e.bmigrations
+          e.bsteals e.bcritical e.belapsed
           (dist_json "qwait" e.blatency.Bk.Loadgen.queue_wait)
           (dist_json "svc_opt" e.blatency.Bk.Loadgen.service_opt)
           (dist_json "svc_gen" e.blatency.Bk.Loadgen.service_gen)
@@ -1416,6 +1419,116 @@ let broker_steal ?(quick = false) () =
      byte-identical; under uniform hash routing there is nothing to@. \
      rebalance and only identity is checked)@."
 
+(* --- broker workload zoo: open-loop arrivals across workloads ----------- *)
+
+let broker_zoo_failed = ref false
+
+let broker_zoo ?(quick = false) () =
+  section
+    "Broker workload zoo: GUI-storm / chat-fanout workloads under open-loop \
+     arrivals (shed-prone queue, domain identity checked per cell)";
+  let profile =
+    {
+      Bk.Loadgen.default_profile with
+      Bk.Loadgen.sessions = (if quick then 8 else 12);
+      ops = (if quick then 6 else 10);
+      interval = 120;
+      spread = 17;
+    }
+  in
+  let shards = 4 in
+  (* One steady-state run per cell: a tight queue (limit 4, batch 2) so
+     the flash-crowd bursts actually pressure the shed policy, and the
+     serve document captured for the domain-identity comparison. *)
+  let run ~kind ~arrivals ~domains =
+    let cfg =
+      {
+        Bk.Broker.default_config with
+        Bk.Broker.shards;
+        kind;
+        optimize = true;
+        batch = 2;
+        queue_limit = 4;
+        seed = 13L;
+        domains;
+        arrivals;
+      }
+    in
+    let b = Bk.Broker.create cfg in
+    Fun.protect
+      ~finally:(fun () -> Bk.Broker.shutdown b)
+      (fun () ->
+        let warm =
+          Bk.Loadgen.make_sessions b { profile with Bk.Loadgen.ops = 6 }
+        in
+        ignore (Bk.Loadgen.run b warm);
+        Bk.Broker.force_reoptimize b;
+        Bk.Broker.reset_measurements b;
+        let sessions = Bk.Loadgen.make_sessions b profile in
+        let t0 = Monotonic_clock.now () in
+        let s = Bk.Loadgen.run b sessions in
+        let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+        if s.Bk.Loadgen.truncated then broker_truncated := true;
+        let json = Bk.Report.json ~metrics:false b s in
+        Bjson.record
+          (Bjson.of_summary ~bsection:"broker-zoo"
+             ~bkind:(Bk.Workload.kind_to_string kind)
+             ~bmode:"optimized"
+             ~barrivals:(Bk.Arrivals.to_string arrivals)
+             ~bshards:shards ~bdomains:domains ~profile ~wall_ns s);
+        (s, json))
+  in
+  let kinds = [ Bk.Workload.Seccomm; Bk.Workload.Xwin; Bk.Workload.Chat ] in
+  let specs =
+    [ Bk.Arrivals.Uniform; Bk.Arrivals.Pareto 1.5; Bk.Arrivals.Flash (600, 8) ]
+  in
+  let alt_domains = if quick then 2 else 4 in
+  let flash_pressure = ref 0 in
+  Fmt.pr "%8s %12s | %10s %6s %6s %6s | %9s@." "workload" "arrivals"
+    "dispatched" "shed" "displ" "opt%" "identical";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun spec ->
+          let s1, json1 = run ~kind ~arrivals:spec ~domains:1 in
+          let sn, jsonn = run ~kind ~arrivals:spec ~domains:alt_domains in
+          let identical = String.equal json1 jsonn && s1 = sn in
+          (match spec with
+           | Bk.Arrivals.Flash _ ->
+             flash_pressure :=
+               !flash_pressure + s1.Bk.Loadgen.shed + s1.Bk.Loadgen.displaced
+           | _ -> ());
+          Fmt.pr "%8s %12s | %10d %6d %6d %6.1f | %9s@."
+            (Bk.Workload.kind_to_string kind)
+            (Bk.Arrivals.to_string spec)
+            s1.Bk.Loadgen.dispatched s1.Bk.Loadgen.shed s1.Bk.Loadgen.displaced
+            (Bk.Loadgen.opt_pct s1)
+            (if identical then "yes" else "NO — BUG");
+          if not identical then begin
+            broker_zoo_failed := true;
+            Fmt.epr
+              "broker-zoo: %s under %s arrivals — observables diverged \
+               between --domains 1 and --domains %d@."
+              (Bk.Workload.kind_to_string kind)
+              (Bk.Arrivals.to_string spec)
+              alt_domains
+          end)
+        specs)
+    kinds;
+  if !flash_pressure = 0 then begin
+    broker_zoo_failed := true;
+    Fmt.epr
+      "broker-zoo: no flash-crowd cell shed or displaced a single packet — \
+       the bursts never pressured the queues, so the open-loop path is not \
+       being exercised@."
+  end;
+  Fmt.pr
+    "@.(each cell is one steady-state run per domain count; identical means@. \
+     the serve JSON document and every summary counter match byte-for-byte@. \
+     between the sequential and the parallel drain.  The flash rows must@. \
+     shed or displace — a burst that never pressures the shed-prone queue@. \
+     would leave the open-loop machinery untested)@."
+
 (* --- Bechamel wall-clock suite ------------------------------------------ *)
 
 let bechamel () =
@@ -1491,7 +1604,8 @@ let all_tables () =
   broker_warm ();
   broker_faults ();
   broker_recovery ();
-  broker_steal ()
+  broker_steal ();
+  broker_zoo ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (( <> ) "--") in
@@ -1528,6 +1642,7 @@ let () =
         | "broker-faults" -> broker_faults ~quick ()
         | "broker-recovery" -> broker_recovery ~quick ()
         | "broker-steal" -> broker_steal ~quick ()
+        | "broker-zoo" -> broker_zoo ~quick ()
         | "bechamel" -> bechamel ()
         | "tables" -> all_tables ()
         | other ->
@@ -1555,5 +1670,11 @@ let () =
     Fmt.epr
       "bench: the work-stealing scheduler diverged from static pinning or \
        failed to beat it on a skewed workload — results invalid@.";
+    exit 1
+  end;
+  if !broker_zoo_failed then begin
+    Fmt.epr
+      "bench: a workload-zoo cell diverged across domain counts or the \
+       flash crowd never pressured the queues — results invalid@.";
     exit 1
   end

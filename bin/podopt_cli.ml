@@ -153,7 +153,8 @@ let load_profile = function
 
 let serve kind sessions shards batch queue_limit ops interval latency jitter
     policy seed generic warmup domains steal route faults batching
-    checkpoint_every metrics json show_dead redrain_dead profile_in profile_out =
+    checkpoint_every arrivals max_ticks metrics json show_dead redrain_dead
+    profile_in profile_out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -165,6 +166,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
         (ops, "--ops");
         (domains, "--domains");
         (checkpoint_every, "--checkpoint-every");
+        (Option.value max_ticks ~default:1, "--max-ticks");
       ]
   with
   | Some (_, flag) ->
@@ -193,6 +195,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       profile_in;
       batching;
       checkpoint_every;
+      arrivals;
     }
   in
   let broker = B.Broker.create cfg in
@@ -210,7 +213,9 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
             jitter;
           }
         in
-        let summary = B.Loadgen.steady ~warmup_ops:warmup broker profile in
+        let summary =
+          B.Loadgen.steady ~warmup_ops:warmup ?max_ticks broker profile
+        in
         let saved =
           match profile_out with
           | None -> None
@@ -244,7 +249,7 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
   else begin
     Fmt.pr
       "serving %s: %d sessions -> %d shards (batch %d, batch-k %s, queue limit \
-       %d, policy %s, %s, seed %d, domains %d, faults %s)@.@."
+       %d, policy %s, %s, seed %d, domains %d, faults %s, arrivals %s)@.@."
       (B.Workload.kind_to_string kind)
       sessions shards batch
       (B.Shard.batching_to_string batching)
@@ -252,7 +257,8 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
       (B.Policy.shed_to_string policy)
       (if generic then "generic" else "optimized")
       seed domains
-      (Podopt.Faults.to_string faults);
+      (Podopt.Faults.to_string faults)
+      (B.Arrivals.to_string arrivals);
     if B.Broker.warm_start broker then
       Fmt.pr "warm start: %d super-handlers installed before the first packet \
               (%d stale events dropped)@.@."
@@ -287,13 +293,16 @@ let serve kind sessions shards batch queue_limit ops interval latency jitter
     | None -> ()
     | Some (path, n) -> Fmt.pr "@.wrote profile -> %s (%d entries)@." path n
   end;
-  0
+  (* A truncated run's counters describe an unfinished run: fail loudly
+     (the summary / JSON already carry the flag) instead of letting a
+     silently cut-off big run pass in CI. *)
+  if summary.B.Loadgen.truncated then 1 else 0
 
 (* --- record / replay / diff ----------------------------------------------- *)
 
 let record_run kind sessions shards batch queue_limit ops interval latency
     jitter policy seed generic warmup domains steal route faults batching
-    checkpoint_every metrics profile_in out =
+    checkpoint_every arrivals metrics profile_in out =
   match
     List.find_opt
       (fun (v, _) -> v <= 0)
@@ -333,6 +342,7 @@ let record_run kind sessions shards batch queue_limit ops interval latency
         profile_in;
         batching;
         checkpoint_every;
+        arrivals;
       }
     in
     let profile =
@@ -611,9 +621,56 @@ let kind_conv =
         | Error msg -> Error (`Msg msg)),
       fun ppf k -> Fmt.string ppf (B.Workload.kind_to_string k) )
 
+(* The workload can arrive positionally (the historical spelling) or
+   via --workload; the named flag wins when both are given. *)
 let kind_arg =
-  Arg.(required & pos 0 (some kind_conv) None & info [] ~docv:"WORKLOAD"
-         ~doc:"Workload to serve: video or seccomm.")
+  let pos =
+    Arg.(value & pos 0 (some kind_conv) None & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to serve: video, seccomm, xwin, or chat.")
+  in
+  let named =
+    Arg.(value & opt (some kind_conv) None & info [ "workload" ] ~docv:"W"
+           ~doc:"Workload to serve: $(b,video), $(b,seccomm), $(b,xwin) (GUI \
+                 event storms: scroll / popup / keystroke payloads against \
+                 the widget tree), or $(b,chat) (fan-out chat room: one \
+                 inbound message raises 2-7 outbound deliveries). Equivalent \
+                 to the positional $(i,WORKLOAD); the flag wins when both \
+                 are given.")
+  in
+  Term.(
+    ret
+      (const (fun p n ->
+           match (n, p) with
+           | Some k, _ | None, Some k -> `Ok k
+           | None, None ->
+             `Error (true, "missing workload: pass WORKLOAD or --workload"))
+      $ pos $ named))
+
+let arrivals_conv =
+  Arg.conv
+    ( (fun s ->
+        match B.Arrivals.of_string s with
+        | Ok a -> Ok a
+        | Error msg -> Error (`Msg msg)),
+      fun ppf a -> Fmt.string ppf (B.Arrivals.to_string a) )
+
+let arrivals_arg =
+  Arg.(value & opt arrivals_conv B.Arrivals.Periodic
+       & info [ "arrivals" ] ~docv:"SPEC"
+           ~doc:"Per-session op arrival process: $(b,periodic) (default, the \
+                 closed-loop grid), $(b,uniform) (seeded uniform gaps around \
+                 --interval), $(b,pareto:ALPHA) (heavy-tailed gaps, ALPHA > \
+                 1), or $(b,flash:T:MULT) (flash crowd: every period of T \
+                 virtual units opens with a burst window sending MULT times \
+                 faster). Seeded per session, so runs are reproducible and \
+                 byte-identical at any --domains.")
+
+let max_ticks_arg =
+  Arg.(value & opt (some int) None & info [ "max-ticks" ] ~docv:"N"
+         ~doc:"Simulation tick budget. The default is computed from the \
+               session schedules' horizon and total op count, so it scales \
+               with the load; a run that still hits the budget is reported \
+               truncated and exits 1.")
 
 let policy_conv =
   Arg.conv
@@ -749,9 +806,11 @@ let serve_cmd =
       $ faults_arg
       $ batch_k_arg
       $ checkpoint_every_arg
+      $ arrivals_arg
+      $ max_ticks_arg
       $ metrics_flag
       $ Arg.(value & flag & info [ "json" ]
-               ~doc:"Print the run as a JSON document (schema podopt/serve/v7) \
+               ~doc:"Print the run as a JSON document (schema podopt/serve/v8) \
                      instead of the tables; deterministic and independent of \
                      --domains.")
       $ Arg.(value & flag & info [ "show-dead" ]
@@ -796,6 +855,7 @@ let record_cmd =
       $ faults_arg
       $ batch_k_arg
       $ checkpoint_every_arg
+      $ arrivals_arg
       $ Arg.(value & flag & info [ "metrics" ]
                ~doc:"Record the document with the latency metrics section.")
       $ profile_in_arg

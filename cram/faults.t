@@ -6,7 +6,7 @@ show up per shard and in the summary's faults line.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --faults seed=9,crash=200,spike=100:4000,drop=20
-  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     574140
@@ -23,7 +23,7 @@ the domains field of the header changes.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --faults seed=9,crash=200,spike=100:4000,drop=20 --domains 2 --steal off
-  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     574140
@@ -39,7 +39,7 @@ A malformed spec is rejected with a usage error before anything runs.
 
   $ ../bin/podopt_cli.exe serve seccomm --faults crash=2000 2>&1 | head -2
   podopt: option '--faults': crash=2000 out of range (permille, 0..1000)
-  Usage: podopt serve [OPTION]… WORKLOAD
+  Usage: podopt serve [OPTION]… [WORKLOAD]
 
 Shard kills are a fault kind too: kill=P wipes a shard's entire live
 state at epoch boundaries with probability P per epoch.  The broker's
@@ -54,7 +54,7 @@ line, which show the supervision at work.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --faults seed=9,crash=200,spike=100:4000,drop=20,kill=300 --checkpoint-every 2
-  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20,kill=300)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=200,spike=100:4000,corrupt=0,drop=20,kill=300, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        2       15      0      0 |      15         15 |        30       0       30       0   50.0 |      0     0     0     0 |    5    5       1 |    0     0 |     596070
@@ -75,7 +75,7 @@ survived: source session, sequence number, op path.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 2 --shards 1 --ops 2 --seed 7 \
   >   --faults seed=9,crash=1000 --show-dead --redrain-dead
-  serving seccomm: 2 sessions -> 1 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=1000,spike=0:4000,corrupt=0,drop=0)
+  serving seccomm: 2 sessions -> 1 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults seed=9,crash=1000,spike=0:4000,corrupt=0,drop=0, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        2        4      0      0 |      11          0 |         0       0        0       0      - |     24     8     0     0 |    0    0       0 |    0     0 |          0

@@ -44,8 +44,8 @@ way — the C line carries the batch-k setting:
   $ ../bin/podopt_cli.exe record seccomm --sessions 6 --shards 2 --seed 7 \
   >   --batch-k 4 --out batched.plog
   recorded seccomm run -> batched.plog (12 sessions, 120 arrivals, 0 fault streams)
-  $ grep -o 'C .*' batched.plog | awk '{print $NF}'
-  hash
+  $ grep -o 'C .*' batched.plog | awk '{print $13}'
+  4
   $ ../bin/podopt_cli.exe replay batched.plog
   replay OK: document byte-identical to the recording (13 lines)
   $ ../bin/podopt_cli.exe diff batched.plog --variant batched

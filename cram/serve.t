@@ -4,7 +4,7 @@ per-shard adaptive optimization.  After the warm-up installs
 super-handlers, the steady phase rides the optimized path end to end.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7
-  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     562140
@@ -23,7 +23,7 @@ op lands.  No crash, and the shed counts show up in the table.
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 \
   >   --queue-limit 2 --batch 1 --interval 60 --policy oldest --seed 7 \
   >   --generic --warmup 0
-  serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       28      0     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |     616650
@@ -46,7 +46,7 @@ optimized-path samples, so that column prints "-".
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 \
   >   --queue-limit 2 --batch 1 --interval 60 --policy oldest --seed 7 \
   >   --generic --warmup 0 --metrics
-  serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 1, batch-k off, queue limit 2, policy oldest, generic, seed 7, domains 1, faults none, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       28      0     13 |      15         15 |         0       0       60       0    0.0 |      0     0     0     0 |    0    0       0 |    0     0 |     616650
@@ -79,7 +79,7 @@ column is the one schedule-dependent telemetry counter, so the pinned
 table here disables it and the JSON identity below covers steal on.)
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --domains 2 --steal off
-  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k off, queue limit 64, policy newest, optimized, seed 7, domains 2, faults none, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       15      0      0 |      15         15 |        30       0        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     562140
@@ -116,7 +116,7 @@ observable — but given the same route, stealing still isn't.
   $ cmp zseq.json zsteal.json && echo identical
   identical
   $ cmp seq.json zseq.json || echo routing-is-observable
-  seq.json zseq.json differ: char 531, line 7
+  seq.json zseq.json differ: char 555, line 7
   routing-is-observable
 
 Amortization windows: --batch-k brackets each drained run of same-path
@@ -127,7 +127,7 @@ below the plain optimized run — while every delivery, client count and
 shed decision stays identical to the unbatched runs above.
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 --batch-k 4
-  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k 4, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none)
+  serving seccomm: 6 sessions -> 2 shards (batch 16, batch-k 4, queue limit 64, policy newest, optimized, seed 7, domains 1, faults none, arrivals periodic)
   
   shard | sessions  ingress   shed  displ | batches dispatched | optimized batched  generic  fallbk   opt% | failed  quar  ovfl trips | kill rcov redeliv | migr stole |       busy
       0 |        3       15      0      0 |      15         15 |         0      30        0       0  100.0 |      0     0     0     0 |    0    0       0 |    0     0 |     561450
@@ -144,8 +144,8 @@ The JSON document records the window setting and the batched counters
 
   $ ../bin/podopt_cli.exe serve seccomm --sessions 6 --shards 2 --ops 5 --seed 7 \
   >   --batch-k auto --json | grep -E '"schema"|"batch_k"|"batched"'
-    "schema": "podopt/serve/v7",
-    "workload": "seccomm", "shards": 2, "batch": 16, "batch_k": "auto", "queue_limit": 64, "policy": "newest", "optimize": true, "seed": 7, "tick": 50,
+    "schema": "podopt/serve/v8",
+    "workload": "seccomm", "arrivals": "periodic", "shards": 2, "batch": 16, "batch_k": "auto", "queue_limit": 64, "policy": "newest", "optimize": true, "seed": 7, "tick": 50,
     "summary": {"sent": 30, "retries": 0, "nacks": 0, "gave_up": 0, "routed": 30, "shed": 0, "dispatched": 30, "batches": 30, "optimized": 0, "batched": 60, "generic": 0, "fallbacks": 0, "failures": 0, "requeued": 0, "quarantined": 0, "breaker_trips": 0, "link_dropped": 0, "decode_failures": 0, "first_epoch_optimized": 0, "first_epoch_generic": 0, "busy": 1122900, "makespan": 561450, "elapsed": 1100, "truncated": false, "opt_pct": 100.0,
       {"id": 0, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "kills": 0, "recoveries": 0, "redelivered": 0, "checkpoints": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}},
       {"id": 1, "sessions": 3, "offered": 15, "shed": 0, "dispatched": 15, "optimized": 0, "batched": 30, "generic": 0, "failures": 0, "requeued": 0, "requeue_overflow": 0, "quarantined": 0, "breaker_trips": 0, "kills": 0, "recoveries": 0, "redelivered": 0, "checkpoints": 0, "busy": 561450, "queue_wait": {"count": 15, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_opt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "service_bat": {"count": 15, "p50": 37430, "p90": 37430, "p99": 37430, "max": 37430}, "service_gen": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0}, "batch_depth": {"count": 15, "p50": 1, "p90": 1, "p99": 1, "max": 1}}

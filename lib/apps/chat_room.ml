@@ -1,0 +1,76 @@
+(* Chat room: one inbound post fans out to N member deliveries.  The
+   room is a Cactus composite like SecComm, but where SecComm's chains
+   are linear (push -> net out), chat's are *amplifying*: chat_recv
+   raises ChatFanout once, and chat_fanout raises ChatDeliver N times
+   from an interpreted loop — one op, N downstream dispatches.  The
+   fan-out width rides in the message itself (byte 0), so the work per
+   op is data-dependent the way a real room's member count is. *)
+
+open Podopt_cactus
+open Podopt_eventsys
+module V = Podopt_hir.Value
+
+let room : Micro_protocol.t =
+  Micro_protocol.make ~name:"ChatRoom"
+    ~source:
+      {|
+handler chat_recv(msg) {
+  global cur_msg = msg;
+  global recv_count = global recv_count + 1;
+  raise sync ChatFanout(byte(msg, 0));
+}
+
+handler chat_fanout(n) {
+  let i = 0;
+  while (i < n) {
+    raise sync ChatDeliver(i);
+    i = i + 1;
+  }
+  global fanout_total = global fanout_total + n;
+}
+
+handler chat_deliver(member) {
+  global delivered = global delivered + 1;
+  global out_bytes = global out_bytes + len(global cur_msg);
+  emit("chat_out", member);
+}
+|}
+    ~globals:
+      [
+        ("cur_msg", V.Bytes Bytes.empty);
+        ("recv_count", V.Int 0);
+        ("fanout_total", V.Int 0);
+        ("delivered", V.Int 0);
+        ("out_bytes", V.Int 0);
+      ]
+    [
+      { Micro_protocol.event = "ChatMsg"; handler = "chat_recv"; order = Some 10 };
+      { event = "ChatFanout"; handler = "chat_fanout"; order = Some 10 };
+      { event = "ChatDeliver"; handler = "chat_deliver"; order = Some 10 };
+    ]
+
+let composite : Composite.t = Composite.make ~name:"ChatRoom" [ room ]
+
+let create ?costs () : Runtime.t =
+  let rt = Session.runtime (Session.create ?costs composite) in
+  rt.Runtime.emit_log_enabled <- false;
+  rt
+
+let message ~fanout ~size i =
+  let n = max 1 (min 255 fanout) in
+  let size = max 1 size in
+  Bytes.init size (fun j ->
+      if j = 0 then Char.chr n else Char.chr ((i + (j * 7)) land 0xff))
+
+let push rt (msg : bytes) = Runtime.raise_sync rt "ChatMsg" [ V.Bytes msg ]
+
+let stat rt name =
+  match Runtime.get_global rt name with V.Int n -> n | _ -> 0
+
+let delivered rt = stat rt "delivered"
+let received rt = stat rt "recv_count"
+
+let profile_workload rt () =
+  for i = 1 to 40 do
+    push rt (message ~fanout:(2 + (i mod 6)) ~size:64 i)
+  done

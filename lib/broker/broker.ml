@@ -22,6 +22,7 @@ type config = {
   checkpoint_every : int;
   steal : bool;              (* work-stealing drain + hot-shard migration *)
   route : Shard_map.route;   (* session-to-shard routing discipline *)
+  arrivals : Arrivals.spec;  (* session op arrival process *)
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     checkpoint_every = 8;
     steal = true;
     route = Shard_map.Hash;
+    arrivals = Arrivals.Periodic;
   }
 
 let deliver_event = "BrokerIngress"

@@ -86,13 +86,20 @@ type config = {
           default) or [Zipf s] (rank-skewed; shard 0 hottest).  Changes
           which shard serves a session, so it IS observable — the same
           route must be used when comparing runs. *)
+  arrivals : Arrivals.spec;
+      (** [--arrivals]: the sessions' op arrival process — [Periodic]
+          (the closed-loop grid, default) or one of the open-loop
+          processes ([Uniform] / [Pareto] / [Flash]), applied by
+          {!Loadgen.make_sessions} via {!Arrivals.schedule}.  Changes
+          when ops are sent, so it IS observable; like the route, it
+          is byte-identical at any domain count for a fixed spec. *)
 }
 
 val default_config : config
 (** 2 shards, batch 16, queue limit 64, [Drop_newest], SecComm,
     optimized, compiled, seed 42, tick 50, 1 domain, no faults, no
     stored profile, batching off, checkpoint every 8 epochs, stealing
-    on, hash routing. *)
+    on, hash routing, periodic arrivals. *)
 
 type t
 
@@ -108,7 +115,12 @@ val front : t -> Runtime.t
 val shards : t -> Shard.t array
 val now : t -> int
 
-(** Register the shed-notification callback for a session id. *)
+(** Register the shed-notification callback for a session id.
+    Registering an id again REPLACES the previous callback — the pinned
+    contract {!Loadgen.steady} relies on: the steady phase re-registers
+    the warm-up's ids ("s000"...), and from that moment a nack for the
+    id reaches only the steady-phase session.  A warm-phase session
+    object can never receive a steady-phase nack. *)
 val register : t -> id:string -> nack:(int -> int -> unit) -> unit
 
 (** Route a decoded packet (exposed for tests; live traffic arrives via

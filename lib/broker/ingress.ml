@@ -19,6 +19,10 @@ type t = {
   limit : int;
   policy : Policy.shed;
   q : Packet.t Equeue.t;
+  (* highest due any [requeue] has used so far: requeues must carry the
+     shard clock, and the shard clock is monotone, so a due below this
+     floor means a caller handed us the wrong timebase *)
+  mutable retry_floor : int;
   stats : stats;
 }
 
@@ -28,6 +32,7 @@ let create ~limit ~policy =
     limit;
     policy;
     q = Equeue.create ();
+    retry_floor = 0;
     stats =
       {
         offered = 0;
@@ -84,10 +89,23 @@ let offer t ~now pkt =
    and shedding a retry would silently drop an accepted op.  The cost
    of that invariant is that a retry storm can push the queue past
    [limit]; [requeued] / [requeue_overflow] make the excursion visible
-   instead of letting it hide inside high_water.  [due] should be the
-   shard clock so fresh arrivals (due = broker time, far smaller) keep
-   draining first. *)
+   instead of letting it hide inside high_water.  [due] must be the
+   SHARD clock (so an established shard's retries sort behind its fresh
+   arrivals, whose due is broker time, far smaller) — enforced here,
+   not just documented: the shard clock is monotone, so a [due] below a
+   previous requeue's due means a caller mixed in another timebase
+   (e.g. broker time), and the drain order would silently flip once the
+   clocks diverge.  Fail loudly instead.  (Audit: the only callers are
+   Shard.note_failure and Shard.redrain_dead, both passing
+   [Runtime.now shard.rt].) *)
 let requeue t ~due pkt =
+  if due < t.retry_floor then
+    invalid_arg
+      (Printf.sprintf
+         "Ingress.requeue: due %d below the requeue high water %d (pass the \
+          monotone shard clock, not broker time)"
+         due t.retry_floor);
+  t.retry_floor <- due;
   Equeue.push t.q ~due pkt;
   t.stats.requeued <- t.stats.requeued + 1;
   if Equeue.length t.q > t.limit then
@@ -114,7 +132,14 @@ let drain t ~max = List.map snd (drain_timed t ~max)
    them. *)
 let to_list t = Equeue.to_list t.q
 
-let reload t items = List.iter (fun (due, pkt) -> Equeue.push t.q ~due pkt) items
+let reload t items =
+  List.iter
+    (fun (due, pkt) ->
+      Equeue.push t.q ~due pkt;
+      (* conservative floor: post-restore requeues carry the restored
+         shard clock, which is >= every due in the checkpointed queue *)
+      if due > t.retry_floor then t.retry_floor <- due)
+    items
 
 let stats t = t.stats
 

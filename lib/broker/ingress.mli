@@ -50,7 +50,11 @@ val offer : t -> now:int -> Packet.t -> outcome
     retry must never be shed — but counts into [stats.requeued], and
     into [stats.requeue_overflow] when the queue was already full.
     Pass the shard clock as [due] so retried packets sort after fresh
-    arrivals (whose due is broker time). *)
+    arrivals (whose due is broker time).  Enforced: the shard clock is
+    monotone, so [due] below any earlier requeue's due (or, after a
+    {!reload}, below the checkpointed queue's highest due) means the
+    caller mixed in another timebase — raises [Invalid_argument]
+    instead of silently reordering the drain. *)
 val requeue : t -> due:int -> Packet.t -> unit
 
 (** Remove and return up to [max] packets in arrival order. *)

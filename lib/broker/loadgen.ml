@@ -1,6 +1,7 @@
 module Link = Podopt_net.Link
 module Hist = Podopt_obs.Hist
 module Metrics = Podopt_obs.Metrics
+module Equeue = Podopt_eventsys.Equeue
 
 type profile = {
   sessions : int;
@@ -78,9 +79,22 @@ let make_sessions broker profile =
         Array.init profile.ops (fun k ->
             Workload.op_payload cfg.Broker.kind ~session:i ~seq:k)
       in
+      let start = start0 + (i * profile.spread) in
+      (* Open-loop arrivals replace the closed-loop grid with a seeded
+         schedule — same per-session seed as the link (Arrivals salts
+         its stream, so the draws stay uncorrelated), so the replayer
+         can re-derive the schedule from the config alone. *)
+      let schedule =
+        match cfg.Broker.arrivals with
+        | Arrivals.Periodic -> None
+        | spec ->
+          Some
+            (Arrivals.schedule spec ~seed ~start ~interval:profile.interval
+               ~ops:profile.ops)
+      in
       let s =
-        Session.create ~id ~link ~ops ~start:(start0 + (i * profile.spread))
-          ~interval:profile.interval ~backoff:Policy.default_backoff ()
+        Session.create ~id ~link ~ops ~start ~interval:profile.interval
+          ?schedule ~backoff:Policy.default_backoff ()
       in
       Broker.register broker ~id ~nack:(fun seq now -> Session.nack s ~seq ~now);
       s)
@@ -137,32 +151,94 @@ let summarize ?(truncated = false) broker sessions ~elapsed =
     truncated;
   }
 
-let run ?(max_ticks = 1_000_000) broker sessions =
+(* The tick budget, derived from the load itself: the send horizon in
+   ticks, plus an epoch per op for drains (an epoch always drains at
+   least one op from a non-empty shard), plus slack for the retry and
+   backoff tail.  The old fixed 1_000_000 default silently under-scaled
+   for large open-loop session counts — a 10^5-session run would
+   truncate and its counters would describe an unfinished run.  The
+   computed bound grows with the profile, so hitting it means the run
+   is genuinely wedged, not merely big. *)
+let default_max_ticks ~tick ~t0 sessions =
+  let horizon =
+    List.fold_left (fun acc s -> max acc (Session.horizon s)) t0 sessions
+  in
+  let ops =
+    List.fold_left (fun acc s -> acc + Array.length (Session.ops s)) 0 sessions
+  in
+  ((horizon - t0 + 100_000) / max tick 1) + (8 * ops) + 1024
+
+let run ?max_ticks broker sessions =
   let tick = (Broker.config broker).Broker.tick in
   let t0 = Broker.now broker in
-  let finished () =
-    List.for_all Session.finished sessions && Broker.idle broker
+  let max_ticks =
+    match max_ticks with
+    | Some m -> m
+    | None -> default_max_ticks ~tick ~t0 sessions
+  in
+  let sess = Array.of_list sessions in
+  (* Session wheel: a due-time index over the sessions, so a tick costs
+     O(sessions due now), not O(all sessions).  Each unfinished session
+     keeps at least one wheel entry at (or before) its earliest pending
+     work; nack-scheduled retries re-index through the waker, since
+     they land after the session's entry for the tick was already
+     consumed.  Duplicate entries are harmless — due indices are
+     deduped before pumping. *)
+  let wheel : int Equeue.t = Equeue.create () in
+  Array.iteri
+    (fun i s ->
+      Session.set_waker s (Some (fun due -> Equeue.push wheel ~due i));
+      match Session.next_due s with
+      | Some due -> Equeue.push wheel ~due i
+      | None -> ())
+    sess;
+  let pump_due now =
+    let rec collect acc =
+      match Equeue.peek wheel with
+      | Some (due, _) when due <= now ->
+        (match Equeue.pop wheel with
+         | Some (_, i) -> collect (i :: acc)
+         | None -> acc)
+      | _ -> acc
+    in
+    (* ascending session index: the exact relative order the full
+       List.iter scan pumped in, so front-runtime insertion order — and
+       with it every downstream observable — is unchanged *)
+    let due = List.sort_uniq compare (collect []) in
+    List.iter
+      (fun i ->
+        let s = sess.(i) in
+        Session.pump s ~now ~rt:(Broker.front broker)
+          ~deliver_event:Broker.deliver_event;
+        match Session.next_due s with
+        | Some due -> Equeue.push wheel ~due i
+        | None -> ())
+      due
   in
   let ticks = ref 0 in
-  while (not (finished ())) && !ticks < max_ticks do
+  (* an empty wheel means every session finished (each unfinished one
+     holds an entry), so the old List.for_all scan is not needed in the
+     loop condition *)
+  while
+    (not (Equeue.is_empty wheel && Broker.idle broker)) && !ticks < max_ticks
+  do
     incr ticks;
     let now = Broker.now broker in
-    List.iter
-      (fun s ->
-        Session.pump s ~now ~rt:(Broker.front broker)
-          ~deliver_event:Broker.deliver_event)
-      sessions;
+    pump_due now;
     Broker.pump broker ~until:now;
     ignore (Broker.drain broker);
     Broker.advance_to broker (now + tick)
   done;
+  Array.iter (fun s -> Session.set_waker s None) sess;
   (* Hitting the tick budget means the run was cut off mid-flight: the
      summary's counters describe an unfinished run.  Flag it rather than
      reporting the truncated run as if it completed. *)
-  let truncated = not (finished ()) in
+  let truncated =
+    not (List.for_all Session.finished sessions && Broker.idle broker)
+  in
   summarize ~truncated broker sessions ~elapsed:(Broker.now broker - t0)
 
-let steady ?(warmup_ops = 12) broker profile =
+let steady ?(warmup_ops = 12) ?max_ticks broker profile =
   if warmup_ops > 0 then begin
     let warm = make_sessions broker { profile with ops = warmup_ops } in
     ignore (run broker warm);
@@ -170,4 +246,4 @@ let steady ?(warmup_ops = 12) broker profile =
   end;
   Broker.reset_measurements broker;
   let sessions = make_sessions broker profile in
-  run broker sessions
+  run ?max_ticks broker sessions

@@ -89,17 +89,26 @@ val opt_pct : summary -> float
 (** Build the sessions for a profile and register their nack callbacks
     with the broker.  Ids are ["s000"], ["s001"], ... (stable across
     phases, so a warm-up reaches exactly the shards the steady phase
-    will use). *)
+    will use; re-registering replaces the previous phase's callbacks —
+    see {!Broker.register}).  With an open-loop [arrivals] spec on the
+    broker config, each session gets an {!Arrivals.schedule} in place
+    of the closed-loop grid, seeded like its link. *)
 val make_sessions : Broker.t -> profile -> Session.t list
 
 (** Drive sessions + broker until every session finished and the broker
-    is idle; returns the run's summary.  [max_ticks] bounds the
-    simulation as a safety net. *)
+    is idle; returns the run's summary.  Sessions are indexed on a
+    due-time wheel, so a tick costs O(sessions due now) and
+    10^4–10^5-session open-loop runs stay cheap.  [max_ticks] bounds
+    the simulation as a safety net; the default is computed from the
+    sessions' send horizon and op count (see [--max-ticks] on serve),
+    so hitting it means the run is wedged, not merely big — the
+    summary's [truncated] flag reports it. *)
 val run : ?max_ticks:int -> Broker.t -> Session.t list -> summary
 
 (** The measured protocol: run a warm-up phase of [warmup_ops] ops per
     session (letting each shard's adaptive optimizer install its
     super-handlers), force the analysis on any shard the warm-up left
     generic, reset all measurements, then run and measure the steady
-    phase. *)
-val steady : ?warmup_ops:int -> Broker.t -> profile -> summary
+    phase.  [max_ticks] overrides the measured phase's computed tick
+    budget (the warm-up always uses the computed default). *)
+val steady : ?warmup_ops:int -> ?max_ticks:int -> Broker.t -> profile -> summary

@@ -182,12 +182,13 @@ let json ?(metrics = false) broker (s : Loadgen.summary) =
       (dist_e "batch_depth" (Metrics.exact m "batch.depth"))
   in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"podopt/serve/v7\",\n";
+  Buffer.add_string b "  \"schema\": \"podopt/serve/v8\",\n";
   Printf.bprintf b
-    "  \"workload\": %S, \"shards\": %d, \"batch\": %d, \"batch_k\": %S, \
-     \"queue_limit\": %d, \"policy\": %S, \"optimize\": %b, \"seed\": %Ld, \
-     \"tick\": %d,\n"
+    "  \"workload\": %S, \"arrivals\": %S, \"shards\": %d, \"batch\": %d, \
+     \"batch_k\": %S, \"queue_limit\": %d, \"policy\": %S, \"optimize\": %b, \
+     \"seed\": %Ld, \"tick\": %d,\n"
     (Workload.kind_to_string cfg.Broker.kind)
+    (Arrivals.to_string cfg.Broker.arrivals)
     cfg.Broker.shards cfg.Broker.batch
     (Shard.batching_to_string cfg.Broker.batching)
     cfg.Broker.queue_limit

@@ -2,10 +2,15 @@
     simulated {!Podopt_net.Link}, with retry-with-backoff when the
     broker sheds one of its events.
 
-    Ops are sent on a fixed virtual-time schedule ([start], then every
-    [interval] units).  A shed notification ({!nack}) schedules a
-    resend after the {!Policy.backoff} delay for that op's attempt
-    count; after [max_retries] rejections the op is abandoned. *)
+    Ops are sent on a virtual-time schedule: the closed-loop grid
+    ([start], then every [interval] units), or — when [schedule] is
+    given — an explicit per-op due-time array (the open-loop arrival
+    processes of {!Arrivals}).  A shed notification ({!nack})
+    schedules a resend after the {!Policy.backoff} delay for that op's
+    attempt count; after [max_retries] rejections the op is abandoned,
+    exactly once — an abandoned seq is latched, so late nacks for it
+    can neither re-enter the backoff machinery nor inflate
+    [gave_up]. *)
 
 open Podopt_eventsys
 open Podopt_net
@@ -19,9 +24,11 @@ type stats = {
 
 type t
 
+(** [schedule], when given, must have exactly one due time per op;
+    it overrides the [start]/[interval] grid. *)
 val create :
   id:string -> link:Link.t -> ops:bytes array -> ?start:int -> ?interval:int ->
-  backoff:Policy.backoff -> unit -> t
+  ?schedule:int array -> backoff:Policy.backoff -> unit -> t
 
 val id : t -> string
 
@@ -37,6 +44,20 @@ val interval : t -> int
 
 (** All ops sent and no retry pending. *)
 val finished : t -> bool
+
+(** Earliest pending work (next first-send or earliest queued retry);
+    [None] iff {!finished}.  The load generator's session wheel keys
+    on this. *)
+val next_due : t -> int option
+
+(** Install (or clear) the wheel re-index hook: called with the due
+    time whenever {!nack} schedules a retry, so a session the wheel
+    already passed over gets re-queued at its new due. *)
+val set_waker : t -> (int -> unit) option -> unit
+
+(** The last scheduled first-send time (the session's send horizon;
+    retries may extend past it by the backoff tail). *)
+val horizon : t -> int
 
 (** Send every op and due retry whose schedule time is [<= now] over
     the link towards [rt] (the broker's front runtime). *)

@@ -104,7 +104,8 @@ type t = {
   id : int;
   kind : Workload.kind;
   (* the shard core a kill wipes and a restore rebuilds *)
-  mutable rt : Runtime.t;
+  mutable inst : Workload.instance;
+  mutable rt : Runtime.t;  (* = Workload.runtime inst, cached *)
   mutable ingress : Ingress.t;
   mutable adaptive : Adaptive.t option;
   mutable breaker : Breaker.t option;
@@ -139,7 +140,8 @@ type t = {
    resurrected shard is wired exactly like a newborn one. *)
 let wire_core ~kind ~optimize ~compile ~batching ~depths ~queue_limit
     ~shed_policy ~breaker_policy =
-  let rt = Workload.runtime kind in
+  let inst = Workload.instantiate kind in
+  let rt = Workload.runtime inst in
   (* one hostile handler must not abort the drain loop *)
   rt.Runtime.isolate_failures <- true;
   let metrics = Metrics.create () in
@@ -172,8 +174,8 @@ let wire_core ~kind ~optimize ~compile ~batching ~depths ~queue_limit
     | true, None -> Some (Breaker.create ())
     | false, _ -> None
   in
-  (rt, Ingress.create ~limit:queue_limit ~policy:shed_policy, adaptive, breaker,
-   metrics)
+  (inst, rt, Ingress.create ~limit:queue_limit ~policy:shed_policy, adaptive,
+   breaker, metrics)
 
 let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
     ?(compile = true) ?warm ?(batching = Off) ?(depths = []) ~id ~kind ~optimize
@@ -183,7 +185,7 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
   (match batching with
    | Fixed k when k < 1 -> invalid_arg "Shard.create: batch width < 1"
    | _ -> ());
-  let rt, ingress, adaptive, breaker', metrics =
+  let inst, rt, ingress, adaptive, breaker', metrics =
     wire_core ~kind ~optimize ~compile ~batching ~depths ~queue_limit
       ~shed_policy:policy ~breaker_policy:breaker
   in
@@ -201,6 +203,7 @@ let create ?faults ?(max_failures = 3) ?(dead_limit = 32) ?breaker
   {
     id;
     kind;
+    inst;
     rt;
     ingress;
     adaptive;
@@ -291,7 +294,7 @@ let dispatch_one t (p : Packet.t) =
          | None -> ());
         if Plan.crash inj then raise Plan.Injected_failure
       | None -> ());
-     Workload.dispatch t.kind rt payload
+     Workload.dispatch t.inst payload
    with
    | Out_of_memory | Stack_overflow | Assert_failure _ as e ->
      (* fatal process conditions are not handler failures: a retry
@@ -680,11 +683,12 @@ let checkpoint t ~epoch =
    stream belongs to the environment), and so do the recovery counters
    — they count the kills, so the kill must not erase them. *)
 let kill t =
-  let rt, ingress, adaptive, breaker, metrics =
+  let inst, rt, ingress, adaptive, breaker, metrics =
     wire_core ~kind:t.kind ~optimize:t.optimize ~compile:t.compile
       ~batching:t.batching ~depths:[] ~queue_limit:t.queue_limit
       ~shed_policy:t.shed_policy ~breaker_policy:t.breaker_policy
   in
+  t.inst <- inst;
   t.rt <- rt;
   t.ingress <- ingress;
   t.adaptive <- adaptive;

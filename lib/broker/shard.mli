@@ -87,7 +87,10 @@ type recov = {
 type t = {
   id : int;
   kind : Workload.kind;
-  mutable rt : Runtime.t;       (** the core a {!kill} wipes... *)
+  mutable inst : Workload.instance;
+      (** the workload instance ops dispatch into (owns [rt]) *)
+  mutable rt : Runtime.t;       (** = [Workload.runtime inst], cached —
+                                    the core a {!kill} wipes... *)
   mutable ingress : Ingress.t;
   mutable adaptive : Podopt_optimize.Adaptive.t option;
       (** [None] = generic shard *)

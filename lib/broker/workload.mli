@@ -1,9 +1,9 @@
 (** The application workloads a shard can serve.
 
     A broker run serves one application; every shard hosts its own
-    runtime for it.  A session op is a deterministic payload (the wire
+    instance of it.  A session op is a deterministic payload (the wire
     bytes of one application message), and [dispatch] replays it
-    against a shard runtime exactly the way the app's own driver
+    against a shard instance exactly the way the app's own driver
     would — so broker traffic exercises the same event chains the
     optimizer was built for. *)
 
@@ -12,25 +12,38 @@ open Podopt_eventsys
 type kind =
   | Video    (** video player frames through the CTP composite *)
   | Seccomm  (** SecComm messenger push/pop round trips *)
+  | Xwin     (** X GUI event storms: scroll/keystroke/popup posts *)
+  | Chat     (** chat room fan-out: one post, N member deliveries *)
 
 val kind_of_string : string -> (kind, string) result
 val kind_to_string : kind -> string
 
-(** Fresh shard runtime hosting the application (emit-log retention
+(** A shard's live application: a bare runtime (Video/SecComm/Chat) or
+    the whole X client with its widget tree ([Xwin]). *)
+type instance
+
+(** Fresh shard instance hosting the application (emit-log retention
     off, session opened where the app needs one). *)
-val runtime : kind -> Runtime.t
+val instantiate : kind -> instance
+
+(** The instance's event runtime (what the adaptive optimizer, cost
+    accounting, and checkpointing operate on). *)
+val runtime : instance -> Runtime.t
 
 (** Deterministic payload for op [seq] of session number [session]. *)
 val op_payload : kind -> session:int -> seq:int -> bytes
 
 (** The hot-path key of an op: ops with equal paths may share one batch
-    window.  Constant per kind today (each workload serves one op
-    vocabulary); a multi-op workload would key on the payload. *)
+    window.  Constant per kind for the single-vocabulary workloads;
+    the X storm keys on the payload's opcode byte
+    (scroll/key/popup). *)
 val path : kind -> bytes -> string
 
-(** Replay one op against a shard runtime: a CTP frame send (with a
-    full drain of acks and timers) or a SecComm push/pop round trip. *)
-val dispatch : kind -> Runtime.t -> bytes -> unit
+(** Replay one op against a shard instance: a CTP frame send (with a
+    full drain of acks and timers), a SecComm push/pop round trip, a
+    chat post with its synchronous fan-out, or an X event post with a
+    full client event-loop turn. *)
+val dispatch : instance -> bytes -> unit
 
 (** Policy for the shard's on-line adaptive optimizer: a low analysis
     threshold (shards see a slice of the traffic) and a trace window

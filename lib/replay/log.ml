@@ -4,12 +4,12 @@
    record per line, whitespace-separated fields, [#] comments, a
    [Format_error] on anything malformed).
 
-   Format (version 5; version-1 .. -4 logs still load):
+   Format (version 6; version-1 .. -5 logs still load):
 
      V <version>
      C <shards> <batch> <queue_limit> <policy> <kind> <optimize>
        <compile> <seed> <tick> <domains> <faults-spec> <batch-k>
-       <checkpoint-every> <steal> <route>
+       <checkpoint-every> <steal> <route> <arrivals>
      D <verbatim line>                             embedded profile store
      Y <crc32-hex>                                 digest of the D lines
      P <sessions> <ops> <interval> <spread> <latency> <jitter>
@@ -49,7 +49,15 @@
    [M] lines (also new in 5) record the measured phase's hot-shard
    migration plan, in decision order: the plan is a pure function of
    recorded state, so a replay at the recorded domain count must
-   re-derive it exactly — replay verifies this. *)
+   re-derive it exactly — replay verifies this.
+
+   [arrivals] (new in version 6) is the sessions' op arrival process
+   ([periodic] or an open-loop spec, see {!Podopt_broker.Arrivals});
+   a C line without it (versions 1..5) loads as [periodic] — the
+   closed-loop grid those runs used.  The per-session schedules are
+   not recorded: they are a pure function of (spec, seed, session
+   index), so replay re-derives them from the config, the same way it
+   re-derives the migration plan. *)
 
 module Plan = Podopt_faults.Plan
 module Broker = Podopt_broker.Broker
@@ -64,7 +72,7 @@ module Crc32 = Podopt_crypto.Crc32
 exception Format_error of string
 
 let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
-let version = 5
+let version = 6
 
 type sess = {
   s_phase : string;  (* "w" | "m" *)
@@ -159,7 +167,7 @@ let to_string (t : t) : string =
   let cfg = t.config and p = t.profile in
   line "# podopt replay log";
   line "V %d" version;
-  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s %d %b %s" cfg.Broker.shards
+  line "C %d %d %d %s %s %b %b %Ld %d %d %s %s %d %b %s %s" cfg.Broker.shards
     cfg.Broker.batch cfg.Broker.queue_limit
     (Policy.shed_to_string cfg.Broker.policy)
     (Workload.kind_to_string cfg.Broker.kind)
@@ -168,7 +176,8 @@ let to_string (t : t) : string =
     (Plan.to_string cfg.Broker.faults)
     (Shard.batching_to_string cfg.Broker.batching)
     cfg.Broker.checkpoint_every cfg.Broker.steal
-    (Podopt_broker.Shard_map.route_to_string cfg.Broker.route);
+    (Podopt_broker.Shard_map.route_to_string cfg.Broker.route)
+    (Podopt_broker.Arrivals.to_string cfg.Broker.arrivals);
   (match cfg.Broker.profile_in with
    | None -> ()
    | Some store ->
@@ -218,7 +227,17 @@ let config_of_fields fields =
      — pre-4 fault specs cannot kill, so the default interval is
      inert); 13 fields: version 4 (no steal/route — hash routing is
      what those runs did, and the scheduler mode is unobservable);
-     15 fields: version 5 *)
+     15 fields: version 5 (no arrivals — those runs were closed-loop
+     periodic); 16 fields: version 6 *)
+  let fields, arrivals =
+    match fields with
+    | [ _; _; _; _; _; _; _; _; _; _; _; _; _; _; _; arrivals ] ->
+      ( List.filteri (fun i _ -> i < 15) fields,
+        match Podopt_broker.Arrivals.of_string arrivals with
+        | Ok a -> a
+        | Error e -> format_error "bad arrivals: %s" e )
+    | _ -> (fields, Podopt_broker.Arrivals.Periodic)
+  in
   let fields, steal, route =
     match fields with
     | [ _; _; _; _; _; _; _; _; _; _; _; _; _; steal; route ] ->
@@ -288,6 +307,7 @@ let config_of_fields fields =
       checkpoint_every;
       steal;
       route;
+      arrivals;
     }
   | _ -> format_error "bad C line (%d fields)" (List.length fields)
 

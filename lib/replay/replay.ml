@@ -42,10 +42,16 @@ let arrival_table (log : Log.t) =
 (* Rebuild one phase's sessions.  Links are fully scripted: a send's
    outcome comes from the log, with the profile latency as the
    fallback for sends the recorded run never made (possible only on
-   shrunk logs, where retry patterns may differ). *)
+   shrunk logs, where retry patterns may differ).  Open-loop arrival
+   schedules are not logged: like the migration plan they are a pure
+   function of recorded state — (spec, per-session seed, start,
+   interval, op count) — so they are re-derived here exactly as
+   {!Podopt_broker.Loadgen.make_sessions} derived them (sessions are
+   listed in creation order, so position = session index). *)
 let make_sessions broker (log : Log.t) table phase =
-  List.map
-    (fun (s : Log.sess) ->
+  let arrivals = log.Log.config.Broker.arrivals in
+  List.mapi
+    (fun i (s : Log.sess) ->
       let sid = s.Log.s_id in
       let link =
         Link.create ~latency:log.Log.profile.Loadgen.latency ~jitter:0 ()
@@ -57,9 +63,20 @@ let make_sessions broker (log : Log.t) table phase =
              | Some -1 -> None
              | Some delay -> Some delay
              | None -> Some log.Log.profile.Loadgen.latency));
+      let schedule =
+        match arrivals with
+        | Podopt_broker.Arrivals.Periodic -> None
+        | spec ->
+          let seed =
+            Int64.add log.Log.config.Broker.seed (Int64.of_int (i + 1))
+          in
+          Some
+            (Podopt_broker.Arrivals.schedule spec ~seed ~start:s.Log.s_start
+               ~interval:s.Log.s_interval ~ops:(Array.length s.Log.s_ops))
+      in
       let sess =
         Session.create ~id:sid ~link ~ops:s.Log.s_ops ~start:s.Log.s_start
-          ~interval:s.Log.s_interval ~backoff:Policy.default_backoff ()
+          ~interval:s.Log.s_interval ?schedule ~backoff:Policy.default_backoff ()
       in
       Broker.register broker ~id:sid ~nack:(fun seq now ->
           Session.nack sess ~seq ~now);
